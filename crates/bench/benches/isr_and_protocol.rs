@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks of the metric and protocol layers: ISR
+//! computation over long traces, percentile summaries, packet encoding and
+//! decoding, and traffic accounting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use meterstick_metrics::isr::{instability_ratio, synthetic_outlier_trace, IsrParams};
+use meterstick_metrics::stats::Percentiles;
+use mlg_entity::{EntityId, Vec3};
+use mlg_protocol::codec::{decode_clientbound, encode_clientbound};
+use mlg_protocol::{ClientboundPacket, TrafficAccountant};
+
+fn bench_isr(c: &mut Criterion) {
+    let trace = synthetic_outlier_trace(72_000, 25, 10.0, 50.0); // one hour of ticks
+    c.bench_function("isr_one_hour_trace", |b| {
+        b.iter(|| instability_ratio(&trace, IsrParams::default()));
+    });
+    c.bench_function("percentiles_one_hour_trace", |b| {
+        b.iter(|| Percentiles::of(&trace));
+    });
+}
+
+fn bench_protocol(c: &mut Criterion) {
+    let packet = ClientboundPacket::EntityMove {
+        id: EntityId(123_456),
+        pos: Vec3::new(104.25, 64.0, -33.5),
+    };
+    c.bench_function("encode_entity_move", |b| {
+        b.iter(|| encode_clientbound(&packet));
+    });
+    let encoded = encode_clientbound(&packet);
+    c.bench_function("decode_entity_move", |b| {
+        b.iter(|| decode_clientbound(encoded.clone()).unwrap());
+    });
+    c.bench_function("traffic_accounting_1000_packets", |b| {
+        b.iter(|| {
+            let mut accountant = TrafficAccountant::new();
+            for i in 0..1_000u64 {
+                accountant.record(
+                    &ClientboundPacket::EntityMove {
+                        id: EntityId(i),
+                        pos: Vec3::new(i as f64, 64.0, 0.0),
+                    },
+                    25,
+                );
+            }
+            accountant.into_summary()
+        });
+    });
+}
+
+criterion_group!(benches, bench_isr, bench_protocol);
+criterion_main!(benches);

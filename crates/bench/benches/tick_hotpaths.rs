@@ -1,0 +1,123 @@
+//! Criterion micro-benchmarks of the simulator's hot paths: one server tick
+//! under each workload, terrain-update cascades, pathfinding and explosions.
+//!
+//! These measure the real wall-clock cost of the reproduction's substrate
+//! (not the simulated virtual-time results the figures report).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use cloud_sim::environment::Environment;
+use meterstick_workloads::{WorkloadKind, WorkloadSpec};
+use mlg_bots::PlayerEmulation;
+use mlg_entity::pathfinding::find_path;
+use mlg_protocol::netsim::LinkConfig;
+use mlg_server::{GameServer, ServerConfig, ServerFlavor};
+use mlg_world::generation::FlatGenerator;
+use mlg_world::sim::explode;
+use mlg_world::{Block, BlockKind, BlockPos, World};
+
+fn prepared_server(workload: WorkloadKind) -> (GameServer, PlayerEmulation) {
+    let built = WorkloadSpec::new(workload).build(392_114_485);
+    let config = ServerConfig::for_flavor(ServerFlavor::Vanilla);
+    let mut server = GameServer::new(config, built.world, built.spawn_point);
+    let mut emulation = PlayerEmulation::new(
+        built.players.bots,
+        built.spawn_point,
+        built.players.walk_area,
+        built.players.moving,
+        LinkConfig::datacenter(),
+        7,
+    );
+    emulation.connect_all(&mut server);
+    for (kind, pos) in &built.ambient_entities {
+        server.spawn_entity(*kind, *pos);
+    }
+    if let Some(delay) = built.tnt_fuse_delay_ticks {
+        server.schedule_tnt_ignition(delay.min(20));
+    }
+    (server, emulation)
+}
+
+fn bench_server_ticks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_tick");
+    group.sample_size(20);
+    for workload in [WorkloadKind::Control, WorkloadKind::Farm, WorkloadKind::Lag] {
+        group.bench_function(format!("{workload}"), |b| {
+            let (mut server, mut emulation) = prepared_server(workload);
+            let mut engine = Environment::das5(2).instantiate(1).engine;
+            // Warm up past the join spike.
+            for _ in 0..30 {
+                emulation.step(&mut server, &mut engine);
+            }
+            b.iter(|| emulation.step(&mut server, &mut engine));
+        });
+    }
+    group.finish();
+}
+
+fn bench_terrain_cascade(c: &mut Criterion) {
+    c.bench_function("terrain_sand_cascade", |b| {
+        b.iter_batched(
+            || {
+                let mut world = World::new(Box::new(FlatGenerator::grassland()), 7);
+                for y in 70..90 {
+                    world.set_block(BlockPos::new(4, y, 4), Block::simple(BlockKind::Sand));
+                }
+                world
+            },
+            |mut world| {
+                let sim = mlg_world::TerrainSimulator::new();
+                world.advance_tick();
+                let (report, _) = sim.tick(&mut world);
+                report
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_explosion(c: &mut Criterion) {
+    c.bench_function("explosion_radius4", |b| {
+        b.iter_batched(
+            || World::new(Box::new(FlatGenerator::grassland()), 7),
+            |mut world| explode(&mut world, BlockPos::new(8, 60, 8), 4),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_pathfinding(c: &mut Criterion) {
+    c.bench_function("pathfind_30_blocks", |b| {
+        let mut world = World::new(Box::new(FlatGenerator::grassland()), 7);
+        // A wall with a gap forces a detour.
+        for z in -10..=10 {
+            for y in 61..64 {
+                if z != 8 {
+                    world.set_block_silent(BlockPos::new(15, y, z), Block::simple(BlockKind::Stone));
+                }
+            }
+        }
+        b.iter(|| find_path(&mut world, BlockPos::new(0, 61, 0), BlockPos::new(30, 61, 0), 4_096));
+    });
+}
+
+fn bench_player_emulation(c: &mut Criterion) {
+    c.bench_function("players_workload_tick_25_bots", |b| {
+        let (mut server, mut emulation) = prepared_server(WorkloadKind::Players);
+        let mut engine = Environment::das5(2).instantiate(1).engine;
+        for _ in 0..30 {
+            emulation.step(&mut server, &mut engine);
+        }
+        b.iter(|| emulation.step(&mut server, &mut engine));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_server_ticks,
+    bench_terrain_cascade,
+    bench_explosion,
+    bench_pathfinding,
+    bench_player_emulation
+);
+criterion_main!(benches);

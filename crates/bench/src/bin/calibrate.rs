@@ -1,0 +1,47 @@
+//! Calibration utility: prints per-workload tick-time statistics for every
+//! flavor on the key environments. Not a paper figure; used to sanity-check
+//! that the workload magnitudes land in the intended regimes (Control well
+//! under the 50 ms budget, Farm/TNT overloading a 2-vCPU cloud node, Lag
+//! crashing on AWS but not on DAS-5).
+
+use cloud_sim::environment::Environment;
+use meterstick::report::render_table;
+use meterstick_bench::run;
+use meterstick_workloads::WorkloadKind;
+use mlg_server::ServerFlavor;
+
+fn main() {
+    let duration = 20;
+    let mut rows = Vec::new();
+    for env_fn in [Environment::das5 as fn(u32) -> Environment] {
+        let _ = env_fn;
+    }
+    let environments = vec![Environment::das5(2), Environment::aws_default()];
+    for environment in environments {
+        for workload in WorkloadKind::all() {
+            for flavor in [ServerFlavor::Vanilla, ServerFlavor::Paper] {
+                let results = run(workload, &[flavor], environment.clone(), duration, 1);
+                let it = &results.iterations()[0];
+                let p = it.tick_percentiles();
+                rows.push(vec![
+                    environment.label(),
+                    workload.to_string(),
+                    flavor.to_string(),
+                    format!("{:.1}", p.mean),
+                    format!("{:.1}", p.p50),
+                    format!("{:.1}", p.p95),
+                    format!("{:.1}", p.max),
+                    format!("{:.3}", it.instability_ratio),
+                    if it.crashed() { "CRASH".into() } else { "-".into() },
+                ]);
+            }
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &["env", "workload", "server", "mean", "p50", "p95", "max", "ISR", "status"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,41 @@
+//! Figure 8 (MF2): ISR for each MLG and workload on AWS and DAS-5.
+//!
+//! Instability Ratio of every flavor under the five workloads in three
+//! environment configurations: AWS 2-core, DAS-5 2-core and DAS-5 16-core.
+//! In the paper the Lag workload crashes every MLG on AWS; the reproduction
+//! reports the same crash.
+
+use meterstick::report::render_table;
+use meterstick_bench::{duration_from_args, figure8_environments, print_header, run};
+use meterstick_workloads::WorkloadKind;
+use mlg_server::ServerFlavor;
+
+fn main() {
+    print_header("Figure 8 (MF2)", "ISR per MLG and workload on AWS and DAS-5");
+    let duration = duration_from_args();
+    for environment in figure8_environments() {
+        println!("\n--- {} ---", environment.label());
+        let mut rows = Vec::new();
+        for workload in WorkloadKind::all() {
+            let mut row = vec![workload.to_string()];
+            for flavor in ServerFlavor::all() {
+                let results = run(workload, &[flavor], environment.clone(), duration, 1);
+                let it = &results.iterations()[0];
+                if it.crashed() {
+                    row.push("crashed".into());
+                } else {
+                    row.push(format!("{:.3}", it.instability_ratio));
+                }
+            }
+            rows.push(row);
+        }
+        println!(
+            "{}",
+            render_table(&["workload", "Minecraft", "Forge", "PaperMC"], &rows)
+        );
+    }
+    println!("\nExpected shape (paper): environment-based workloads (Farm, TNT, Lag) have");
+    println!("much higher ISR than Control/Players; Lag crashes on AWS but not on DAS-5;");
+    println!("PaperMC is least affected; the 16-core DAS-5 node changes little because the");
+    println!("game loop is single-threaded.");
+}

@@ -1,0 +1,67 @@
+//! Shared helpers for the Meterstick benchmark harness binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see `DESIGN.md` for the experiment index); the helpers here keep their
+//! output format consistent and their run times reasonable.
+
+use cloud_sim::environment::Environment;
+use meterstick::config::BenchmarkConfig;
+use meterstick::experiment::ExperimentRunner;
+use meterstick::results::ExperimentResults;
+use meterstick_workloads::WorkloadKind;
+use mlg_server::ServerFlavor;
+
+/// Duration (virtual seconds) used by the figure-regeneration binaries.
+///
+/// The paper uses 60-second iterations; the default here is shorter so every
+/// figure regenerates in seconds of wall-clock time. Pass `--full` to any
+/// binary to use the paper's 60-second iterations.
+pub const QUICK_DURATION_SECS: u64 = 30;
+
+/// Returns the iteration duration to use, honouring a `--full` CLI flag.
+#[must_use]
+pub fn duration_from_args() -> u64 {
+    if std::env::args().any(|a| a == "--full") {
+        60
+    } else {
+        QUICK_DURATION_SECS
+    }
+}
+
+/// Runs one workload for one flavor set in one environment and returns the
+/// results. Seeds are fixed so figures are reproducible run-to-run.
+#[must_use]
+pub fn run(
+    workload: WorkloadKind,
+    flavors: &[ServerFlavor],
+    environment: Environment,
+    duration_secs: u64,
+    iterations: u32,
+) -> ExperimentResults {
+    let config = BenchmarkConfig::new(workload)
+        .with_flavors(flavors.to_vec())
+        .with_environment(environment)
+        .with_duration_secs(duration_secs)
+        .with_iterations(iterations);
+    ExperimentRunner::new(config).run()
+}
+
+/// The three standard environments of the paper's Figure 8: AWS 2-core,
+/// DAS-5 2-core and DAS-5 16-core.
+#[must_use]
+pub fn figure8_environments() -> Vec<Environment> {
+    vec![
+        Environment::aws_default(),
+        Environment::das5(2),
+        Environment::das5(16),
+    ]
+}
+
+/// Prints a section header for a figure/table binary.
+pub fn print_header(id: &str, title: &str) {
+    println!("==============================================================");
+    println!("{id}: {title}");
+    println!("(reproduction; shapes comparable to the paper, absolute numbers");
+    println!(" depend on the simulated substrate — see EXPERIMENTS.md)");
+    println!("==============================================================");
+}

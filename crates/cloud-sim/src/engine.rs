@@ -1,0 +1,267 @@
+//! The virtual-time compute engine: converting game-server work into tick
+//! durations.
+//!
+//! The game-server substrate reports how much abstract *work* each tick
+//! performed, split into work bound to the main game-loop thread and work the
+//! server flavor managed to offload to auxiliary threads (PaperMC's
+//! asynchronous environment processing, Appendix A of the paper). The engine
+//! converts that work into milliseconds for a given node under the current
+//! interference conditions — this is the substitution for running real JVM
+//! servers on real machines, preserving the relationship *more work and fewer
+//! effective cores ⇒ longer ticks ⇒ overload*.
+
+use serde::{Deserialize, Serialize};
+
+use crate::interference::{BurstCredits, InterferenceState};
+use crate::node::NodeType;
+
+/// One tick's worth of compute demand, in abstract work units.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TickWork {
+    /// Work that must execute on the main game-loop thread.
+    pub main_thread: u64,
+    /// Work that the server flavor can execute on auxiliary threads
+    /// concurrently with the main thread (e.g. async chat, async lighting).
+    pub offloadable: u64,
+}
+
+impl TickWork {
+    /// Total work units regardless of placement.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.main_thread + self.offloadable
+    }
+}
+
+/// Result of executing one tick on the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TickExecution {
+    /// How long the tick's computation took, in milliseconds.
+    pub busy_ms: f64,
+    /// The interference multiplier that was applied.
+    pub interference_multiplier: f64,
+    /// The burst-credit throttle multiplier that was applied.
+    pub throttle_multiplier: f64,
+    /// CPU core-seconds consumed (for system metrics and credit accounting).
+    pub core_seconds: f64,
+    /// CPU utilization during the tick window, as a fraction of the node's
+    /// total capacity (can exceed 1.0 only due to rounding; clamped).
+    pub cpu_utilization: f64,
+}
+
+/// Converts per-tick work into per-tick compute time for one node during one
+/// benchmark iteration.
+#[derive(Debug)]
+pub struct ComputeEngine {
+    node: NodeType,
+    interference: InterferenceState,
+    credits: BurstCredits,
+    pending_throttle: f64,
+}
+
+impl ComputeEngine {
+    /// Creates an engine for `node` using the given per-iteration
+    /// interference state.
+    #[must_use]
+    pub fn new(node: NodeType, interference: InterferenceState) -> Self {
+        let credits = BurstCredits::new(node.burstable, node.baseline_cpu_fraction, node.vcpus);
+        ComputeEngine {
+            node,
+            interference,
+            credits,
+            pending_throttle: 1.0,
+        }
+    }
+
+    /// The node this engine models.
+    #[must_use]
+    pub fn node(&self) -> &NodeType {
+        &self.node
+    }
+
+    /// Returns `true` if burst credits are currently exhausted.
+    #[must_use]
+    pub fn throttled(&self) -> bool {
+        self.credits.exhausted()
+    }
+
+    /// Executes one tick of `work` and returns its duration and bookkeeping.
+    ///
+    /// `tick_budget_ms` is the nominal tick length (50 ms); it is used for
+    /// credit accrual (idle time between ticks earns credits back).
+    pub fn execute_tick(&mut self, work: TickWork, tick_budget_ms: f64) -> TickExecution {
+        let interference = self.interference.sample_tick();
+        let throttle = self.pending_throttle;
+        let per_core_rate = self.node.work_units_per_core_ms() / (interference * throttle);
+
+        // Main-thread work is serial; offloadable work runs on the remaining
+        // cores concurrently with the main thread.
+        let main_ms = work.main_thread as f64 / per_core_rate;
+        let aux_cores = f64::from(self.node.vcpus.saturating_sub(1)).max(0.0);
+        let offload_ms = if work.offloadable == 0 {
+            0.0
+        } else if aux_cores > 0.0 {
+            work.offloadable as f64 / (per_core_rate * aux_cores)
+        } else {
+            // No spare core: offloadable work falls back onto the main thread.
+            work.offloadable as f64 / per_core_rate
+        };
+        let busy_ms = if aux_cores > 0.0 {
+            main_ms.max(offload_ms)
+        } else {
+            main_ms + offload_ms
+        };
+
+        // Core-seconds actually consumed (work / single-core rate).
+        let core_seconds = (work.total() as f64 / per_core_rate) / 1_000.0;
+        let wall_ms = busy_ms.max(tick_budget_ms);
+        let capacity_core_seconds = f64::from(self.node.vcpus) * wall_ms / 1_000.0;
+        let cpu_utilization = (core_seconds / capacity_core_seconds).clamp(0.0, 1.0);
+
+        // Update burst credits; the throttle applies from the next tick.
+        self.pending_throttle = self.credits.account(core_seconds, wall_ms / 1_000.0);
+
+        TickExecution {
+            busy_ms,
+            interference_multiplier: interference,
+            throttle_multiplier: throttle,
+            core_seconds,
+            cpu_utilization,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interference::InterferenceProfile;
+
+    fn quiet_engine(node: NodeType) -> ComputeEngine {
+        ComputeEngine::new(node, InterferenceState::new(InterferenceProfile::dedicated(), 1))
+    }
+
+    #[test]
+    fn light_work_finishes_well_under_budget() {
+        let mut engine = quiet_engine(NodeType::das5(2));
+        let exec = engine.execute_tick(
+            TickWork {
+                main_thread: 10_000,
+                offloadable: 0,
+            },
+            50.0,
+        );
+        assert!(exec.busy_ms < 5.0, "light tick took {} ms", exec.busy_ms);
+        assert!(exec.cpu_utilization < 0.5);
+    }
+
+    #[test]
+    fn heavy_work_overloads_a_small_node() {
+        let mut engine = quiet_engine(NodeType::das5(2));
+        let exec = engine.execute_tick(
+            TickWork {
+                main_thread: 1_000_000,
+                offloadable: 0,
+            },
+            50.0,
+        );
+        assert!(exec.busy_ms > 50.0, "heavy tick took {} ms", exec.busy_ms);
+    }
+
+    #[test]
+    fn offloadable_work_benefits_from_extra_cores() {
+        let work = TickWork {
+            main_thread: 100_000,
+            offloadable: 300_000,
+        };
+        let mut two_core = quiet_engine(NodeType::das5(2));
+        let mut eight_core = quiet_engine(NodeType::das5(8));
+        let t2 = two_core.execute_tick(work, 50.0).busy_ms;
+        let t8 = eight_core.execute_tick(work, 50.0).busy_ms;
+        assert!(t8 < t2, "8-core ({t8} ms) should beat 2-core ({t2} ms)");
+    }
+
+    #[test]
+    fn single_core_pays_for_offloadable_work_serially() {
+        let work = TickWork {
+            main_thread: 50_000,
+            offloadable: 50_000,
+        };
+        let mut one_core = quiet_engine(NodeType::das5(1));
+        let mut two_core = quiet_engine(NodeType::das5(2));
+        let t1 = one_core.execute_tick(work, 50.0).busy_ms;
+        let t2 = two_core.execute_tick(work, 50.0).busy_ms;
+        assert!(t1 > t2);
+    }
+
+    #[test]
+    fn main_thread_work_does_not_scale_with_cores() {
+        let work = TickWork {
+            main_thread: 400_000,
+            offloadable: 0,
+        };
+        let mut two_core = quiet_engine(NodeType::das5(2));
+        let mut sixteen_core = quiet_engine(NodeType::das5(16));
+        let t2 = two_core.execute_tick(work, 50.0).busy_ms;
+        let t16 = sixteen_core.execute_tick(work, 50.0).busy_ms;
+        // Identical clock: the main thread is the bottleneck on both.
+        assert!((t2 - t16).abs() / t2 < 0.05);
+    }
+
+    #[test]
+    fn sustained_heavy_load_triggers_burst_throttling() {
+        let node = NodeType::aws_t3_large();
+        let mut engine = ComputeEngine::new(
+            node,
+            InterferenceState::new(InterferenceProfile::dedicated(), 5),
+        );
+        // ~42 ms of busy time per 50 ms tick: above the 60%-of-one-core
+        // baseline that a t3.large can sustain without spending credits.
+        let work = TickWork {
+            main_thread: 250_000,
+            offloadable: 0,
+        };
+        let first = engine.execute_tick(work, 50.0).busy_ms;
+        let mut throttled_time = None;
+        for _ in 0..40_000 {
+            let exec = engine.execute_tick(work, 50.0);
+            if exec.throttle_multiplier > 1.0 {
+                throttled_time = Some(exec.busy_ms);
+                break;
+            }
+        }
+        let throttled = throttled_time.expect("t3.large should exhaust credits under sustained load");
+        assert!(
+            throttled > first * 2.0,
+            "throttled tick ({throttled} ms) should be much slower than unthrottled ({first} ms)"
+        );
+    }
+
+    #[test]
+    fn cpu_utilization_is_bounded() {
+        let mut engine = quiet_engine(NodeType::das5(2));
+        for main in [1_000u64, 100_000, 10_000_000] {
+            let exec = engine.execute_tick(
+                TickWork {
+                    main_thread: main,
+                    offloadable: main,
+                },
+                50.0,
+            );
+            assert!(exec.cpu_utilization >= 0.0 && exec.cpu_utilization <= 1.0);
+        }
+    }
+
+    #[test]
+    fn interference_makes_identical_work_vary() {
+        let node = NodeType::aws_t3_large();
+        let mut engine = ComputeEngine::new(node, InterferenceState::new(InterferenceProfile::aws(), 9));
+        let work = TickWork {
+            main_thread: 60_000,
+            offloadable: 0,
+        };
+        let times: Vec<f64> = (0..2_000).map(|_| engine.execute_tick(work, 50.0).busy_ms).collect();
+        let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = times.iter().cloned().fold(0.0, f64::max);
+        assert!(max > min * 1.3, "cloud interference should spread tick times (min {min}, max {max})");
+    }
+}

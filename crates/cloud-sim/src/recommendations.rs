@@ -1,0 +1,142 @@
+//! Hardware recommendations from commercial MLG hosting providers (Table 7).
+//!
+//! The paper surveys the hardware plans recommended (or closest to
+//! recommended) by 23 commercial Minecraft hosting services plus the AWS and
+//! Azure tutorials, concluding that "2 vCPU and 4 GB RAM is the most common
+//! configuration" — a configuration MF5 shows to be insufficient.
+
+use serde::{Deserialize, Serialize};
+
+/// One provider's recommended hosting plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostingRecommendation {
+    /// Provider name.
+    pub provider: &'static str,
+    /// Recommended RAM in GB.
+    pub ram_gb: f64,
+    /// Recommended vCPU count, if published.
+    pub vcpus: Option<u32>,
+    /// Advertised CPU speed in GHz, if published.
+    pub cpu_ghz: Option<f64>,
+}
+
+/// Returns the full recommendation survey reproduced from Table 7.
+#[must_use]
+pub fn table7_recommendations() -> Vec<HostingRecommendation> {
+    let rec = |provider, ram_gb, vcpus, cpu_ghz| HostingRecommendation {
+        provider,
+        ram_gb,
+        vcpus,
+        cpu_ghz,
+    };
+    vec![
+        rec("Hostinger", 3.0, Some(3), None),
+        rec("Server.pro", 4.0, Some(2), Some(2.4)),
+        rec("Skynode", 4.0, Some(2), Some(3.6)),
+        rec("ScalaCube", 3.0, Some(2), Some(3.4)),
+        rec("Nodecraft", 4.0, None, Some(3.8)),
+        rec("Apex Hosting", 4.0, None, Some(3.9)),
+        rec("GGServers", 4.0, None, Some(3.2)),
+        rec("BisectHosting", 4.0, None, Some(3.4)),
+        rec("Shockbyte", 4.0, None, Some(4.0)),
+        rec("CubedHost", 2.5, None, Some(4.5)),
+        rec("ServerMiner", 3.0, None, Some(4.0)),
+        rec("Akliz", 4.0, None, Some(3.4)),
+        rec("RamShard", 2.0, None, Some(4.0)),
+        rec("MCProHosting", 2.0, None, None),
+        rec("GTXGaming", 3.0, None, Some(3.8)),
+        rec("StickyPiston", 2.5, None, None),
+        rec("HostHavoc", 4.0, None, Some(4.0)),
+        rec("Ferox Hosting", 4.0, None, None),
+        rec("Aquatis", 4.0, None, Some(4.2)),
+        rec("PebbleHost", 3.0, None, Some(3.7)),
+        rec("MelonCube", 4.0, None, Some(3.4)),
+        rec("Azure", 4.0, Some(2), None),
+        rec("AWS", 1.0, Some(1), None),
+    ]
+}
+
+/// Summary statistics over the recommendation survey.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecommendationSummary {
+    /// Number of providers surveyed.
+    pub providers: usize,
+    /// Most common RAM recommendation, in GB.
+    pub modal_ram_gb: f64,
+    /// Most common vCPU recommendation among providers that publish one.
+    pub modal_vcpus: u32,
+    /// Mean advertised CPU speed among providers that publish one.
+    pub mean_cpu_ghz: f64,
+}
+
+/// Computes the summary the paper derives from Table 7 ("2 vCPU and 4 GB RAM
+/// is the most common configuration").
+#[must_use]
+pub fn summarize(recommendations: &[HostingRecommendation]) -> RecommendationSummary {
+    use std::collections::HashMap;
+    let mut ram_counts: HashMap<u64, usize> = HashMap::new();
+    for r in recommendations {
+        *ram_counts.entry((r.ram_gb * 10.0).round() as u64).or_default() += 1;
+    }
+    let modal_ram_gb = ram_counts
+        .iter()
+        .max_by_key(|(_, &count)| count)
+        .map(|(&ram, _)| ram as f64 / 10.0)
+        .unwrap_or(0.0);
+
+    let mut cpu_counts: HashMap<u32, usize> = HashMap::new();
+    for r in recommendations.iter().filter_map(|r| r.vcpus) {
+        *cpu_counts.entry(r).or_default() += 1;
+    }
+    let modal_vcpus = cpu_counts
+        .iter()
+        .max_by_key(|(_, &count)| count)
+        .map(|(&v, _)| v)
+        .unwrap_or(0);
+
+    let speeds: Vec<f64> = recommendations.iter().filter_map(|r| r.cpu_ghz).collect();
+    let mean_cpu_ghz = if speeds.is_empty() {
+        0.0
+    } else {
+        speeds.iter().sum::<f64>() / speeds.len() as f64
+    };
+
+    RecommendationSummary {
+        providers: recommendations.len(),
+        modal_ram_gb,
+        modal_vcpus,
+        mean_cpu_ghz,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survey_has_twenty_three_entries() {
+        assert_eq!(table7_recommendations().len(), 23);
+    }
+
+    #[test]
+    fn most_common_configuration_matches_the_paper() {
+        let summary = summarize(&table7_recommendations());
+        assert_eq!(summary.modal_ram_gb, 4.0);
+        assert_eq!(summary.modal_vcpus, 2);
+        assert_eq!(summary.providers, 23);
+    }
+
+    #[test]
+    fn mean_cpu_speed_is_plausible() {
+        let summary = summarize(&table7_recommendations());
+        assert!(summary.mean_cpu_ghz > 3.0 && summary.mean_cpu_ghz < 4.5);
+    }
+
+    #[test]
+    fn summarize_handles_empty_input() {
+        let summary = summarize(&[]);
+        assert_eq!(summary.providers, 0);
+        assert_eq!(summary.modal_vcpus, 0);
+        assert_eq!(summary.mean_cpu_ghz, 0.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Benchmark configuration (Table 4 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+use cloud_sim::environment::Environment;
+use mlg_protocol::netsim::LinkConfig;
+use mlg_server::ServerFlavor;
+use meterstick_workloads::{WorkloadKind, WorkloadSpec};
+
+/// Full configuration of one Meterstick benchmark run.
+///
+/// The fields mirror the configurable parameters of Table 4. Parameters that
+/// only exist for real-machine deployments (node IP addresses, SSH keys, JMX
+/// URLs and ports) are kept for interface fidelity — the simulated deployment
+/// validates them but does not open network connections.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkConfig {
+    /// The systems under test (Table 4 "Servers", typical value V, F, P).
+    pub flavors: Vec<ServerFlavor>,
+    /// The workload world (Table 4 "World").
+    pub workload: WorkloadSpec,
+    /// The deployment environment the server node runs in.
+    pub environment: Environment,
+    /// Length of one iteration, in (virtual) seconds (Table 4 "Duration").
+    pub duration_secs: u64,
+    /// Number of iterations (Table 4 "Iterations").
+    pub iterations: u32,
+    /// Number of emulated players; `None` uses the workload's own player
+    /// configuration (Table 4 "Number of Bots", typical value 25).
+    pub bots_override: Option<u32>,
+    /// Network link between the player-emulation node and the server node.
+    pub link: LinkConfig,
+    /// Base random seed; every iteration derives its own seed from it.
+    pub base_seed: u64,
+    /// Simulated node addresses (Table 4 "IPs"); informational only.
+    pub node_ips: Vec<String>,
+    /// Simulated SSH key paths (Table 4 "SSL Keys"); informational only.
+    pub ssh_keys: Vec<String>,
+    /// Simulated JMX port range used by the metric externalizer (Table 4).
+    pub jmx_ports: (u16, u16),
+    /// Maximum heap for the game (Table 4 "RAM", GiB).
+    pub ram_gb: f64,
+    /// CPU affinity mask (Table 4 "Affinity"); the simulated equivalent is
+    /// the node's vCPU count, so this is informational only.
+    pub affinity_mask: u64,
+    /// Resume a partially completed experiment (Table 4 "Resume").
+    pub resume: bool,
+}
+
+impl BenchmarkConfig {
+    /// Creates a configuration for one workload with the paper's defaults:
+    /// all three flavors, AWS `t3.large`, 60-second iterations, 1 iteration.
+    #[must_use]
+    pub fn new(workload: WorkloadKind) -> Self {
+        BenchmarkConfig {
+            flavors: ServerFlavor::all().to_vec(),
+            workload: WorkloadSpec::new(workload),
+            environment: Environment::aws_default(),
+            duration_secs: 60,
+            iterations: 1,
+            bots_override: None,
+            link: LinkConfig::datacenter(),
+            base_seed: 392_114_485,
+            node_ips: vec!["10.0.0.10".into(), "10.0.0.11".into()],
+            ssh_keys: vec!["~/.ssh/id_meterstick".into()],
+            jmx_ports: (25_585, 25_635),
+            ram_gb: 4.0,
+            affinity_mask: 0xFFFF_FFFF,
+            resume: false,
+        }
+    }
+
+    /// Replaces the set of flavors to benchmark.
+    #[must_use]
+    pub fn with_flavors(mut self, flavors: Vec<ServerFlavor>) -> Self {
+        self.flavors = flavors;
+        self
+    }
+
+    /// Replaces the deployment environment.
+    #[must_use]
+    pub fn with_environment(mut self, environment: Environment) -> Self {
+        self.environment = environment;
+        self
+    }
+
+    /// Sets the iteration duration in seconds.
+    #[must_use]
+    pub fn with_duration_secs(mut self, secs: u64) -> Self {
+        self.duration_secs = secs.max(1);
+        self
+    }
+
+    /// Sets the number of iterations.
+    #[must_use]
+    pub fn with_iterations(mut self, iterations: u32) -> Self {
+        self.iterations = iterations.max(1);
+        self
+    }
+
+    /// Overrides the number of bots.
+    #[must_use]
+    pub fn with_bots(mut self, bots: u32) -> Self {
+        self.bots_override = Some(bots);
+        self
+    }
+
+    /// Sets the workload scale knob.
+    #[must_use]
+    pub fn with_scale(mut self, scale: u32) -> Self {
+        self.workload = WorkloadSpec::with_scale(self.workload.kind, scale);
+        self
+    }
+
+    /// Sets the base seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Number of game ticks one iteration spans at 20 Hz.
+    #[must_use]
+    pub fn ticks_per_iteration(&self) -> u64 {
+        self.duration_secs * 20
+    }
+
+    /// The seed used for iteration `iteration` of flavor index `flavor_idx`.
+    #[must_use]
+    pub fn iteration_seed(&self, flavor_idx: usize, iteration: u32) -> u64 {
+        self.base_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(flavor_idx as u64 * 1_000_003)
+            .wrapping_add(u64::from(iteration) * 7_919)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table4() {
+        let c = BenchmarkConfig::new(WorkloadKind::Control);
+        assert_eq!(c.flavors.len(), 3);
+        assert_eq!(c.duration_secs, 60);
+        assert_eq!(c.iterations, 1);
+        assert_eq!(c.ram_gb, 4.0);
+        assert_eq!(c.ticks_per_iteration(), 1_200);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = BenchmarkConfig::new(WorkloadKind::Players)
+            .with_duration_secs(0)
+            .with_iterations(0)
+            .with_bots(25)
+            .with_scale(2)
+            .with_seed(7);
+        assert_eq!(c.duration_secs, 1, "duration is clamped");
+        assert_eq!(c.iterations, 1, "iterations are clamped");
+        assert_eq!(c.bots_override, Some(25));
+        assert_eq!(c.workload.scale, 2);
+        assert_eq!(c.base_seed, 7);
+    }
+
+    #[test]
+    fn iteration_seeds_are_distinct() {
+        let c = BenchmarkConfig::new(WorkloadKind::Control);
+        let mut seeds = std::collections::HashSet::new();
+        for flavor in 0..3 {
+            for iteration in 0..50 {
+                seeds.insert(c.iteration_seed(flavor, iteration));
+            }
+        }
+        assert_eq!(seeds.len(), 150);
+    }
+}

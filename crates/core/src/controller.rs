@@ -1,0 +1,313 @@
+//! The controller/worker protocol (Table 1 of the paper).
+//!
+//! Meterstick "follows a Controller/Worker pattern, with the Control Server
+//! as the controller, and the Control Clients as the workers" (Section 3.2).
+//! The reproduction keeps the same protocol even though both sides live in
+//! one process: the [`ControlServer`] drives registered [`ControlClient`]
+//! workers through the message sequence of an iteration over crossbeam
+//! channels, and workers acknowledge with `ok`/`err` exactly as in Table 1.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use serde::{Deserialize, Serialize};
+
+/// A controller message (Table 1). `Dest` in the table maps to which worker
+/// kind the controller sends it to: player-emulation workers (`Y`), the
+/// server node (`M`), or the controller itself (`C`, for replies).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ControllerMessage {
+    /// `set_server:<name>` — specifies the system under test.
+    SetServer(String),
+    /// `set_jmx:<url>` — specifies the JMX URL for metric externalization.
+    SetJmx(String),
+    /// `iter:<n>` — specifies what iteration to start at.
+    Iter(u32),
+    /// `initialize` — starts the selected server.
+    Initialize,
+    /// `log_start` — starts metric logging tools.
+    LogStart,
+    /// `log_stop` — stops metric logging tools.
+    LogStop,
+    /// `stop_server` — stops the running server.
+    StopServer,
+    /// `connect` — starts player emulation.
+    Connect,
+    /// `convert` — converts metric bin files to CSV.
+    Convert,
+    /// `keep_alive` — no-op that keeps the TCP connection open.
+    KeepAlive,
+    /// `exit` — stops the controller client.
+    Exit,
+}
+
+/// A worker reply.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkerReply {
+    /// `ok` — acknowledges the previous message.
+    Ok,
+    /// `err:<error>` — the previous message caused an error.
+    Err(String),
+}
+
+/// The role a worker plays in the benchmark (the `Dest` column of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkerRole {
+    /// A player-emulation worker (`Y`).
+    PlayerEmulation,
+    /// The server node (`M`).
+    Server,
+}
+
+impl ControllerMessage {
+    /// Returns `true` if the message is addressed to workers of `role`,
+    /// following the `Dest` column of Table 1.
+    #[must_use]
+    pub fn addressed_to(&self, role: WorkerRole) -> bool {
+        use ControllerMessage::*;
+        match self {
+            SetServer(_) | Iter(_) | KeepAlive | Exit => true,
+            SetJmx(_) | Initialize | LogStart | LogStop | StopServer => role == WorkerRole::Server,
+            Connect | Convert => role == WorkerRole::PlayerEmulation,
+        }
+    }
+
+    /// The canonical wire spelling of the message, as listed in Table 1.
+    #[must_use]
+    pub fn wire_format(&self) -> String {
+        match self {
+            ControllerMessage::SetServer(s) => format!("set_server:{s}"),
+            ControllerMessage::SetJmx(url) => format!("set_jmx:{url}"),
+            ControllerMessage::Iter(n) => format!("iter:{n}"),
+            ControllerMessage::Initialize => "initialize".into(),
+            ControllerMessage::LogStart => "log_start".into(),
+            ControllerMessage::LogStop => "log_stop".into(),
+            ControllerMessage::StopServer => "stop_server".into(),
+            ControllerMessage::Connect => "connect".into(),
+            ControllerMessage::Convert => "convert".into(),
+            ControllerMessage::KeepAlive => "keep_alive".into(),
+            ControllerMessage::Exit => "exit".into(),
+        }
+    }
+
+    /// The message sequence the controller sends to run one iteration of one
+    /// server, from selection to teardown.
+    #[must_use]
+    pub fn iteration_sequence(server: &str, jmx_url: &str, iteration: u32) -> Vec<ControllerMessage> {
+        vec![
+            ControllerMessage::SetServer(server.to_string()),
+            ControllerMessage::SetJmx(jmx_url.to_string()),
+            ControllerMessage::Iter(iteration),
+            ControllerMessage::Initialize,
+            ControllerMessage::LogStart,
+            ControllerMessage::Connect,
+            ControllerMessage::LogStop,
+            ControllerMessage::StopServer,
+            ControllerMessage::Convert,
+        ]
+    }
+}
+
+/// A worker endpoint: receives controller messages, replies `ok`/`err`.
+pub trait ControlClient {
+    /// The worker's role (decides which messages it receives).
+    fn role(&self) -> WorkerRole;
+
+    /// Handles a message and returns the reply.
+    fn handle(&mut self, message: &ControllerMessage) -> WorkerReply;
+}
+
+struct WorkerHandle {
+    role: WorkerRole,
+    tx: Sender<ControllerMessage>,
+    rx: Receiver<WorkerReply>,
+}
+
+/// The control server: broadcasts controller messages to registered workers
+/// over channels and collects their replies.
+pub struct ControlServer {
+    workers: Vec<WorkerHandle>,
+    log: Vec<String>,
+}
+
+impl Default for ControlServer {
+    fn default() -> Self {
+        ControlServer::new()
+    }
+}
+
+impl ControlServer {
+    /// Creates a controller with no workers.
+    #[must_use]
+    pub fn new() -> Self {
+        ControlServer {
+            workers: Vec::new(),
+            log: Vec::new(),
+        }
+    }
+
+    /// Registers a worker and returns the channel pair its driving loop
+    /// should service: it receives [`ControllerMessage`]s and must send one
+    /// [`WorkerReply`] per message.
+    pub fn register(&mut self, role: WorkerRole) -> (Receiver<ControllerMessage>, Sender<WorkerReply>) {
+        let (msg_tx, msg_rx) = unbounded();
+        let (reply_tx, reply_rx) = unbounded();
+        self.workers.push(WorkerHandle {
+            role,
+            tx: msg_tx,
+            rx: reply_rx,
+        });
+        (msg_rx, reply_tx)
+    }
+
+    /// Runs a registered in-process worker inline: drains its pending
+    /// messages through the [`ControlClient`] implementation.
+    pub fn service_inline<C: ControlClient>(
+        rx: &Receiver<ControllerMessage>,
+        tx: &Sender<WorkerReply>,
+        client: &mut C,
+    ) {
+        while let Ok(message) = rx.try_recv() {
+            let reply = client.handle(&message);
+            let _ = tx.send(reply);
+        }
+    }
+
+    /// Sends a message to every worker it is addressed to and returns their
+    /// replies (after the caller has serviced the workers).
+    ///
+    /// For the in-process benchmark the exchange is synchronous: the message
+    /// is queued, the caller services the workers (e.g. via
+    /// [`ControlServer::service_inline`]), then replies are collected with
+    /// [`ControlServer::collect_replies`].
+    pub fn send(&mut self, message: &ControllerMessage) -> usize {
+        self.log.push(message.wire_format());
+        let mut sent = 0;
+        for worker in &self.workers {
+            if message.addressed_to(worker.role) {
+                let _ = worker.tx.send(message.clone());
+                sent += 1;
+            }
+        }
+        sent
+    }
+
+    /// Collects every reply currently available from all workers.
+    pub fn collect_replies(&mut self) -> Vec<WorkerReply> {
+        let mut replies = Vec::new();
+        for worker in &self.workers {
+            while let Ok(reply) = worker.rx.try_recv() {
+                replies.push(reply);
+            }
+        }
+        replies
+    }
+
+    /// The wire-format log of every message sent so far.
+    #[must_use]
+    pub fn message_log(&self) -> &[String] {
+        &self.log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct EchoWorker {
+        role: WorkerRole,
+        seen: Vec<ControllerMessage>,
+        fail_on_connect: bool,
+    }
+
+    impl ControlClient for EchoWorker {
+        fn role(&self) -> WorkerRole {
+            self.role
+        }
+        fn handle(&mut self, message: &ControllerMessage) -> WorkerReply {
+            self.seen.push(message.clone());
+            if self.fail_on_connect && *message == ControllerMessage::Connect {
+                WorkerReply::Err("connection refused".into())
+            } else {
+                WorkerReply::Ok
+            }
+        }
+    }
+
+    #[test]
+    fn wire_format_matches_table1() {
+        assert_eq!(
+            ControllerMessage::SetServer("paper".into()).wire_format(),
+            "set_server:paper"
+        );
+        assert_eq!(ControllerMessage::Iter(3).wire_format(), "iter:3");
+        assert_eq!(ControllerMessage::KeepAlive.wire_format(), "keep_alive");
+    }
+
+    #[test]
+    fn addressing_follows_the_dest_column() {
+        use ControllerMessage::*;
+        assert!(Connect.addressed_to(WorkerRole::PlayerEmulation));
+        assert!(!Connect.addressed_to(WorkerRole::Server));
+        assert!(Initialize.addressed_to(WorkerRole::Server));
+        assert!(!Initialize.addressed_to(WorkerRole::PlayerEmulation));
+        assert!(SetServer("v".into()).addressed_to(WorkerRole::Server));
+        assert!(SetServer("v".into()).addressed_to(WorkerRole::PlayerEmulation));
+        assert!(Exit.addressed_to(WorkerRole::Server));
+    }
+
+    #[test]
+    fn iteration_sequence_is_complete_and_ordered() {
+        let seq = ControllerMessage::iteration_sequence("minecraft", "jmx://host:25585", 1);
+        assert_eq!(seq.len(), 9);
+        assert_eq!(seq.first().unwrap().wire_format(), "set_server:minecraft");
+        assert_eq!(seq.last().unwrap(), &ControllerMessage::Convert);
+        // Logging starts before players connect and stops before the server
+        // is torn down.
+        let pos = |m: &ControllerMessage| seq.iter().position(|x| x == m).unwrap();
+        assert!(pos(&ControllerMessage::LogStart) < pos(&ControllerMessage::Connect));
+        assert!(pos(&ControllerMessage::LogStop) < pos(&ControllerMessage::StopServer));
+    }
+
+    #[test]
+    fn controller_routes_messages_and_collects_acks() {
+        let mut controller = ControlServer::new();
+        let (server_rx, server_tx) = controller.register(WorkerRole::Server);
+        let (emu_rx, emu_tx) = controller.register(WorkerRole::PlayerEmulation);
+        let mut server_worker = EchoWorker {
+            role: WorkerRole::Server,
+            seen: Vec::new(),
+            fail_on_connect: false,
+        };
+        let mut emu_worker = EchoWorker {
+            role: WorkerRole::PlayerEmulation,
+            seen: Vec::new(),
+            fail_on_connect: false,
+        };
+
+        for message in ControllerMessage::iteration_sequence("forge", "jmx://n:1", 0) {
+            controller.send(&message);
+            ControlServer::service_inline(&server_rx, &server_tx, &mut server_worker);
+            ControlServer::service_inline(&emu_rx, &emu_tx, &mut emu_worker);
+        }
+        let replies = controller.collect_replies();
+        assert!(replies.iter().all(|r| *r == WorkerReply::Ok));
+        // The server worker never received `connect`; the emulation worker did.
+        assert!(!server_worker.seen.contains(&ControllerMessage::Connect));
+        assert!(emu_worker.seen.contains(&ControllerMessage::Connect));
+        assert_eq!(controller.message_log().len(), 9);
+    }
+
+    #[test]
+    fn worker_errors_are_propagated() {
+        let mut controller = ControlServer::new();
+        let (rx, tx) = controller.register(WorkerRole::PlayerEmulation);
+        let mut worker = EchoWorker {
+            role: WorkerRole::PlayerEmulation,
+            seen: Vec::new(),
+            fail_on_connect: true,
+        };
+        controller.send(&ControllerMessage::Connect);
+        ControlServer::service_inline(&rx, &tx, &mut worker);
+        let replies = controller.collect_replies();
+        assert_eq!(replies, vec![WorkerReply::Err("connection refused".into())]);
+    }
+}

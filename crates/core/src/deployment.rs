@@ -1,0 +1,158 @@
+//! The deployment component (Figure 5, component 2).
+//!
+//! In the real benchmark this component copies software to SSH-accessible
+//! machines and wires up the controller clients. The reproduction performs
+//! the same *planning* — validating the node list, assigning roles, and
+//! producing a deployment plan — but materializes the "machines" as
+//! in-process simulation objects instead of remote hosts.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::BenchmarkConfig;
+use crate::controller::WorkerRole;
+
+/// Errors produced while validating a deployment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeploymentError {
+    /// At least two nodes are required: one server node and one or more
+    /// player-emulation nodes.
+    NotEnoughNodes {
+        /// How many nodes the configuration listed.
+        provided: usize,
+    },
+    /// A node address is empty or malformed.
+    InvalidNodeAddress(String),
+    /// No SSH key was provided.
+    MissingSshKey,
+}
+
+impl std::fmt::Display for DeploymentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeploymentError::NotEnoughNodes { provided } => write!(
+                f,
+                "deployment needs at least 2 nodes (server + player emulation), got {provided}"
+            ),
+            DeploymentError::InvalidNodeAddress(addr) => {
+                write!(f, "invalid node address: {addr:?}")
+            }
+            DeploymentError::MissingSshKey => write!(f, "no ssh key configured"),
+        }
+    }
+}
+
+impl std::error::Error for DeploymentError {}
+
+/// One node in the deployment plan.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlannedNode {
+    /// The node's address as listed in the configuration.
+    pub address: String,
+    /// The role assigned to the node.
+    pub role: WorkerRole,
+}
+
+/// A validated deployment plan.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeploymentPlan {
+    /// All nodes with their assigned roles; the first node hosts the server.
+    pub nodes: Vec<PlannedNode>,
+}
+
+impl DeploymentPlan {
+    /// Validates the node/key configuration and assigns roles: the first node
+    /// runs the MLG, the remaining nodes run player emulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeploymentError`] when fewer than two nodes are listed, an
+    /// address is empty, or no SSH key is configured.
+    pub fn plan(config: &BenchmarkConfig) -> Result<DeploymentPlan, DeploymentError> {
+        if config.node_ips.len() < 2 {
+            return Err(DeploymentError::NotEnoughNodes {
+                provided: config.node_ips.len(),
+            });
+        }
+        if config.ssh_keys.is_empty() {
+            return Err(DeploymentError::MissingSshKey);
+        }
+        for addr in &config.node_ips {
+            if addr.trim().is_empty() {
+                return Err(DeploymentError::InvalidNodeAddress(addr.clone()));
+            }
+        }
+        let nodes = config
+            .node_ips
+            .iter()
+            .enumerate()
+            .map(|(i, address)| PlannedNode {
+                address: address.clone(),
+                role: if i == 0 {
+                    WorkerRole::Server
+                } else {
+                    WorkerRole::PlayerEmulation
+                },
+            })
+            .collect();
+        Ok(DeploymentPlan { nodes })
+    }
+
+    /// The address of the server node.
+    #[must_use]
+    pub fn server_node(&self) -> &str {
+        &self.nodes[0].address
+    }
+
+    /// Addresses of the player-emulation nodes.
+    #[must_use]
+    pub fn emulation_nodes(&self) -> Vec<&str> {
+        self.nodes[1..].iter().map(|n| n.address.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meterstick_workloads::WorkloadKind;
+
+    #[test]
+    fn default_config_plans_successfully() {
+        let config = BenchmarkConfig::new(WorkloadKind::Control);
+        let plan = DeploymentPlan::plan(&config).unwrap();
+        assert_eq!(plan.nodes.len(), 2);
+        assert_eq!(plan.server_node(), "10.0.0.10");
+        assert_eq!(plan.emulation_nodes(), vec!["10.0.0.11"]);
+        assert_eq!(plan.nodes[0].role, WorkerRole::Server);
+        assert_eq!(plan.nodes[1].role, WorkerRole::PlayerEmulation);
+    }
+
+    #[test]
+    fn too_few_nodes_is_an_error() {
+        let mut config = BenchmarkConfig::new(WorkloadKind::Control);
+        config.node_ips = vec!["10.0.0.10".into()];
+        assert_eq!(
+            DeploymentPlan::plan(&config),
+            Err(DeploymentError::NotEnoughNodes { provided: 1 })
+        );
+    }
+
+    #[test]
+    fn missing_key_and_bad_address_are_errors() {
+        let mut config = BenchmarkConfig::new(WorkloadKind::Control);
+        config.ssh_keys.clear();
+        assert_eq!(DeploymentPlan::plan(&config), Err(DeploymentError::MissingSshKey));
+
+        let mut config = BenchmarkConfig::new(WorkloadKind::Control);
+        config.node_ips = vec!["10.0.0.10".into(), "  ".into()];
+        assert!(matches!(
+            DeploymentPlan::plan(&config),
+            Err(DeploymentError::InvalidNodeAddress(_))
+        ));
+    }
+
+    #[test]
+    fn errors_format_readably() {
+        let err = DeploymentError::NotEnoughNodes { provided: 1 };
+        assert!(err.to_string().contains("at least 2 nodes"));
+    }
+}

@@ -1,0 +1,59 @@
+//! # Meterstick
+//!
+//! A benchmark for **performance variability** in cloud and self-hosted
+//! Minecraft-like games (MLGs), reproducing the ISPASS 2022 paper
+//! *"Meterstick: Benchmarking Performance Variability in Cloud and
+//! Self-hosted Minecraft-like Games"* (Eickhoff, Donkervliet, Iosup) on top
+//! of a fully simulated substrate: an MLG server, player emulation, and
+//! deployment-environment models for AWS, Azure and dedicated hardware.
+//!
+//! The crate orchestrates everything the paper's benchmark does:
+//!
+//! * [`config`] — the benchmark configuration (Table 4);
+//! * [`deployment`] — the deployment component that places workers on nodes
+//!   (Figure 5, component 2);
+//! * [`controller`] — the controller/worker message protocol (Table 1);
+//! * [`experiment`] — the experiment runner: iterations of a workload against
+//!   a server flavor inside a deployment environment, collecting tick traces,
+//!   response times, system metrics and traffic summaries;
+//! * [`results`] — per-iteration and aggregate results, including the
+//!   Instability Ratio;
+//! * [`report`] — plain-text tables and CSV output for every figure and table
+//!   in the paper's evaluation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use meterstick::config::BenchmarkConfig;
+//! use meterstick::experiment::ExperimentRunner;
+//! use meterstick_workloads::WorkloadKind;
+//! use mlg_server::ServerFlavor;
+//! use cloud_sim::environment::Environment;
+//!
+//! // Benchmark the vanilla server on the Control workload, self-hosted,
+//! // with two short iterations.
+//! let config = BenchmarkConfig::new(WorkloadKind::Control)
+//!     .with_flavors(vec![ServerFlavor::Vanilla])
+//!     .with_environment(Environment::das5(2))
+//!     .with_duration_secs(5)
+//!     .with_iterations(2);
+//! let results = ExperimentRunner::new(config).run();
+//! assert_eq!(results.iterations().len(), 2);
+//! for iteration in results.iterations() {
+//!     assert!(iteration.instability_ratio >= 0.0);
+//! }
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod controller;
+pub mod deployment;
+pub mod experiment;
+pub mod report;
+pub mod results;
+
+pub use config::BenchmarkConfig;
+pub use experiment::ExperimentRunner;
+pub use results::{ExperimentResults, IterationResult};

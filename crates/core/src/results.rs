@@ -1,0 +1,231 @@
+//! Benchmark results: per-iteration records and aggregate views.
+
+use cloud_sim::metrics_collector::SystemSample;
+use meterstick_metrics::response::ResponseTimeSummary;
+use meterstick_metrics::stats::{BoxplotSummary, Percentiles};
+use meterstick_metrics::trace::TickTrace;
+use meterstick_metrics::TickDistribution;
+use mlg_protocol::TrafficSummary;
+use mlg_server::ServerFlavor;
+use meterstick_workloads::WorkloadKind;
+
+/// Everything recorded for one iteration of one flavor under one workload.
+#[derive(Debug, Clone)]
+pub struct IterationResult {
+    /// The system under test.
+    pub flavor: ServerFlavor,
+    /// The workload that was run.
+    pub workload: WorkloadKind,
+    /// Which iteration this is (0-based).
+    pub iteration: u32,
+    /// Environment label, e.g. `"AWS 2-core"`.
+    pub environment: String,
+    /// The per-tick trace.
+    pub trace: TickTrace,
+    /// Instability Ratio of the trace (Equation 1).
+    pub instability_ratio: f64,
+    /// Raw response-time samples from the chat prober, in milliseconds.
+    pub response_samples: Vec<f64>,
+    /// Response-time summary.
+    pub response: ResponseTimeSummary,
+    /// System-level metric samples (CPU, memory, threads, I/O).
+    pub system_samples: Vec<SystemSample>,
+    /// Clientbound traffic summary (entity/terrain/chat shares).
+    pub traffic: TrafficSummary,
+    /// Ticks actually executed (fewer than planned when the server crashed).
+    pub ticks_executed: u64,
+    /// Ticks the iteration was supposed to run.
+    pub ticks_planned: u64,
+    /// Crash reason if the server aborted during the iteration.
+    pub crashed: Option<String>,
+}
+
+impl IterationResult {
+    /// Percentile summary of the tick busy times.
+    #[must_use]
+    pub fn tick_percentiles(&self) -> Percentiles {
+        self.trace.percentiles()
+    }
+
+    /// Boxplot summary of the tick busy times.
+    #[must_use]
+    pub fn tick_boxplot(&self) -> BoxplotSummary {
+        self.trace.boxplot()
+    }
+
+    /// The aggregate tick-time distribution over the iteration (Figure 11).
+    #[must_use]
+    pub fn tick_distribution(&self) -> TickDistribution {
+        self.trace.aggregate_distribution()
+    }
+
+    /// Returns `true` if the server crashed before completing the iteration.
+    #[must_use]
+    pub fn crashed(&self) -> bool {
+        self.crashed.is_some()
+    }
+}
+
+/// All iterations of one benchmark run.
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentResults {
+    iterations: Vec<IterationResult>,
+}
+
+impl ExperimentResults {
+    /// Creates an empty result set.
+    #[must_use]
+    pub fn new() -> Self {
+        ExperimentResults::default()
+    }
+
+    /// Adds one iteration result.
+    pub fn push(&mut self, result: IterationResult) {
+        self.iterations.push(result);
+    }
+
+    /// All iteration results in execution order.
+    #[must_use]
+    pub fn iterations(&self) -> &[IterationResult] {
+        &self.iterations
+    }
+
+    /// Iteration results for one flavor.
+    #[must_use]
+    pub fn for_flavor(&self, flavor: ServerFlavor) -> Vec<&IterationResult> {
+        self.iterations.iter().filter(|r| r.flavor == flavor).collect()
+    }
+
+    /// Iteration results for one flavor and workload.
+    #[must_use]
+    pub fn for_flavor_and_workload(
+        &self,
+        flavor: ServerFlavor,
+        workload: WorkloadKind,
+    ) -> Vec<&IterationResult> {
+        self.iterations
+            .iter()
+            .filter(|r| r.flavor == flavor && r.workload == workload)
+            .collect()
+    }
+
+    /// The ISR values of every iteration of one flavor.
+    #[must_use]
+    pub fn isr_values(&self, flavor: ServerFlavor) -> Vec<f64> {
+        self.for_flavor(flavor)
+            .iter()
+            .map(|r| r.instability_ratio)
+            .collect()
+    }
+
+    /// All tick busy times of one flavor, pooled across iterations.
+    #[must_use]
+    pub fn pooled_tick_times(&self, flavor: ServerFlavor) -> Vec<f64> {
+        self.for_flavor(flavor)
+            .iter()
+            .flat_map(|r| r.trace.busy_durations())
+            .collect()
+    }
+
+    /// All response-time samples of one flavor, pooled across iterations.
+    #[must_use]
+    pub fn pooled_response_times(&self, flavor: ServerFlavor) -> Vec<f64> {
+        self.for_flavor(flavor)
+            .iter()
+            .flat_map(|r| r.response_samples.clone())
+            .collect()
+    }
+
+    /// Number of iterations that ended in a crash, per flavor.
+    #[must_use]
+    pub fn crash_count(&self, flavor: ServerFlavor) -> usize {
+        self.for_flavor(flavor).iter().filter(|r| r.crashed()).count()
+    }
+
+    /// Merges another result set into this one.
+    pub fn merge(&mut self, other: ExperimentResults) {
+        self.iterations.extend(other.iterations);
+    }
+}
+
+impl Extend<IterationResult> for ExperimentResults {
+    fn extend<T: IntoIterator<Item = IterationResult>>(&mut self, iter: T) {
+        self.iterations.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meterstick_metrics::trace::TickRecord;
+
+    fn iteration(flavor: ServerFlavor, workload: WorkloadKind, isr: f64, crashed: bool) -> IterationResult {
+        let mut trace = TickTrace::new(50.0);
+        for i in 0..10 {
+            trace.push(TickRecord {
+                index: i,
+                start_ms: i as f64 * 50.0,
+                busy_ms: 10.0 + i as f64,
+                period_ms: 50.0,
+                distribution: TickDistribution::default(),
+            });
+        }
+        IterationResult {
+            flavor,
+            workload,
+            iteration: 0,
+            environment: "AWS 2-core".into(),
+            trace,
+            instability_ratio: isr,
+            response_samples: vec![40.0, 50.0],
+            response: ResponseTimeSummary::of(&[40.0, 50.0]),
+            system_samples: Vec::new(),
+            traffic: TrafficSummary::default(),
+            ticks_executed: 10,
+            ticks_planned: 10,
+            crashed: crashed.then(|| "stalled".to_string()),
+        }
+    }
+
+    #[test]
+    fn grouping_by_flavor_and_workload() {
+        let mut results = ExperimentResults::new();
+        results.push(iteration(ServerFlavor::Vanilla, WorkloadKind::Control, 0.01, false));
+        results.push(iteration(ServerFlavor::Vanilla, WorkloadKind::Tnt, 0.2, false));
+        results.push(iteration(ServerFlavor::Paper, WorkloadKind::Tnt, 0.05, false));
+        assert_eq!(results.iterations().len(), 3);
+        assert_eq!(results.for_flavor(ServerFlavor::Vanilla).len(), 2);
+        assert_eq!(
+            results
+                .for_flavor_and_workload(ServerFlavor::Vanilla, WorkloadKind::Tnt)
+                .len(),
+            1
+        );
+        assert_eq!(results.isr_values(ServerFlavor::Paper), vec![0.05]);
+    }
+
+    #[test]
+    fn pooled_views_concatenate_iterations() {
+        let mut results = ExperimentResults::new();
+        results.push(iteration(ServerFlavor::Forge, WorkloadKind::Players, 0.01, false));
+        results.push(iteration(ServerFlavor::Forge, WorkloadKind::Players, 0.02, false));
+        assert_eq!(results.pooled_tick_times(ServerFlavor::Forge).len(), 20);
+        assert_eq!(results.pooled_response_times(ServerFlavor::Forge).len(), 4);
+    }
+
+    #[test]
+    fn crash_counting() {
+        let mut results = ExperimentResults::new();
+        results.push(iteration(ServerFlavor::Vanilla, WorkloadKind::Lag, 0.9, true));
+        results.push(iteration(ServerFlavor::Vanilla, WorkloadKind::Lag, 0.9, false));
+        assert_eq!(results.crash_count(ServerFlavor::Vanilla), 1);
+        assert!(results.iterations()[0].crashed());
+    }
+
+    #[test]
+    fn iteration_summaries_are_consistent() {
+        let it = iteration(ServerFlavor::Paper, WorkloadKind::Control, 0.0, false);
+        assert_eq!(it.tick_percentiles().min, 10.0);
+        assert_eq!(it.tick_boxplot().max, 19.0);
+    }
+}

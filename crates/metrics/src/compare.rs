@@ -1,0 +1,182 @@
+//! Alternative variability metrics compared against ISR in Table 6.
+//!
+//! The paper positions ISR against three existing measures:
+//!
+//! | metric             | order dependent | irregular sampling | normalized |
+//! |---------------------|-----------------|--------------------|------------|
+//! | standard deviation  | no              | no                 | no         |
+//! | Allan variance      | yes             | no                 | no         |
+//! | RFC 3550 jitter     | yes             | yes                | no         |
+//! | ISR                 | yes             | yes                | yes        |
+//!
+//! Implementing them here lets the benchmark report all four side by side and
+//! lets tests verify the properties the table claims.
+
+use serde::{Deserialize, Serialize};
+
+pub use crate::stats::std_dev;
+
+/// Computes the (non-overlapping, two-sample) Allan variance of a series of
+/// tick durations.
+///
+/// Allan variance is defined as `1/2 · ⟨(ȳ_{k+1} − ȳ_k)²⟩` over consecutive
+/// averaging windows; with a window of one sample it reduces to half the mean
+/// squared successive difference. It is order dependent but assumes a
+/// constant sampling period, which tick traces do not have when the game is
+/// overloaded — the limitation Table 6 notes.
+#[must_use]
+pub fn allan_variance(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let sum_sq: f64 = values.windows(2).map(|w| (w[1] - w[0]) * (w[1] - w[0])).sum();
+    sum_sq / (2.0 * (values.len() - 1) as f64)
+}
+
+/// RFC 3550 (RTP) smoothed interarrival jitter.
+///
+/// `J_i = J_{i−1} + (|D_{i−1,i}| − J_{i−1}) / 16`, where `D` is the
+/// difference between consecutive transit (here: tick) durations. Returns the
+/// final smoothed value, which is how it is typically reported.
+#[must_use]
+pub fn rfc3550_jitter(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let mut jitter = 0.0;
+    for pair in values.windows(2) {
+        let d = (pair[1] - pair[0]).abs();
+        jitter += (d - jitter) / 16.0;
+    }
+    jitter
+}
+
+/// Properties of a variability metric, as listed in Table 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricProperties {
+    /// Name of the metric.
+    pub name: &'static str,
+    /// Whether reordering the samples can change the value.
+    pub order_dependent: bool,
+    /// Whether the metric remains meaningful with irregular sampling periods.
+    pub irregular_sampling: bool,
+    /// Whether the value is normalized to a bounded range.
+    pub normalized: bool,
+}
+
+/// Returns the comparison rows of Table 6.
+#[must_use]
+pub fn table6() -> [MetricProperties; 4] {
+    [
+        MetricProperties {
+            name: "standard deviation",
+            order_dependent: false,
+            irregular_sampling: false,
+            normalized: false,
+        },
+        MetricProperties {
+            name: "Allan variance",
+            order_dependent: true,
+            irregular_sampling: false,
+            normalized: false,
+        },
+        MetricProperties {
+            name: "jitter (RFC 3550)",
+            order_dependent: true,
+            irregular_sampling: true,
+            normalized: false,
+        },
+        MetricProperties {
+            name: "ISR",
+            order_dependent: true,
+            irregular_sampling: true,
+            normalized: true,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isr::{instability_ratio, IsrParams};
+
+    fn clustered() -> Vec<f64> {
+        let mut v = vec![50.0; 100];
+        for item in v.iter_mut().take(5) {
+            *item = 1000.0;
+        }
+        v
+    }
+
+    fn spread() -> Vec<f64> {
+        let mut v = vec![50.0; 100];
+        for k in 0..5 {
+            v[k * 20 + 10] = 1000.0;
+        }
+        v
+    }
+
+    #[test]
+    fn std_dev_is_order_independent() {
+        assert!((std_dev(&clustered()) - std_dev(&spread())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn allan_variance_is_order_dependent() {
+        assert!(allan_variance(&spread()) > allan_variance(&clustered()) * 2.0);
+    }
+
+    #[test]
+    fn jitter_is_order_dependent() {
+        assert!(rfc3550_jitter(&spread()) > rfc3550_jitter(&clustered()));
+    }
+
+    #[test]
+    fn isr_is_order_dependent_and_normalized() {
+        let params = IsrParams {
+            budget_ms: 50.0,
+            expected_ticks: Some(100),
+        };
+        let c = instability_ratio(&clustered(), params);
+        let s = instability_ratio(&spread(), params);
+        assert!(s > c);
+        assert!((0.0..=1.0).contains(&c));
+        assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn unnormalized_metrics_grow_without_bound() {
+        // Scaling the trace scales std-dev and jitter, but ISR saturates at 1.
+        let base = spread();
+        let scaled: Vec<f64> = base.iter().map(|v| v * 100.0).collect();
+        assert!(std_dev(&scaled) > std_dev(&base) * 50.0);
+        assert!(rfc3550_jitter(&scaled) > rfc3550_jitter(&base) * 50.0);
+        let params = IsrParams {
+            budget_ms: 50.0,
+            expected_ticks: Some(100),
+        };
+        assert!(instability_ratio(&scaled, params) <= 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(allan_variance(&[]), 0.0);
+        assert_eq!(allan_variance(&[5.0]), 0.0);
+        assert_eq!(rfc3550_jitter(&[]), 0.0);
+        assert_eq!(rfc3550_jitter(&[5.0]), 0.0);
+        assert_eq!(allan_variance(&[5.0, 5.0, 5.0]), 0.0);
+        assert_eq!(rfc3550_jitter(&[5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn table6_matches_the_paper() {
+        let rows = table6();
+        assert_eq!(rows.len(), 4);
+        let isr = rows.iter().find(|r| r.name == "ISR").unwrap();
+        assert!(isr.order_dependent && isr.irregular_sampling && isr.normalized);
+        let sd = rows.iter().find(|r| r.name == "standard deviation").unwrap();
+        assert!(!sd.order_dependent && !sd.normalized);
+        // Only ISR is normalized.
+        assert_eq!(rows.iter().filter(|r| r.normalized).count(), 1);
+    }
+}

@@ -1,0 +1,239 @@
+//! Tick-time distribution across workload operations.
+//!
+//! Figure 11 of the paper breaks each game's tick time into the operations
+//! *Block Add/Remove*, *Block Update*, *Entities*, *Wait before*, *Wait
+//! after* and *Other*, showing that entity processing dominates the non-idle
+//! share (MF4).
+
+use serde::{Deserialize, Serialize};
+
+/// The operations tick time is attributed to, matching Figure 11.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TickOperation {
+    /// Creating or destroying terrain blocks.
+    BlockAddRemove,
+    /// Processing terrain-simulation rule updates (block updates).
+    BlockUpdate,
+    /// Entity simulation (movement, AI, collisions, spawning).
+    Entities,
+    /// Handling player actions and networking.
+    Players,
+    /// Idle time waiting before the tick's work (input queue poll).
+    WaitBefore,
+    /// Idle time waiting after the tick's work for the next scheduled tick.
+    WaitAfter,
+    /// Everything else (lighting, bookkeeping, metrics externalization).
+    Other,
+}
+
+impl TickOperation {
+    /// All operations in display order.
+    #[must_use]
+    pub fn all() -> [TickOperation; 7] {
+        [
+            TickOperation::BlockAddRemove,
+            TickOperation::BlockUpdate,
+            TickOperation::Entities,
+            TickOperation::Players,
+            TickOperation::WaitBefore,
+            TickOperation::WaitAfter,
+            TickOperation::Other,
+        ]
+    }
+
+    /// Returns `true` for the idle (waiting) operations.
+    #[must_use]
+    pub fn is_wait(self) -> bool {
+        matches!(self, TickOperation::WaitBefore | TickOperation::WaitAfter)
+    }
+}
+
+impl std::fmt::Display for TickOperation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            TickOperation::BlockAddRemove => "block add/remove",
+            TickOperation::BlockUpdate => "block update",
+            TickOperation::Entities => "entities",
+            TickOperation::Players => "players",
+            TickOperation::WaitBefore => "wait before",
+            TickOperation::WaitAfter => "wait after",
+            TickOperation::Other => "other",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Milliseconds of tick time attributed to each operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TickDistribution {
+    /// Time creating/destroying blocks.
+    pub block_add_remove_ms: f64,
+    /// Time processing block updates.
+    pub block_update_ms: f64,
+    /// Time simulating entities.
+    pub entities_ms: f64,
+    /// Time handling player actions and networking.
+    pub players_ms: f64,
+    /// Idle time before the work.
+    pub wait_before_ms: f64,
+    /// Idle time after the work.
+    pub wait_after_ms: f64,
+    /// Everything else.
+    pub other_ms: f64,
+}
+
+impl TickDistribution {
+    /// Returns the time attributed to one operation.
+    #[must_use]
+    pub fn get(&self, op: TickOperation) -> f64 {
+        match op {
+            TickOperation::BlockAddRemove => self.block_add_remove_ms,
+            TickOperation::BlockUpdate => self.block_update_ms,
+            TickOperation::Entities => self.entities_ms,
+            TickOperation::Players => self.players_ms,
+            TickOperation::WaitBefore => self.wait_before_ms,
+            TickOperation::WaitAfter => self.wait_after_ms,
+            TickOperation::Other => self.other_ms,
+        }
+    }
+
+    /// Sets the time attributed to one operation.
+    pub fn set(&mut self, op: TickOperation, ms: f64) {
+        match op {
+            TickOperation::BlockAddRemove => self.block_add_remove_ms = ms,
+            TickOperation::BlockUpdate => self.block_update_ms = ms,
+            TickOperation::Entities => self.entities_ms = ms,
+            TickOperation::Players => self.players_ms = ms,
+            TickOperation::WaitBefore => self.wait_before_ms = ms,
+            TickOperation::WaitAfter => self.wait_after_ms = ms,
+            TickOperation::Other => self.other_ms = ms,
+        }
+    }
+
+    /// Total time across all operations, including waits.
+    #[must_use]
+    pub fn total_ms(&self) -> f64 {
+        TickOperation::all().iter().map(|&op| self.get(op)).sum()
+    }
+
+    /// Total non-waiting (busy) time.
+    #[must_use]
+    pub fn busy_ms(&self) -> f64 {
+        TickOperation::all()
+            .iter()
+            .filter(|op| !op.is_wait())
+            .map(|&op| self.get(op))
+            .sum()
+    }
+
+    /// The share (0–100) of total time attributed to `op`, as plotted in
+    /// Figure 11. Returns 0 when the distribution is empty.
+    #[must_use]
+    pub fn share_percent(&self, op: TickOperation) -> f64 {
+        let total = self.total_ms();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.get(op) / total * 100.0
+    }
+
+    /// The share (0–100) of *non-waiting* time attributed to `op`.
+    #[must_use]
+    pub fn busy_share_percent(&self, op: TickOperation) -> f64 {
+        let busy = self.busy_ms();
+        if busy <= 0.0 || op.is_wait() {
+            return 0.0;
+        }
+        self.get(op) / busy * 100.0
+    }
+
+    /// Adds another distribution into this one.
+    pub fn merge(&mut self, other: &TickDistribution) {
+        for op in TickOperation::all() {
+            self.set(op, self.get(op) + other.get(op));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TickDistribution {
+        TickDistribution {
+            block_add_remove_ms: 2.0,
+            block_update_ms: 4.0,
+            entities_ms: 24.0,
+            players_ms: 2.0,
+            wait_before_ms: 1.0,
+            wait_after_ms: 15.0,
+            other_ms: 2.0,
+        }
+    }
+
+    #[test]
+    fn totals_and_busy_time() {
+        let d = sample();
+        assert!((d.total_ms() - 50.0).abs() < 1e-12);
+        assert!((d.busy_ms() - 34.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shares_sum_to_one_hundred() {
+        let d = sample();
+        let total: f64 = TickOperation::all().iter().map(|&op| d.share_percent(op)).sum();
+        assert!((total - 100.0).abs() < 1e-9);
+        let busy: f64 = TickOperation::all()
+            .iter()
+            .map(|&op| d.busy_share_percent(op))
+            .sum();
+        assert!((busy - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn entities_dominate_the_busy_share_in_the_sample() {
+        let d = sample();
+        let entity_share = d.busy_share_percent(TickOperation::Entities);
+        for op in TickOperation::all() {
+            if op != TickOperation::Entities && !op.is_wait() {
+                assert!(entity_share > d.busy_share_percent(op));
+            }
+        }
+        assert!(entity_share > 50.0);
+    }
+
+    #[test]
+    fn empty_distribution_has_zero_shares() {
+        let d = TickDistribution::default();
+        assert_eq!(d.share_percent(TickOperation::Entities), 0.0);
+        assert_eq!(d.busy_share_percent(TickOperation::Entities), 0.0);
+        assert_eq!(d.total_ms(), 0.0);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut d = TickDistribution::default();
+        for (i, op) in TickOperation::all().into_iter().enumerate() {
+            d.set(op, i as f64);
+        }
+        for (i, op) in TickOperation::all().into_iter().enumerate() {
+            assert_eq!(d.get(op), i as f64);
+        }
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = sample();
+        a.merge(&sample());
+        assert!((a.total_ms() - 100.0).abs() < 1e-12);
+        assert!((a.entities_ms - 48.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wait_operations_are_classified() {
+        assert!(TickOperation::WaitBefore.is_wait());
+        assert!(TickOperation::WaitAfter.is_wait());
+        assert!(!TickOperation::Entities.is_wait());
+        assert_eq!(TickOperation::all().len(), 7);
+    }
+}

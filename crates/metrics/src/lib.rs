@@ -1,0 +1,34 @@
+//! Performance-variability metrics for Minecraft-like games.
+//!
+//! This crate implements the metric layer of the Meterstick benchmark
+//! (Sections 3.5 and 4 of the paper):
+//!
+//! * the novel **Instability Ratio (ISR)** — a normalized sum of
+//!   cycle-to-cycle jitter over a trace of game ticks ([`isr`]), together
+//!   with the closed-form analytical model used in the paper's Figure 6;
+//! * **tick traces** and their summary statistics ([`trace`], [`stats`]);
+//! * the **comparison metrics** of Table 6 — standard deviation, Allan
+//!   variance and RFC 3550 smoothed jitter ([`compare`]);
+//! * **game response time** with the Noticeable-Delay and Unplayable-Game
+//!   thresholds ([`response`]);
+//! * the **tick-time distribution** across workload operations
+//!   ([`distribution`]), used by Figure 11.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod compare;
+pub mod distribution;
+pub mod isr;
+pub mod response;
+pub mod stats;
+pub mod trace;
+
+pub use distribution::{TickDistribution, TickOperation};
+pub use isr::{analytical_isr, instability_ratio, IsrParams};
+pub use response::{ResponseTimeSummary, NOTICEABLE_DELAY_MS, UNPLAYABLE_MS};
+pub use stats::{BoxplotSummary, Percentiles};
+pub use trace::{TickRecord, TickTrace};
+
+/// The intended tick period of an MLG running at 20 Hz, in milliseconds.
+pub const TICK_BUDGET_MS: f64 = 50.0;

@@ -1,0 +1,98 @@
+//! Programmed bot behaviours.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use mlg_entity::Vec3;
+
+/// How an emulated player behaves each tick.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Behavior {
+    /// Performs no actions. Environment-based workloads connect a single
+    /// idle player purely to observe response time.
+    Idle,
+    /// Bounded random movement inside a square area, as in the Players
+    /// workload ("25 players which move randomly in a 32-by-32 area").
+    RandomWalk {
+        /// Centre of the walking area.
+        center: Vec3,
+        /// Half of the area's edge length, in blocks.
+        half_extent: f64,
+    },
+}
+
+impl Behavior {
+    /// The bounded random walk used by the Players workload.
+    #[must_use]
+    pub fn players_workload(center: Vec3, area_edge: f64) -> Self {
+        Behavior::RandomWalk {
+            center,
+            half_extent: (area_edge / 2.0).max(1.0),
+        }
+    }
+
+    /// Computes the next position for a bot currently at `pos`.
+    ///
+    /// Returns `None` when the behaviour does not move (idle observer).
+    pub fn next_position<R: Rng>(&self, pos: Vec3, rng: &mut R) -> Option<Vec3> {
+        match self {
+            Behavior::Idle => None,
+            Behavior::RandomWalk { center, half_extent } => {
+                // A bounded random step of at most one block per tick.
+                let step = 0.3;
+                let dx = rng.gen_range(-step..=step);
+                let dz = rng.gen_range(-step..=step);
+                let mut next = Vec3::new(pos.x + dx, pos.y, pos.z + dz);
+                next.x = next.x.clamp(center.x - half_extent, center.x + half_extent);
+                next.z = next.z.clamp(center.z - half_extent, center.z + half_extent);
+                Some(next)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn idle_never_moves() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let b = Behavior::Idle;
+        assert_eq!(b.next_position(Vec3::new(1.0, 64.0, 1.0), &mut rng), None);
+    }
+
+    #[test]
+    fn random_walk_stays_inside_the_area() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let center = Vec3::new(0.5, 61.0, 0.5);
+        let b = Behavior::players_workload(center, 32.0);
+        let mut pos = center;
+        for _ in 0..10_000 {
+            pos = b.next_position(pos, &mut rng).unwrap();
+            assert!((pos.x - center.x).abs() <= 16.0);
+            assert!((pos.z - center.z).abs() <= 16.0);
+            assert_eq!(pos.y, center.y);
+        }
+    }
+
+    #[test]
+    fn random_walk_actually_moves() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let center = Vec3::new(0.5, 61.0, 0.5);
+        let b = Behavior::players_workload(center, 32.0);
+        let next = b.next_position(center, &mut rng).unwrap();
+        assert_ne!(next, center);
+    }
+
+    #[test]
+    fn degenerate_area_is_clamped() {
+        let b = Behavior::players_workload(Vec3::ZERO, 0.0);
+        match b {
+            Behavior::RandomWalk { half_extent, .. } => assert!(half_extent >= 1.0),
+            Behavior::Idle => panic!("expected a random walk"),
+        }
+    }
+}

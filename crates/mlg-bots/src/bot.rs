@@ -1,0 +1,141 @@
+//! A single emulated player.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mlg_entity::Vec3;
+use mlg_protocol::ServerboundPacket;
+use mlg_server::PlayerId;
+
+use crate::behavior::Behavior;
+
+/// One emulated player: its behaviour, position and chat-probing schedule.
+#[derive(Debug)]
+pub struct Bot {
+    /// Display name sent at login.
+    pub name: String,
+    /// The server-side player id assigned at connection time.
+    pub player_id: Option<PlayerId>,
+    /// Current (client-side) position.
+    pub pos: Vec3,
+    /// Movement behaviour.
+    pub behavior: Behavior,
+    /// Interval between chat probes, in ticks. 0 disables probing.
+    pub probe_interval_ticks: u64,
+    rng: StdRng,
+    ticks_seen: u64,
+}
+
+impl Bot {
+    /// Creates a bot. Probing is disabled by default; use
+    /// [`Bot::with_probe_interval`] for the response-time prober.
+    #[must_use]
+    pub fn new(name: impl Into<String>, pos: Vec3, behavior: Behavior, seed: u64) -> Self {
+        Bot {
+            name: name.into(),
+            player_id: None,
+            pos,
+            behavior,
+            probe_interval_ticks: 0,
+            rng: StdRng::seed_from_u64(seed),
+            ticks_seen: 0,
+        }
+    }
+
+    /// Enables chat probing every `interval_ticks` ticks.
+    #[must_use]
+    pub fn with_probe_interval(mut self, interval_ticks: u64) -> Self {
+        self.probe_interval_ticks = interval_ticks;
+        self
+    }
+
+    /// Returns `true` if this bot sends response-time probes.
+    #[must_use]
+    pub fn is_prober(&self) -> bool {
+        self.probe_interval_ticks > 0
+    }
+
+    /// Produces this bot's actions for one client tick at virtual time
+    /// `now_ms`.
+    pub fn act(&mut self, now_ms: f64) -> Vec<ServerboundPacket> {
+        self.ticks_seen += 1;
+        let mut packets = Vec::new();
+        if let Some(next) = self.behavior.next_position(self.pos, &mut self.rng) {
+            self.pos = next;
+            packets.push(ServerboundPacket::PlayerMove {
+                pos: next,
+                on_ground: true,
+            });
+        }
+        if self.is_prober() && self.ticks_seen % self.probe_interval_ticks == 0 {
+            packets.push(ServerboundPacket::Chat {
+                message: format!("probe-{}", self.ticks_seen),
+                sent_at_ms: now_ms,
+            });
+        }
+        packets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_bot_sends_nothing_without_probing() {
+        let mut bot = Bot::new("observer", Vec3::new(0.5, 61.0, 0.5), Behavior::Idle, 1);
+        for tick in 0..100 {
+            assert!(bot.act(tick as f64 * 50.0).is_empty());
+        }
+    }
+
+    #[test]
+    fn prober_sends_chat_on_schedule() {
+        let mut bot =
+            Bot::new("probe", Vec3::new(0.5, 61.0, 0.5), Behavior::Idle, 1).with_probe_interval(20);
+        let mut chats = 0;
+        for tick in 1..=100 {
+            let packets = bot.act(tick as f64 * 50.0);
+            chats += packets
+                .iter()
+                .filter(|p| matches!(p, ServerboundPacket::Chat { .. }))
+                .count();
+        }
+        assert_eq!(chats, 5);
+    }
+
+    #[test]
+    fn chat_probe_carries_the_send_timestamp() {
+        let mut bot = Bot::new("probe", Vec3::ZERO, Behavior::Idle, 1).with_probe_interval(1);
+        let packets = bot.act(1234.5);
+        match &packets[0] {
+            ServerboundPacket::Chat { sent_at_ms, .. } => assert_eq!(*sent_at_ms, 1234.5),
+            other => panic!("expected chat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn walking_bot_sends_moves() {
+        let center = Vec3::new(0.5, 61.0, 0.5);
+        let mut bot = Bot::new(
+            "walker",
+            center,
+            Behavior::players_workload(center, 32.0),
+            7,
+        );
+        let packets = bot.act(50.0);
+        assert_eq!(packets.len(), 1);
+        assert!(matches!(packets[0], ServerboundPacket::PlayerMove { .. }));
+        assert_ne!(bot.pos, center);
+    }
+
+    #[test]
+    fn bots_with_the_same_seed_behave_identically() {
+        let center = Vec3::new(0.5, 61.0, 0.5);
+        let mut a = Bot::new("a", center, Behavior::players_workload(center, 32.0), 9);
+        let mut b = Bot::new("b", center, Behavior::players_workload(center, 32.0), 9);
+        for tick in 0..50 {
+            assert_eq!(a.act(tick as f64 * 50.0), b.act(tick as f64 * 50.0));
+        }
+    }
+}

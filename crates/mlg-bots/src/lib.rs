@@ -1,0 +1,26 @@
+//! Player emulation for the Meterstick benchmark.
+//!
+//! Meterstick "emulates players by connecting the MLG and automatically
+//! sending player actions based on programmed behavior", reusing the player
+//! emulation of the earlier Yardstick benchmark (Section 3.2, component 5).
+//! This crate provides the same capability against the in-process game
+//! server:
+//!
+//! * [`behavior`] — programmed behaviours: the idle observer used by
+//!   environment-based workloads, the bounded random walk of the Players
+//!   workload, and the chat-echo prober that measures game response time;
+//! * [`bot`] — a single emulated player;
+//! * [`emulation`] — the swarm driver that connects bots to a server, moves
+//!   packets across simulated network links in virtual time and records
+//!   response-time samples.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod behavior;
+pub mod bot;
+pub mod emulation;
+
+pub use behavior::Behavior;
+pub use bot::Bot;
+pub use emulation::PlayerEmulation;

@@ -1,0 +1,239 @@
+//! Dynamic entity spawning.
+//!
+//! "In contrast to static environments, where game developers typically place
+//! these spawn points manually, MLGs need to compute spawn points dynamically
+//! as terrain modification may obstruct existing spawn points."
+//! (Section 2.2.3.)
+//!
+//! Hostile mobs spawn on dark, spawnable surfaces near players (the mechanism
+//! exploited by the entity farms of the Farm workload); the spawner scans
+//! candidate positions every tick, which costs work even when nothing spawns.
+
+use rand::Rng;
+
+use mlg_world::light::sky_light_at;
+use mlg_world::{BlockPos, World};
+
+use crate::entity::EntityKind;
+use crate::math::Vec3;
+
+/// Maximum number of hostile mobs per loaded "spawning area" before spawning
+/// pauses (the hostile mob cap).
+pub const HOSTILE_MOB_CAP: usize = 70;
+
+/// Sky-light level at or below which hostile mobs may spawn.
+pub const MAX_SPAWN_LIGHT: u8 = 0;
+
+/// Horizontal radius around players in which spawning is attempted.
+pub const SPAWN_RADIUS: i32 = 48;
+
+/// Result of one spawning pass.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpawnOutcome {
+    /// Positions (and kinds) at which new mobs should be created.
+    pub spawns: Vec<(EntityKind, Vec3)>,
+    /// Candidate positions examined.
+    pub positions_scanned: u32,
+}
+
+/// Configuration of the spawning pass.
+#[derive(Debug, Clone, Copy)]
+pub struct Spawner {
+    /// Spawn attempts per player per tick.
+    pub attempts_per_player: u32,
+    /// Whether hostile spawning is enabled at all.
+    pub hostile_spawning: bool,
+}
+
+impl Default for Spawner {
+    fn default() -> Self {
+        Spawner {
+            attempts_per_player: 40,
+            hostile_spawning: true,
+        }
+    }
+}
+
+impl Spawner {
+    /// Creates a spawner with default settings.
+    #[must_use]
+    pub fn new() -> Self {
+        Spawner::default()
+    }
+
+    /// Returns `true` if a hostile mob could spawn standing at `pos`:
+    /// spawnable solid ground below, two passable blocks of room, and no sky
+    /// light (dark).
+    pub fn is_valid_spawn_position(&self, world: &mut World, pos: BlockPos) -> bool {
+        let ground = world.block(pos.down());
+        let feet = world.block(pos);
+        let head = world.block(pos.up());
+        if !ground.kind().is_spawnable_surface() || feet.is_solid() || head.is_solid() {
+            return false;
+        }
+        if feet.kind().is_fluid() {
+            return false;
+        }
+        sky_light_at(world, pos) <= MAX_SPAWN_LIGHT
+    }
+
+    /// Runs one spawning pass around the given player positions.
+    ///
+    /// `current_hostile_count` is the number of hostile mobs already alive;
+    /// when it is at or above [`HOSTILE_MOB_CAP`] no new mobs spawn, but the
+    /// candidate scan (and its cost) still happens, matching real servers.
+    pub fn tick<R: Rng>(
+        &self,
+        world: &mut World,
+        players: &[Vec3],
+        current_hostile_count: usize,
+        rng: &mut R,
+    ) -> SpawnOutcome {
+        let mut outcome = SpawnOutcome::default();
+        if !self.hostile_spawning {
+            return outcome;
+        }
+        for player in players {
+            for _ in 0..self.attempts_per_player {
+                let dx = rng.gen_range(-SPAWN_RADIUS..=SPAWN_RADIUS);
+                let dz = rng.gen_range(-SPAWN_RADIUS..=SPAWN_RADIUS);
+                let dy = rng.gen_range(-8..=8);
+                let candidate = BlockPos::new(
+                    player.x.floor() as i32 + dx,
+                    (player.y.floor() as i32 + dy).max(1),
+                    player.z.floor() as i32 + dz,
+                );
+                outcome.positions_scanned += 1;
+                if current_hostile_count + outcome.spawns.len() >= HOSTILE_MOB_CAP {
+                    continue;
+                }
+                if self.is_valid_spawn_position(world, candidate) {
+                    let kind = if rng.gen_bool(0.7) {
+                        EntityKind::Zombie
+                    } else {
+                        EntityKind::Skeleton
+                    };
+                    outcome
+                        .spawns
+                        .push((kind, Vec3::from_block_center(candidate)));
+                }
+            }
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlg_world::generation::FlatGenerator;
+    use mlg_world::{Block, BlockKind, ChunkPos};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn world() -> World {
+        World::new(Box::new(FlatGenerator::grassland()), 7)
+    }
+
+    /// Builds a dark platform (roofed area) like an entity farm's spawning
+    /// floor, and returns a position on it.
+    fn build_dark_platform(w: &mut World) -> BlockPos {
+        let base = BlockPos::new(4, 61, 4);
+        for dx in -3..=3 {
+            for dz in -3..=3 {
+                // Roof 3 blocks above the floor blocks all sky light.
+                w.set_block_silent(base.offset(dx, 3, dz), Block::simple(BlockKind::Stone));
+            }
+        }
+        base
+    }
+
+    #[test]
+    fn surface_positions_are_too_bright() {
+        let mut w = world();
+        let spawner = Spawner::new();
+        // Open grass at noon: sky light 15, no spawning.
+        assert!(!spawner.is_valid_spawn_position(&mut w, BlockPos::new(0, 61, 0)));
+    }
+
+    #[test]
+    fn dark_covered_positions_are_valid() {
+        let mut w = world();
+        let spawner = Spawner::new();
+        let pos = build_dark_platform(&mut w);
+        assert!(spawner.is_valid_spawn_position(&mut w, pos));
+    }
+
+    #[test]
+    fn blocked_positions_are_invalid() {
+        let mut w = world();
+        let spawner = Spawner::new();
+        let pos = build_dark_platform(&mut w);
+        w.set_block_silent(pos, Block::simple(BlockKind::Stone));
+        assert!(!spawner.is_valid_spawn_position(&mut w, pos));
+    }
+
+    #[test]
+    fn water_positions_are_invalid() {
+        let mut w = world();
+        let spawner = Spawner::new();
+        let pos = build_dark_platform(&mut w);
+        w.set_block_silent(pos, Block::simple(BlockKind::Water));
+        assert!(!spawner.is_valid_spawn_position(&mut w, pos));
+    }
+
+    #[test]
+    fn spawning_pass_finds_dark_platform() {
+        let mut w = world();
+        w.ensure_area(ChunkPos::new(0, 0), 3);
+        // Build a large dark platform so random attempts hit it.
+        for dx in -20..=20 {
+            for dz in -20..=20 {
+                w.set_block_silent(BlockPos::new(dx, 64, dz), Block::simple(BlockKind::Stone));
+            }
+        }
+        let spawner = Spawner {
+            attempts_per_player: 1_000,
+            hostile_spawning: true,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let players = vec![Vec3::new(0.5, 61.0, 0.5)];
+        let outcome = spawner.tick(&mut w, &players, 0, &mut rng);
+        assert!(outcome.positions_scanned == 1_000);
+        assert!(!outcome.spawns.is_empty(), "the dark area should produce spawns");
+        for (kind, _) in &outcome.spawns {
+            assert!(kind.is_hostile());
+        }
+    }
+
+    #[test]
+    fn mob_cap_stops_spawning_but_not_scanning() {
+        let mut w = world();
+        for dx in -20..=20 {
+            for dz in -20..=20 {
+                w.set_block_silent(BlockPos::new(dx, 64, dz), Block::simple(BlockKind::Stone));
+            }
+        }
+        let spawner = Spawner {
+            attempts_per_player: 100,
+            hostile_spawning: true,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let players = vec![Vec3::new(0.5, 61.0, 0.5)];
+        let outcome = spawner.tick(&mut w, &players, HOSTILE_MOB_CAP, &mut rng);
+        assert!(outcome.spawns.is_empty());
+        assert_eq!(outcome.positions_scanned, 100);
+    }
+
+    #[test]
+    fn disabled_spawner_does_nothing() {
+        let mut w = world();
+        let spawner = Spawner {
+            attempts_per_player: 100,
+            hostile_spawning: false,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let outcome = spawner.tick(&mut w, &[Vec3::ZERO], 0, &mut rng);
+        assert_eq!(outcome, SpawnOutcome::default());
+    }
+}

@@ -1,0 +1,27 @@
+//! Client–server protocol for the Meterstick MLG simulator.
+//!
+//! The paper's reference architecture (Figure 2) connects clients to the
+//! server through an implementation-specific protocol carrying player actions
+//! upstream and state updates downstream. This crate provides:
+//!
+//! * the packet vocabulary ([`packet`]) with the entity/terrain/chat
+//!   classification needed for Table 8 of the paper (share of entity-related
+//!   messages and bytes);
+//! * a compact binary encoding ([`codec`]) so every packet has a concrete
+//!   wire size;
+//! * a simulated network link ([`netsim`]) with latency and jitter operating
+//!   on virtual time, used for the chat-echo response-time measurement
+//!   (Figures 1 and 7);
+//! * per-category traffic accounting ([`accounting`]).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod accounting;
+pub mod codec;
+pub mod netsim;
+pub mod packet;
+
+pub use accounting::{TrafficAccountant, TrafficCategory, TrafficSummary};
+pub use netsim::{LinkConfig, NetworkLink};
+pub use packet::{ClientboundPacket, PacketDirection, ServerboundPacket};

@@ -1,0 +1,99 @@
+//! Server configuration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::flavor::ServerFlavor;
+
+/// Configuration of one game-server instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerConfig {
+    /// Which server flavor (system under test) to run.
+    pub flavor: ServerFlavor,
+    /// View distance in chunks: how far around each player chunks are loaded
+    /// and streamed.
+    pub view_distance: u32,
+    /// Maximum number of simultaneously connected players.
+    pub max_players: u32,
+    /// Intended tick period, in milliseconds (50 ms at 20 Hz).
+    pub tick_budget_ms: f64,
+    /// If the server stalls longer than this without serving a client, the
+    /// client connection times out; when all clients time out the server run
+    /// is aborted — this reproduces the Lag-workload crashes on AWS (MF2).
+    pub keepalive_timeout_ms: f64,
+    /// Random ticks per chunk per game tick (plant growth rate).
+    pub random_ticks_per_chunk: u32,
+    /// Whether hostile mobs spawn naturally around players.
+    pub natural_spawning: bool,
+    /// World seed (also seeds entity AI and spawning).
+    pub seed: u64,
+    /// JVM-style maximum heap size in GiB; only reflected in the memory
+    /// metric, mirroring the paper's `-Xmx4G` setting (Table 4).
+    pub max_heap_gb: f64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            flavor: ServerFlavor::Vanilla,
+            view_distance: 6,
+            max_players: 100,
+            tick_budget_ms: 50.0,
+            keepalive_timeout_ms: 30_000.0,
+            random_ticks_per_chunk: 3,
+            natural_spawning: true,
+            seed: 392_114_485,
+            max_heap_gb: 4.0,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// A configuration for the given flavor with all other values default.
+    #[must_use]
+    pub fn for_flavor(flavor: ServerFlavor) -> Self {
+        ServerConfig {
+            flavor,
+            ..ServerConfig::default()
+        }
+    }
+
+    /// Returns a copy with a different seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with a different view distance.
+    #[must_use]
+    pub fn with_view_distance(mut self, chunks: u32) -> Self {
+        self.view_distance = chunks;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_the_paper_setup() {
+        let c = ServerConfig::default();
+        assert_eq!(c.tick_budget_ms, 50.0);
+        assert_eq!(c.max_heap_gb, 4.0);
+        assert_eq!(c.seed, 392_114_485);
+        assert_eq!(c.flavor, ServerFlavor::Vanilla);
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let c = ServerConfig::for_flavor(ServerFlavor::Paper)
+            .with_seed(42)
+            .with_view_distance(10);
+        assert_eq!(c.flavor, ServerFlavor::Paper);
+        assert_eq!(c.seed, 42);
+        assert_eq!(c.view_distance, 10);
+        // Unrelated fields keep their defaults.
+        assert_eq!(c.tick_budget_ms, 50.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Metric externalization.
+//!
+//! Real MLG servers expose tick metrics through management interfaces (JMX
+//! for JVM servers); Meterstick's Metric Externalizer (component 7 in
+//! Figure 5) "uses these interfaces to gain access to these metrics without
+//! requiring access to the game's source code". The reproduction keeps the
+//! same seam: the experiment runner observes the server only through the
+//! [`MetricExternalizer`] trait, so a different system under test could be
+//! plugged in without changing the benchmark.
+
+use meterstick_metrics::trace::{TickRecord, TickTrace};
+
+/// Receives tick metrics as the server produces them.
+pub trait MetricExternalizer {
+    /// Called once per completed game tick.
+    fn on_tick(&mut self, record: &TickRecord);
+
+    /// Called when the server run ends (normally or by crash).
+    fn on_shutdown(&mut self) {}
+}
+
+/// An externalizer that records every tick into a [`TickTrace`].
+#[derive(Debug)]
+pub struct RecordingExternalizer {
+    trace: TickTrace,
+    shutdown: bool,
+}
+
+impl RecordingExternalizer {
+    /// Creates a recorder for traces against the given tick budget.
+    #[must_use]
+    pub fn new(budget_ms: f64) -> Self {
+        RecordingExternalizer {
+            trace: TickTrace::new(budget_ms),
+            shutdown: false,
+        }
+    }
+
+    /// Returns the trace recorded so far.
+    #[must_use]
+    pub fn trace(&self) -> &TickTrace {
+        &self.trace
+    }
+
+    /// Consumes the recorder and returns the trace.
+    #[must_use]
+    pub fn into_trace(self) -> TickTrace {
+        self.trace
+    }
+
+    /// Whether the shutdown notification was received.
+    #[must_use]
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown
+    }
+}
+
+impl MetricExternalizer for RecordingExternalizer {
+    fn on_tick(&mut self, record: &TickRecord) {
+        self.trace.push(*record);
+    }
+
+    fn on_shutdown(&mut self) {
+        self.shutdown = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meterstick_metrics::distribution::TickDistribution;
+
+    fn record(i: u64, busy: f64) -> TickRecord {
+        TickRecord {
+            index: i,
+            start_ms: i as f64 * 50.0,
+            busy_ms: busy,
+            period_ms: busy.max(50.0),
+            distribution: TickDistribution::default(),
+        }
+    }
+
+    #[test]
+    fn recorder_accumulates_ticks() {
+        let mut rec = RecordingExternalizer::new(50.0);
+        for i in 0..10 {
+            rec.on_tick(&record(i, 20.0));
+        }
+        assert_eq!(rec.trace().len(), 10);
+        assert!(!rec.is_shutdown());
+        rec.on_shutdown();
+        assert!(rec.is_shutdown());
+        let trace = rec.into_trace();
+        assert_eq!(trace.len(), 10);
+        assert_eq!(trace.budget_ms(), 50.0);
+    }
+
+    #[test]
+    fn works_through_a_trait_object() {
+        let mut rec = RecordingExternalizer::new(50.0);
+        {
+            let externalizer: &mut dyn MetricExternalizer = &mut rec;
+            externalizer.on_tick(&record(0, 75.0));
+        }
+        assert_eq!(rec.trace().overloaded_ticks(), 1);
+    }
+}

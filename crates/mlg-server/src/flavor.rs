@@ -1,0 +1,155 @@
+//! Server flavors: Vanilla, Forge and PaperMC performance models.
+//!
+//! The paper evaluates three MLGs that speak the same protocol but differ in
+//! their engineering (Section 5.1.1 and Appendix A). The reproduction models
+//! each one as a set of multipliers and capabilities applied to the same
+//! underlying simulation:
+//!
+//! * **Vanilla** — the reference behaviour.
+//! * **Forge** — behaves like Vanilla (the paper finds their flamegraphs
+//!   identical) plus a small mod-loader overhead on every stage.
+//! * **Paper** — asynchronous chat (why PaperMC is omitted from the paper's
+//!   response-time figure), asynchronous environment processing on dedicated
+//!   threads, a rewritten entity handler, and targeted optimizations for TNT
+//!   and redstone, reducing both total work and the share bound to the main
+//!   thread.
+
+use serde::{Deserialize, Serialize};
+
+/// The three systems under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ServerFlavor {
+    /// The official ("vanilla") Minecraft server.
+    Vanilla,
+    /// Forge: vanilla plus mod-loader hooks.
+    Forge,
+    /// PaperMC: the community high-performance fork.
+    Paper,
+}
+
+impl ServerFlavor {
+    /// All flavors in the order the paper lists them.
+    #[must_use]
+    pub fn all() -> [ServerFlavor; 3] {
+        [ServerFlavor::Vanilla, ServerFlavor::Forge, ServerFlavor::Paper]
+    }
+
+    /// The performance profile of this flavor.
+    #[must_use]
+    pub fn profile(self) -> FlavorProfile {
+        match self {
+            ServerFlavor::Vanilla => FlavorProfile {
+                flavor: self,
+                overhead_multiplier: 1.0,
+                entity_multiplier: 1.0,
+                redstone_multiplier: 1.0,
+                explosion_multiplier: 1.0,
+                lighting_multiplier: 1.0,
+                offload_fraction: 0.05,
+                async_chat: false,
+                max_tnt_per_tick: usize::MAX,
+            },
+            ServerFlavor::Forge => FlavorProfile {
+                flavor: self,
+                overhead_multiplier: 1.08,
+                entity_multiplier: 1.0,
+                redstone_multiplier: 1.0,
+                explosion_multiplier: 1.0,
+                lighting_multiplier: 1.0,
+                offload_fraction: 0.05,
+                async_chat: false,
+                max_tnt_per_tick: usize::MAX,
+            },
+            ServerFlavor::Paper => FlavorProfile {
+                flavor: self,
+                overhead_multiplier: 0.95,
+                entity_multiplier: 0.45,
+                redstone_multiplier: 0.60,
+                explosion_multiplier: 0.40,
+                lighting_multiplier: 0.70,
+                offload_fraction: 0.35,
+                async_chat: true,
+                max_tnt_per_tick: 60,
+            },
+        }
+    }
+
+    /// The display name used in figures.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ServerFlavor::Vanilla => "Minecraft",
+            ServerFlavor::Forge => "Forge",
+            ServerFlavor::Paper => "PaperMC",
+        }
+    }
+}
+
+impl std::fmt::Display for ServerFlavor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The tunable performance model of one flavor.
+///
+/// The profile can also be constructed directly (rather than through
+/// [`ServerFlavor::profile`]) to run ablation studies on individual
+/// optimizations, as `meterstick-bench`'s `ablation_paper_opts` binary does.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlavorProfile {
+    /// Which flavor this profile belongs to.
+    pub flavor: ServerFlavor,
+    /// Multiplier applied to all work (mod-loader overhead, general tuning).
+    pub overhead_multiplier: f64,
+    /// Multiplier applied to entity-stage work (PaperMC's rewritten entity
+    /// handler).
+    pub entity_multiplier: f64,
+    /// Multiplier applied to redstone/block-update work.
+    pub redstone_multiplier: f64,
+    /// Multiplier applied to explosion handling work.
+    pub explosion_multiplier: f64,
+    /// Multiplier applied to lighting work.
+    pub lighting_multiplier: f64,
+    /// Fraction of terrain/lighting/chat work that can run on auxiliary
+    /// threads concurrently with the main game loop.
+    pub offload_fraction: f64,
+    /// Whether chat is handled on a dedicated asynchronous thread.
+    pub async_chat: bool,
+    /// Cap on primed-TNT entities processed per tick (explosion batching).
+    pub max_tnt_per_tick: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_is_cheaper_than_vanilla_everywhere_that_matters() {
+        let vanilla = ServerFlavor::Vanilla.profile();
+        let paper = ServerFlavor::Paper.profile();
+        assert!(paper.entity_multiplier < vanilla.entity_multiplier);
+        assert!(paper.redstone_multiplier < vanilla.redstone_multiplier);
+        assert!(paper.explosion_multiplier < vanilla.explosion_multiplier);
+        assert!(paper.offload_fraction > vanilla.offload_fraction);
+        assert!(paper.async_chat && !vanilla.async_chat);
+    }
+
+    #[test]
+    fn forge_is_vanilla_plus_overhead() {
+        let vanilla = ServerFlavor::Vanilla.profile();
+        let forge = ServerFlavor::Forge.profile();
+        assert!(forge.overhead_multiplier > vanilla.overhead_multiplier);
+        assert_eq!(forge.entity_multiplier, vanilla.entity_multiplier);
+        assert_eq!(forge.redstone_multiplier, vanilla.redstone_multiplier);
+        assert_eq!(forge.async_chat, vanilla.async_chat);
+    }
+
+    #[test]
+    fn names_match_the_paper() {
+        assert_eq!(ServerFlavor::Vanilla.to_string(), "Minecraft");
+        assert_eq!(ServerFlavor::Forge.to_string(), "Forge");
+        assert_eq!(ServerFlavor::Paper.to_string(), "PaperMC");
+        assert_eq!(ServerFlavor::all().len(), 3);
+    }
+}

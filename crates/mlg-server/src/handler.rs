@@ -1,0 +1,288 @@
+//! The player handler: processing player actions once per tick.
+//!
+//! Component 4 of the operational model (Figure 4): "The Player Handler is
+//! driven by player actions, which the Game Loop retrieves from the
+//! Networking Queues once per tick. […] Because the terrain can obstruct the
+//! player from performing these actions, the Player Handler must read the
+//! terrain state in the vicinity of the player."
+
+use mlg_entity::Vec3;
+use mlg_protocol::ServerboundPacket;
+use mlg_world::{Block, World};
+
+use crate::player::ConnectedPlayer;
+
+/// A chat message accepted during the player stage, waiting to be broadcast.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingChat {
+    /// The sender's display name.
+    pub sender: String,
+    /// Message text.
+    pub message: String,
+    /// The client timestamp carried by the chat packet (for response-time
+    /// measurement).
+    pub sent_at_ms: f64,
+}
+
+/// Work counters for the player-handler stage of one tick.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PlayerStageReport {
+    /// Player actions processed (all packet types).
+    pub actions_processed: u64,
+    /// Movement packets validated against the terrain.
+    pub movements: u64,
+    /// Blocks placed by players.
+    pub blocks_placed: u64,
+    /// Blocks dug (removed) by players.
+    pub blocks_dug: u64,
+    /// Chat messages accepted.
+    pub chat_messages: u64,
+    /// Keep-alive responses received.
+    pub keep_alives: u64,
+    /// World block reads performed to validate actions.
+    pub blocks_read: u64,
+    /// Chat messages waiting to be broadcast at the end of the tick.
+    pub pending_chat: Vec<PendingChat>,
+}
+
+impl PlayerStageReport {
+    /// Abstract work units represented by this stage, before flavor scaling.
+    #[must_use]
+    pub fn base_work_units(&self) -> u64 {
+        self.actions_processed * 8
+            + self.movements * 30
+            + (self.blocks_placed + self.blocks_dug) * 60
+            + self.chat_messages * 25
+            + self.blocks_read * 2
+    }
+}
+
+/// Processes one player's buffered actions against the world.
+///
+/// Movement is validated by reading the terrain around the destination
+/// (collision and support checks); block placement/digging writes the terrain
+/// through the normal update path so terrain simulation reacts to it.
+pub fn process_player_actions(
+    world: &mut World,
+    player: &mut ConnectedPlayer,
+    actions: Vec<ServerboundPacket>,
+    report: &mut PlayerStageReport,
+) {
+    for action in actions {
+        report.actions_processed += 1;
+        match action {
+            ServerboundPacket::PlayerMove { pos, .. } => {
+                report.movements += 1;
+                // Validate the destination: feet and head must be passable,
+                // which requires reading the terrain near the player.
+                let feet = pos.block_pos();
+                let head = feet.up();
+                let below = feet.down();
+                report.blocks_read += 3;
+                let blocked = world.block(feet).is_solid() || world.block(head).is_solid();
+                let _support = world.block(below).is_solid();
+                if !blocked {
+                    player.pos = pos;
+                } else {
+                    // Rejected moves keep the old position; the client will be
+                    // corrected by the next position broadcast.
+                }
+            }
+            ServerboundPacket::BlockPlace { pos, block } => {
+                report.blocks_read += 1;
+                if world.block(pos).is_air() {
+                    world.set_block(pos, block);
+                    report.blocks_placed += 1;
+                }
+            }
+            ServerboundPacket::BlockDig { pos } => {
+                report.blocks_read += 1;
+                if !world.block(pos).is_air() {
+                    world.set_block(pos, Block::AIR);
+                    report.blocks_dug += 1;
+                }
+            }
+            ServerboundPacket::Chat { message, sent_at_ms } => {
+                report.chat_messages += 1;
+                report.pending_chat.push(PendingChat {
+                    sender: player.name.clone(),
+                    message,
+                    sent_at_ms,
+                });
+            }
+            ServerboundPacket::KeepAlive { .. } => {
+                report.keep_alives += 1;
+            }
+            // Connection management (login/disconnect) is handled by the
+            // server itself, not the per-tick action loop; future packet
+            // kinds are ignored here.
+            _ => {}
+        }
+    }
+}
+
+/// Convenience: the positions of all connected, non-disconnected players,
+/// used by entity AI and the spawner.
+#[must_use]
+pub fn player_positions(players: &[ConnectedPlayer]) -> Vec<Vec3> {
+    players
+        .iter()
+        .filter(|p| !p.disconnected)
+        .map(|p| p.pos)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::player::PlayerId;
+    use mlg_entity::EntityId;
+    use mlg_world::generation::FlatGenerator;
+    use mlg_world::{BlockKind, BlockPos};
+
+    fn world() -> World {
+        World::new(Box::new(FlatGenerator::grassland()), 7)
+    }
+
+    fn player() -> ConnectedPlayer {
+        ConnectedPlayer {
+            id: PlayerId(1),
+            entity_id: EntityId(1),
+            name: "bot-1".into(),
+            pos: Vec3::new(0.5, 61.0, 0.5),
+            connected_at_tick: 0,
+            last_served_ms: 0.0,
+            disconnected: false,
+        }
+    }
+
+    #[test]
+    fn valid_moves_update_the_position() {
+        let mut w = world();
+        let mut p = player();
+        let mut report = PlayerStageReport::default();
+        let target = Vec3::new(3.5, 61.0, 0.5);
+        process_player_actions(
+            &mut w,
+            &mut p,
+            vec![ServerboundPacket::PlayerMove {
+                pos: target,
+                on_ground: true,
+            }],
+            &mut report,
+        );
+        assert_eq!(p.pos, target);
+        assert_eq!(report.movements, 1);
+        assert!(report.blocks_read >= 3);
+    }
+
+    #[test]
+    fn moves_into_walls_are_rejected() {
+        let mut w = world();
+        let mut p = player();
+        // Moving into the solid ground (y = 60 is the grass surface).
+        let inside_ground = Vec3::new(3.5, 59.0, 0.5);
+        let before = p.pos;
+        let mut report = PlayerStageReport::default();
+        process_player_actions(
+            &mut w,
+            &mut p,
+            vec![ServerboundPacket::PlayerMove {
+                pos: inside_ground,
+                on_ground: false,
+            }],
+            &mut report,
+        );
+        assert_eq!(p.pos, before, "move into terrain must be rejected");
+    }
+
+    #[test]
+    fn block_place_and_dig_modify_the_world() {
+        let mut w = world();
+        let mut p = player();
+        let mut report = PlayerStageReport::default();
+        let pos = BlockPos::new(2, 61, 2);
+        process_player_actions(
+            &mut w,
+            &mut p,
+            vec![
+                ServerboundPacket::BlockPlace {
+                    pos,
+                    block: Block::simple(BlockKind::Planks),
+                },
+                ServerboundPacket::BlockDig {
+                    pos: BlockPos::new(4, 60, 4),
+                },
+            ],
+            &mut report,
+        );
+        assert_eq!(w.block(pos).kind(), BlockKind::Planks);
+        assert_eq!(w.block(BlockPos::new(4, 60, 4)), Block::AIR);
+        assert_eq!(report.blocks_placed, 1);
+        assert_eq!(report.blocks_dug, 1);
+        // The writes went through the update path, so terrain simulation will
+        // react next tick.
+        assert!(w.updates().immediate_len() > 0);
+    }
+
+    #[test]
+    fn placing_into_an_occupied_cell_is_rejected() {
+        let mut w = world();
+        let mut p = player();
+        let mut report = PlayerStageReport::default();
+        let pos = BlockPos::new(2, 60, 2); // already grass
+        process_player_actions(
+            &mut w,
+            &mut p,
+            vec![ServerboundPacket::BlockPlace {
+                pos,
+                block: Block::simple(BlockKind::Tnt),
+            }],
+            &mut report,
+        );
+        assert_eq!(report.blocks_placed, 0);
+        assert_eq!(w.block(pos).kind(), BlockKind::Grass);
+    }
+
+    #[test]
+    fn chat_is_collected_for_broadcast() {
+        let mut w = world();
+        let mut p = player();
+        let mut report = PlayerStageReport::default();
+        process_player_actions(
+            &mut w,
+            &mut p,
+            vec![ServerboundPacket::Chat {
+                message: "ping-1".into(),
+                sent_at_ms: 123.0,
+            }],
+            &mut report,
+        );
+        assert_eq!(report.chat_messages, 1);
+        assert_eq!(report.pending_chat.len(), 1);
+        assert_eq!(report.pending_chat[0].sender, "bot-1");
+        assert_eq!(report.pending_chat[0].sent_at_ms, 123.0);
+    }
+
+    #[test]
+    fn work_units_scale_with_actions() {
+        let mut report = PlayerStageReport::default();
+        assert_eq!(report.base_work_units(), 0);
+        report.actions_processed = 10;
+        report.movements = 8;
+        report.blocks_placed = 2;
+        assert!(report.base_work_units() > 300);
+    }
+
+    #[test]
+    fn player_positions_skip_disconnected_players() {
+        let mut a = player();
+        let mut b = player();
+        b.id = PlayerId(2);
+        b.disconnected = true;
+        a.pos = Vec3::new(1.0, 61.0, 1.0);
+        let positions = player_positions(&[a, b]);
+        assert_eq!(positions.len(), 1);
+        assert_eq!(positions[0], Vec3::new(1.0, 61.0, 1.0));
+    }
+}

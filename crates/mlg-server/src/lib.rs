@@ -1,0 +1,33 @@
+//! The Minecraft-like game server used as Meterstick's system under test.
+//!
+//! This crate implements the operational model of Figure 4 in the paper: a
+//! 20 Hz game loop orchestrating three simulation elements — the player
+//! handler, terrain simulation and entity simulation — connected to clients
+//! through networking queues, all reading and writing the shared game state.
+//!
+//! Because the paper benchmarks three real server implementations (the
+//! official Minecraft server, Forge and PaperMC) that cannot be run here, the
+//! server supports three [`flavor::ServerFlavor`]s that model their
+//! performance-relevant differences: PaperMC's asynchronous chat and
+//! environment processing, its reworked entity handling and explosion
+//! optimizations; Forge's mod-loader overhead on top of vanilla behaviour.
+//!
+//! The server runs entirely in virtual time: each tick's work is accumulated
+//! in abstract work units and converted to milliseconds by a
+//! `cloud-sim` compute engine, so experiments are deterministic and fast.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod externalizer;
+pub mod flavor;
+pub mod handler;
+pub mod player;
+pub mod queues;
+pub mod server;
+
+pub use config::ServerConfig;
+pub use flavor::{FlavorProfile, ServerFlavor};
+pub use player::{ConnectedPlayer, PlayerId};
+pub use server::{GameServer, ServerCrash, TickSummary};

@@ -1,0 +1,71 @@
+//! Connected-player state.
+
+use serde::{Deserialize, Serialize};
+
+use mlg_entity::{EntityId, Vec3};
+use mlg_world::ChunkPos;
+
+/// Identifier of a connected player (stable for the lifetime of the
+/// connection).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct PlayerId(pub u32);
+
+impl std::fmt::Display for PlayerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "player#{}", self.0)
+    }
+}
+
+/// Server-side state of one connected player.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConnectedPlayer {
+    /// Connection identifier.
+    pub id: PlayerId,
+    /// The entity id representing the player in the world.
+    pub entity_id: EntityId,
+    /// Display name.
+    pub name: String,
+    /// Current position of the player's feet.
+    pub pos: Vec3,
+    /// Game tick at which the player connected.
+    pub connected_at_tick: u64,
+    /// Virtual time (ms) at which the server last managed to flush packets to
+    /// this player; used for the keep-alive timeout check.
+    pub last_served_ms: f64,
+    /// Whether the player has timed out and been disconnected.
+    pub disconnected: bool,
+}
+
+impl ConnectedPlayer {
+    /// The chunk the player currently occupies.
+    #[must_use]
+    pub fn chunk(&self) -> ChunkPos {
+        self.pos.block_pos().chunk()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_follows_position() {
+        let p = ConnectedPlayer {
+            id: PlayerId(1),
+            entity_id: EntityId(5),
+            name: "bot".into(),
+            pos: Vec3::new(35.0, 64.0, -3.0),
+            connected_at_tick: 0,
+            last_served_ms: 0.0,
+            disconnected: false,
+        };
+        assert_eq!(p.chunk(), ChunkPos::new(2, -1));
+    }
+
+    #[test]
+    fn player_id_display() {
+        assert_eq!(PlayerId(7).to_string(), "player#7");
+    }
+}

@@ -1,0 +1,185 @@
+//! Networking queues: the buffers between clients and the game loop.
+//!
+//! Component 1 of the operational model (Figure 4): "The Networking Queues
+//! buffer between the game clients and the server. When a client sends a
+//! player-action to the server, it is buffered in the incoming network queue
+//! until the next tick."
+
+use std::collections::{BTreeMap, VecDeque};
+
+use mlg_protocol::{ClientboundPacket, ServerboundPacket};
+
+use crate::player::PlayerId;
+
+/// The incoming and outgoing packet queues of one player connection.
+#[derive(Debug, Default)]
+pub struct ConnectionQueues {
+    incoming: VecDeque<ServerboundPacket>,
+    outgoing: VecDeque<ClientboundPacket>,
+}
+
+impl ConnectionQueues {
+    /// Number of buffered serverbound packets.
+    #[must_use]
+    pub fn incoming_len(&self) -> usize {
+        self.incoming.len()
+    }
+
+    /// Number of buffered clientbound packets.
+    #[must_use]
+    pub fn outgoing_len(&self) -> usize {
+        self.outgoing.len()
+    }
+}
+
+/// All connection queues of the server, keyed by player.
+#[derive(Debug, Default)]
+pub struct NetworkingQueues {
+    connections: BTreeMap<PlayerId, ConnectionQueues>,
+}
+
+impl NetworkingQueues {
+    /// Creates an empty queue set.
+    #[must_use]
+    pub fn new() -> Self {
+        NetworkingQueues::default()
+    }
+
+    /// Registers a new connection.
+    pub fn add_connection(&mut self, player: PlayerId) {
+        self.connections.entry(player).or_default();
+    }
+
+    /// Removes a connection, dropping any buffered packets.
+    pub fn remove_connection(&mut self, player: PlayerId) {
+        self.connections.remove(&player);
+    }
+
+    /// Returns `true` if the player has a registered connection.
+    #[must_use]
+    pub fn has_connection(&self, player: PlayerId) -> bool {
+        self.connections.contains_key(&player)
+    }
+
+    /// Number of registered connections.
+    #[must_use]
+    pub fn connection_count(&self) -> usize {
+        self.connections.len()
+    }
+
+    /// Buffers a serverbound packet from `player` into the incoming queue.
+    /// Packets for unknown connections are dropped.
+    pub fn push_incoming(&mut self, player: PlayerId, packet: ServerboundPacket) {
+        if let Some(conn) = self.connections.get_mut(&player) {
+            conn.incoming.push_back(packet);
+        }
+    }
+
+    /// Drains all pending serverbound packets of `player`, in arrival order.
+    /// Called once per tick by the player handler ("the Game Loop retrieves
+    /// [player actions] from the Networking Queues once per tick").
+    pub fn drain_incoming(&mut self, player: PlayerId) -> Vec<ServerboundPacket> {
+        self.connections
+            .get_mut(&player)
+            .map(|c| c.incoming.drain(..).collect())
+            .unwrap_or_default()
+    }
+
+    /// Buffers a clientbound packet for `player`.
+    pub fn push_outgoing(&mut self, player: PlayerId, packet: ClientboundPacket) {
+        if let Some(conn) = self.connections.get_mut(&player) {
+            conn.outgoing.push_back(packet);
+        }
+    }
+
+    /// Buffers a clientbound packet for every connected player and returns
+    /// how many copies were enqueued.
+    pub fn broadcast(&mut self, packet: &ClientboundPacket) -> u64 {
+        let mut count = 0;
+        for conn in self.connections.values_mut() {
+            conn.outgoing.push_back(packet.clone());
+            count += 1;
+        }
+        count
+    }
+
+    /// Drains all pending clientbound packets for `player`.
+    pub fn drain_outgoing(&mut self, player: PlayerId) -> Vec<ClientboundPacket> {
+        self.connections
+            .get_mut(&player)
+            .map(|c| c.outgoing.drain(..).collect())
+            .unwrap_or_default()
+    }
+
+    /// Iterates over connected player ids.
+    pub fn players(&self) -> impl Iterator<Item = PlayerId> + '_ {
+        self.connections.keys().copied()
+    }
+
+    /// Total number of buffered packets in both directions (for diagnostics).
+    #[must_use]
+    pub fn total_buffered(&self) -> usize {
+        self.connections
+            .values()
+            .map(|c| c.incoming_len() + c.outgoing_len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chat(msg: &str) -> ServerboundPacket {
+        ServerboundPacket::Chat {
+            message: msg.into(),
+            sent_at_ms: 0.0,
+        }
+    }
+
+    #[test]
+    fn incoming_packets_are_drained_in_order() {
+        let mut q = NetworkingQueues::new();
+        let p = PlayerId(1);
+        q.add_connection(p);
+        q.push_incoming(p, chat("a"));
+        q.push_incoming(p, chat("b"));
+        let drained = q.drain_incoming(p);
+        assert_eq!(drained.len(), 2);
+        assert!(matches!(&drained[0], ServerboundPacket::Chat { message, .. } if message == "a"));
+        assert!(q.drain_incoming(p).is_empty());
+    }
+
+    #[test]
+    fn packets_for_unknown_connections_are_dropped() {
+        let mut q = NetworkingQueues::new();
+        q.push_incoming(PlayerId(9), chat("lost"));
+        assert_eq!(q.total_buffered(), 0);
+        assert!(q.drain_incoming(PlayerId(9)).is_empty());
+    }
+
+    #[test]
+    fn broadcast_reaches_every_connection() {
+        let mut q = NetworkingQueues::new();
+        for i in 0..5 {
+            q.add_connection(PlayerId(i));
+        }
+        let sent = q.broadcast(&ClientboundPacket::KeepAlive { id: 1 });
+        assert_eq!(sent, 5);
+        for i in 0..5 {
+            assert_eq!(q.drain_outgoing(PlayerId(i)).len(), 1);
+        }
+    }
+
+    #[test]
+    fn removing_a_connection_drops_its_packets() {
+        let mut q = NetworkingQueues::new();
+        let p = PlayerId(1);
+        q.add_connection(p);
+        q.push_outgoing(p, ClientboundPacket::KeepAlive { id: 1 });
+        q.remove_connection(p);
+        assert!(!q.has_connection(p));
+        assert_eq!(q.connection_count(), 0);
+        assert_eq!(q.total_buffered(), 0);
+    }
+}

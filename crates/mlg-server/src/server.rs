@@ -1,0 +1,878 @@
+//! The game server and its 20 Hz game loop.
+
+use cloud_sim::engine::{ComputeEngine, TickWork};
+use meterstick_metrics::distribution::TickDistribution;
+use meterstick_metrics::trace::TickRecord;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use mlg_entity::{EntityId, EntityKind, EntityManager, Vec3};
+use mlg_protocol::{ClientboundPacket, ServerboundPacket, TrafficAccountant, TrafficSummary};
+use mlg_world::sim::TerrainEvent;
+use mlg_world::{BlockKind, TerrainSimulator, World};
+
+use crate::config::ServerConfig;
+use crate::flavor::FlavorProfile;
+use crate::handler::{self, PlayerStageReport};
+use crate::player::{ConnectedPlayer, PlayerId};
+use crate::queues::NetworkingQueues;
+
+/// Why and when a server run aborted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerCrash {
+    /// Human-readable reason.
+    pub reason: String,
+    /// Tick index at which the crash happened.
+    pub at_tick: u64,
+    /// Virtual time of the crash, in milliseconds.
+    pub at_ms: f64,
+}
+
+/// Summary of one executed game tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TickSummary {
+    /// The metric record for this tick (busy time, period, distribution).
+    pub record: TickRecord,
+    /// Virtual time at which the tick started.
+    pub start_ms: f64,
+    /// Virtual time at which the tick ended (start + period).
+    pub end_ms: f64,
+    /// Number of live entities after the tick.
+    pub entity_count: usize,
+    /// Number of connected (non-disconnected) players.
+    pub player_count: usize,
+    /// Number of clientbound packets emitted during the tick (all players).
+    pub packets_emitted: u64,
+    /// Bytes received from clients during the tick.
+    pub bytes_received: u64,
+    /// CPU utilization reported by the compute engine for this tick.
+    pub cpu_utilization: f64,
+    /// Whether chat echoes emitted this tick were handled asynchronously
+    /// (PaperMC behaviour) and therefore do not wait for the tick to finish.
+    pub async_chat: bool,
+    /// Set when the server crashed during this tick.
+    pub crash: Option<ServerCrash>,
+}
+
+/// The Minecraft-like game server.
+pub struct GameServer {
+    config: ServerConfig,
+    profile: FlavorProfile,
+    world: World,
+    terrain: TerrainSimulator,
+    entities: EntityManager,
+    players: Vec<ConnectedPlayer>,
+    queues: NetworkingQueues,
+    traffic: TrafficAccountant,
+    spawn_point: Vec3,
+    next_player_id: u32,
+    tick_index: u64,
+    clock_ms: f64,
+    pending_join_chunks: u64,
+    ms_since_keepalive: f64,
+    crash: Option<ServerCrash>,
+    gc_rng: StdRng,
+    next_minor_gc_tick: u64,
+    next_major_gc_tick: u64,
+}
+
+/// Base cost, in work units, of keeping one player connected for one tick:
+/// visibility-set maintenance, entity tracking, packet compression and
+/// connection upkeep. This is what makes the 25-player Players workload
+/// meaningfully heavier than a single observer.
+const PER_PLAYER_TICK_WORK: u64 = 3_000;
+
+/// Ticks between minor garbage-collection pauses of the simulated JVM.
+const MINOR_GC_INTERVAL_TICKS: u64 = 180;
+
+/// Ticks between major garbage-collection pauses of the simulated JVM.
+const MAJOR_GC_INTERVAL_TICKS: u64 = 900;
+
+impl std::fmt::Debug for GameServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GameServer")
+            .field("flavor", &self.config.flavor)
+            .field("tick", &self.tick_index)
+            .field("players", &self.players.len())
+            .field("entities", &self.entities.count())
+            .field("crashed", &self.crash.is_some())
+            .finish()
+    }
+}
+
+impl GameServer {
+    /// Creates a server running `config` over a pre-built world (usually one
+    /// of the Meterstick workload worlds), with players spawning at
+    /// `spawn_point`.
+    #[must_use]
+    pub fn new(config: ServerConfig, world: World, spawn_point: Vec3) -> Self {
+        let profile = config.flavor.profile();
+        let mut entities = EntityManager::new(config.seed ^ 0xE47);
+        entities.natural_spawning = config.natural_spawning;
+        entities.max_tnt_per_tick = profile.max_tnt_per_tick;
+        let terrain = TerrainSimulator {
+            random_ticks_per_chunk: config.random_ticks_per_chunk,
+            eager_lighting: true,
+            ..TerrainSimulator::default()
+        };
+        let gc_seed = config.seed ^ 0x6C;
+        GameServer {
+            config,
+            profile,
+            world,
+            terrain,
+            entities,
+            players: Vec::new(),
+            queues: NetworkingQueues::new(),
+            traffic: TrafficAccountant::new(),
+            spawn_point,
+            next_player_id: 1,
+            tick_index: 0,
+            clock_ms: 0.0,
+            pending_join_chunks: 0,
+            ms_since_keepalive: 0.0,
+            crash: None,
+            gc_rng: StdRng::seed_from_u64(gc_seed),
+            next_minor_gc_tick: MINOR_GC_INTERVAL_TICKS,
+            next_major_gc_tick: MAJOR_GC_INTERVAL_TICKS,
+        }
+    }
+
+    /// The server configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// The flavor performance profile in effect.
+    #[must_use]
+    pub fn profile(&self) -> &FlavorProfile {
+        &self.profile
+    }
+
+    /// Overrides the flavor profile (used by ablation benchmarks to toggle
+    /// individual optimizations).
+    pub fn set_profile(&mut self, profile: FlavorProfile) {
+        self.entities.max_tnt_per_tick = profile.max_tnt_per_tick;
+        self.profile = profile;
+    }
+
+    /// Read access to the world (for workload validation and tests).
+    #[must_use]
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Mutable access to the world (used by workload setup, e.g. fusing TNT).
+    pub fn world_mut(&mut self) -> &mut World {
+        &mut self.world
+    }
+
+    /// Current virtual time in milliseconds.
+    #[must_use]
+    pub fn clock_ms(&self) -> f64 {
+        self.clock_ms
+    }
+
+    /// Number of ticks executed so far.
+    #[must_use]
+    pub fn ticks_executed(&self) -> u64 {
+        self.tick_index
+    }
+
+    /// Number of live entities.
+    #[must_use]
+    pub fn entity_count(&self) -> usize {
+        self.entities.count()
+    }
+
+    /// The crash record, if the server aborted.
+    #[must_use]
+    pub fn crash(&self) -> Option<&ServerCrash> {
+        self.crash.as_ref()
+    }
+
+    /// Returns `true` while the server can keep ticking.
+    #[must_use]
+    pub fn is_running(&self) -> bool {
+        self.crash.is_none()
+    }
+
+    /// Accumulated clientbound traffic summary (Table 8 source data).
+    #[must_use]
+    pub fn traffic_summary(&self) -> &TrafficSummary {
+        self.traffic.summary()
+    }
+
+    /// Connects a new player and returns its id.
+    ///
+    /// Connection streams the spawn area to the client (chunk generation and
+    /// chunk-data packets), which is the work burst behind the paper's
+    /// observation that response-time outliers "occur directly after a player
+    /// connects".
+    pub fn connect_player(&mut self, name: &str) -> PlayerId {
+        let id = PlayerId(self.next_player_id);
+        self.next_player_id += 1;
+        let entity_id = EntityId(u64::from(id.0) | 0x4000_0000);
+        let player = ConnectedPlayer {
+            id,
+            entity_id,
+            name: name.to_string(),
+            pos: self.spawn_point,
+            connected_at_tick: self.tick_index,
+            last_served_ms: self.clock_ms,
+            disconnected: false,
+        };
+        self.queues.add_connection(id);
+
+        // Stream the spawn area: generate chunks and queue chunk-data packets.
+        let center = player.pos.block_pos().chunk();
+        let generated = self.world.ensure_area(center, self.config.view_distance);
+        self.pending_join_chunks += generated as u64;
+        let login = ClientboundPacket::LoginAccepted {
+            player_id: entity_id,
+            spawn: player.pos,
+        };
+        self.traffic.record(&login, 1);
+        self.queues.push_outgoing(id, login);
+        for chunk_pos in center.within_radius(self.config.view_distance) {
+            let payload = self
+                .world
+                .chunk_if_loaded(chunk_pos)
+                .map_or(64, |c| c.network_size_bytes()) as u32;
+            let packet = ClientboundPacket::ChunkData {
+                pos: chunk_pos,
+                payload_bytes: payload,
+            };
+            self.traffic.record(&packet, 1);
+            self.queues.push_outgoing(id, packet);
+        }
+        self.players.push(player);
+        id
+    }
+
+    /// Number of connected, non-disconnected players.
+    #[must_use]
+    pub fn player_count(&self) -> usize {
+        self.players.iter().filter(|p| !p.disconnected).count()
+    }
+
+    /// Returns the connected player with the given id, if any.
+    #[must_use]
+    pub fn player(&self, id: PlayerId) -> Option<&ConnectedPlayer> {
+        self.players.iter().find(|p| p.id == id)
+    }
+
+    /// Buffers a serverbound packet from `player` into the networking queues.
+    pub fn enqueue_packet(&mut self, player: PlayerId, packet: ServerboundPacket) {
+        self.queues.push_incoming(player, packet);
+    }
+
+    /// Drains the clientbound packets queued for `player`.
+    pub fn drain_outgoing(&mut self, player: PlayerId) -> Vec<ClientboundPacket> {
+        self.queues.drain_outgoing(player)
+    }
+
+    /// Schedules every TNT block currently loaded in the world to ignite
+    /// `delay_ticks` from now. Used by the TNT workload ("set to explode
+    /// around 20 seconds after a player connects").
+    pub fn schedule_tnt_ignition(&mut self, delay_ticks: u64) -> usize {
+        let mut positions = Vec::new();
+        for chunk in self.world.iter_chunks() {
+            let origin = chunk.pos().origin_block();
+            for (lx, y, lz, block) in chunk.iter_non_air() {
+                if block.kind() == BlockKind::Tnt {
+                    positions.push(mlg_world::BlockPos::new(
+                        origin.x + lx as i32,
+                        y,
+                        origin.z + lz as i32,
+                    ));
+                }
+            }
+        }
+        for &pos in &positions {
+            self.world.schedule_tick(pos, delay_ticks);
+        }
+        positions.len()
+    }
+
+    /// Spawns an entity directly (used by workload setup, e.g. villagers in
+    /// farm worlds).
+    pub fn spawn_entity(&mut self, kind: EntityKind, pos: Vec3) -> EntityId {
+        self.entities.spawn(kind, pos)
+    }
+
+    fn handle_terrain_events(&mut self, events: Vec<TerrainEvent>) -> Vec<(EntityId, EntityKind, Vec3)> {
+        let mut spawned = Vec::new();
+        for event in events {
+            match event {
+                TerrainEvent::TntIgnited { pos } => {
+                    let p = Vec3::from_block_center(pos);
+                    let id = self.entities.spawn(EntityKind::PrimedTnt, p);
+                    spawned.push((id, EntityKind::PrimedTnt, p));
+                }
+                TerrainEvent::BlockHarvested { pos, kind } => {
+                    let p = Vec3::from_block_center(pos);
+                    let id = self.entities.spawn(EntityKind::Item(kind), p);
+                    spawned.push((id, EntityKind::Item(kind), p));
+                }
+                TerrainEvent::ItemDispensed { pos } => {
+                    let p = Vec3::from_block_center(pos.up());
+                    let id = self.entities.spawn(EntityKind::Item(BlockKind::Cobblestone), p);
+                    spawned.push((id, EntityKind::Item(BlockKind::Cobblestone), p));
+                }
+            }
+        }
+        spawned
+    }
+
+    /// Runs one game tick, converting its work into time on the given compute
+    /// engine, and returns the tick summary.
+    ///
+    /// Returns the last crash summary again (without doing any work) if the
+    /// server has already crashed.
+    pub fn run_tick(&mut self, engine: &mut ComputeEngine) -> TickSummary {
+        let start_ms = self.clock_ms;
+        if let Some(crash) = &self.crash {
+            return TickSummary {
+                record: TickRecord {
+                    index: self.tick_index,
+                    start_ms,
+                    busy_ms: 0.0,
+                    period_ms: self.config.tick_budget_ms,
+                    distribution: TickDistribution::default(),
+                },
+                start_ms,
+                end_ms: start_ms + self.config.tick_budget_ms,
+                entity_count: self.entities.count(),
+                player_count: 0,
+                packets_emitted: 0,
+                bytes_received: 0,
+                cpu_utilization: 0.0,
+                async_chat: self.profile.async_chat,
+                crash: Some(crash.clone()),
+            };
+        }
+
+        self.tick_index += 1;
+        self.world.advance_tick();
+
+        // --- Stage 1: player handler -------------------------------------
+        let mut player_report = PlayerStageReport::default();
+        let mut bytes_received = 0u64;
+        let player_ids: Vec<PlayerId> = self
+            .players
+            .iter()
+            .filter(|p| !p.disconnected)
+            .map(|p| p.id)
+            .collect();
+        for id in &player_ids {
+            let actions = self.queues.drain_incoming(*id);
+            bytes_received += actions
+                .iter()
+                .map(|a| mlg_protocol::codec::serverbound_wire_size(a) as u64)
+                .sum::<u64>();
+            if let Some(player) = self.players.iter_mut().find(|p| p.id == *id) {
+                handler::process_player_actions(&mut self.world, player, actions, &mut player_report);
+            }
+        }
+
+        // --- Stage 2: terrain simulation ----------------------------------
+        let (terrain_report, terrain_events) = self.terrain.tick(&mut self.world);
+        let event_spawns = self.handle_terrain_events(terrain_events);
+
+        // --- Stage 3: entity simulation -----------------------------------
+        let player_positions = handler::player_positions(&self.players);
+        let entity_report = self.entities.tick(&mut self.world, &player_positions);
+
+        // --- Stage 4: state-update dissemination --------------------------
+        let mut packets_emitted = 0u64;
+        let recipients = self.player_count() as u64;
+        let changes = self.world.drain_changes();
+        if recipients > 0 {
+            // Player position synchronisation: every connected player's
+            // position is broadcast each tick (entity-related traffic, which
+            // is why Table 8 shows entity messages dominating even the
+            // Control workload).
+            let player_moves: Vec<ClientboundPacket> = self
+                .players
+                .iter()
+                .filter(|pl| !pl.disconnected)
+                .map(|pl| ClientboundPacket::EntityMove {
+                    id: pl.entity_id,
+                    pos: pl.pos,
+                })
+                .collect();
+            for packet in &player_moves {
+                self.traffic.record(packet, recipients);
+                packets_emitted += self.queues.broadcast(packet);
+            }
+            for change in &changes {
+                let packet = ClientboundPacket::BlockChange {
+                    pos: change.pos,
+                    block: change.new,
+                };
+                self.traffic.record(&packet, recipients);
+                packets_emitted += self.queues.broadcast(&packet);
+            }
+            for (id, kind, pos) in &event_spawns {
+                let packet = ClientboundPacket::EntitySpawn {
+                    id: *id,
+                    kind_id: entity_kind_id(*kind),
+                    pos: *pos,
+                };
+                self.traffic.record(&packet, recipients);
+                packets_emitted += self.queues.broadcast(&packet);
+            }
+            for (id, kind) in &entity_report.spawned {
+                let packet = ClientboundPacket::EntitySpawn {
+                    id: *id,
+                    kind_id: entity_kind_id(*kind),
+                    pos: self.spawn_point,
+                };
+                self.traffic.record(&packet, recipients);
+                packets_emitted += self.queues.broadcast(&packet);
+            }
+            for (id, pos) in &entity_report.moved {
+                let packet = ClientboundPacket::EntityMove { id: *id, pos: *pos };
+                self.traffic.record(&packet, recipients);
+                packets_emitted += self.queues.broadcast(&packet);
+            }
+            for id in &entity_report.removed {
+                let packet = ClientboundPacket::EntityDestroy { id: *id };
+                self.traffic.record(&packet, recipients);
+                packets_emitted += self.queues.broadcast(&packet);
+            }
+            for chat in &player_report.pending_chat {
+                let packet = ClientboundPacket::Chat {
+                    message: format!("<{}> {}", chat.sender, chat.message),
+                    echo_of_ms: chat.sent_at_ms,
+                };
+                self.traffic.record(&packet, recipients);
+                packets_emitted += self.queues.broadcast(&packet);
+            }
+            if self.tick_index % 20 == 0 {
+                let packet = ClientboundPacket::TimeUpdate {
+                    world_age_ticks: self.tick_index,
+                };
+                self.traffic.record(&packet, recipients);
+                packets_emitted += self.queues.broadcast(&packet);
+            }
+            if self.tick_index % 100 == 0 {
+                let packet = ClientboundPacket::KeepAlive { id: self.tick_index };
+                self.traffic.record(&packet, recipients);
+                packets_emitted += self.queues.broadcast(&packet);
+            }
+        }
+
+        // --- Stage 5: work accounting and time conversion ------------------
+        let p = &self.profile;
+        let player_work = (player_report.base_work_units() as f64) as u64;
+        let add_remove_work = terrain_report.blocks_added * 25
+            + terrain_report.blocks_removed * 25
+            + terrain_report.blocks_updated * 10;
+        let update_work_raw = terrain_report.neighbor_updates * 12
+            + terrain_report.scheduled_updates * 14
+            + terrain_report.random_ticks * 4
+            + terrain_report.fluid_spreads * 18
+            + terrain_report.redstone_propagations * 16
+            + terrain_report.growths * 20
+            + terrain_report.blocks_scanned;
+        let update_work = (update_work_raw as f64 * p.redstone_multiplier) as u64;
+        let light_work = (terrain_report.light_positions as f64 * 2.0 * p.lighting_multiplier) as u64;
+        let chunk_work = (terrain_report.chunks_generated + self.pending_join_chunks) * 4_000;
+        self.pending_join_chunks = 0;
+
+        let explosion_component = entity_report.explosions * 500 + entity_report.blocks_destroyed * 30;
+        let entity_base = entity_report.base_work_units();
+        let entity_work = ((entity_base.saturating_sub(explosion_component)) as f64 * p.entity_multiplier
+            + explosion_component as f64 * p.explosion_multiplier) as u64;
+
+        let chat_work = player_report.chat_messages * 25 * recipients.max(1);
+        let packet_work = packets_emitted * 3;
+        let connection_work = recipients * PER_PLAYER_TICK_WORK;
+        let overhead_work = 2_000u64;
+
+        // Simulated JVM garbage collection: periodic pauses whose length
+        // grows with the live heap (entities and loaded chunks). Minor
+        // collections stay within the tick budget; major collections are the
+        // occasional large outliers that even self-hosted deployments show.
+        let mut gc_work = 0u64;
+        if self.tick_index >= self.next_minor_gc_tick {
+            gc_work += 80_000 + self.entities.count() as u64 * 60 + self.world.loaded_chunk_count() as u64 * 150;
+            self.next_minor_gc_tick =
+                self.tick_index + MINOR_GC_INTERVAL_TICKS + self.gc_rng.gen_range(0..60);
+        }
+        if self.tick_index >= self.next_major_gc_tick {
+            gc_work += 600_000
+                + self.entities.count() as u64 * 400
+                + self.world.loaded_chunk_count() as u64 * 800;
+            self.next_major_gc_tick =
+                self.tick_index + MAJOR_GC_INTERVAL_TICKS + self.gc_rng.gen_range(0..200);
+        }
+
+        let total_work = ((player_work
+            + add_remove_work
+            + update_work
+            + light_work
+            + chunk_work
+            + entity_work
+            + chat_work
+            + packet_work
+            + connection_work
+            + gc_work
+            + overhead_work) as f64
+            * p.overhead_multiplier) as u64;
+
+        let mut offloadable = (p.offload_fraction
+            * (update_work + light_work + chunk_work + packet_work) as f64)
+            as u64;
+        if p.async_chat {
+            offloadable += chat_work;
+        }
+        let offloadable = offloadable.min(total_work);
+        let main_thread = total_work - offloadable;
+
+        let execution = engine.execute_tick(
+            TickWork {
+                main_thread,
+                offloadable,
+            },
+            self.config.tick_budget_ms,
+        );
+        let busy_ms = execution.busy_ms;
+
+        // --- Stage 6: tick-time distribution -------------------------------
+        let busy_components = [
+            ((player_work + connection_work) as f64, 0usize), // Players
+            (add_remove_work as f64, 1),                      // BlockAddRemove
+            (update_work as f64, 2),                          // BlockUpdate
+            (entity_work as f64, 3),                          // Entities
+            (
+                (light_work + chunk_work + chat_work + packet_work + gc_work + overhead_work) as f64,
+                4,
+            ), // Other
+        ];
+        let component_total: f64 = busy_components.iter().map(|(w, _)| w).sum::<f64>().max(1.0);
+        let mut distribution = TickDistribution::default();
+        for (work, slot) in busy_components {
+            let ms = busy_ms * work / component_total;
+            match slot {
+                0 => distribution.players_ms = ms,
+                1 => distribution.block_add_remove_ms = ms,
+                2 => distribution.block_update_ms = ms,
+                3 => distribution.entities_ms = ms,
+                _ => distribution.other_ms = ms,
+            }
+        }
+        distribution.wait_before_ms = 0.1;
+        distribution.wait_after_ms = (self.config.tick_budget_ms - busy_ms).max(0.0);
+
+        // --- Stage 7: clock advance and overload handling ------------------
+        let period_ms = busy_ms.max(self.config.tick_budget_ms);
+        self.clock_ms += period_ms;
+        let end_ms = self.clock_ms;
+        for player in self.players.iter_mut().filter(|pl| !pl.disconnected) {
+            player.last_served_ms = end_ms;
+        }
+
+        // Crash semantics: clients time out when the server cannot serve them
+        // a keep-alive within the timeout window. Keep-alives go out every
+        // 100 ticks, so sustained overload stretches the interval between
+        // them until it exceeds the timeout — the mechanism by which the Lag
+        // workload crashes every MLG on AWS in the paper (MF2). A single
+        // monster tick longer than the window has the same effect.
+        self.ms_since_keepalive += period_ms;
+        if self.tick_index % 100 == 0 {
+            self.ms_since_keepalive = 0.0;
+        }
+        let stalled = busy_ms > self.config.keepalive_timeout_ms
+            || self.ms_since_keepalive > self.config.keepalive_timeout_ms;
+        let mut crash = None;
+        if stalled && self.player_count() > 0 {
+            for player in self.players.iter_mut() {
+                player.disconnected = true;
+            }
+            let c = ServerCrash {
+                reason: format!(
+                    "tick {} stalled for {:.0} ms; all client connections timed out",
+                    self.tick_index, busy_ms
+                ),
+                at_tick: self.tick_index,
+                at_ms: end_ms,
+            };
+            self.crash = Some(c.clone());
+            crash = Some(c);
+        }
+
+        let record = TickRecord {
+            index: self.tick_index,
+            start_ms,
+            busy_ms,
+            period_ms,
+            distribution,
+        };
+
+        TickSummary {
+            record,
+            start_ms,
+            end_ms,
+            entity_count: self.entities.count(),
+            player_count: self.player_count(),
+            packets_emitted,
+            bytes_received,
+            cpu_utilization: execution.cpu_utilization,
+            async_chat: self.profile.async_chat,
+            crash,
+        }
+    }
+}
+
+fn entity_kind_id(kind: EntityKind) -> u16 {
+    match kind {
+        EntityKind::Item(_) => 0,
+        EntityKind::PrimedTnt => 1,
+        EntityKind::FallingBlock(_) => 2,
+        EntityKind::Zombie => 3,
+        EntityKind::Skeleton => 4,
+        EntityKind::Cow => 5,
+        EntityKind::Villager => 6,
+        EntityKind::ExperienceOrb => 7,
+        _ => u16::MAX,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flavor::ServerFlavor;
+    use cloud_sim::environment::Environment;
+    use mlg_world::generation::FlatGenerator;
+    use mlg_world::{Block, BlockPos, Region};
+
+    fn flat_world() -> World {
+        World::new(Box::new(FlatGenerator::grassland()), 7)
+    }
+
+    fn server(flavor: ServerFlavor) -> GameServer {
+        let config = ServerConfig::for_flavor(flavor).with_view_distance(2);
+        GameServer::new(config, flat_world(), Vec3::new(0.5, 61.0, 0.5))
+    }
+
+    fn engine() -> ComputeEngine {
+        Environment::das5(2).instantiate(1).engine
+    }
+
+    #[test]
+    fn idle_server_ticks_are_fast_and_stable() {
+        let mut s = server(ServerFlavor::Vanilla);
+        let mut e = engine();
+        let mut max_busy: f64 = 0.0;
+        for _ in 0..100 {
+            let summary = s.run_tick(&mut e);
+            max_busy = max_busy.max(summary.record.busy_ms);
+            assert!(summary.crash.is_none());
+        }
+        assert!(max_busy < 10.0, "idle ticks should be far under budget, got {max_busy}");
+        assert_eq!(s.ticks_executed(), 100);
+        assert!(s.clock_ms() >= 100.0 * 50.0);
+    }
+
+    #[test]
+    fn connecting_a_player_streams_chunks_and_causes_a_spike() {
+        let mut s = server(ServerFlavor::Vanilla);
+        let mut e = engine();
+        // Warm up.
+        for _ in 0..5 {
+            s.run_tick(&mut e);
+        }
+        let baseline = s.run_tick(&mut e).record.busy_ms;
+        let id = s.connect_player("probe");
+        let join_packets = s.drain_outgoing(id);
+        assert!(
+            join_packets
+                .iter()
+                .any(|p| matches!(p, ClientboundPacket::LoginAccepted { .. })),
+            "join must produce a login packet"
+        );
+        assert!(
+            join_packets
+                .iter()
+                .filter(|p| matches!(p, ClientboundPacket::ChunkData { .. }))
+                .count()
+                >= 25,
+            "join must stream the spawn area"
+        );
+        let join_tick = s.run_tick(&mut e).record.busy_ms;
+        assert!(
+            join_tick > baseline * 3.0,
+            "join tick ({join_tick} ms) should spike well above baseline ({baseline} ms)"
+        );
+        assert_eq!(s.player_count(), 1);
+    }
+
+    #[test]
+    fn chat_is_echoed_back_to_the_sender() {
+        let mut s = server(ServerFlavor::Vanilla);
+        let mut e = engine();
+        let id = s.connect_player("probe");
+        s.drain_outgoing(id);
+        s.enqueue_packet(
+            id,
+            ServerboundPacket::Chat {
+                message: "ping".into(),
+                sent_at_ms: 777.0,
+            },
+        );
+        s.run_tick(&mut e);
+        let packets = s.drain_outgoing(id);
+        let echo = packets.iter().find_map(|p| match p {
+            ClientboundPacket::Chat { echo_of_ms, .. } => Some(*echo_of_ms),
+            _ => None,
+        });
+        assert_eq!(echo, Some(777.0));
+    }
+
+    #[test]
+    fn player_block_changes_are_broadcast() {
+        let mut s = server(ServerFlavor::Vanilla);
+        let mut e = engine();
+        let a = s.connect_player("alice");
+        let b = s.connect_player("bob");
+        s.drain_outgoing(a);
+        s.drain_outgoing(b);
+        s.enqueue_packet(
+            a,
+            ServerboundPacket::BlockPlace {
+                pos: BlockPos::new(3, 61, 3),
+                block: Block::simple(BlockKind::Planks),
+            },
+        );
+        s.run_tick(&mut e);
+        let to_bob = s.drain_outgoing(b);
+        assert!(
+            to_bob
+                .iter()
+                .any(|p| matches!(p, ClientboundPacket::BlockChange { .. })),
+            "other players must receive the block change"
+        );
+    }
+
+    #[test]
+    fn paper_flavor_is_cheaper_than_vanilla_on_entity_load() {
+        let world_with_tnt = || {
+            let mut w = flat_world();
+            w.fill_region(
+                Region::new(BlockPos::new(0, 61, 0), BlockPos::new(7, 64, 7)),
+                Block::simple(BlockKind::Tnt),
+            );
+            w
+        };
+        let run = |flavor: ServerFlavor| {
+            let config = ServerConfig::for_flavor(flavor).with_view_distance(2);
+            let mut s = GameServer::new(config, world_with_tnt(), Vec3::new(0.5, 61.0, 0.5));
+            s.connect_player("probe");
+            s.schedule_tnt_ignition(2);
+            let mut e = engine();
+            let mut total = 0.0;
+            for _ in 0..100 {
+                total += s.run_tick(&mut e).record.busy_ms;
+            }
+            total
+        };
+        let vanilla = run(ServerFlavor::Vanilla);
+        let paper = run(ServerFlavor::Paper);
+        assert!(
+            paper < vanilla * 0.8,
+            "PaperMC ({paper} ms) should be notably cheaper than Vanilla ({vanilla} ms)"
+        );
+    }
+
+    #[test]
+    fn tnt_ignition_schedules_every_tnt_block() {
+        let mut s = server(ServerFlavor::Vanilla);
+        s.world_mut().fill_region(
+            Region::new(BlockPos::new(0, 61, 0), BlockPos::new(3, 61, 3)),
+            Block::simple(BlockKind::Tnt),
+        );
+        let scheduled = s.schedule_tnt_ignition(10);
+        assert_eq!(scheduled, 16);
+    }
+
+    #[test]
+    fn tnt_chain_reaction_creates_entities_and_destroys_terrain() {
+        let mut s = server(ServerFlavor::Vanilla);
+        let mut e = engine();
+        s.connect_player("probe");
+        s.world_mut().fill_region(
+            Region::new(BlockPos::new(4, 61, 4), BlockPos::new(9, 63, 9)),
+            Block::simple(BlockKind::Tnt),
+        );
+        s.schedule_tnt_ignition(2);
+        let mut saw_entities = false;
+        for _ in 0..300 {
+            let summary = s.run_tick(&mut e);
+            if summary.entity_count > 10 {
+                saw_entities = true;
+            }
+        }
+        assert!(saw_entities, "chain reaction should prime many TNT entities");
+        assert_eq!(s.world().count_kind(BlockKind::Tnt), 0, "all TNT consumed");
+    }
+
+    #[test]
+    fn stalled_tick_crashes_the_server() {
+        let config = ServerConfig {
+            keepalive_timeout_ms: 40.0, // absurdly low so a join spike trips it
+            ..ServerConfig::for_flavor(ServerFlavor::Vanilla).with_view_distance(6)
+        };
+        let mut s = GameServer::new(config, flat_world(), Vec3::new(0.5, 61.0, 0.5));
+        let mut e = engine();
+        s.connect_player("probe");
+        let mut crashed = false;
+        for _ in 0..50 {
+            let summary = s.run_tick(&mut e);
+            if summary.crash.is_some() {
+                crashed = true;
+                break;
+            }
+        }
+        assert!(crashed, "server should crash when a tick exceeds the keep-alive window");
+        assert!(!s.is_running());
+        assert_eq!(s.player_count(), 0);
+        // Further ticks are no-ops that keep reporting the crash.
+        let again = s.run_tick(&mut e);
+        assert!(again.crash.is_some());
+    }
+
+    #[test]
+    fn traffic_summary_records_entity_packets() {
+        let mut s = server(ServerFlavor::Vanilla);
+        let mut e = engine();
+        s.connect_player("probe");
+        s.spawn_entity(EntityKind::Cow, Vec3::new(5.5, 70.0, 5.5));
+        for _ in 0..20 {
+            s.run_tick(&mut e);
+        }
+        let summary = s.traffic_summary();
+        assert!(summary.total_messages() > 0);
+        assert!(
+            summary
+                .category(mlg_protocol::TrafficCategory::Entity)
+                .messages
+                > 0,
+            "falling cow should generate entity-move packets"
+        );
+    }
+
+    #[test]
+    fn tick_distribution_accounts_for_the_whole_tick() {
+        let mut s = server(ServerFlavor::Vanilla);
+        let mut e = engine();
+        s.connect_player("probe");
+        let summary = s.run_tick(&mut e);
+        let d = summary.record.distribution;
+        // Busy components sum to the busy time, waits fill the rest.
+        assert!((d.busy_ms() - summary.record.busy_ms).abs() < 1e-6);
+        assert!(d.total_ms() >= summary.record.busy_ms);
+    }
+}

@@ -1,0 +1,298 @@
+//! Chunk columns: the unit of terrain storage and lazy generation.
+//!
+//! The world is split into vertical columns of `CHUNK_SIZE × CHUNK_SIZE`
+//! blocks spanning the full world height. Chunks are generated lazily when a
+//! player (or a workload builder) first touches them — Section 2.2.2 of the
+//! paper: "This world is split into areas, which are lazily generated when
+//! players come near them."
+
+use serde::{Deserialize, Serialize};
+
+use crate::block::{Block, BlockKind};
+use crate::pos::ChunkPos;
+
+/// Horizontal edge length of a chunk, in blocks.
+pub const CHUNK_SIZE: usize = 16;
+
+/// Height of the world, in blocks. Valid block `y` coordinates are
+/// `0..WORLD_HEIGHT`.
+pub const WORLD_HEIGHT: usize = 128;
+
+const BLOCKS_PER_CHUNK: usize = CHUNK_SIZE * CHUNK_SIZE * WORLD_HEIGHT;
+
+/// A single chunk column of blocks.
+///
+/// Blocks are stored in a flat array indexed by `(x, y, z)` local
+/// coordinates. The chunk also tracks a heightmap (highest non-air block per
+/// column) used by lighting and spawning, and a dirty flag used by the server
+/// to know which chunks need to be re-sent to clients.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Chunk {
+    pos: ChunkPos,
+    blocks: Vec<Block>,
+    heightmap: Vec<i16>,
+    /// Number of non-air blocks, maintained incrementally.
+    non_air: u32,
+    /// Set when the chunk was modified since the last time it was marked clean.
+    dirty: bool,
+}
+
+impl Chunk {
+    /// Creates a new chunk filled with air.
+    #[must_use]
+    pub fn empty(pos: ChunkPos) -> Self {
+        Chunk {
+            pos,
+            blocks: vec![Block::AIR; BLOCKS_PER_CHUNK],
+            heightmap: vec![-1; CHUNK_SIZE * CHUNK_SIZE],
+            non_air: 0,
+            dirty: false,
+        }
+    }
+
+    /// Returns the chunk's position in the chunk grid.
+    #[must_use]
+    pub fn pos(&self) -> ChunkPos {
+        self.pos
+    }
+
+    fn index(x: usize, y: i32, z: usize) -> Option<usize> {
+        if x >= CHUNK_SIZE || z >= CHUNK_SIZE || y < 0 || y as usize >= WORLD_HEIGHT {
+            return None;
+        }
+        Some((y as usize * CHUNK_SIZE + z) * CHUNK_SIZE + x)
+    }
+
+    /// Returns the block at local coordinates, or air when out of bounds
+    /// vertically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `z` are outside `0..CHUNK_SIZE`.
+    #[must_use]
+    pub fn block(&self, x: usize, y: i32, z: usize) -> Block {
+        assert!(x < CHUNK_SIZE && z < CHUNK_SIZE, "local xz out of range");
+        match Self::index(x, y, z) {
+            Some(i) => self.blocks[i],
+            None => Block::AIR,
+        }
+    }
+
+    /// Sets the block at local coordinates and returns the previous block.
+    ///
+    /// Out-of-range vertical coordinates are ignored and return air.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `z` are outside `0..CHUNK_SIZE`.
+    pub fn set_block(&mut self, x: usize, y: i32, z: usize, block: Block) -> Block {
+        assert!(x < CHUNK_SIZE && z < CHUNK_SIZE, "local xz out of range");
+        let Some(i) = Self::index(x, y, z) else {
+            return Block::AIR;
+        };
+        let old = self.blocks[i];
+        if old == block {
+            return old;
+        }
+        self.blocks[i] = block;
+        self.dirty = true;
+        match (old.is_air(), block.is_air()) {
+            (true, false) => self.non_air += 1,
+            (false, true) => self.non_air -= 1,
+            _ => {}
+        }
+        self.update_heightmap_column(x, z, y, block);
+        old
+    }
+
+    fn update_heightmap_column(&mut self, x: usize, z: usize, y: i32, placed: Block) {
+        let hm_idx = z * CHUNK_SIZE + x;
+        let current = self.heightmap[hm_idx];
+        if !placed.is_air() {
+            if y as i16 > current {
+                self.heightmap[hm_idx] = y as i16;
+            }
+        } else if y as i16 == current {
+            // The top block was removed: scan downwards for the new top.
+            let mut new_top = -1;
+            for yy in (0..y).rev() {
+                if let Some(i) = Self::index(x, yy, z) {
+                    if !self.blocks[i].is_air() {
+                        new_top = yy as i16;
+                        break;
+                    }
+                }
+            }
+            self.heightmap[hm_idx] = new_top;
+        }
+    }
+
+    /// Returns the `y` coordinate of the highest non-air block in the given
+    /// column, or `None` if the column is entirely air.
+    #[must_use]
+    pub fn height_at(&self, x: usize, z: usize) -> Option<i32> {
+        assert!(x < CHUNK_SIZE && z < CHUNK_SIZE, "local xz out of range");
+        let h = self.heightmap[z * CHUNK_SIZE + x];
+        (h >= 0).then_some(i32::from(h))
+    }
+
+    /// Returns the number of non-air blocks stored in the chunk.
+    #[must_use]
+    pub fn non_air_blocks(&self) -> u32 {
+        self.non_air
+    }
+
+    /// Returns `true` if the chunk has been modified since the last call to
+    /// [`Chunk::mark_clean`].
+    #[must_use]
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Clears the dirty flag.
+    pub fn mark_clean(&mut self) {
+        self.dirty = false;
+    }
+
+    /// Iterates over all non-air blocks as `(local_x, y, local_z, block)`.
+    pub fn iter_non_air(&self) -> impl Iterator<Item = (usize, i32, usize, Block)> + '_ {
+        self.blocks.iter().enumerate().filter_map(|(i, &b)| {
+            if b.is_air() {
+                None
+            } else {
+                let x = i % CHUNK_SIZE;
+                let z = (i / CHUNK_SIZE) % CHUNK_SIZE;
+                let y = (i / (CHUNK_SIZE * CHUNK_SIZE)) as i32;
+                Some((x, y, z, b))
+            }
+        })
+    }
+
+    /// Counts blocks of the given kind in the chunk.
+    #[must_use]
+    pub fn count_kind(&self, kind: BlockKind) -> usize {
+        self.blocks.iter().filter(|b| b.kind() == kind).count()
+    }
+
+    /// Approximate serialized size in bytes when sent as a chunk-data packet.
+    ///
+    /// The protocol sends 3 bytes per non-air block (position-in-chunk is
+    /// implicit via run-length sections) plus a fixed header; this mirrors how
+    /// real MLG protocols compress mostly-air chunks.
+    #[must_use]
+    pub fn network_size_bytes(&self) -> usize {
+        64 + self.non_air as usize * 3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk() -> Chunk {
+        Chunk::empty(ChunkPos::new(0, 0))
+    }
+
+    #[test]
+    fn empty_chunk_is_air() {
+        let c = chunk();
+        assert_eq!(c.block(0, 0, 0), Block::AIR);
+        assert_eq!(c.block(15, 127, 15), Block::AIR);
+        assert_eq!(c.non_air_blocks(), 0);
+        assert!(!c.is_dirty());
+    }
+
+    #[test]
+    fn set_and_get_roundtrip() {
+        let mut c = chunk();
+        let b = Block::simple(BlockKind::Stone);
+        assert_eq!(c.set_block(3, 10, 4, b), Block::AIR);
+        assert_eq!(c.block(3, 10, 4), b);
+        assert_eq!(c.non_air_blocks(), 1);
+        assert!(c.is_dirty());
+    }
+
+    #[test]
+    fn out_of_range_y_returns_air() {
+        let mut c = chunk();
+        assert_eq!(c.block(0, -1, 0), Block::AIR);
+        assert_eq!(c.block(0, WORLD_HEIGHT as i32, 0), Block::AIR);
+        assert_eq!(
+            c.set_block(0, WORLD_HEIGHT as i32 + 5, 0, Block::simple(BlockKind::Stone)),
+            Block::AIR
+        );
+        assert_eq!(c.non_air_blocks(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "local xz out of range")]
+    fn out_of_range_x_panics() {
+        let c = chunk();
+        let _ = c.block(16, 0, 0);
+    }
+
+    #[test]
+    fn heightmap_tracks_highest_block() {
+        let mut c = chunk();
+        assert_eq!(c.height_at(2, 2), None);
+        c.set_block(2, 10, 2, Block::simple(BlockKind::Stone));
+        c.set_block(2, 20, 2, Block::simple(BlockKind::Dirt));
+        assert_eq!(c.height_at(2, 2), Some(20));
+        // Removing the top block scans down to the next one.
+        c.set_block(2, 20, 2, Block::AIR);
+        assert_eq!(c.height_at(2, 2), Some(10));
+        c.set_block(2, 10, 2, Block::AIR);
+        assert_eq!(c.height_at(2, 2), None);
+    }
+
+    #[test]
+    fn non_air_counter_stays_consistent() {
+        let mut c = chunk();
+        c.set_block(0, 0, 0, Block::simple(BlockKind::Stone));
+        c.set_block(0, 0, 0, Block::simple(BlockKind::Dirt)); // replace, not add
+        assert_eq!(c.non_air_blocks(), 1);
+        c.set_block(0, 0, 0, Block::AIR);
+        assert_eq!(c.non_air_blocks(), 0);
+    }
+
+    #[test]
+    fn setting_same_block_does_not_dirty() {
+        let mut c = chunk();
+        c.set_block(1, 1, 1, Block::simple(BlockKind::Stone));
+        c.mark_clean();
+        c.set_block(1, 1, 1, Block::simple(BlockKind::Stone));
+        assert!(!c.is_dirty());
+    }
+
+    #[test]
+    fn iter_non_air_yields_placed_blocks() {
+        let mut c = chunk();
+        c.set_block(1, 2, 3, Block::simple(BlockKind::Stone));
+        c.set_block(4, 5, 6, Block::simple(BlockKind::Sand));
+        let blocks: Vec<_> = c.iter_non_air().collect();
+        assert_eq!(blocks.len(), 2);
+        assert!(blocks.contains(&(1, 2, 3, Block::simple(BlockKind::Stone))));
+        assert!(blocks.contains(&(4, 5, 6, Block::simple(BlockKind::Sand))));
+    }
+
+    #[test]
+    fn network_size_grows_with_blocks() {
+        let mut c = chunk();
+        let empty = c.network_size_bytes();
+        for x in 0..8 {
+            c.set_block(x, 0, 0, Block::simple(BlockKind::Stone));
+        }
+        assert_eq!(c.network_size_bytes(), empty + 8 * 3);
+    }
+
+    #[test]
+    fn count_kind_counts_exactly() {
+        let mut c = chunk();
+        for i in 0..5 {
+            c.set_block(i, 3, 0, Block::simple(BlockKind::Tnt));
+        }
+        c.set_block(0, 4, 0, Block::simple(BlockKind::Stone));
+        assert_eq!(c.count_kind(BlockKind::Tnt), 5);
+        assert_eq!(c.count_kind(BlockKind::Stone), 1);
+    }
+}

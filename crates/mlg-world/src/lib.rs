@@ -1,0 +1,62 @@
+//! Voxel world substrate for the Meterstick Minecraft-like-game (MLG) simulator.
+//!
+//! This crate implements the *terrain* part of the operational model described
+//! in Section 2 of the Meterstick paper (Eickhoff, Donkervliet, Iosup,
+//! ISPASS 2022): a modifiable block world split into lazily generated chunks,
+//! together with the terrain-simulation rules that make MLG workloads unique —
+//! block physics (gravity-affected blocks), fluid flow, dynamic lighting,
+//! plant growth and redstone-like signal simulation used by *simulated
+//! constructs* such as resource farms and lag machines.
+//!
+//! The crate is deliberately independent from wall-clock time: every
+//! simulation step reports how much abstract *work* it performed
+//! ([`sim::TerrainTickReport`]), which the deployment-environment simulator
+//! (`cloud-sim`) later converts into milliseconds.
+//!
+//! # Example
+//!
+//! ```
+//! use mlg_world::{World, BlockPos, Block, BlockKind};
+//! use mlg_world::generation::FlatGenerator;
+//!
+//! let mut world = World::new(Box::new(FlatGenerator::grassland()), 42);
+//! // Chunks are generated lazily on first access.
+//! let pos = BlockPos::new(8, 64, 8);
+//! world.set_block(pos, Block::simple(BlockKind::Stone));
+//! assert_eq!(world.block(pos).kind(), BlockKind::Stone);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod block;
+pub mod chunk;
+pub mod fluid;
+pub mod generation;
+pub mod growth;
+pub mod light;
+pub mod physics;
+pub mod pos;
+pub mod redstone;
+pub mod region;
+pub mod sim;
+pub mod update;
+pub mod world;
+
+pub use block::{Block, BlockKind};
+pub use chunk::{Chunk, CHUNK_SIZE, WORLD_HEIGHT};
+pub use pos::{BlockPos, ChunkPos};
+pub use region::Region;
+pub use sim::{TerrainSimulator, TerrainTickReport};
+pub use update::{BlockUpdate, UpdateKind};
+pub use world::World;
+
+/// The fixed duration of one game tick at the intended 20 Hz rate, in
+/// milliseconds.
+///
+/// Section 2.1 of the paper: "In MLGs, this frequency is typically set to
+/// 20 Hz, or 50 ms per tick."
+pub const TICK_MS: f64 = 50.0;
+
+/// Number of game ticks per simulated second at the intended rate.
+pub const TICKS_PER_SECOND: u64 = 20;

@@ -1,0 +1,174 @@
+//! Dynamic lighting recomputation.
+//!
+//! The paper (Section 2.2.2) uses lighting as the canonical example of a
+//! terrain-simulation workload that static game worlds do not have: "Once the
+//! bridge has collapsed, the bridge no longer casts shadow, so the simulator
+//! needs to recompute lighting (frequently) at runtime."
+//!
+//! This module computes the *cost* of relighting after a block change by
+//! performing the same traversals a real engine would perform — a sky-light
+//! column scan plus a breadth-first flood through transparent blocks around
+//! the change — and reports how many positions were visited. Light values are
+//! recomputed on demand rather than persisted per block; persisting them
+//! would only change memory usage, not the simulated per-tick work that
+//! Meterstick measures.
+
+use std::collections::{HashSet, VecDeque};
+
+use crate::chunk::WORLD_HEIGHT;
+use crate::pos::BlockPos;
+use crate::world::World;
+
+/// Maximum light level (fully lit).
+pub const MAX_LIGHT: u8 = 15;
+
+/// Default propagation radius used for block-light floods.
+pub const LIGHT_FLOOD_RADIUS: u32 = 8;
+
+/// Report of a relighting pass around one block change.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LightReport {
+    /// Positions visited by the sky-light column scan.
+    pub sky_positions: u32,
+    /// Positions visited by the block-light flood fill.
+    pub flood_positions: u32,
+}
+
+impl LightReport {
+    /// Total number of positions visited by the relighting pass.
+    #[must_use]
+    pub fn total_positions(&self) -> u32 {
+        self.sky_positions + self.flood_positions
+    }
+}
+
+/// Computes the sky-light level at a position: 15 if nothing opaque is above
+/// it, otherwise attenuated by the opacity of the blocks above.
+#[must_use]
+pub fn sky_light_at(world: &mut World, pos: BlockPos) -> u8 {
+    let mut light = i32::from(MAX_LIGHT);
+    for y in (pos.y + 1)..WORLD_HEIGHT as i32 {
+        let b = world.block(BlockPos::new(pos.x, y, pos.z));
+        light -= i32::from(b.kind().light_opacity());
+        if light <= 0 {
+            return 0;
+        }
+    }
+    light as u8
+}
+
+/// Recomputes lighting after a change at `pos` and returns the work report.
+///
+/// The pass has two parts, mirroring real MLG engines:
+///
+/// * a vertical sky-light rescan of the changed column (the shadow cast by the
+///   block has changed), and
+/// * a breadth-first flood from the changed position through transparent
+///   blocks, bounded by [`LIGHT_FLOOD_RADIUS`], representing block-light
+///   propagation from or towards nearby emitters.
+pub fn relight_after_change(world: &mut World, pos: BlockPos) -> LightReport {
+    let mut report = LightReport::default();
+
+    // Sky-light column rescan: from the top of the world down to the lowest
+    // block the change could have shadowed.
+    let top = WORLD_HEIGHT as i32;
+    let bottom = (pos.y - 16).max(0);
+    report.sky_positions = (top - bottom) as u32;
+
+    // Block-light flood through transparent space.
+    let mut visited: HashSet<BlockPos> = HashSet::new();
+    let mut queue: VecDeque<(BlockPos, u32)> = VecDeque::new();
+    queue.push_back((pos, 0));
+    visited.insert(pos);
+    while let Some((current, depth)) = queue.pop_front() {
+        report.flood_positions += 1;
+        if depth >= LIGHT_FLOOD_RADIUS {
+            continue;
+        }
+        for n in current.neighbors() {
+            if n.y < 0 || n.y >= WORLD_HEIGHT as i32 || visited.contains(&n) {
+                continue;
+            }
+            let b = world.block(n);
+            // Light propagates through anything that is not fully opaque.
+            if b.kind().light_opacity() < MAX_LIGHT {
+                visited.insert(n);
+                queue.push_back((n, depth + 1));
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{Block, BlockKind};
+    use crate::generation::FlatGenerator;
+
+    fn world() -> World {
+        World::new(Box::new(FlatGenerator::grassland()), 7)
+    }
+
+    #[test]
+    fn open_sky_is_fully_lit() {
+        let mut w = world();
+        assert_eq!(sky_light_at(&mut w, BlockPos::new(0, 61, 0)), MAX_LIGHT);
+    }
+
+    #[test]
+    fn underground_is_dark() {
+        let mut w = world();
+        assert_eq!(sky_light_at(&mut w, BlockPos::new(0, 30, 0)), 0);
+    }
+
+    #[test]
+    fn single_cover_block_shadows_column() {
+        let mut w = world();
+        let pos = BlockPos::new(5, 61, 5);
+        assert_eq!(sky_light_at(&mut w, pos), MAX_LIGHT);
+        w.set_block_silent(pos.offset(0, 5, 0), Block::simple(BlockKind::Stone));
+        assert_eq!(sky_light_at(&mut w, pos), 0);
+    }
+
+    #[test]
+    fn leaves_attenuate_partially() {
+        let mut w = world();
+        let pos = BlockPos::new(5, 61, 5);
+        w.set_block_silent(pos.offset(0, 5, 0), Block::simple(BlockKind::Leaves));
+        assert_eq!(sky_light_at(&mut w, pos), MAX_LIGHT - 1);
+    }
+
+    #[test]
+    fn relight_in_open_air_floods_widely() {
+        let mut w = world();
+        let report = relight_after_change(&mut w, BlockPos::new(0, 90, 0));
+        assert!(report.flood_positions > 100, "open air flood should visit many positions");
+        assert!(report.sky_positions > 0);
+    }
+
+    #[test]
+    fn relight_underground_is_cheap() {
+        let mut w = world();
+        // Fully enclosed in stone: the flood cannot expand.
+        let report = relight_after_change(&mut w, BlockPos::new(0, 30, 0));
+        assert_eq!(report.flood_positions, 1);
+    }
+
+    #[test]
+    fn surface_change_costs_less_than_open_air() {
+        let mut w = world();
+        let surface = relight_after_change(&mut w, BlockPos::new(0, 61, 0));
+        let open_air = relight_after_change(&mut w, BlockPos::new(0, 100, 0));
+        assert!(surface.flood_positions < open_air.flood_positions);
+    }
+
+    #[test]
+    fn report_total_is_sum() {
+        let r = LightReport {
+            sky_positions: 10,
+            flood_positions: 32,
+        };
+        assert_eq!(r.total_positions(), 42);
+    }
+}

@@ -1,0 +1,284 @@
+//! Block and chunk coordinates.
+//!
+//! MLG worlds address individual blocks by integer coordinates and group them
+//! into vertical chunk columns of [`crate::CHUNK_SIZE`]×[`crate::CHUNK_SIZE`]
+//! blocks. This module provides the coordinate types and the conversions
+//! between them.
+
+use serde::{Deserialize, Serialize};
+
+use crate::chunk::CHUNK_SIZE;
+
+/// Position of a single block in the world, in absolute block coordinates.
+///
+/// `y` is the vertical axis (height); `x` and `z` span the horizontal plane.
+///
+/// # Example
+///
+/// ```
+/// use mlg_world::BlockPos;
+///
+/// let p = BlockPos::new(17, 64, -3);
+/// assert_eq!(p.chunk().x, 1);
+/// assert_eq!(p.chunk().z, -1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlockPos {
+    /// East–west coordinate.
+    pub x: i32,
+    /// Vertical coordinate (height).
+    pub y: i32,
+    /// North–south coordinate.
+    pub z: i32,
+}
+
+impl BlockPos {
+    /// The origin block position `(0, 0, 0)`.
+    pub const ORIGIN: BlockPos = BlockPos { x: 0, y: 0, z: 0 };
+
+    /// Creates a new block position.
+    #[must_use]
+    pub const fn new(x: i32, y: i32, z: i32) -> Self {
+        BlockPos { x, y, z }
+    }
+
+    /// Returns the position of the chunk column containing this block.
+    #[must_use]
+    pub fn chunk(self) -> ChunkPos {
+        ChunkPos {
+            x: self.x.div_euclid(CHUNK_SIZE as i32),
+            z: self.z.div_euclid(CHUNK_SIZE as i32),
+        }
+    }
+
+    /// Returns the block coordinates relative to the containing chunk,
+    /// `(local_x, y, local_z)` with `local_x, local_z` in `0..CHUNK_SIZE`.
+    #[must_use]
+    pub fn local(self) -> (usize, i32, usize) {
+        (
+            self.x.rem_euclid(CHUNK_SIZE as i32) as usize,
+            self.y,
+            self.z.rem_euclid(CHUNK_SIZE as i32) as usize,
+        )
+    }
+
+    /// Returns the position offset by the given deltas.
+    #[must_use]
+    pub const fn offset(self, dx: i32, dy: i32, dz: i32) -> Self {
+        BlockPos::new(self.x + dx, self.y + dy, self.z + dz)
+    }
+
+    /// Returns the position directly above this one.
+    #[must_use]
+    pub const fn up(self) -> Self {
+        self.offset(0, 1, 0)
+    }
+
+    /// Returns the position directly below this one.
+    #[must_use]
+    pub const fn down(self) -> Self {
+        self.offset(0, -1, 0)
+    }
+
+    /// Returns the six face-adjacent neighbour positions.
+    #[must_use]
+    pub fn neighbors(self) -> [BlockPos; 6] {
+        [
+            self.offset(1, 0, 0),
+            self.offset(-1, 0, 0),
+            self.offset(0, 1, 0),
+            self.offset(0, -1, 0),
+            self.offset(0, 0, 1),
+            self.offset(0, 0, -1),
+        ]
+    }
+
+    /// Returns the four horizontally adjacent neighbour positions.
+    #[must_use]
+    pub fn horizontal_neighbors(self) -> [BlockPos; 4] {
+        [
+            self.offset(1, 0, 0),
+            self.offset(-1, 0, 0),
+            self.offset(0, 0, 1),
+            self.offset(0, 0, -1),
+        ]
+    }
+
+    /// Manhattan (taxicab) distance to another block position.
+    #[must_use]
+    pub fn manhattan_distance(self, other: BlockPos) -> u32 {
+        self.x.abs_diff(other.x) + self.y.abs_diff(other.y) + self.z.abs_diff(other.z)
+    }
+
+    /// Squared Euclidean distance to another block position.
+    #[must_use]
+    pub fn distance_squared(self, other: BlockPos) -> u64 {
+        let dx = i64::from(self.x - other.x);
+        let dy = i64::from(self.y - other.y);
+        let dz = i64::from(self.z - other.z);
+        (dx * dx + dy * dy + dz * dz) as u64
+    }
+
+    /// Horizontal (x/z plane) squared distance to another block position.
+    #[must_use]
+    pub fn horizontal_distance_squared(self, other: BlockPos) -> u64 {
+        let dx = i64::from(self.x - other.x);
+        let dz = i64::from(self.z - other.z);
+        (dx * dx + dz * dz) as u64
+    }
+}
+
+impl std::fmt::Display for BlockPos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+impl From<(i32, i32, i32)> for BlockPos {
+    fn from((x, y, z): (i32, i32, i32)) -> Self {
+        BlockPos::new(x, y, z)
+    }
+}
+
+/// Position of a chunk column in the horizontal chunk grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ChunkPos {
+    /// East–west chunk coordinate.
+    pub x: i32,
+    /// North–south chunk coordinate.
+    pub z: i32,
+}
+
+impl ChunkPos {
+    /// Creates a new chunk position.
+    #[must_use]
+    pub const fn new(x: i32, z: i32) -> Self {
+        ChunkPos { x, z }
+    }
+
+    /// Returns the block position of this chunk's minimum corner at `y = 0`.
+    #[must_use]
+    pub fn origin_block(self) -> BlockPos {
+        BlockPos::new(self.x * CHUNK_SIZE as i32, 0, self.z * CHUNK_SIZE as i32)
+    }
+
+    /// Returns the Chebyshev distance (in chunks) to another chunk position.
+    ///
+    /// Used for view-distance checks: a chunk is visible to a player when the
+    /// Chebyshev distance between their chunk positions is within the view
+    /// distance.
+    #[must_use]
+    pub fn chebyshev_distance(self, other: ChunkPos) -> u32 {
+        self.x.abs_diff(other.x).max(self.z.abs_diff(other.z))
+    }
+
+    /// Returns all chunk positions within `radius` (Chebyshev) of this one,
+    /// including this one.
+    #[must_use]
+    pub fn within_radius(self, radius: u32) -> Vec<ChunkPos> {
+        let r = radius as i32;
+        let mut out = Vec::with_capacity(((2 * r + 1) * (2 * r + 1)) as usize);
+        for dx in -r..=r {
+            for dz in -r..=r {
+                out.push(ChunkPos::new(self.x + dx, self.z + dz));
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for ChunkPos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {}]", self.x, self.z)
+    }
+}
+
+impl From<(i32, i32)> for ChunkPos {
+    fn from((x, z): (i32, i32)) -> Self {
+        ChunkPos::new(x, z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_to_chunk_positive() {
+        assert_eq!(BlockPos::new(0, 0, 0).chunk(), ChunkPos::new(0, 0));
+        assert_eq!(BlockPos::new(15, 0, 15).chunk(), ChunkPos::new(0, 0));
+        assert_eq!(BlockPos::new(16, 0, 31).chunk(), ChunkPos::new(1, 1));
+    }
+
+    #[test]
+    fn block_to_chunk_negative() {
+        assert_eq!(BlockPos::new(-1, 0, -1).chunk(), ChunkPos::new(-1, -1));
+        assert_eq!(BlockPos::new(-16, 0, -17).chunk(), ChunkPos::new(-1, -2));
+    }
+
+    #[test]
+    fn local_coordinates_are_in_range() {
+        for x in [-33, -16, -1, 0, 1, 15, 16, 47] {
+            for z in [-33, -16, -1, 0, 1, 15, 16, 47] {
+                let (lx, _, lz) = BlockPos::new(x, 5, z).local();
+                assert!(lx < CHUNK_SIZE, "x={x} -> {lx}");
+                assert!(lz < CHUNK_SIZE, "z={z} -> {lz}");
+            }
+        }
+    }
+
+    #[test]
+    fn local_matches_chunk_origin() {
+        let p = BlockPos::new(-7, 12, 39);
+        let chunk = p.chunk();
+        let (lx, y, lz) = p.local();
+        let origin = chunk.origin_block();
+        assert_eq!(origin.x + lx as i32, p.x);
+        assert_eq!(origin.z + lz as i32, p.z);
+        assert_eq!(y, p.y);
+    }
+
+    #[test]
+    fn neighbors_are_adjacent() {
+        let p = BlockPos::new(3, 4, 5);
+        for n in p.neighbors() {
+            assert_eq!(p.manhattan_distance(n), 1);
+        }
+        assert_eq!(p.neighbors().len(), 6);
+    }
+
+    #[test]
+    fn horizontal_neighbors_stay_on_plane() {
+        let p = BlockPos::new(3, 4, 5);
+        for n in p.horizontal_neighbors() {
+            assert_eq!(n.y, p.y);
+            assert_eq!(p.manhattan_distance(n), 1);
+        }
+    }
+
+    #[test]
+    fn distances() {
+        let a = BlockPos::new(0, 0, 0);
+        let b = BlockPos::new(3, 4, 0);
+        assert_eq!(a.distance_squared(b), 25);
+        assert_eq!(a.manhattan_distance(b), 7);
+        assert_eq!(a.horizontal_distance_squared(b), 9);
+    }
+
+    #[test]
+    fn chunk_radius_includes_center() {
+        let c = ChunkPos::new(2, -3);
+        let within = c.within_radius(2);
+        assert_eq!(within.len(), 25);
+        assert!(within.contains(&c));
+        for other in &within {
+            assert!(c.chebyshev_distance(*other) <= 2);
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(BlockPos::new(1, 2, 3).to_string(), "(1, 2, 3)");
+        assert_eq!(ChunkPos::new(-1, 4).to_string(), "[-1, 4]");
+    }
+}

@@ -1,0 +1,458 @@
+//! The terrain simulator: one game tick of terrain simulation.
+//!
+//! This is element 5 of the paper's operational model (Figure 4): "Terrain
+//! Simulation is largely independent from player input, and is instead driven
+//! by terrain state updates. When a terrain state update occurs, the Terrain
+//! Simulation applies its simulation rules to the new state. […] These rules
+//! trigger in a loop, where each iteration informs the adjacent terrain."
+//!
+//! [`TerrainSimulator::tick`] drains the world's update queues, dispatches
+//! each update to the appropriate rule module (physics, fluid, redstone,
+//! growth), performs lighting recomputation for the blocks that changed, and
+//! returns a [`TerrainTickReport`] describing how much work was done plus any
+//! [`TerrainEvent`]s that other subsystems (entities, players) must react to.
+
+use serde::{Deserialize, Serialize};
+
+use crate::block::{Block, BlockKind};
+use crate::pos::BlockPos;
+use crate::region::Region;
+use crate::update::{BlockUpdate, UpdateKind};
+use crate::world::World;
+use crate::{fluid, growth, light, physics, redstone};
+
+/// An event produced by terrain simulation that concerns other subsystems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TerrainEvent {
+    /// A harvestable block was broken by a piston; an item entity representing
+    /// it should be spawned.
+    BlockHarvested {
+        /// Where the block was.
+        pos: BlockPos,
+        /// What kind of block it was.
+        kind: BlockKind,
+    },
+    /// A dispenser ejected an item; an item entity should be spawned.
+    ItemDispensed {
+        /// The dispenser position.
+        pos: BlockPos,
+    },
+    /// A TNT block was ignited (removed from the terrain); a primed TNT entity
+    /// should be spawned in its place.
+    TntIgnited {
+        /// Where the TNT block was.
+        pos: BlockPos,
+    },
+}
+
+/// Counters describing the terrain work done in one game tick.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TerrainTickReport {
+    /// Neighbour-changed updates processed.
+    pub neighbor_updates: u64,
+    /// Scheduled updates processed.
+    pub scheduled_updates: u64,
+    /// Random ticks dispatched to plants.
+    pub random_ticks: u64,
+    /// Blocks newly placed this tick (old was air).
+    pub blocks_added: u64,
+    /// Blocks removed this tick (new is air).
+    pub blocks_removed: u64,
+    /// Blocks whose state changed in place.
+    pub blocks_updated: u64,
+    /// Positions visited by lighting recomputation.
+    pub light_positions: u64,
+    /// Fluid spread steps performed.
+    pub fluid_spreads: u64,
+    /// Redstone signal propagation steps performed.
+    pub redstone_propagations: u64,
+    /// Plant growth events.
+    pub growths: u64,
+    /// Raw world positions read by the rules.
+    pub blocks_scanned: u64,
+    /// Chunks generated during this tick (lazy generation near players).
+    pub chunks_generated: u64,
+    /// Whether the per-tick update budget was exhausted (cascade truncated).
+    pub update_budget_exhausted: bool,
+}
+
+impl TerrainTickReport {
+    /// Total number of block updates processed, regardless of origin.
+    #[must_use]
+    pub fn total_updates(&self) -> u64 {
+        self.neighbor_updates + self.scheduled_updates + self.random_ticks
+    }
+
+    /// Abstract work units represented by this report, before any
+    /// server-flavor or environment scaling.
+    ///
+    /// The weights reflect the relative cost of each operation class in real
+    /// MLG servers: block updates and light floods are cheap individually,
+    /// chunk generation is expensive, and raw scans are nearly free.
+    #[must_use]
+    pub fn base_work_units(&self) -> u64 {
+        self.neighbor_updates * 12
+            + self.scheduled_updates * 14
+            + self.random_ticks * 4
+            + self.blocks_added * 25
+            + self.blocks_removed * 25
+            + self.blocks_updated * 10
+            + self.light_positions * 2
+            + self.fluid_spreads * 18
+            + self.redstone_propagations * 16
+            + self.growths * 20
+            + self.blocks_scanned
+            + self.chunks_generated * 4_000
+    }
+
+    /// Merges another report into this one (summing every counter).
+    pub fn merge(&mut self, other: &TerrainTickReport) {
+        self.neighbor_updates += other.neighbor_updates;
+        self.scheduled_updates += other.scheduled_updates;
+        self.random_ticks += other.random_ticks;
+        self.blocks_added += other.blocks_added;
+        self.blocks_removed += other.blocks_removed;
+        self.blocks_updated += other.blocks_updated;
+        self.light_positions += other.light_positions;
+        self.fluid_spreads += other.fluid_spreads;
+        self.redstone_propagations += other.redstone_propagations;
+        self.growths += other.growths;
+        self.blocks_scanned += other.blocks_scanned;
+        self.chunks_generated += other.chunks_generated;
+        self.update_budget_exhausted |= other.update_budget_exhausted;
+    }
+}
+
+/// Result of detonating an explosion in the world.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExplosionOutcome {
+    /// Number of blocks destroyed.
+    pub blocks_destroyed: u64,
+    /// Positions of TNT blocks ignited by the blast (chain reaction).
+    pub tnt_ignited: Vec<BlockPos>,
+    /// Number of positions examined by the blast.
+    pub blocks_scanned: u64,
+}
+
+/// Destroys terrain in a spherical blast of the given `power` (radius in
+/// blocks) centred at `center`.
+///
+/// TNT blocks caught in the blast are not destroyed but *ignited*: they are
+/// removed from the terrain and reported in
+/// [`ExplosionOutcome::tnt_ignited`] so the caller can spawn primed TNT
+/// entities — this is the chain-reaction mechanism that makes the TNT
+/// workload explode "a large section of TNT" from a single trigger.
+pub fn explode(world: &mut World, center: BlockPos, power: u32) -> ExplosionOutcome {
+    let mut outcome = ExplosionOutcome::default();
+    let radius = power as i32;
+    let region = Region::cube_around(center, radius);
+    let radius_sq = u64::from(power) * u64::from(power);
+    for pos in region.iter().collect::<Vec<_>>() {
+        outcome.blocks_scanned += 1;
+        if pos.distance_squared(center) > radius_sq {
+            continue;
+        }
+        let block = world.block(pos);
+        if block.is_air() || !block.kind().is_destructible() {
+            continue;
+        }
+        if block.kind() == BlockKind::Tnt {
+            world.set_block(pos, Block::AIR);
+            outcome.tnt_ignited.push(pos);
+        } else {
+            world.set_block(pos, Block::AIR);
+            outcome.blocks_destroyed += 1;
+        }
+    }
+    outcome
+}
+
+/// Configuration and state of the terrain simulation stage.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TerrainSimulator {
+    /// How many random ticks each loaded chunk receives per game tick.
+    pub random_ticks_per_chunk: u32,
+    /// Safety limit on the number of block updates processed in one tick.
+    /// Real servers have no such limit, but an unbounded cascade would hang
+    /// the simulation; the limit is high enough that only pathological
+    /// workloads (lag machines on slow nodes) ever reach it.
+    pub max_updates_per_tick: u32,
+    /// Whether lighting is recomputed eagerly for every change (vanilla
+    /// behaviour) or deferred/batched (PaperMC-style optimization).
+    pub eager_lighting: bool,
+}
+
+impl Default for TerrainSimulator {
+    fn default() -> Self {
+        TerrainSimulator {
+            random_ticks_per_chunk: 3,
+            max_updates_per_tick: 200_000,
+            eager_lighting: true,
+        }
+    }
+}
+
+impl TerrainSimulator {
+    /// Creates a simulator with default (vanilla-like) settings.
+    #[must_use]
+    pub fn new() -> Self {
+        TerrainSimulator::default()
+    }
+
+    /// Runs one tick of terrain simulation over the world.
+    ///
+    /// Returns the work report and the events other subsystems must handle.
+    pub fn tick(&self, world: &mut World) -> (TerrainTickReport, Vec<TerrainEvent>) {
+        let mut report = TerrainTickReport::default();
+        let mut events = Vec::new();
+        let changes_before = world.changes().len();
+        let mut processed: u32 = 0;
+
+        // 1. Scheduled updates that became due this tick.
+        let current_tick = world.current_tick();
+        let due = world.updates_mut().pop_due(current_tick);
+        for update in due {
+            report.scheduled_updates += 1;
+            processed += 1;
+            self.dispatch(world, update, &mut report, &mut events);
+        }
+
+        // 2. Immediate neighbour updates, including any produced while
+        //    processing — this is the cascading simulation-rule loop.
+        while let Some(update) = world.updates_mut().pop_immediate() {
+            if processed >= self.max_updates_per_tick {
+                report.update_budget_exhausted = true;
+                break;
+            }
+            report.neighbor_updates += 1;
+            processed += 1;
+            self.dispatch(world, update, &mut report, &mut events);
+        }
+
+        // 3. Random ticks (plant growth).
+        let random_positions = world.pick_random_tick_positions(self.random_ticks_per_chunk);
+        for pos in random_positions {
+            let kind = world.block_if_loaded(pos).kind();
+            if growth::reacts_to_random_tick(kind) {
+                report.random_ticks += 1;
+                let outcome = growth::apply_random_tick(world, pos);
+                report.blocks_scanned += u64::from(outcome.blocks_scanned);
+                if outcome.grew {
+                    report.growths += 1;
+                }
+            }
+        }
+
+        // 4. Classify the changes made this tick and relight around them.
+        let new_changes: Vec<(BlockPos, bool, bool)> = world.changes()[changes_before..]
+            .iter()
+            .map(|c| (c.pos, c.old.is_air(), c.new.is_air()))
+            .collect();
+        for (pos, old_air, new_air) in new_changes {
+            match (old_air, new_air) {
+                (true, false) => report.blocks_added += 1,
+                (false, true) => report.blocks_removed += 1,
+                _ => report.blocks_updated += 1,
+            }
+            if self.eager_lighting {
+                let lr = light::relight_after_change(world, pos);
+                report.light_positions += u64::from(lr.total_positions());
+            }
+        }
+
+        report.chunks_generated += u64::from(world.chunks_generated_this_tick());
+        (report, events)
+    }
+
+    fn dispatch(
+        &self,
+        world: &mut World,
+        update: BlockUpdate,
+        report: &mut TerrainTickReport,
+        events: &mut Vec<TerrainEvent>,
+    ) {
+        let kind = world.block(update.pos).kind();
+        report.blocks_scanned += 1;
+        if physics::reacts_to_updates(kind) {
+            let out = physics::apply_gravity(world, update.pos);
+            report.blocks_scanned += u64::from(out.blocks_scanned);
+        } else if fluid::reacts_to_updates(kind) {
+            let out = fluid::apply_fluid(world, update.pos);
+            report.blocks_scanned += u64::from(out.blocks_scanned);
+            report.fluid_spreads += u64::from(out.spread_to + out.solidified);
+        } else if redstone::reacts_to_updates(kind) {
+            let out = redstone::apply_redstone(world, update.pos, update.kind);
+            report.blocks_scanned += u64::from(out.blocks_scanned);
+            report.redstone_propagations += u64::from(out.propagations) + u64::from(out.changed);
+            events.extend(out.events);
+        } else if kind == BlockKind::Tnt && update.kind == UpdateKind::Scheduled {
+            // A scheduled tick on a TNT block means it was fused for ignition.
+            world.set_block(update.pos, Block::AIR);
+            events.push(TerrainEvent::TntIgnited { pos: update.pos });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generation::FlatGenerator;
+    use crate::pos::ChunkPos;
+
+    fn world() -> World {
+        World::new(Box::new(FlatGenerator::grassland()), 7)
+    }
+
+    #[test]
+    fn idle_world_does_minimal_work() {
+        let mut w = world();
+        w.ensure_area(ChunkPos::new(0, 0), 1);
+        w.advance_tick();
+        let sim = TerrainSimulator::new();
+        let (report, events) = sim.tick(&mut w);
+        assert_eq!(report.neighbor_updates, 0);
+        assert_eq!(report.scheduled_updates, 0);
+        assert!(events.is_empty());
+        // Random ticks still happen, but on a flat grass world nothing grows.
+        assert_eq!(report.growths, 0);
+    }
+
+    #[test]
+    fn placed_block_cascades_updates() {
+        let mut w = world();
+        let sim = TerrainSimulator::new();
+        w.set_block(BlockPos::new(4, 80, 4), Block::simple(BlockKind::Sand));
+        w.advance_tick();
+        let (report, _) = sim.tick(&mut w);
+        assert!(report.neighbor_updates >= 7);
+        // The sand fell: one removal at the origin and one addition below.
+        assert!(report.blocks_added >= 1);
+        assert!(report.blocks_removed >= 1);
+        assert_eq!(w.block(BlockPos::new(4, 61, 4)).kind(), BlockKind::Sand);
+    }
+
+    #[test]
+    fn scheduled_tnt_ignition_produces_event() {
+        let mut w = world();
+        let sim = TerrainSimulator::new();
+        let pos = BlockPos::new(2, 61, 2);
+        w.set_block_silent(pos, Block::simple(BlockKind::Tnt));
+        w.schedule_tick(pos, 1);
+        w.advance_tick();
+        let (_, events) = sim.tick(&mut w);
+        assert_eq!(events, vec![TerrainEvent::TntIgnited { pos }]);
+        assert_eq!(w.block(pos), Block::AIR);
+    }
+
+    #[test]
+    fn clock_driven_work_alternates_between_ticks() {
+        let mut w = world();
+        let sim = TerrainSimulator::new();
+        // A period-2 clock surrounded by dust: every other tick it toggles and
+        // pushes updates into the dust, mirroring the lag-machine behaviour.
+        let clock = BlockPos::new(4, 61, 4);
+        w.set_block_silent(clock, Block::with_state(BlockKind::Comparator, 2));
+        for n in clock.horizontal_neighbors() {
+            w.set_block_silent(n, Block::simple(BlockKind::RedstoneDust));
+        }
+        w.schedule_tick(clock, 1);
+        let mut per_tick_updates = Vec::new();
+        for _ in 0..8 {
+            w.advance_tick();
+            let (report, _) = sim.tick(&mut w);
+            per_tick_updates.push(report.total_updates());
+        }
+        let busy_ticks = per_tick_updates.iter().filter(|&&u| u > 0).count();
+        let idle_ticks = per_tick_updates.iter().filter(|&&u| u == 0).count();
+        assert!(busy_ticks >= 3, "clock should fire repeatedly: {per_tick_updates:?}");
+        assert!(idle_ticks >= 3, "clock should idle between firings: {per_tick_updates:?}");
+    }
+
+    #[test]
+    fn explosion_destroys_terrain_and_ignites_tnt() {
+        let mut w = world();
+        let center = BlockPos::new(8, 60, 8);
+        let tnt_pos = BlockPos::new(10, 60, 8);
+        w.set_block_silent(tnt_pos, Block::simple(BlockKind::Tnt));
+        let outcome = explode(&mut w, center, 4);
+        assert!(outcome.blocks_destroyed > 10);
+        assert_eq!(outcome.tnt_ignited, vec![tnt_pos]);
+        assert_eq!(w.block(center), Block::AIR);
+        // Bedrock at y=0 is out of range, and would be indestructible anyway.
+        assert_eq!(w.block(BlockPos::new(8, 0, 8)).kind(), BlockKind::Bedrock);
+    }
+
+    #[test]
+    fn explosion_respects_indestructible_blocks() {
+        let mut w = world();
+        let center = BlockPos::new(8, 61, 8);
+        let obsidian = BlockPos::new(9, 61, 8);
+        w.set_block_silent(obsidian, Block::simple(BlockKind::Obsidian));
+        explode(&mut w, center, 3);
+        assert_eq!(w.block(obsidian).kind(), BlockKind::Obsidian);
+    }
+
+    #[test]
+    fn update_budget_truncates_runaway_cascades() {
+        let mut w = world();
+        let sim = TerrainSimulator {
+            max_updates_per_tick: 10,
+            ..TerrainSimulator::default()
+        };
+        // Dump a large water cube in the air: the cascade exceeds the budget.
+        let region = Region::new(BlockPos::new(0, 80, 0), BlockPos::new(5, 85, 5));
+        for pos in region.iter().collect::<Vec<_>>() {
+            w.set_block(pos, Block::simple(BlockKind::Water));
+        }
+        w.advance_tick();
+        let (report, _) = sim.tick(&mut w);
+        assert!(report.update_budget_exhausted);
+        assert!(report.neighbor_updates <= 10);
+    }
+
+    #[test]
+    fn report_merge_sums_counters() {
+        let mut a = TerrainTickReport {
+            neighbor_updates: 5,
+            blocks_added: 2,
+            ..TerrainTickReport::default()
+        };
+        let b = TerrainTickReport {
+            neighbor_updates: 3,
+            light_positions: 10,
+            update_budget_exhausted: true,
+            ..TerrainTickReport::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.neighbor_updates, 8);
+        assert_eq!(a.blocks_added, 2);
+        assert_eq!(a.light_positions, 10);
+        assert!(a.update_budget_exhausted);
+    }
+
+    #[test]
+    fn work_units_scale_with_activity() {
+        let quiet = TerrainTickReport::default();
+        let busy = TerrainTickReport {
+            neighbor_updates: 100,
+            blocks_added: 20,
+            light_positions: 500,
+            ..TerrainTickReport::default()
+        };
+        assert_eq!(quiet.base_work_units(), 0);
+        assert!(busy.base_work_units() > 1000);
+    }
+
+    #[test]
+    fn lighting_can_be_disabled() {
+        let mut w = world();
+        let sim = TerrainSimulator {
+            eager_lighting: false,
+            ..TerrainSimulator::default()
+        };
+        w.set_block(BlockPos::new(4, 61, 4), Block::simple(BlockKind::Stone));
+        w.advance_tick();
+        let (report, _) = sim.tick(&mut w);
+        assert_eq!(report.light_positions, 0);
+    }
+}

@@ -1,0 +1,462 @@
+//! The world: a lazily generated collection of chunks plus the global
+//! block-update and change-tracking state shared by the terrain simulation.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::block::{Block, BlockKind};
+use crate::chunk::{Chunk, CHUNK_SIZE, WORLD_HEIGHT};
+use crate::generation::ChunkGenerator;
+use crate::pos::{BlockPos, ChunkPos};
+use crate::region::Region;
+use crate::update::UpdateQueue;
+
+/// A record of a single block change applied during the current tick.
+///
+/// The server drains these at the end of every tick and converts them into
+/// block-change packets for connected clients (state-update dissemination in
+/// the paper's operational model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockChange {
+    /// Where the change happened.
+    pub pos: BlockPos,
+    /// The block before the change.
+    pub old: Block,
+    /// The block after the change.
+    pub new: Block,
+}
+
+/// The game world.
+///
+/// Owns every loaded chunk, the terrain generator used to lazily populate new
+/// chunks, the block-update queues and the per-tick change log. All mutation
+/// goes through [`World::set_block`] (or the silent variant used by workload
+/// builders) so that neighbour updates and change tracking stay consistent.
+pub struct World {
+    chunks: HashMap<ChunkPos, Chunk>,
+    generator: Box<dyn ChunkGenerator>,
+    updates: UpdateQueue,
+    changes: Vec<BlockChange>,
+    chunks_generated_this_tick: u32,
+    current_tick: u64,
+    rng: StdRng,
+    seed: u64,
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("generator", &self.generator.name())
+            .field("loaded_chunks", &self.chunks.len())
+            .field("current_tick", &self.current_tick)
+            .field("pending_changes", &self.changes.len())
+            .finish()
+    }
+}
+
+impl World {
+    /// Creates a new, empty world backed by the given generator.
+    ///
+    /// `seed` drives the random-tick lottery used for plant growth and other
+    /// stochastic terrain behaviour; the generator carries its own seed.
+    #[must_use]
+    pub fn new(generator: Box<dyn ChunkGenerator>, seed: u64) -> Self {
+        World {
+            chunks: HashMap::new(),
+            generator,
+            updates: UpdateQueue::new(),
+            changes: Vec::new(),
+            chunks_generated_this_tick: 0,
+            current_tick: 0,
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// Returns the world seed used for random ticks.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Returns the current game tick number.
+    #[must_use]
+    pub fn current_tick(&self) -> u64 {
+        self.current_tick
+    }
+
+    /// Advances the world's tick counter by one. Called by the game loop at
+    /// the start of every tick.
+    pub fn advance_tick(&mut self) {
+        self.current_tick += 1;
+        self.chunks_generated_this_tick = 0;
+    }
+
+    /// Number of chunks currently loaded in memory.
+    #[must_use]
+    pub fn loaded_chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Number of chunks generated since the last [`World::advance_tick`] call.
+    ///
+    /// Chunk generation is one of the data- and compute-intensive terrain
+    /// workloads (Section 2.2.2), so the per-tick count feeds into tick cost.
+    #[must_use]
+    pub fn chunks_generated_this_tick(&self) -> u32 {
+        self.chunks_generated_this_tick
+    }
+
+    /// Ensures the chunk at `pos` is loaded, generating it if needed, and
+    /// returns a reference to it.
+    pub fn ensure_chunk(&mut self, pos: ChunkPos) -> &Chunk {
+        if !self.chunks.contains_key(&pos) {
+            let chunk = self.generator.generate(pos);
+            self.chunks.insert(pos, chunk);
+            self.chunks_generated_this_tick += 1;
+        }
+        self.chunks.get(&pos).expect("chunk just ensured")
+    }
+
+    fn ensure_chunk_mut(&mut self, pos: ChunkPos) -> &mut Chunk {
+        if !self.chunks.contains_key(&pos) {
+            let chunk = self.generator.generate(pos);
+            self.chunks.insert(pos, chunk);
+            self.chunks_generated_this_tick += 1;
+        }
+        self.chunks.get_mut(&pos).expect("chunk just ensured")
+    }
+
+    /// Ensures every chunk within `radius` (Chebyshev, in chunks) of `center`
+    /// is loaded. Returns how many chunks were newly generated.
+    pub fn ensure_area(&mut self, center: ChunkPos, radius: u32) -> usize {
+        let mut generated = 0;
+        for pos in center.within_radius(radius) {
+            if !self.chunks.contains_key(&pos) {
+                let chunk = self.generator.generate(pos);
+                self.chunks.insert(pos, chunk);
+                self.chunks_generated_this_tick += 1;
+                generated += 1;
+            }
+        }
+        generated
+    }
+
+    /// Returns the chunk at `pos` if it is already loaded.
+    #[must_use]
+    pub fn chunk_if_loaded(&self, pos: ChunkPos) -> Option<&Chunk> {
+        self.chunks.get(&pos)
+    }
+
+    /// Iterates over all loaded chunks.
+    pub fn iter_chunks(&self) -> impl Iterator<Item = &Chunk> {
+        self.chunks.values()
+    }
+
+    /// Iterates mutably over all loaded chunks (used by the server to clear
+    /// dirty flags after broadcasting chunk data).
+    pub fn iter_chunks_mut(&mut self) -> impl Iterator<Item = &mut Chunk> {
+        self.chunks.values_mut()
+    }
+
+    /// Returns the block at `pos`, lazily generating the containing chunk.
+    #[must_use]
+    pub fn block(&mut self, pos: BlockPos) -> Block {
+        if pos.y < 0 || pos.y >= WORLD_HEIGHT as i32 {
+            return Block::AIR;
+        }
+        let chunk_pos = pos.chunk();
+        let (lx, y, lz) = pos.local();
+        self.ensure_chunk(chunk_pos).block(lx, y, lz)
+    }
+
+    /// Returns the block at `pos` without generating missing chunks;
+    /// unloaded positions read as air.
+    #[must_use]
+    pub fn block_if_loaded(&self, pos: BlockPos) -> Block {
+        if pos.y < 0 || pos.y >= WORLD_HEIGHT as i32 {
+            return Block::AIR;
+        }
+        let (lx, y, lz) = pos.local();
+        self.chunks
+            .get(&pos.chunk())
+            .map_or(Block::AIR, |c| c.block(lx, y, lz))
+    }
+
+    /// Sets the block at `pos`, recording the change and enqueueing neighbour
+    /// updates. Returns the previous block.
+    ///
+    /// Positions outside the vertical world bounds are ignored and read as
+    /// air; no change is recorded for them.
+    pub fn set_block(&mut self, pos: BlockPos, block: Block) -> Block {
+        if pos.y < 0 || pos.y >= WORLD_HEIGHT as i32 {
+            return Block::AIR;
+        }
+        let old = self.place(pos, block);
+        if old != block {
+            self.changes.push(BlockChange {
+                pos,
+                old,
+                new: block,
+            });
+            for n in pos.neighbors() {
+                self.updates.push_neighbor(n);
+            }
+            self.updates.push_neighbor(pos);
+        }
+        old
+    }
+
+    /// Sets the block at `pos` without enqueueing neighbour updates or
+    /// recording a change. Used by workload builders to construct worlds
+    /// without triggering the simulation, mirroring how the paper's workload
+    /// worlds are prepared offline and only start simulating when loaded.
+    pub fn set_block_silent(&mut self, pos: BlockPos, block: Block) -> Block {
+        self.place(pos, block)
+    }
+
+    fn place(&mut self, pos: BlockPos, block: Block) -> Block {
+        if pos.y < 0 || pos.y >= WORLD_HEIGHT as i32 {
+            return Block::AIR;
+        }
+        let chunk_pos = pos.chunk();
+        let (lx, y, lz) = pos.local();
+        self.ensure_chunk_mut(chunk_pos).set_block(lx, y, lz, block)
+    }
+
+    /// Fills an entire region with the given block (silently, without
+    /// neighbour updates). Returns the number of blocks written.
+    pub fn fill_region(&mut self, region: Region, block: Block) -> u64 {
+        let mut written = 0;
+        for pos in region.iter().collect::<Vec<_>>() {
+            self.set_block_silent(pos, block);
+            written += 1;
+        }
+        written
+    }
+
+    /// Returns the `y` of the highest non-air block in the column containing
+    /// `(x, z)`, lazily generating the chunk.
+    #[must_use]
+    pub fn highest_block_y(&mut self, x: i32, z: i32) -> Option<i32> {
+        let pos = BlockPos::new(x, 0, z);
+        let chunk_pos = pos.chunk();
+        let (lx, _, lz) = pos.local();
+        self.ensure_chunk(chunk_pos).height_at(lx, lz)
+    }
+
+    /// Enqueues an immediate neighbour update at `pos`.
+    pub fn push_neighbor_update(&mut self, pos: BlockPos) {
+        self.updates.push_neighbor(pos);
+    }
+
+    /// Schedules a block update for `pos` to run `delay_ticks` ticks from now.
+    pub fn schedule_tick(&mut self, pos: BlockPos, delay_ticks: u64) {
+        let due = self.current_tick + delay_ticks.max(1);
+        self.updates.schedule_at(pos, due);
+    }
+
+    /// Grants the terrain simulator access to the update queue.
+    pub fn updates_mut(&mut self) -> &mut UpdateQueue {
+        &mut self.updates
+    }
+
+    /// Read-only access to the update queue (for diagnostics and tests).
+    #[must_use]
+    pub fn updates(&self) -> &UpdateQueue {
+        &self.updates
+    }
+
+    /// Drains and returns all block changes recorded since the last drain.
+    pub fn drain_changes(&mut self) -> Vec<BlockChange> {
+        std::mem::take(&mut self.changes)
+    }
+
+    /// Returns the block changes recorded and not yet drained, without
+    /// consuming them. The terrain simulator uses this to classify the
+    /// changes it caused (added vs removed vs updated) for the tick-time
+    /// distribution metric.
+    #[must_use]
+    pub fn changes(&self) -> &[BlockChange] {
+        &self.changes
+    }
+
+    /// Number of block changes recorded and not yet drained.
+    #[must_use]
+    pub fn pending_change_count(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// Selects positions to receive a random tick this game tick.
+    ///
+    /// Mirrors Minecraft's behaviour: every loaded chunk submits
+    /// `random_ticks_per_chunk` randomly chosen block positions per tick;
+    /// plant growth and similar slow processes react to them.
+    pub fn pick_random_tick_positions(&mut self, random_ticks_per_chunk: u32) -> Vec<BlockPos> {
+        let mut chunk_positions: Vec<ChunkPos> = self.chunks.keys().copied().collect();
+        // Sort so the RNG draws are assigned to chunks in a stable order,
+        // keeping the lottery deterministic for a given seed and chunk set.
+        chunk_positions.sort();
+        let mut picks = Vec::with_capacity(chunk_positions.len() * random_ticks_per_chunk as usize);
+        for chunk_pos in chunk_positions {
+            let origin = chunk_pos.origin_block();
+            for _ in 0..random_ticks_per_chunk {
+                let x = origin.x + self.rng.gen_range(0..CHUNK_SIZE as i32);
+                let z = origin.z + self.rng.gen_range(0..CHUNK_SIZE as i32);
+                let y = self.rng.gen_range(0..WORLD_HEIGHT as i32);
+                picks.push(BlockPos::new(x, y, z));
+            }
+        }
+        picks
+    }
+
+    /// Total number of non-air blocks across all loaded chunks.
+    #[must_use]
+    pub fn total_non_air_blocks(&self) -> u64 {
+        self.chunks.values().map(|c| u64::from(c.non_air_blocks())).sum()
+    }
+
+    /// Counts blocks of a given kind across all loaded chunks.
+    ///
+    /// This is a full scan; intended for workload validation and tests, not
+    /// for per-tick use.
+    #[must_use]
+    pub fn count_kind(&self, kind: BlockKind) -> usize {
+        self.chunks.values().map(|c| c.count_kind(kind)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generation::FlatGenerator;
+
+    fn world() -> World {
+        World::new(Box::new(FlatGenerator::grassland()), 1234)
+    }
+
+    #[test]
+    fn lazy_generation_on_block_access() {
+        let mut w = world();
+        assert_eq!(w.loaded_chunk_count(), 0);
+        let b = w.block(BlockPos::new(100, 60, -200));
+        assert_eq!(b.kind(), BlockKind::Grass);
+        assert_eq!(w.loaded_chunk_count(), 1);
+        assert_eq!(w.chunks_generated_this_tick(), 1);
+    }
+
+    #[test]
+    fn set_block_records_change_and_neighbors() {
+        let mut w = world();
+        let pos = BlockPos::new(5, 70, 5);
+        w.set_block(pos, Block::simple(BlockKind::Stone));
+        assert_eq!(w.pending_change_count(), 1);
+        // The block itself plus its six neighbours are queued for updates.
+        assert_eq!(w.updates().immediate_len(), 7);
+        let changes = w.drain_changes();
+        assert_eq!(changes[0].pos, pos);
+        assert_eq!(changes[0].old, Block::AIR);
+        assert_eq!(changes[0].new.kind(), BlockKind::Stone);
+        assert_eq!(w.pending_change_count(), 0);
+    }
+
+    #[test]
+    fn silent_set_does_not_record() {
+        let mut w = world();
+        w.set_block_silent(BlockPos::new(1, 70, 1), Block::simple(BlockKind::Stone));
+        assert_eq!(w.pending_change_count(), 0);
+        assert!(w.updates().is_empty());
+    }
+
+    #[test]
+    fn setting_identical_block_is_a_no_op() {
+        let mut w = world();
+        let pos = BlockPos::new(0, 60, 0);
+        let existing = w.block(pos);
+        w.drain_changes();
+        w.set_block(pos, existing);
+        assert_eq!(w.pending_change_count(), 0);
+    }
+
+    #[test]
+    fn out_of_bounds_y_is_air() {
+        let mut w = world();
+        assert_eq!(w.block(BlockPos::new(0, -5, 0)), Block::AIR);
+        assert_eq!(w.block(BlockPos::new(0, 500, 0)), Block::AIR);
+        assert_eq!(
+            w.set_block(BlockPos::new(0, 500, 0), Block::simple(BlockKind::Stone)),
+            Block::AIR
+        );
+        assert_eq!(w.pending_change_count(), 0);
+    }
+
+    #[test]
+    fn ensure_area_generates_square() {
+        let mut w = world();
+        let generated = w.ensure_area(ChunkPos::new(0, 0), 2);
+        assert_eq!(generated, 25);
+        assert_eq!(w.loaded_chunk_count(), 25);
+        // Already loaded: generating again is a no-op.
+        assert_eq!(w.ensure_area(ChunkPos::new(0, 0), 2), 0);
+    }
+
+    #[test]
+    fn advance_tick_resets_generation_counter() {
+        let mut w = world();
+        w.ensure_area(ChunkPos::new(0, 0), 1);
+        assert!(w.chunks_generated_this_tick() > 0);
+        w.advance_tick();
+        assert_eq!(w.chunks_generated_this_tick(), 0);
+        assert_eq!(w.current_tick(), 1);
+    }
+
+    #[test]
+    fn fill_region_writes_volume() {
+        let mut w = world();
+        let region = Region::new(BlockPos::new(0, 70, 0), BlockPos::new(3, 72, 3));
+        let written = w.fill_region(region, Block::simple(BlockKind::Tnt));
+        assert_eq!(written, region.volume());
+        assert_eq!(w.count_kind(BlockKind::Tnt), region.volume() as usize);
+    }
+
+    #[test]
+    fn highest_block_matches_flat_surface() {
+        let mut w = world();
+        assert_eq!(w.highest_block_y(8, 8), Some(60));
+        w.set_block(BlockPos::new(8, 90, 8), Block::simple(BlockKind::Stone));
+        assert_eq!(w.highest_block_y(8, 8), Some(90));
+    }
+
+    #[test]
+    fn random_tick_positions_are_deterministic_for_seed() {
+        let mut w1 = World::new(Box::new(FlatGenerator::grassland()), 99);
+        let mut w2 = World::new(Box::new(FlatGenerator::grassland()), 99);
+        w1.ensure_area(ChunkPos::new(0, 0), 1);
+        w2.ensure_area(ChunkPos::new(0, 0), 1);
+        let p1 = w1.pick_random_tick_positions(3);
+        let p2 = w2.pick_random_tick_positions(3);
+        assert_eq!(p1.len(), 9 * 3);
+        // Same seed and same chunk set: the multisets of picks must match.
+        let mut s1 = p1.clone();
+        let mut s2 = p2.clone();
+        s1.sort();
+        s2.sort();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn scheduled_tick_becomes_due() {
+        let mut w = world();
+        let pos = BlockPos::new(1, 61, 1);
+        w.schedule_tick(pos, 2);
+        assert!(w.updates_mut().pop_due(1).is_empty());
+        w.advance_tick();
+        w.advance_tick();
+        let tick = w.current_tick();
+        let due = w.updates_mut().pop_due(tick);
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].pos, pos);
+    }
+}

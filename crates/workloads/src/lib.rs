@@ -1,0 +1,30 @@
+//! The Meterstick benchmark workloads.
+//!
+//! Section 3.3 of the paper defines four *environment-based* workload worlds
+//! (Table 2) plus a *player-based* workload:
+//!
+//! | name    | character                                            |
+//! |---------|------------------------------------------------------|
+//! | Control | freshly generated world, best-case baseline          |
+//! | TNT     | 16×16×14 cuboid of TNT detonated ~20 s after a player connects |
+//! | Farm    | popular community resource-farm constructs (Table 3)  |
+//! | Lag     | a lag machine: dense logic-gate clocks firing every other tick |
+//! | Players | 25 emulated players random-walking in a 32×32 area    |
+//!
+//! The original worlds are community `.schematic`/world downloads that cannot
+//! be redistributed here, so each world is rebuilt *programmatically* with
+//! constructs that exercise the same simulation rules (fluid transport,
+//! entity spawning, redstone clocks, piston harvesting, hopper collection,
+//! TNT chain reactions). The substitution is documented in `DESIGN.md`.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod catalog;
+pub mod control;
+pub mod farm;
+pub mod lag;
+pub mod spec;
+pub mod tnt;
+
+pub use spec::{BuiltWorkload, PlayerWorkload, WorkloadKind, WorkloadSpec};

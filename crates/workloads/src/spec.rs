@@ -1,0 +1,236 @@
+//! Workload specification and construction.
+
+use serde::{Deserialize, Serialize};
+
+use mlg_entity::{EntityKind, Vec3};
+use mlg_world::World;
+
+use crate::{control, farm, lag, tnt};
+
+/// The five Meterstick workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// Freshly generated world; best-case baseline.
+    Control,
+    /// The TNT cuboid world; entity actions and terrain updates.
+    Tnt,
+    /// The resource-farm world; simulated constructs.
+    Farm,
+    /// The lag-machine world; worst-case stress test.
+    Lag,
+    /// The player-based workload: 25 bots random-walking on the Control world.
+    Players,
+}
+
+impl WorkloadKind {
+    /// All workloads in the order the paper's figures list them.
+    #[must_use]
+    pub fn all() -> [WorkloadKind; 5] {
+        [
+            WorkloadKind::Control,
+            WorkloadKind::Farm,
+            WorkloadKind::Tnt,
+            WorkloadKind::Lag,
+            WorkloadKind::Players,
+        ]
+    }
+
+    /// The environment-based workloads (everything except Players).
+    #[must_use]
+    pub fn environment_based() -> [WorkloadKind; 4] {
+        [
+            WorkloadKind::Control,
+            WorkloadKind::Farm,
+            WorkloadKind::Tnt,
+            WorkloadKind::Lag,
+        ]
+    }
+
+    /// Display name as used in the paper's figures.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::Control => "Control",
+            WorkloadKind::Tnt => "TNT",
+            WorkloadKind::Farm => "Farm",
+            WorkloadKind::Lag => "Lag",
+            WorkloadKind::Players => "Players",
+        }
+    }
+}
+
+impl std::fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The player-based part of a workload: how many bots connect and how they
+/// behave (Section 3.4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlayerWorkload {
+    /// Number of emulated players to connect.
+    pub bots: u32,
+    /// Side length of the square area the bots random-walk in, in blocks.
+    pub walk_area: u32,
+    /// Whether the bots move at all (environment workloads connect a single
+    /// idle observer that only probes response time).
+    pub moving: bool,
+}
+
+impl PlayerWorkload {
+    /// A single idle observer used by the environment-based workloads
+    /// ("During all environment-based workloads, Meterstick connects to the
+    /// game a single player that performs no actions").
+    #[must_use]
+    pub fn single_observer() -> Self {
+        PlayerWorkload {
+            bots: 1,
+            walk_area: 0,
+            moving: false,
+        }
+    }
+
+    /// The Players workload: 25 bots random-walking in a 32×32 area.
+    #[must_use]
+    pub fn random_walkers() -> Self {
+        PlayerWorkload {
+            bots: 25,
+            walk_area: 32,
+            moving: true,
+        }
+    }
+}
+
+/// A workload to build: the kind plus the scale knob (R8 in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Which workload.
+    pub kind: WorkloadKind,
+    /// Workload intensity multiplier (1 = the paper's configuration).
+    pub scale: u32,
+}
+
+impl WorkloadSpec {
+    /// Creates a spec at scale 1.
+    #[must_use]
+    pub fn new(kind: WorkloadKind) -> Self {
+        WorkloadSpec { kind, scale: 1 }
+    }
+
+    /// Creates a spec at a custom scale.
+    #[must_use]
+    pub fn with_scale(kind: WorkloadKind, scale: u32) -> Self {
+        WorkloadSpec {
+            kind,
+            scale: scale.max(1),
+        }
+    }
+
+    /// Builds the workload world deterministically from `seed`.
+    #[must_use]
+    pub fn build(&self, seed: u64) -> BuiltWorkload {
+        match self.kind {
+            WorkloadKind::Control => control::build(seed, self.scale),
+            WorkloadKind::Tnt => tnt::build(seed, self.scale),
+            WorkloadKind::Farm => farm::build(seed, self.scale),
+            WorkloadKind::Lag => lag::build(seed, self.scale),
+            WorkloadKind::Players => {
+                let mut built = control::build(seed, self.scale);
+                built.kind = WorkloadKind::Players;
+                built.players = PlayerWorkload::random_walkers();
+                built
+            }
+        }
+    }
+}
+
+/// A fully constructed workload, ready to hand to a game server.
+pub struct BuiltWorkload {
+    /// Which workload this is.
+    pub kind: WorkloadKind,
+    /// The world to load into the server.
+    pub world: World,
+    /// Where connected players spawn.
+    pub spawn_point: Vec3,
+    /// The player-based part of the workload.
+    pub players: PlayerWorkload,
+    /// If set, every TNT block in the world is scheduled to ignite this many
+    /// ticks after the experiment starts (TNT workload: ~20 seconds).
+    pub tnt_fuse_delay_ticks: Option<u64>,
+    /// Ambient entities present when the experiment starts (grazing animals,
+    /// villagers); freshly generated Minecraft worlds are never empty of
+    /// entities, and their movement packets are what makes entity traffic
+    /// dominate even the Control workload (Table 8).
+    pub ambient_entities: Vec<(EntityKind, Vec3)>,
+    /// Human-readable description of what was built.
+    pub description: String,
+}
+
+impl std::fmt::Debug for BuiltWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BuiltWorkload")
+            .field("kind", &self.kind)
+            .field("spawn_point", &self.spawn_point)
+            .field("players", &self.players)
+            .field("description", &self.description)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_workloads_build() {
+        for kind in WorkloadKind::all() {
+            let built = WorkloadSpec::new(kind).build(42);
+            assert_eq!(built.kind, kind);
+            assert!(built.world.loaded_chunk_count() > 0, "{kind} world must have chunks");
+            assert!(!built.description.is_empty());
+        }
+    }
+
+    #[test]
+    fn players_workload_uses_random_walkers() {
+        let built = WorkloadSpec::new(WorkloadKind::Players).build(1);
+        assert_eq!(built.players.bots, 25);
+        assert_eq!(built.players.walk_area, 32);
+        assert!(built.players.moving);
+    }
+
+    #[test]
+    fn environment_workloads_use_a_single_observer() {
+        for kind in [WorkloadKind::Control, WorkloadKind::Farm, WorkloadKind::Tnt, WorkloadKind::Lag] {
+            let built = WorkloadSpec::new(kind).build(1);
+            assert_eq!(built.players.bots, 1, "{kind}");
+            assert!(!built.players.moving);
+        }
+    }
+
+    #[test]
+    fn scale_is_clamped_to_at_least_one() {
+        let spec = WorkloadSpec::with_scale(WorkloadKind::Control, 0);
+        assert_eq!(spec.scale, 1);
+    }
+
+    #[test]
+    fn only_tnt_has_a_fuse() {
+        for kind in WorkloadKind::all() {
+            let built = WorkloadSpec::new(kind).build(3);
+            if kind == WorkloadKind::Tnt {
+                assert!(built.tnt_fuse_delay_ticks.is_some());
+            } else {
+                assert!(built.tnt_fuse_delay_ticks.is_none(), "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn kind_lists_and_names() {
+        assert_eq!(WorkloadKind::all().len(), 5);
+        assert_eq!(WorkloadKind::environment_based().len(), 4);
+        assert_eq!(WorkloadKind::Tnt.to_string(), "TNT");
+    }
+}

@@ -1,0 +1,90 @@
+//! The TNT workload: a cuboid of TNT detonated shortly after a player joins.
+//!
+//! "The TNT world contains a 16-by-16-by-14 cuboid filled with TNT blocks
+//! which are set to explode around 20 seconds after a player connects. […]
+//! when a large section of TNT is activated, the MLG must perform a large
+//! number of both entity-collision and physics calculations."
+//! (Section 3.3.1.)
+
+use mlg_entity::Vec3;
+use mlg_world::generation::FlatGenerator;
+use mlg_world::{Block, BlockKind, BlockPos, ChunkPos, Region, World};
+
+use crate::spec::{BuiltWorkload, PlayerWorkload, WorkloadKind};
+
+/// Ticks between experiment start and TNT ignition (~20 seconds at 20 Hz).
+pub const FUSE_DELAY_TICKS: u64 = 400;
+
+/// Base dimensions of the TNT cuboid (x, y, z) at scale 1, matching Table 2.
+pub const CUBOID_DIMENSIONS: (u32, u32, u32) = (16, 14, 16);
+
+/// Distance between the spawn point and the nearest cuboid face, in blocks.
+const STANDOFF: i32 = 24;
+
+/// Builds the TNT world. `scale` multiplies the cuboid's horizontal footprint.
+#[must_use]
+pub fn build(seed: u64, scale: u32) -> BuiltWorkload {
+    let generator = FlatGenerator::grassland();
+    let surface = generator.surface_y();
+    let mut world = World::new(Box::new(generator), seed);
+    world.ensure_area(ChunkPos::new(0, 0), 4);
+
+    let (dx, dy, dz) = CUBOID_DIMENSIONS;
+    let dx = dx * scale;
+    let min = BlockPos::new(STANDOFF, surface + 1, 0);
+    let max = min.offset(dx as i32 - 1, dy as i32 - 1, dz as i32 - 1);
+    let region = Region::new(min, max);
+    world.fill_region(region, Block::simple(BlockKind::Tnt));
+
+    let spawn_point = Vec3::new(0.5, f64::from(surface) + 1.0, 8.5);
+    BuiltWorkload {
+        kind: WorkloadKind::Tnt,
+        world,
+        spawn_point,
+        players: PlayerWorkload::single_observer(),
+        tnt_fuse_delay_ticks: Some(FUSE_DELAY_TICKS),
+        ambient_entities: Vec::new(),
+        description: format!(
+            "{}x{}x{} TNT cuboid ({} blocks), fused {} ticks after start",
+            dx,
+            dy,
+            dz,
+            region.volume(),
+            FUSE_DELAY_TICKS
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cuboid_has_the_paper_dimensions_at_scale_one() {
+        let built = build(1, 1);
+        let tnt = built.world.count_kind(BlockKind::Tnt);
+        assert_eq!(tnt, 16 * 14 * 16);
+    }
+
+    #[test]
+    fn fuse_is_about_twenty_seconds() {
+        let built = build(1, 1);
+        assert_eq!(built.tnt_fuse_delay_ticks, Some(400));
+        // 400 ticks at 50 ms = 20 s.
+        assert_eq!(400 * 50, 20_000);
+    }
+
+    #[test]
+    fn scale_multiplies_the_tnt_volume() {
+        let one = build(1, 1).world.count_kind(BlockKind::Tnt);
+        let two = build(1, 2).world.count_kind(BlockKind::Tnt);
+        assert_eq!(two, one * 2);
+    }
+
+    #[test]
+    fn spawn_is_outside_the_blast_cuboid() {
+        let built = build(1, 1);
+        let spawn_block = built.spawn_point.block_pos();
+        assert!(spawn_block.x < STANDOFF - 4, "observer spawns away from the cuboid");
+    }
+}

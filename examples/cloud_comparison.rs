@@ -1,0 +1,60 @@
+//! Cloud vs self-hosted comparison: run the same Players workload on AWS,
+//! Azure and a dedicated DAS-5 node and compare the variability — insight I3
+//! of the paper ("players should choose their cloud environment depending on
+//! their MLG, and should consider self-hosting").
+//!
+//! Run with: `cargo run --release --example cloud_comparison`
+
+use cloud_sim::environment::Environment;
+use meterstick::config::BenchmarkConfig;
+use meterstick::experiment::ExperimentRunner;
+use meterstick::report::{ascii_bar, render_table};
+use meterstick_metrics::stats::Percentiles;
+use meterstick_workloads::WorkloadKind;
+use mlg_server::ServerFlavor;
+
+fn main() {
+    let environments = vec![
+        Environment::das5(2),
+        Environment::azure_default(),
+        Environment::aws_default(),
+    ];
+    let mut rows = Vec::new();
+    let mut bars = Vec::new();
+    for environment in environments {
+        for flavor in [ServerFlavor::Vanilla, ServerFlavor::Paper] {
+            let config = BenchmarkConfig::new(WorkloadKind::Players)
+                .with_flavors(vec![flavor])
+                .with_environment(environment.clone())
+                .with_duration_secs(15)
+                .with_iterations(6);
+            let results = ExperimentRunner::new(config).run();
+            let isr = results.isr_values(flavor);
+            let isr_p = Percentiles::of(&isr);
+            let ticks = Percentiles::of(&results.pooled_tick_times(flavor));
+            rows.push(vec![
+                environment.label(),
+                flavor.to_string(),
+                format!("{:.4}", isr_p.p50),
+                format!("{:.4}", isr_p.iqr()),
+                format!("{:.1}", ticks.p50),
+                format!("{:.1}", ticks.iqr()),
+            ]);
+            bars.push((format!("{} / {}", environment.label(), flavor), isr_p.p50));
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &["environment", "server", "median ISR", "ISR IQR", "median tick [ms]", "tick IQR [ms]"],
+            &rows
+        )
+    );
+    let max = bars.iter().map(|(_, v)| *v).fold(1e-6, f64::max);
+    println!("median ISR per deployment (longer bar = more variability):");
+    for (label, value) in bars {
+        println!("  {label:>24} {}", ascii_bar(value, max, 40));
+    }
+    println!("\nSelf-hosting is the most stable option; neither cloud dominates for every");
+    println!("server, so operators should benchmark their own combination (insight I3).");
+}

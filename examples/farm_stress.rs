@@ -1,0 +1,70 @@
+//! Environment-based workload deep dive: drive the Farm world directly
+//! against a game server and watch how the simulated constructs (mob farms,
+//! clock-driven harvesters, hoppers) load the tick loop over time.
+//!
+//! This example bypasses the experiment runner to show the lower-level API:
+//! workload building, server construction, player emulation and per-tick
+//! inspection.
+//!
+//! Run with: `cargo run --release --example farm_stress`
+
+use cloud_sim::environment::Environment;
+use meterstick_metrics::distribution::TickOperation;
+use meterstick_metrics::trace::TickTrace;
+use meterstick_workloads::{WorkloadKind, WorkloadSpec};
+use mlg_bots::PlayerEmulation;
+use mlg_protocol::netsim::LinkConfig;
+use mlg_server::{GameServer, ServerConfig, ServerFlavor};
+
+fn main() {
+    // Build the Farm workload world (Table 3 constructs, rebuilt
+    // programmatically) and put a vanilla server on an AWS t3.large.
+    let built = WorkloadSpec::new(WorkloadKind::Farm).build(392_114_485);
+    println!("world: {}", built.description);
+    let config = ServerConfig::for_flavor(ServerFlavor::Vanilla);
+    let mut server = GameServer::new(config, built.world, built.spawn_point);
+    for (kind, pos) in &built.ambient_entities {
+        server.spawn_entity(*kind, *pos);
+    }
+    let mut bots = PlayerEmulation::new(
+        built.players.bots,
+        built.spawn_point,
+        built.players.walk_area,
+        built.players.moving,
+        LinkConfig::datacenter(),
+        7,
+    );
+    bots.connect_all(&mut server);
+    let mut engine = Environment::aws_default().instantiate(3).engine;
+
+    // Run 45 simulated seconds, reporting every 5 seconds.
+    let mut trace = TickTrace::new(50.0);
+    let mut next_report_ms = 5_000.0;
+    println!("\n   time   entities   mean tick   overloaded ticks   ISR so far");
+    while server.clock_ms() < 45_000.0 {
+        let summary = bots.step(&mut server, &mut engine);
+        trace.push(summary.record);
+        if summary.end_ms >= next_report_ms {
+            let p = trace.percentiles();
+            println!(
+                "  {:>4.0} s   {:>8}   {:>8.1} ms   {:>16}   {:.4}",
+                summary.end_ms / 1_000.0,
+                summary.entity_count,
+                p.mean,
+                trace.overloaded_ticks(),
+                trace.instability_ratio(None),
+            );
+            next_report_ms += 5_000.0;
+        }
+    }
+
+    let distribution = trace.aggregate_distribution();
+    println!("\nwhere the non-idle tick time went:");
+    for op in TickOperation::all() {
+        if !op.is_wait() {
+            println!("  {:>16}: {:>5.1}%", op.to_string(), distribution.busy_share_percent(op));
+        }
+    }
+    println!("\nAs in the paper's MF4, entity processing dominates the busy share once the");
+    println!("dark-room farms fill up with mobs and the harvesters start dropping items.");
+}

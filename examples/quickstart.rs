@@ -1,0 +1,50 @@
+//! Quickstart: benchmark the vanilla server on the Control workload and print
+//! the headline Meterstick metrics.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cloud_sim::environment::Environment;
+use meterstick::config::BenchmarkConfig;
+use meterstick::experiment::ExperimentRunner;
+use meterstick::report::render_table;
+use meterstick_workloads::WorkloadKind;
+use mlg_server::ServerFlavor;
+
+fn main() {
+    // 1. Describe the benchmark: workload, systems under test, environment.
+    let config = BenchmarkConfig::new(WorkloadKind::Control)
+        .with_flavors(vec![ServerFlavor::Vanilla, ServerFlavor::Paper])
+        .with_environment(Environment::aws_default())
+        .with_duration_secs(20)
+        .with_iterations(2);
+
+    // 2. Run it. Everything executes in simulated (virtual) time, so this
+    //    finishes in a few seconds of wall-clock time.
+    let results = ExperimentRunner::new(config).run();
+
+    // 3. Inspect the results: tick-time statistics, the Instability Ratio and
+    //    the response-time summary per iteration.
+    let mut rows = Vec::new();
+    for it in results.iterations() {
+        let ticks = it.tick_percentiles();
+        rows.push(vec![
+            it.flavor.to_string(),
+            format!("#{}", it.iteration),
+            format!("{}", it.ticks_executed),
+            format!("{:.1}", ticks.mean),
+            format!("{:.1}", ticks.max),
+            format!("{:.4}", it.instability_ratio),
+            format!("{:.1}", it.response.percentiles.p50),
+            format!("{:.1}", it.response.percentiles.max),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["server", "iter", "ticks", "mean tick [ms]", "max tick [ms]", "ISR", "median RTT [ms]", "max RTT [ms]"],
+            &rows
+        )
+    );
+    println!("Next steps: see the binaries in crates/bench/src/bin/ for every figure and");
+    println!("table of the paper, e.g. `cargo run --release -p meterstick-bench --bin fig08_isr_workloads`.");
+}

@@ -1,0 +1,3 @@
+//! Umbrella crate for workspace-level examples and integration tests of the
+//! Meterstick reproduction. Re-exports nothing; the examples and integration
+//! tests under `examples/` and `tests/` depend on the member crates directly.

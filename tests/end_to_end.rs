@@ -1,0 +1,190 @@
+//! End-to-end integration tests: workload worlds, game server, player
+//! emulation, deployment environments and the experiment runner working
+//! together, checking the qualitative findings (MF1–MF5) the reproduction is
+//! supposed to preserve.
+
+use cloud_sim::environment::Environment;
+use meterstick::config::BenchmarkConfig;
+use meterstick::experiment::ExperimentRunner;
+use meterstick_metrics::stats::Percentiles;
+use meterstick_workloads::WorkloadKind;
+use mlg_server::ServerFlavor;
+
+fn runner(
+    workload: WorkloadKind,
+    flavor: ServerFlavor,
+    environment: Environment,
+    secs: u64,
+    iterations: u32,
+) -> ExperimentRunner {
+    ExperimentRunner::new(
+        BenchmarkConfig::new(workload)
+            .with_flavors(vec![flavor])
+            .with_environment(environment)
+            .with_duration_secs(secs)
+            .with_iterations(iterations),
+    )
+}
+
+#[test]
+fn mf2_environment_workloads_cause_more_variability_than_control() {
+    let isr_of = |workload| {
+        let results = runner(workload, ServerFlavor::Vanilla, Environment::aws_default(), 25, 1).run();
+        results.iterations()[0].instability_ratio
+    };
+    let control = isr_of(WorkloadKind::Control);
+    let farm = isr_of(WorkloadKind::Farm);
+    let lag = isr_of(WorkloadKind::Lag);
+    assert!(
+        farm > control,
+        "Farm ISR ({farm}) should exceed Control ISR ({control})"
+    );
+    assert!(lag > 0.3, "the Lag machine should produce extreme ISR, got {lag}");
+    assert!(lag > farm, "Lag ({lag}) should be the worst workload (farm {farm})");
+}
+
+#[test]
+fn mf2_lag_crashes_on_aws_but_not_on_das5() {
+    let aws = runner(WorkloadKind::Lag, ServerFlavor::Vanilla, Environment::aws_default(), 60, 1).run();
+    assert!(
+        aws.iterations()[0].crashed(),
+        "the Lag workload should crash the vanilla server on the AWS 2-vCPU node"
+    );
+    let das5 = runner(WorkloadKind::Lag, ServerFlavor::Vanilla, Environment::das5(2), 60, 1).run();
+    assert!(
+        !das5.iterations()[0].crashed(),
+        "the same workload should survive on dedicated hardware"
+    );
+}
+
+#[test]
+fn mf3_clouds_are_more_variable_than_self_hosting() {
+    let iterations = 5;
+    let isr_spread = |environment: Environment| {
+        let results = runner(
+            WorkloadKind::Players,
+            ServerFlavor::Vanilla,
+            environment,
+            15,
+            iterations,
+        )
+        .run();
+        Percentiles::of(&results.isr_values(ServerFlavor::Vanilla))
+    };
+    let das5 = isr_spread(Environment::das5(2));
+    let aws = isr_spread(Environment::aws_default());
+    assert!(
+        aws.p50 >= das5.p50,
+        "median ISR on AWS ({}) should not be below DAS-5 ({})",
+        aws.p50,
+        das5.p50
+    );
+    assert!(
+        aws.iqr() > das5.iqr(),
+        "inter-iteration ISR spread on AWS ({}) should exceed DAS-5 ({})",
+        aws.iqr(),
+        das5.iqr()
+    );
+}
+
+#[test]
+fn mf4_entities_dominate_non_idle_tick_time_under_tnt() {
+    let results = runner(WorkloadKind::Tnt, ServerFlavor::Vanilla, Environment::aws_default(), 30, 1).run();
+    let it = &results.iterations()[0];
+    let distribution = it.tick_distribution();
+    let entity_share = distribution.busy_share_percent(meterstick_metrics::TickOperation::Entities);
+    assert!(
+        entity_share > 40.0,
+        "entity processing should dominate the busy tick share, got {entity_share:.1}%"
+    );
+    // Entity messages dominate the message count but not the byte count.
+    let msg_share = it.traffic.message_share_percent(mlg_protocol::TrafficCategory::Entity);
+    let byte_share = it.traffic.byte_share_percent(mlg_protocol::TrafficCategory::Entity);
+    assert!(msg_share > 50.0, "entity message share {msg_share:.1}%");
+    assert!(byte_share < msg_share, "entity byte share should be smaller than message share");
+}
+
+#[test]
+fn mf5_bigger_nodes_reduce_overload_and_variability() {
+    // 60 seconds: the TNT cuboid detonates at t=20 s and the sustained chain
+    // reaction afterwards is what exhausts the small node's CPU budget.
+    let mean_tick = |node| {
+        let results = runner(
+            WorkloadKind::Tnt,
+            ServerFlavor::Vanilla,
+            Environment::aws(node),
+            60,
+            1,
+        )
+        .run();
+        results.iterations()[0].tick_percentiles().mean
+    };
+    let large = mean_tick(cloud_sim::node::NodeType::aws_t3_large());
+    let xxl = mean_tick(cloud_sim::node::NodeType::aws_t3_2xlarge());
+    assert!(
+        xxl < large,
+        "the 8-vCPU node ({xxl} ms) should have lower mean tick time than the 2-vCPU node ({large} ms)"
+    );
+}
+
+#[test]
+fn paper_flavor_tames_environment_workloads() {
+    let isr_of = |flavor| {
+        let results = runner(WorkloadKind::Farm, flavor, Environment::aws_default(), 25, 1).run();
+        results.iterations()[0].instability_ratio
+    };
+    let vanilla = isr_of(ServerFlavor::Vanilla);
+    let paper = isr_of(ServerFlavor::Paper);
+    assert!(
+        paper < vanilla,
+        "PaperMC ISR ({paper}) should be below Vanilla ISR ({vanilla}) on the Farm workload"
+    );
+}
+
+#[test]
+fn response_time_prober_collects_samples_on_every_workload() {
+    for workload in [WorkloadKind::Control, WorkloadKind::Farm] {
+        let results = runner(workload, ServerFlavor::Forge, Environment::das5(2), 15, 1).run();
+        let it = &results.iterations()[0];
+        assert!(
+            it.response_samples.len() >= 10,
+            "{workload}: expected at least 10 probe samples, got {}",
+            it.response_samples.len()
+        );
+        assert!(it.response.percentiles.max < 10_000.0);
+    }
+}
+
+#[test]
+fn system_metrics_are_collected_twice_per_second() {
+    let results = runner(WorkloadKind::Control, ServerFlavor::Vanilla, Environment::das5(2), 10, 1).run();
+    let it = &results.iterations()[0];
+    // 10 seconds at 2 samples/second, give or take the final partial window.
+    assert!(
+        (it.system_samples.len() as i64 - 20).abs() <= 2,
+        "expected ~20 system samples, got {}",
+        it.system_samples.len()
+    );
+    for sample in &it.system_samples {
+        assert!(sample.cpu_utilization >= 0.0 && sample.cpu_utilization <= 1.0);
+        assert!(sample.memory_mib > 0.0);
+        assert!(sample.threads > 0);
+    }
+}
+
+#[test]
+fn experiments_are_deterministic_per_seed() {
+    let config = BenchmarkConfig::new(WorkloadKind::Farm)
+        .with_flavors(vec![ServerFlavor::Paper])
+        .with_environment(Environment::aws_default())
+        .with_duration_secs(10)
+        .with_iterations(2)
+        .with_seed(1234);
+    let a = ExperimentRunner::new(config.clone()).run();
+    let b = ExperimentRunner::new(config).run();
+    for (x, y) in a.iterations().iter().zip(b.iterations()) {
+        assert_eq!(x.instability_ratio, y.instability_ratio);
+        assert_eq!(x.ticks_executed, y.ticks_executed);
+        assert_eq!(x.response_samples, y.response_samples);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants: the ISR metric, coordinate conversions, the protocol codec,
+//! region geometry and summary statistics.
+
+use proptest::prelude::*;
+
+use meterstick_metrics::isr::{analytical_isr, instability_ratio, IsrParams};
+use meterstick_metrics::stats::{percentile, BoxplotSummary, Percentiles};
+use mlg_entity::{EntityId, Vec3};
+use mlg_protocol::codec::{
+    decode_clientbound, decode_serverbound, encode_clientbound, encode_serverbound,
+};
+use mlg_protocol::{ClientboundPacket, ServerboundPacket};
+use mlg_world::{Block, BlockKind, BlockPos, Region};
+
+proptest! {
+    // ------------------------------------------------------------------ ISR
+    #[test]
+    fn isr_is_always_in_unit_range(
+        durations in prop::collection::vec(0.1f64..5_000.0, 0..400),
+    ) {
+        let isr = instability_ratio(&durations, IsrParams::default());
+        prop_assert!((0.0..=1.0).contains(&isr));
+    }
+
+    #[test]
+    fn isr_of_constant_traces_is_zero(value in 0.1f64..2_000.0, len in 2usize..200) {
+        let trace = vec![value; len];
+        prop_assert_eq!(instability_ratio(&trace, IsrParams::default()), 0.0);
+    }
+
+    #[test]
+    fn isr_is_invariant_to_sub_budget_noise(
+        noise in prop::collection::vec(0.1f64..49.9, 10..200),
+    ) {
+        // Every tick below the budget runs at the budget period, so traces of
+        // sub-budget ticks always have ISR 0 regardless of their shape.
+        let isr = instability_ratio(&noise, IsrParams::default());
+        prop_assert_eq!(isr, 0.0);
+    }
+
+    #[test]
+    fn analytical_isr_matches_its_closed_form_bounds(s in 1.0f64..100.0, lambda in 1.0f64..500.0) {
+        let isr = analytical_isr(s, lambda);
+        prop_assert!((0.0..=1.0).contains(&isr));
+        // Monotone in s, antitone in lambda.
+        prop_assert!(analytical_isr(s + 1.0, lambda) >= isr);
+        prop_assert!(analytical_isr(s, lambda + 1.0) <= isr);
+    }
+
+    // ----------------------------------------------------------- statistics
+    #[test]
+    fn percentiles_are_bounded_by_extremes(
+        values in prop::collection::vec(-1_000.0f64..1_000.0, 1..200),
+        p in 0.0f64..100.0,
+    ) {
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let v = percentile(&values, p);
+        prop_assert!(v >= min - 1e-9 && v <= max + 1e-9);
+    }
+
+    #[test]
+    fn boxplot_invariants_hold(values in prop::collection::vec(0.0f64..10_000.0, 2..300)) {
+        let p = Percentiles::of(&values);
+        let b = BoxplotSummary::of(&values);
+        prop_assert!(b.q1 <= b.median && b.median <= b.q3);
+        prop_assert!(b.whisker_low >= b.min - 1e-9);
+        prop_assert!(b.whisker_high <= b.max + 1e-9);
+        prop_assert!(p.mean >= p.min && p.mean <= p.max);
+    }
+
+    // ---------------------------------------------------------- coordinates
+    #[test]
+    fn block_pos_chunk_and_local_are_consistent(
+        x in -100_000i32..100_000,
+        y in 0i32..127,
+        z in -100_000i32..100_000,
+    ) {
+        let pos = BlockPos::new(x, y, z);
+        let chunk = pos.chunk();
+        let (lx, ly, lz) = pos.local();
+        let origin = chunk.origin_block();
+        prop_assert_eq!(origin.x + lx as i32, x);
+        prop_assert_eq!(origin.z + lz as i32, z);
+        prop_assert_eq!(ly, y);
+        prop_assert!(lx < 16 && lz < 16);
+    }
+
+    #[test]
+    fn vec3_to_block_pos_floors(
+        x in -10_000.0f64..10_000.0,
+        y in 0.0f64..127.0,
+        z in -10_000.0f64..10_000.0,
+    ) {
+        let v = Vec3::new(x, y, z);
+        let b = v.block_pos();
+        prop_assert!(f64::from(b.x) <= x && x < f64::from(b.x) + 1.0);
+        prop_assert!(f64::from(b.z) <= z && z < f64::from(b.z) + 1.0);
+    }
+
+    // --------------------------------------------------------------- regions
+    #[test]
+    fn region_volume_matches_iteration(
+        ax in -20i32..20, ay in 0i32..20, az in -20i32..20,
+        bx in -20i32..20, by in 0i32..20, bz in -20i32..20,
+    ) {
+        let region = Region::new(BlockPos::new(ax, ay, az), BlockPos::new(bx, by, bz));
+        prop_assert_eq!(region.iter().count() as u64, region.volume());
+        for pos in region.iter() {
+            prop_assert!(region.contains(pos));
+        }
+    }
+
+    // -------------------------------------------------------------- protocol
+    #[test]
+    fn serverbound_chat_roundtrips(message in ".{0,80}", ts in 0.0f64..1e9) {
+        let packet = ServerboundPacket::Chat { message, sent_at_ms: ts };
+        let decoded = decode_serverbound(encode_serverbound(&packet)).unwrap();
+        prop_assert_eq!(decoded, packet);
+    }
+
+    #[test]
+    fn clientbound_block_change_roundtrips(
+        x in -1_000_000i32..1_000_000,
+        y in 0i32..127,
+        z in -1_000_000i32..1_000_000,
+        kind_idx in 0usize..36,
+        state in 0u8..=255,
+    ) {
+        let kind = BlockKind::all()[kind_idx];
+        let packet = ClientboundPacket::BlockChange {
+            pos: BlockPos::new(x, y, z),
+            block: Block::with_state(kind, state),
+        };
+        let decoded = decode_clientbound(encode_clientbound(&packet)).unwrap();
+        prop_assert_eq!(decoded, packet);
+    }
+
+    #[test]
+    fn clientbound_entity_move_roundtrips(
+        id in 0u64..u64::MAX,
+        x in -1e6f64..1e6, y in -256.0f64..256.0, z in -1e6f64..1e6,
+    ) {
+        let packet = ClientboundPacket::EntityMove {
+            id: EntityId(id),
+            pos: Vec3::new(x, y, z),
+        };
+        let decoded = decode_clientbound(encode_clientbound(&packet)).unwrap();
+        prop_assert_eq!(decoded, packet);
+    }
+
+    #[test]
+    fn truncated_packets_never_panic(
+        bytes in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        // Decoding arbitrary bytes must return an error or a packet, never panic.
+        let _ = decode_clientbound(bytes::Bytes::from(bytes.clone()));
+        let _ = decode_serverbound(bytes::Bytes::from(bytes));
+    }
+}
