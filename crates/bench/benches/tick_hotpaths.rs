@@ -93,11 +93,19 @@ fn bench_pathfinding(c: &mut Criterion) {
         for z in -10..=10 {
             for y in 61..64 {
                 if z != 8 {
-                    world.set_block_silent(BlockPos::new(15, y, z), Block::simple(BlockKind::Stone));
+                    world
+                        .set_block_silent(BlockPos::new(15, y, z), Block::simple(BlockKind::Stone));
                 }
             }
         }
-        b.iter(|| find_path(&mut world, BlockPos::new(0, 61, 0), BlockPos::new(30, 61, 0), 4_096));
+        b.iter(|| {
+            find_path(
+                &mut world,
+                BlockPos::new(0, 61, 0),
+                BlockPos::new(30, 61, 0),
+                4_096,
+            )
+        });
     });
 }
 

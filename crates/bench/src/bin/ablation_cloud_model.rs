@@ -9,10 +9,9 @@
 use cloud_sim::environment::Environment;
 use cloud_sim::interference::InterferenceProfile;
 use cloud_sim::node::NodeType;
-use meterstick::config::BenchmarkConfig;
-use meterstick::experiment::ExperimentRunner;
+use meterstick::campaign::Campaign;
 use meterstick::report::render_table;
-use meterstick_bench::print_header;
+use meterstick_bench::{print_header, run_campaign};
 use meterstick_metrics::stats::Percentiles;
 use meterstick_workloads::WorkloadKind;
 use mlg_server::ServerFlavor;
@@ -64,14 +63,18 @@ fn main() {
         "burst credits only",
         "full AWS",
     ];
+    // Every variant produces the same "AWS 2-core" label, so each gets its
+    // own single-environment campaign instead of one shared environment
+    // dimension.
     let mut rows = Vec::new();
     for name in variants {
-        let config = BenchmarkConfig::new(WorkloadKind::Players)
-            .with_flavors(vec![ServerFlavor::Vanilla])
-            .with_environment(variant(name))
-            .with_duration_secs(15)
-            .with_iterations(8);
-        let results = ExperimentRunner::new(config).run();
+        let campaign = Campaign::new()
+            .workloads([WorkloadKind::Players])
+            .flavors([ServerFlavor::Vanilla])
+            .environments([variant(name)])
+            .duration_secs(15)
+            .iterations(8);
+        let results = run_campaign(&campaign);
         let isr = results.isr_values(ServerFlavor::Vanilla);
         let ticks = results.pooled_tick_times(ServerFlavor::Vanilla);
         let isr_p = Percentiles::of(&isr);
@@ -88,7 +91,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["interference components", "ISR median", "ISR IQR", "ISR max", "mean tick [ms]", "max tick [ms]"],
+            &[
+                "interference components",
+                "ISR median",
+                "ISR IQR",
+                "ISR max",
+                "mean tick [ms]",
+                "max tick [ms]"
+            ],
             &rows
         )
     );

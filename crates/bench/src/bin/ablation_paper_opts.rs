@@ -9,11 +9,11 @@
 use cloud_sim::environment::Environment;
 use meterstick::report::render_table;
 use meterstick_bench::{duration_from_args, print_header};
+use meterstick_metrics::trace::TickTrace;
 use meterstick_workloads::{WorkloadKind, WorkloadSpec};
 use mlg_bots::PlayerEmulation;
 use mlg_protocol::netsim::LinkConfig;
 use mlg_server::{FlavorProfile, GameServer, ServerConfig, ServerFlavor};
-use meterstick_metrics::trace::TickTrace;
 
 fn profile_variant(name: &str) -> FlavorProfile {
     let vanilla = ServerFlavor::Vanilla.profile();
@@ -46,7 +46,11 @@ fn profile_variant(name: &str) -> FlavorProfile {
     }
 }
 
-fn run_with_profile(workload: WorkloadKind, profile: FlavorProfile, duration_secs: u64) -> (f64, f64, bool) {
+fn run_with_profile(
+    workload: WorkloadKind,
+    profile: FlavorProfile,
+    duration_secs: u64,
+) -> (f64, f64, bool) {
     let built = WorkloadSpec::new(workload).build(392_114_485);
     let config = ServerConfig::for_flavor(ServerFlavor::Vanilla);
     let mut server = GameServer::new(config, built.world, built.spawn_point);
@@ -104,17 +108,25 @@ fn main() {
         println!("\n--- {workload} workload ---");
         let mut rows = Vec::new();
         for variant in variants {
-            let (mean, isr, crashed) = run_with_profile(workload, profile_variant(variant), duration);
+            let (mean, isr, crashed) =
+                run_with_profile(workload, profile_variant(variant), duration);
             rows.push(vec![
                 variant.to_string(),
                 format!("{mean:.1}"),
                 format!("{isr:.3}"),
-                if crashed { "crashed".into() } else { "-".into() },
+                if crashed {
+                    "crashed".into()
+                } else {
+                    "-".into()
+                },
             ]);
         }
         println!(
             "{}",
-            render_table(&["optimization enabled", "mean tick [ms]", "ISR", "status"], &rows)
+            render_table(
+                &["optimization enabled", "mean tick [ms]", "ISR", "status"],
+                &rows
+            )
         );
     }
     println!("\nExpected shape: the entity handler and TNT batching dominate the TNT-workload");

@@ -5,23 +5,35 @@
 //! crashing on AWS but not on DAS-5).
 
 use cloud_sim::environment::Environment;
+use meterstick::campaign::Campaign;
 use meterstick::report::render_table;
-use meterstick_bench::run;
+use meterstick_bench::{print_header, run_campaign};
 use meterstick_workloads::WorkloadKind;
 use mlg_server::ServerFlavor;
 
 fn main() {
-    let duration = 20;
-    let mut rows = Vec::new();
-    for env_fn in [Environment::das5 as fn(u32) -> Environment] {
-        let _ = env_fn;
-    }
+    print_header(
+        "Calibration",
+        "Tick-time regimes per workload, flavor and environment",
+    );
     let environments = vec![Environment::das5(2), Environment::aws_default()];
-    for environment in environments {
+    let flavors = [ServerFlavor::Vanilla, ServerFlavor::Paper];
+    // The whole grid — 2 environments × 5 workloads × 2 flavors — is one
+    // factorial campaign.
+    let campaign = Campaign::new()
+        .workloads(WorkloadKind::all())
+        .flavors(flavors)
+        .environments(environments.iter().cloned())
+        .duration_secs(20)
+        .iterations(1);
+    let results = run_campaign(&campaign);
+
+    let mut rows = Vec::new();
+    for environment in &environments {
         for workload in WorkloadKind::all() {
-            for flavor in [ServerFlavor::Vanilla, ServerFlavor::Paper] {
-                let results = run(workload, &[flavor], environment.clone(), duration, 1);
-                let it = &results.iterations()[0];
+            for flavor in flavors {
+                let cell = results.for_cell(workload, flavor, &environment.label());
+                let it = cell.first().expect("one iteration per cell");
                 let p = it.tick_percentiles();
                 rows.push(vec![
                     environment.label(),
@@ -32,7 +44,11 @@ fn main() {
                     format!("{:.1}", p.p95),
                     format!("{:.1}", p.max),
                     format!("{:.3}", it.instability_ratio),
-                    if it.crashed() { "CRASH".into() } else { "-".into() },
+                    if it.crashed() {
+                        "CRASH".into()
+                    } else {
+                        "-".into()
+                    },
                 ]);
             }
         }

@@ -6,7 +6,9 @@
 
 use meterstick::report::render_table;
 use meterstick_bench::print_header;
-use meterstick_metrics::isr::{analytical_isr, instability_ratio, synthetic_outlier_trace, IsrParams};
+use meterstick_metrics::isr::{
+    analytical_isr, instability_ratio, synthetic_outlier_trace, IsrParams,
+};
 
 fn main() {
     print_header("Figure 6", "Numerical analysis of the Instability Ratio");
@@ -26,9 +28,20 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(&["λ", "s=2  model (trace)", "s=10 model (trace)", "s=20 model (trace)"], &rows)
+        render_table(
+            &[
+                "λ",
+                "s=2  model (trace)",
+                "s=10 model (trace)",
+                "s=20 model (trace)"
+            ],
+            &rows
+        )
     );
-    println!("Paper reference point: s=10, λ=25 → ISR ≈ 0.26 (here: {:.3})", analytical_isr(10.0, 25.0));
+    println!(
+        "Paper reference point: s=10, λ=25 → ISR ≈ 0.26 (here: {:.3})",
+        analytical_isr(10.0, 25.0)
+    );
 
     // Panel (b): clustered vs spread outliers.
     println!("\n(b) identical distributions, different order (1000 ticks, 5 outliers ×20):");
@@ -48,5 +61,8 @@ fn main() {
     let high = instability_ratio(&spread, params);
     println!("  Low-ISR trace (outliers clustered at the start): ISR = {low:.4}");
     println!("  High-ISR trace (outliers evenly spread):         ISR = {high:.4}");
-    println!("  ratio: {:.1}x (the paper reports an order of magnitude)", high / low);
+    println!(
+        "  ratio: {:.1}x (the paper reports an order of magnitude)",
+        high / low
+    );
 }

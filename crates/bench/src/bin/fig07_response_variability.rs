@@ -43,7 +43,17 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["workload", "server", "p5", "median", "mean", "p95", "max", "max/mean", "max/unplayable"],
+            &[
+                "workload",
+                "server",
+                "p5",
+                "median",
+                "mean",
+                "p95",
+                "max",
+                "max/mean",
+                "max/unplayable"
+            ],
             &rows
         )
     );

@@ -4,23 +4,38 @@
 //! environment configurations: AWS 2-core, DAS-5 2-core and DAS-5 16-core.
 //! In the paper the Lag workload crashes every MLG on AWS; the reproduction
 //! reports the same crash.
+//!
+//! The whole figure is one factorial campaign — 5 workloads × 3 flavors ×
+//! 3 environments in a single `Campaign::run` call.
 
+use meterstick::campaign::Campaign;
 use meterstick::report::render_table;
-use meterstick_bench::{duration_from_args, figure8_environments, print_header, run};
+use meterstick_bench::{duration_from_args, figure8_environments, print_header, run_campaign};
 use meterstick_workloads::WorkloadKind;
 use mlg_server::ServerFlavor;
 
 fn main() {
-    print_header("Figure 8 (MF2)", "ISR per MLG and workload on AWS and DAS-5");
-    let duration = duration_from_args();
-    for environment in figure8_environments() {
+    print_header(
+        "Figure 8 (MF2)",
+        "ISR per MLG and workload on AWS and DAS-5",
+    );
+    let environments = figure8_environments();
+    let campaign = Campaign::new()
+        .workloads(WorkloadKind::all())
+        .flavors(ServerFlavor::all())
+        .environments(environments.iter().cloned())
+        .duration_secs(duration_from_args())
+        .iterations(1);
+    let results = run_campaign(&campaign);
+
+    for environment in &environments {
         println!("\n--- {} ---", environment.label());
         let mut rows = Vec::new();
         for workload in WorkloadKind::all() {
             let mut row = vec![workload.to_string()];
             for flavor in ServerFlavor::all() {
-                let results = run(workload, &[flavor], environment.clone(), duration, 1);
-                let it = &results.iterations()[0];
+                let cell = results.for_cell(workload, flavor, &environment.label());
+                let it = cell.first().expect("one iteration per cell");
                 if it.crashed() {
                     row.push("crashed".into());
                 } else {

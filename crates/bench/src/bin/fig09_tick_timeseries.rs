@@ -5,25 +5,36 @@
 //! Lag workload is omitted because it crashes on AWS, as in the paper).
 
 use cloud_sim::environment::Environment;
+use meterstick::campaign::Campaign;
 use meterstick::report::render_table;
-use meterstick_bench::{duration_from_args, print_header, run};
+use meterstick_bench::{duration_from_args, print_header, run_campaign};
 use meterstick_workloads::WorkloadKind;
 use mlg_server::ServerFlavor;
 
 fn main() {
     print_header("Figure 9 (MF2)", "Tick time over time on AWS");
-    let duration = duration_from_args();
-    for workload in [
+    let environment = Environment::aws_default();
+    let workloads = [
         WorkloadKind::Control,
         WorkloadKind::Farm,
         WorkloadKind::Tnt,
         WorkloadKind::Players,
-    ] {
+    ];
+    // One campaign covers the whole figure: 4 workloads × 3 flavors.
+    let campaign = Campaign::new()
+        .workloads(workloads)
+        .flavors(ServerFlavor::all())
+        .environments([environment.clone()])
+        .duration_secs(duration_from_args())
+        .iterations(1);
+    let results = run_campaign(&campaign);
+
+    for workload in workloads {
         println!("\n--- {workload} workload (overloaded above 50 ms) ---");
         let mut series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
         for flavor in ServerFlavor::all() {
-            let results = run(workload, &[flavor], Environment::aws_default(), duration, 1);
-            let it = &results.iterations()[0];
+            let cell = results.for_cell(workload, flavor, &environment.label());
+            let it = cell.first().expect("one iteration per cell");
             series.push((flavor.to_string(), it.trace.time_series(12)));
         }
         // Render one row per sampled time point, one column per flavor.
@@ -39,7 +50,10 @@ fn main() {
         }
         println!(
             "{}",
-            render_table(&["time", "Minecraft [ms]", "Forge [ms]", "PaperMC [ms]"], &rows)
+            render_table(
+                &["time", "Minecraft [ms]", "Forge [ms]", "PaperMC [ms]"],
+                &rows
+            )
         );
     }
     println!("\nExpected shape (paper): Control is flat and low; Farm fluctuates at high");

@@ -5,8 +5,9 @@
 //! default is 10 so the figure regenerates quickly.
 
 use cloud_sim::environment::Environment;
+use meterstick::campaign::Campaign;
 use meterstick::report::render_table;
-use meterstick_bench::{print_header, run};
+use meterstick_bench::{print_header, run_campaign};
 use meterstick_metrics::stats::Percentiles;
 use meterstick_workloads::WorkloadKind;
 use mlg_server::ServerFlavor;
@@ -24,6 +25,14 @@ fn main() {
         Environment::azure_default(),
         Environment::aws_default(),
     ];
+    // 3 environments × 3 flavors × N iterations as one campaign.
+    let campaign = Campaign::new()
+        .workloads([WorkloadKind::Players])
+        .flavors(ServerFlavor::all())
+        .environments(environments.iter().cloned())
+        .duration_secs(duration)
+        .iterations(iterations);
+    let results = run_campaign(&campaign);
 
     let mut isr_rows = Vec::new();
     let mut tick_rows = Vec::new();
@@ -31,16 +40,10 @@ fn main() {
     let mut cloud_min_isr = f64::INFINITY;
     for environment in &environments {
         for flavor in ServerFlavor::all() {
-            let results = run(
-                WorkloadKind::Players,
-                &[flavor],
-                environment.clone(),
-                duration,
-                iterations,
-            );
-            let isr = results.isr_values(flavor);
+            let cell = results.for_cell(WorkloadKind::Players, flavor, &environment.label());
+            let isr: Vec<f64> = cell.iter().map(|r| r.instability_ratio).collect();
             let isr_p = Percentiles::of(&isr);
-            let ticks = results.pooled_tick_times(flavor);
+            let ticks: Vec<f64> = cell.iter().flat_map(|r| r.trace.busy_durations()).collect();
             let tick_p = Percentiles::of(&ticks);
             if environment.label().starts_with("DAS-5") {
                 das5_max_isr = das5_max_isr.max(isr_p.max);
@@ -68,12 +71,18 @@ fn main() {
     println!("\nISR distribution over {iterations} iterations:");
     println!(
         "{}",
-        render_table(&["environment", "server", "min", "median", "max", "IQR"], &isr_rows)
+        render_table(
+            &["environment", "server", "min", "median", "max", "IQR"],
+            &isr_rows
+        )
     );
     println!("tick-time distribution (pooled over iterations) [ms]:");
     println!(
         "{}",
-        render_table(&["environment", "server", "median", "mean", "IQR", "max"], &tick_rows)
+        render_table(
+            &["environment", "server", "median", "mean", "IQR", "max"],
+            &tick_rows
+        )
     );
     println!("\nKey MF3 check: minimum cloud ISR ({cloud_min_isr:.4}) vs maximum DAS-5 ISR ({das5_max_isr:.4})");
     println!("Expected shape (paper): clouds show higher medians and far larger");

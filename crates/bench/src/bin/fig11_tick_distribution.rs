@@ -5,20 +5,33 @@
 //! simulation, player handling, waiting, and other work.
 
 use cloud_sim::environment::Environment;
+use meterstick::campaign::Campaign;
 use meterstick::report::render_table;
-use meterstick_bench::{duration_from_args, print_header, run};
+use meterstick_bench::{duration_from_args, print_header, run_campaign};
 use meterstick_metrics::distribution::TickOperation;
 use meterstick_workloads::WorkloadKind;
 use mlg_server::ServerFlavor;
 
 fn main() {
-    print_header("Figure 11 (MF4)", "Tick-time distribution per operation on AWS");
-    let duration = duration_from_args();
+    print_header(
+        "Figure 11 (MF4)",
+        "Tick-time distribution per operation on AWS",
+    );
+    let environment = Environment::aws_default();
+    let workloads = [WorkloadKind::Control, WorkloadKind::Farm, WorkloadKind::Tnt];
+    let campaign = Campaign::new()
+        .workloads(workloads)
+        .flavors(ServerFlavor::all())
+        .environments([environment.clone()])
+        .duration_secs(duration_from_args())
+        .iterations(1);
+    let results = run_campaign(&campaign);
+
     let mut rows = Vec::new();
-    for workload in [WorkloadKind::Control, WorkloadKind::Farm, WorkloadKind::Tnt] {
+    for workload in workloads {
         for flavor in ServerFlavor::all() {
-            let results = run(workload, &[flavor], Environment::aws_default(), duration, 1);
-            let it = &results.iterations()[0];
+            let cell = results.for_cell(workload, flavor, &environment.label());
+            let it = cell.first().expect("one iteration per cell");
             let d = it.tick_distribution();
             rows.push(vec![
                 workload.to_string(),
@@ -29,7 +42,8 @@ fn main() {
                 format!("{:.1}%", d.share_percent(TickOperation::Players)),
                 format!(
                     "{:.1}%",
-                    d.share_percent(TickOperation::WaitBefore) + d.share_percent(TickOperation::WaitAfter)
+                    d.share_percent(TickOperation::WaitBefore)
+                        + d.share_percent(TickOperation::WaitAfter)
                 ),
                 format!("{:.1}%", d.share_percent(TickOperation::Other)),
                 format!("{:.1}%", d.busy_share_percent(TickOperation::Entities)),
@@ -40,8 +54,15 @@ fn main() {
         "{}",
         render_table(
             &[
-                "workload", "server", "blk add/rem", "blk update", "entities", "players", "wait",
-                "other", "entities(non-idle)"
+                "workload",
+                "server",
+                "blk add/rem",
+                "blk update",
+                "entities",
+                "players",
+                "wait",
+                "other",
+                "entities(non-idle)"
             ],
             &rows
         )

@@ -2,17 +2,22 @@
 //!
 //! Runs the TNT workload on t3.large (L), t3.xlarge (XL) and t3.2xlarge
 //! (2XL) nodes for every flavor, showing that the hosting providers'
-//! recommended 2-vCPU size is insufficient.
+//! recommended 2-vCPU size is insufficient. The node-size axis is expressed
+//! with `Campaign::aws_node_sizes`, so the whole figure is one campaign.
 
 use cloud_sim::environment::Environment;
 use cloud_sim::node::NodeType;
+use meterstick::campaign::Campaign;
 use meterstick::report::render_table;
-use meterstick_bench::{duration_from_args, print_header, run};
+use meterstick_bench::{duration_from_args, print_header, run_campaign};
 use meterstick_workloads::WorkloadKind;
 use mlg_server::ServerFlavor;
 
 fn main() {
-    print_header("Figure 12 (MF5)", "TNT workload on AWS node sizes L / XL / 2XL");
+    print_header(
+        "Figure 12 (MF5)",
+        "TNT workload on AWS node sizes L / XL / 2XL",
+    );
     // The node-size effect only shows once the post-detonation chain reaction
     // has run for a while, so this figure always uses the paper's 60 s.
     let duration = duration_from_args().max(60);
@@ -21,12 +26,21 @@ fn main() {
         ("XL (t3.xlarge)", NodeType::aws_t3_xlarge()),
         ("2XL (t3.2xlarge)", NodeType::aws_t3_2xlarge()),
     ];
+    let campaign = Campaign::new()
+        .workloads([WorkloadKind::Tnt])
+        .flavors(ServerFlavor::all())
+        .environments([])
+        .aws_node_sizes(nodes.iter().map(|(_, node)| node.clone()))
+        .duration_secs(duration)
+        .iterations(1);
+    let results = run_campaign(&campaign);
+
     let mut rows = Vec::new();
     for (label, node) in nodes {
+        let env_label = Environment::aws(node).label();
         for flavor in ServerFlavor::all() {
-            let environment = Environment::aws(node.clone());
-            let results = run(WorkloadKind::Tnt, &[flavor], environment, duration, 1);
-            let it = &results.iterations()[0];
+            let cell = results.for_cell(WorkloadKind::Tnt, flavor, &env_label);
+            let it = cell.first().expect("one iteration per cell");
             let p = it.tick_percentiles();
             rows.push(vec![
                 label.to_string(),
@@ -36,14 +50,27 @@ fn main() {
                 format!("{:.1}", p.p75),
                 format!("{:.1}", p.max),
                 format!("{:.3}", it.instability_ratio),
-                if it.crashed() { "crashed".into() } else { "-".into() },
+                if it.crashed() {
+                    "crashed".into()
+                } else {
+                    "-".into()
+                },
             ]);
         }
     }
     println!(
         "{}",
         render_table(
-            &["node", "server", "mean [ms]", "median", "p75", "max", "ISR", "status"],
+            &[
+                "node",
+                "server",
+                "mean [ms]",
+                "median",
+                "p75",
+                "max",
+                "ISR",
+                "status"
+            ],
             &rows
         )
     );

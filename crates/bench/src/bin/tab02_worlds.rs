@@ -26,7 +26,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["name", "properties", "orig. size [MB]", "chunks", "blocks", "reproduction"],
+            &[
+                "name",
+                "properties",
+                "orig. size [MB]",
+                "chunks",
+                "blocks",
+                "reproduction"
+            ],
             &rows
         )
     );
@@ -45,6 +52,9 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render_table(&["name", "amount", "author", "popularity [10^6 views]"], &rows)
+        render_table(
+            &["name", "amount", "author", "popularity [10^6 views]"],
+            &rows
+        )
     );
 }

@@ -27,7 +27,15 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render_table(&["metric", "order dependent", "irregular sampling", "normalized"], &rows)
+        render_table(
+            &[
+                "metric",
+                "order dependent",
+                "irregular sampling",
+                "normalized"
+            ],
+            &rows
+        )
     );
 
     // Numerical demonstration on clustered vs spread outliers.
@@ -59,7 +67,10 @@ fn main() {
     ];
     println!(
         "{}",
-        render_table(&["trace", "std dev", "Allan var", "RFC3550 jitter", "ISR"], &rows)
+        render_table(
+            &["trace", "std dev", "Allan var", "RFC3550 jitter", "ISR"],
+            &rows
+        )
     );
     println!("Standard deviation cannot tell the two traces apart; the order-dependent");
     println!("metrics can, and only ISR stays on a normalized 0..1 scale.");

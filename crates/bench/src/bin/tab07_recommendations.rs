@@ -20,7 +20,10 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render_table(&["service", "RAM [GB]", "vCPU [#]", "CPU speed [GHz]"], &rows)
+        render_table(
+            &["service", "RAM [GB]", "vCPU [#]", "CPU speed [GHz]"],
+            &rows
+        )
     );
     let summary = summarize(&recs);
     println!(

@@ -5,8 +5,9 @@
 //! percentage of clientbound bytes they account for.
 
 use cloud_sim::environment::Environment;
+use meterstick::campaign::Campaign;
 use meterstick::report::render_table;
-use meterstick_bench::{duration_from_args, print_header, run};
+use meterstick_bench::{duration_from_args, print_header, run_campaign};
 use meterstick_workloads::WorkloadKind;
 use mlg_protocol::TrafficCategory;
 use mlg_server::ServerFlavor;
@@ -16,17 +17,32 @@ fn main() {
         "Table 8 (MF4)",
         "Entity-related share of clientbound messages and bytes on AWS",
     );
-    let duration = duration_from_args();
+    let environment = Environment::aws_default();
+    let workloads = [WorkloadKind::Control, WorkloadKind::Farm, WorkloadKind::Tnt];
+    let campaign = Campaign::new()
+        .workloads(workloads)
+        .flavors(ServerFlavor::all())
+        .environments([environment.clone()])
+        .duration_secs(duration_from_args())
+        .iterations(1);
+    let results = run_campaign(&campaign);
+
     let mut rows = Vec::new();
     for flavor in ServerFlavor::all() {
-        for workload in [WorkloadKind::Control, WorkloadKind::Farm, WorkloadKind::Tnt] {
-            let results = run(workload, &[flavor], Environment::aws_default(), duration, 1);
-            let it = &results.iterations()[0];
+        for workload in workloads {
+            let cell = results.for_cell(workload, flavor, &environment.label());
+            let it = cell.first().expect("one iteration per cell");
             rows.push(vec![
                 flavor.to_string(),
                 workload.to_string(),
-                format!("{:.1}", it.traffic.message_share_percent(TrafficCategory::Entity)),
-                format!("{:.1}", it.traffic.byte_share_percent(TrafficCategory::Entity)),
+                format!(
+                    "{:.1}",
+                    it.traffic.message_share_percent(TrafficCategory::Entity)
+                ),
+                format!(
+                    "{:.1}",
+                    it.traffic.byte_share_percent(TrafficCategory::Entity)
+                ),
                 format!("{}", it.traffic.total_messages()),
                 format!("{}", it.traffic.total_bytes()),
             ]);
@@ -35,7 +51,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["server", "workload", "entity msgs [%]", "entity bytes [%]", "total msgs", "total bytes"],
+            &[
+                "server",
+                "workload",
+                "entity msgs [%]",
+                "entity bytes [%]",
+                "total msgs",
+                "total bytes"
+            ],
             &rows
         )
     );

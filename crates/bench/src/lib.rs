@@ -2,12 +2,25 @@
 //!
 //! Each binary in `src/bin/` regenerates one table or figure of the paper
 //! (see `DESIGN.md` for the experiment index); the helpers here keep their
-//! output format consistent and their run times reasonable.
+//! output format consistent and their run times reasonable. All experiment
+//! execution goes through [`Campaign`] plans; every binary therefore
+//! understands the same execution flags:
+//!
+//! * `--full` — use the paper's 60-second iterations instead of the quick
+//!   default;
+//! * `--sequential` — run jobs on one thread instead of the default
+//!   parallel executor (results are bit-identical either way);
+//! * `--progress` — stream one progress line per finished iteration to
+//!   stderr;
+//! * `--csv PATH` — stream one CSV summary row per finished iteration into
+//!   `PATH` as results complete.
+
+use std::fs::File;
 
 use cloud_sim::environment::Environment;
-use meterstick::config::BenchmarkConfig;
-use meterstick::experiment::ExperimentRunner;
-use meterstick::results::ExperimentResults;
+use meterstick::campaign::{Campaign, CampaignResults};
+use meterstick::executor::{Executor, ParallelExecutor, SequentialExecutor};
+use meterstick::sink::{CsvSink, NullSink, ProgressSink, TeeSink};
 use meterstick_workloads::WorkloadKind;
 use mlg_server::ServerFlavor;
 
@@ -28,6 +41,67 @@ pub fn duration_from_args() -> u64 {
     }
 }
 
+/// The executor selected by the CLI flags: the thread-based
+/// [`ParallelExecutor`] by default, [`SequentialExecutor`] with
+/// `--sequential`.
+#[must_use]
+pub fn executor_from_args() -> Box<dyn Executor> {
+    if std::env::args().any(|a| a == "--sequential") {
+        Box::new(SequentialExecutor)
+    } else {
+        Box::new(ParallelExecutor::default())
+    }
+}
+
+/// Runs a campaign with the executor and streaming sinks selected by the
+/// CLI flags (see the crate docs for the flag list).
+///
+/// # Panics
+///
+/// Panics with a readable message when the campaign configuration is
+/// invalid or `--csv PATH` cannot be created — these binaries have no
+/// caller to propagate errors to.
+#[must_use]
+pub fn run_campaign(campaign: &Campaign) -> CampaignResults {
+    let executor = executor_from_args();
+    let mut progress = std::env::args()
+        .any(|a| a == "--progress")
+        .then(|| ProgressSink::new(std::io::stderr()));
+    let mut csv = csv_path_from_args().map(|path| {
+        let file = File::create(&path)
+            .unwrap_or_else(|err| panic!("cannot create --csv file {path:?}: {err}"));
+        CsvSink::new(file)
+    });
+
+    let result = match (&mut progress, &mut csv) {
+        (Some(progress), Some(csv)) => {
+            let mut tee = TeeSink::new(progress, csv);
+            campaign.run_with(&*executor, &mut tee)
+        }
+        (Some(progress), None) => campaign.run_with(&*executor, progress),
+        (None, Some(csv)) => campaign.run_with(&*executor, csv),
+        (None, None) => campaign.run_with(&*executor, &mut NullSink),
+    };
+    if let Some(err) = csv.as_ref().and_then(CsvSink::error) {
+        eprintln!("warning: --csv stream failed mid-run, the CSV file is truncated: {err}");
+    }
+    result.unwrap_or_else(|err| panic!("campaign failed: {err}"))
+}
+
+fn csv_path_from_args() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--csv" {
+            // A missing or flag-like value is a mistyped invocation; fail
+            // before the (potentially long) campaign runs rather than
+            // silently producing no CSV.
+            let path = args.next().filter(|p| !p.starts_with("--"));
+            return Some(path.unwrap_or_else(|| panic!("--csv requires a file path argument")));
+        }
+    }
+    None
+}
+
 /// Runs one workload for one flavor set in one environment and returns the
 /// results. Seeds are fixed so figures are reproducible run-to-run.
 #[must_use]
@@ -37,13 +111,14 @@ pub fn run(
     environment: Environment,
     duration_secs: u64,
     iterations: u32,
-) -> ExperimentResults {
-    let config = BenchmarkConfig::new(workload)
-        .with_flavors(flavors.to_vec())
-        .with_environment(environment)
-        .with_duration_secs(duration_secs)
-        .with_iterations(iterations);
-    ExperimentRunner::new(config).run()
+) -> CampaignResults {
+    let campaign = Campaign::new()
+        .workloads([workload])
+        .flavors(flavors.iter().copied())
+        .environments([environment])
+        .duration_secs(duration_secs)
+        .iterations(iterations);
+    run_campaign(&campaign)
 }
 
 /// The three standard environments of the paper's Figure 8: AWS 2-core,

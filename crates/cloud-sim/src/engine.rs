@@ -137,7 +137,10 @@ mod tests {
     use crate::interference::InterferenceProfile;
 
     fn quiet_engine(node: NodeType) -> ComputeEngine {
-        ComputeEngine::new(node, InterferenceState::new(InterferenceProfile::dedicated(), 1))
+        ComputeEngine::new(
+            node,
+            InterferenceState::new(InterferenceProfile::dedicated(), 1),
+        )
     }
 
     #[test]
@@ -229,7 +232,8 @@ mod tests {
                 break;
             }
         }
-        let throttled = throttled_time.expect("t3.large should exhaust credits under sustained load");
+        let throttled =
+            throttled_time.expect("t3.large should exhaust credits under sustained load");
         assert!(
             throttled > first * 2.0,
             "throttled tick ({throttled} ms) should be much slower than unthrottled ({first} ms)"
@@ -254,14 +258,20 @@ mod tests {
     #[test]
     fn interference_makes_identical_work_vary() {
         let node = NodeType::aws_t3_large();
-        let mut engine = ComputeEngine::new(node, InterferenceState::new(InterferenceProfile::aws(), 9));
+        let mut engine =
+            ComputeEngine::new(node, InterferenceState::new(InterferenceProfile::aws(), 9));
         let work = TickWork {
             main_thread: 60_000,
             offloadable: 0,
         };
-        let times: Vec<f64> = (0..2_000).map(|_| engine.execute_tick(work, 50.0).busy_ms).collect();
+        let times: Vec<f64> = (0..2_000)
+            .map(|_| engine.execute_tick(work, 50.0).busy_ms)
+            .collect();
         let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = times.iter().cloned().fold(0.0, f64::max);
-        assert!(max > min * 1.3, "cloud interference should spread tick times (min {min}, max {max})");
+        assert!(
+            max > min * 1.3,
+            "cloud interference should spread tick times (min {min}, max {max})"
+        );
     }
 }

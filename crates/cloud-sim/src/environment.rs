@@ -150,9 +150,16 @@ mod tests {
             main_thread: 60_000,
             offloadable: 0,
         };
-        let ta: f64 = (0..200).map(|_| a.engine.execute_tick(work, 50.0).busy_ms).sum();
-        let tb: f64 = (0..200).map(|_| b.engine.execute_tick(work, 50.0).busy_ms).sum();
-        assert!((ta - tb).abs() > 1e-6, "different seeds should give different totals");
+        let ta: f64 = (0..200)
+            .map(|_| a.engine.execute_tick(work, 50.0).busy_ms)
+            .sum();
+        let tb: f64 = (0..200)
+            .map(|_| b.engine.execute_tick(work, 50.0).busy_ms)
+            .sum();
+        assert!(
+            (ta - tb).abs() > 1e-6,
+            "different seeds should give different totals"
+        );
     }
 
     #[test]
@@ -165,12 +172,17 @@ mod tests {
         let mut totals = Vec::new();
         for seed in 0..5 {
             let mut inst = env.instantiate(seed);
-            let total: f64 = (0..200).map(|_| inst.engine.execute_tick(work, 50.0).busy_ms).sum();
+            let total: f64 = (0..200)
+                .map(|_| inst.engine.execute_tick(work, 50.0).busy_ms)
+                .sum();
             totals.push(total);
         }
         let min = totals.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = totals.iter().cloned().fold(0.0, f64::max);
-        assert!(max / min < 1.1, "self-hosted iterations should be stable ({min}..{max})");
+        assert!(
+            max / min < 1.1,
+            "self-hosted iterations should be stable ({min}..{max})"
+        );
     }
 
     #[test]
@@ -183,7 +195,9 @@ mod tests {
             let mut totals = Vec::new();
             for seed in 0..10 {
                 let mut inst = env.instantiate(seed * 7 + 1);
-                let total: f64 = (0..300).map(|_| inst.engine.execute_tick(work, 50.0).busy_ms).sum();
+                let total: f64 = (0..300)
+                    .map(|_| inst.engine.execute_tick(work, 50.0).busy_ms)
+                    .sum();
                 totals.push(total);
             }
             let min = totals.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -192,7 +206,10 @@ mod tests {
         };
         let das = spread(&Environment::das5(2));
         let aws = spread(&Environment::aws_default());
-        assert!(aws > das * 2.0, "AWS spread ({aws}) should exceed DAS-5 spread ({das})");
+        assert!(
+            aws > das * 2.0,
+            "AWS spread ({aws}) should exceed DAS-5 spread ({das})"
+        );
     }
 
     #[test]

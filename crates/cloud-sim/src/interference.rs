@@ -125,7 +125,10 @@ impl InterferenceState {
         // Steal episode process.
         if self.steal_ticks_remaining > 0 {
             self.steal_ticks_remaining -= 1;
-        } else if self.rng.gen_bool(self.profile.steal_episode_probability.clamp(0.0, 1.0)) {
+        } else if self
+            .rng
+            .gen_bool(self.profile.steal_episode_probability.clamp(0.0, 1.0))
+        {
             let (dlo, dhi) = self.profile.steal_duration_ticks;
             self.steal_ticks_remaining = self.rng.gen_range(dlo..=dhi.max(dlo));
             let (mlo, mhi) = self.profile.steal_multiplier_range;
@@ -140,7 +143,10 @@ impl InterferenceState {
         } else {
             1.0
         };
-        let jitter = 1.0 + self.rng.gen_range(0.0..self.profile.scheduler_jitter.max(1e-9));
+        let jitter = 1.0
+            + self
+                .rng
+                .gen_range(0.0..self.profile.scheduler_jitter.max(1e-9));
         self.placement_factor * steal * jitter
     }
 }
@@ -219,7 +225,10 @@ mod tests {
         let samples: Vec<f64> = (0..2_000).map(|_| state.sample_tick()).collect();
         let max = samples.iter().cloned().fold(0.0, f64::max);
         let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
-        assert!(mean < 1.05, "dedicated mean multiplier should be ~1, got {mean}");
+        assert!(
+            mean < 1.05,
+            "dedicated mean multiplier should be ~1, got {mean}"
+        );
         assert!(max < 1.3, "dedicated spikes should be small, got {max}");
     }
 
@@ -228,7 +237,10 @@ mod tests {
         let mut state = InterferenceState::new(InterferenceProfile::aws(), 3);
         let samples: Vec<f64> = (0..5_000).map(|_| state.sample_tick()).collect();
         let above = samples.iter().filter(|&&m| m > 1.4).count();
-        assert!(above > 10, "AWS profile should show steal episodes, got {above}");
+        assert!(
+            above > 10,
+            "AWS profile should show steal episodes, got {above}"
+        );
     }
 
     #[test]

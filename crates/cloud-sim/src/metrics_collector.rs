@@ -172,7 +172,11 @@ mod tests {
             c.observe_tick(f64::from(i + 1) * 50.0, obs(0.5));
         }
         let samples = c.finish();
-        assert!((samples.len() as i64 - 120).abs() <= 1, "got {} samples", samples.len());
+        assert!(
+            (samples.len() as i64 - 120).abs() <= 1,
+            "got {} samples",
+            samples.len()
+        );
     }
 
     #[test]
@@ -220,11 +224,23 @@ mod tests {
     #[test]
     fn thread_count_grows_with_players() {
         let mut few = SystemMetricsCollector::new(30);
-        few.observe_tick(500.0, TickObservation { players: 1, ..obs(0.1) });
+        few.observe_tick(
+            500.0,
+            TickObservation {
+                players: 1,
+                ..obs(0.1)
+            },
+        );
         let few_threads = few.finish()[0].threads;
 
         let mut many = SystemMetricsCollector::new(30);
-        many.observe_tick(500.0, TickObservation { players: 100, ..obs(0.1) });
+        many.observe_tick(
+            500.0,
+            TickObservation {
+                players: 100,
+                ..obs(0.1)
+            },
+        );
         let many_threads = many.finish()[0].threads;
         assert!(many_threads > few_threads);
     }

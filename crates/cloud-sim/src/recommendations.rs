@@ -76,7 +76,9 @@ pub fn summarize(recommendations: &[HostingRecommendation]) -> RecommendationSum
     use std::collections::HashMap;
     let mut ram_counts: HashMap<u64, usize> = HashMap::new();
     for r in recommendations {
-        *ram_counts.entry((r.ram_gb * 10.0).round() as u64).or_default() += 1;
+        *ram_counts
+            .entry((r.ram_gb * 10.0).round() as u64)
+            .or_default() += 1;
     }
     let modal_ram_gb = ram_counts
         .iter()

@@ -3,9 +3,9 @@
 use serde::{Deserialize, Serialize};
 
 use cloud_sim::environment::Environment;
+use meterstick_workloads::{WorkloadKind, WorkloadSpec};
 use mlg_protocol::netsim::LinkConfig;
 use mlg_server::ServerFlavor;
-use meterstick_workloads::{WorkloadKind, WorkloadSpec};
 
 /// Full configuration of one Meterstick benchmark run.
 ///

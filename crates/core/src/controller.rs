@@ -88,10 +88,48 @@ impl ControllerMessage {
         }
     }
 
+    /// Parses the canonical wire spelling back into a message — the inverse
+    /// of [`ControllerMessage::wire_format`]: for every message `m`,
+    /// `parse(&m.wire_format()) == Ok(m)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseMessageError::UnknownMessage`] for spellings not in
+    /// Table 1 and [`ParseMessageError::InvalidIteration`] when an `iter:`
+    /// payload is not a `u32`.
+    pub fn parse(wire: &str) -> Result<ControllerMessage, ParseMessageError> {
+        if let Some((keyword, payload)) = wire.split_once(':') {
+            return match keyword {
+                "set_server" => Ok(ControllerMessage::SetServer(payload.to_string())),
+                "set_jmx" => Ok(ControllerMessage::SetJmx(payload.to_string())),
+                "iter" => payload
+                    .parse::<u32>()
+                    .map(ControllerMessage::Iter)
+                    .map_err(|_| ParseMessageError::InvalidIteration(payload.to_string())),
+                _ => Err(ParseMessageError::UnknownMessage(wire.to_string())),
+            };
+        }
+        match wire {
+            "initialize" => Ok(ControllerMessage::Initialize),
+            "log_start" => Ok(ControllerMessage::LogStart),
+            "log_stop" => Ok(ControllerMessage::LogStop),
+            "stop_server" => Ok(ControllerMessage::StopServer),
+            "connect" => Ok(ControllerMessage::Connect),
+            "convert" => Ok(ControllerMessage::Convert),
+            "keep_alive" => Ok(ControllerMessage::KeepAlive),
+            "exit" => Ok(ControllerMessage::Exit),
+            _ => Err(ParseMessageError::UnknownMessage(wire.to_string())),
+        }
+    }
+
     /// The message sequence the controller sends to run one iteration of one
     /// server, from selection to teardown.
     #[must_use]
-    pub fn iteration_sequence(server: &str, jmx_url: &str, iteration: u32) -> Vec<ControllerMessage> {
+    pub fn iteration_sequence(
+        server: &str,
+        jmx_url: &str,
+        iteration: u32,
+    ) -> Vec<ControllerMessage> {
         vec![
             ControllerMessage::SetServer(server.to_string()),
             ControllerMessage::SetJmx(jmx_url.to_string()),
@@ -105,6 +143,30 @@ impl ControllerMessage {
         ]
     }
 }
+
+/// Error returned by [`ControllerMessage::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseMessageError {
+    /// The wire text matches no message of Table 1.
+    UnknownMessage(String),
+    /// An `iter:` payload was not a valid iteration number.
+    InvalidIteration(String),
+}
+
+impl std::fmt::Display for ParseMessageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseMessageError::UnknownMessage(wire) => {
+                write!(f, "unknown controller message: {wire:?}")
+            }
+            ParseMessageError::InvalidIteration(payload) => {
+                write!(f, "invalid iteration number: {payload:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseMessageError {}
 
 /// A worker endpoint: receives controller messages, replies `ok`/`err`.
 pub trait ControlClient {
@@ -147,7 +209,10 @@ impl ControlServer {
     /// Registers a worker and returns the channel pair its driving loop
     /// should service: it receives [`ControllerMessage`]s and must send one
     /// [`WorkerReply`] per message.
-    pub fn register(&mut self, role: WorkerRole) -> (Receiver<ControllerMessage>, Sender<WorkerReply>) {
+    pub fn register(
+        &mut self,
+        role: WorkerRole,
+    ) -> (Receiver<ControllerMessage>, Sender<WorkerReply>) {
         let (msg_tx, msg_rx) = unbounded();
         let (reply_tx, reply_rx) = unbounded();
         self.workers.push(WorkerHandle {
@@ -240,6 +305,57 @@ mod tests {
         );
         assert_eq!(ControllerMessage::Iter(3).wire_format(), "iter:3");
         assert_eq!(ControllerMessage::KeepAlive.wire_format(), "keep_alive");
+    }
+
+    #[test]
+    fn parse_is_the_inverse_of_wire_format_for_every_variant() {
+        let all = vec![
+            ControllerMessage::SetServer("paper".into()),
+            ControllerMessage::SetServer(String::new()),
+            ControllerMessage::SetServer("with:colons:inside".into()),
+            ControllerMessage::SetJmx("jmx://host:25585".into()),
+            ControllerMessage::Iter(0),
+            ControllerMessage::Iter(u32::MAX),
+            ControllerMessage::Initialize,
+            ControllerMessage::LogStart,
+            ControllerMessage::LogStop,
+            ControllerMessage::StopServer,
+            ControllerMessage::Connect,
+            ControllerMessage::Convert,
+            ControllerMessage::KeepAlive,
+            ControllerMessage::Exit,
+        ];
+        for message in all {
+            assert_eq!(
+                ControllerMessage::parse(&message.wire_format()),
+                Ok(message.clone()),
+                "round-trip failed for {message:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_wire_text() {
+        assert_eq!(
+            ControllerMessage::parse("self_destruct"),
+            Err(ParseMessageError::UnknownMessage("self_destruct".into()))
+        );
+        assert_eq!(
+            ControllerMessage::parse("bogus:payload"),
+            Err(ParseMessageError::UnknownMessage("bogus:payload".into()))
+        );
+        assert_eq!(
+            ControllerMessage::parse("iter:not-a-number"),
+            Err(ParseMessageError::InvalidIteration("not-a-number".into()))
+        );
+        assert_eq!(
+            ControllerMessage::parse(""),
+            Err(ParseMessageError::UnknownMessage(String::new()))
+        );
+        assert!(ControllerMessage::parse("iter:not-a-number")
+            .unwrap_err()
+            .to_string()
+            .contains("iteration"));
     }
 
     #[test]

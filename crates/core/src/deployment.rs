@@ -140,7 +140,10 @@ mod tests {
     fn missing_key_and_bad_address_are_errors() {
         let mut config = BenchmarkConfig::new(WorkloadKind::Control);
         config.ssh_keys.clear();
-        assert_eq!(DeploymentPlan::plan(&config), Err(DeploymentError::MissingSshKey));
+        assert_eq!(
+            DeploymentPlan::plan(&config),
+            Err(DeploymentError::MissingSshKey)
+        );
 
         let mut config = BenchmarkConfig::new(WorkloadKind::Control);
         config.node_ips = vec!["10.0.0.10".into(), "  ".into()];

@@ -1,28 +1,145 @@
-//! The experiment runner: executing a benchmark configuration.
+//! Iteration execution and the legacy single-cell experiment runner.
 //!
-//! One *experiment* runs every configured server flavor for the configured
-//! number of iterations on one workload inside one deployment environment.
-//! Each iteration follows the Meterstick procedure (Figure 5): deploy, start
-//! the server, start metric logging, connect the player emulation, run for
-//! the configured duration, then collect metrics.
+//! One *iteration* follows the Meterstick procedure (Figure 5): deploy,
+//! start the server, start metric logging, connect the player emulation,
+//! run for the configured duration, then collect metrics. The free function
+//! [`execute_iteration`] is the single implementation of that procedure;
+//! [`IterationJob::run`](crate::campaign::IterationJob::run) and the
+//! deprecated [`ExperimentRunner`] both call it.
+//!
+//! New code should compose sweeps with [`Campaign`](crate::campaign::Campaign)
+//! instead of using [`ExperimentRunner`]: a campaign covers multiple
+//! workloads and environments, returns `Result` instead of panicking on bad
+//! deployment configuration, and can execute on any
+//! [`Executor`](crate::executor::Executor).
 
 use cloud_sim::metrics_collector::{SystemMetricsCollector, TickObservation};
 use meterstick_metrics::response::ResponseTimeSummary;
 use meterstick_metrics::trace::TickTrace;
+use meterstick_workloads::BuiltWorkload;
 use mlg_bots::PlayerEmulation;
 use mlg_server::{GameServer, ServerConfig, ServerFlavor};
-use meterstick_workloads::BuiltWorkload;
 
+use crate::campaign::Campaign;
 use crate::config::BenchmarkConfig;
-use crate::deployment::DeploymentPlan;
 use crate::results::{ExperimentResults, IterationResult};
 
+/// Runs a single iteration of a single flavor under `config`, with the
+/// environment and bot randomness derived from `seed`.
+///
+/// The workload world is built once per iteration from `config.base_seed`
+/// (identical across iterations by design — only the environment and bot
+/// behaviour vary) and handed to the server directly.
+#[must_use]
+pub fn execute_iteration(
+    config: &BenchmarkConfig,
+    flavor: ServerFlavor,
+    iteration: u32,
+    seed: u64,
+) -> IterationResult {
+    let built = config.workload.build(config.base_seed);
+    let workload_kind = built.kind;
+    let (mut server, mut emulation) = prepare(config, flavor, built, seed);
+    let mut engine = config.environment.instantiate(seed).engine;
+
+    let ticks_planned = config.ticks_per_iteration();
+    let duration_ms = config.duration_secs as f64 * 1_000.0;
+    let mut trace = TickTrace::new(server.config().tick_budget_ms);
+    let mut collector = SystemMetricsCollector::new(30);
+    let mut crashed = None;
+    let mut ticks_executed = 0;
+
+    // The iteration runs for a fixed span of *virtual time*, exactly like
+    // the paper's fixed wall-clock duration: when the server is
+    // overloaded, fewer ticks fit into the iteration (Na ≤ Ne in the ISR
+    // definition).
+    while server.clock_ms() < duration_ms {
+        let summary = emulation.step(&mut server, &mut engine);
+        ticks_executed += 1;
+        trace.push(summary.record);
+        collector.observe_tick(
+            summary.end_ms,
+            TickObservation {
+                cpu_utilization: summary.cpu_utilization,
+                entities: summary.entity_count as u64,
+                loaded_chunks: server.world().loaded_chunk_count() as u64,
+                players: summary.player_count as u32,
+                network_sent_bytes: summary.packets_emitted * 40,
+                network_received_bytes: summary.bytes_received,
+                blocks_written: summary.packets_emitted / 4,
+            },
+        );
+        if let Some(crash) = summary.crash {
+            crashed = Some(crash.reason);
+            break;
+        }
+    }
+
+    let response_samples = emulation.response_samples().to_vec();
+    IterationResult {
+        flavor,
+        workload: workload_kind,
+        iteration,
+        environment: config.environment.label(),
+        instability_ratio: trace.instability_ratio(Some(ticks_planned)),
+        response: ResponseTimeSummary::of(&response_samples),
+        response_samples,
+        system_samples: collector.finish(),
+        traffic: server.traffic_summary().clone(),
+        ticks_executed,
+        ticks_planned,
+        crashed,
+        trace,
+    }
+}
+
+/// Builds the server and player emulation for one iteration, consuming the
+/// already-built workload (one build per iteration; worlds are not `Clone`
+/// on purpose, and rebuilding from the same seed would only duplicate
+/// work).
+fn prepare(
+    config: &BenchmarkConfig,
+    flavor: ServerFlavor,
+    built: BuiltWorkload,
+    seed: u64,
+) -> (GameServer, PlayerEmulation) {
+    let server_config = ServerConfig::for_flavor(flavor).with_seed(config.base_seed);
+    let bots = config.bots_override.unwrap_or(built.players.bots);
+    let mut emulation = PlayerEmulation::new(
+        bots,
+        built.spawn_point,
+        built.players.walk_area,
+        built.players.moving,
+        config.link,
+        seed,
+    );
+    let mut server = GameServer::new(server_config, built.world, built.spawn_point);
+    emulation.connect_all(&mut server);
+    for (kind, pos) in &built.ambient_entities {
+        server.spawn_entity(*kind, *pos);
+    }
+    if let Some(delay) = built.tnt_fuse_delay_ticks {
+        server.schedule_tnt_ignition(delay);
+    }
+    (server, emulation)
+}
+
 /// Runs benchmark configurations and produces [`ExperimentResults`].
+///
+/// Deprecated thin shim over a single-workload, single-environment
+/// [`Campaign`]; it preserves the legacy panic-on-bad-deployment behaviour
+/// for old callers. New code should use [`Campaign`] directly.
+#[deprecated(
+    since = "0.2.0",
+    note = "compose sweeps with `meterstick::campaign::Campaign`, which returns \
+            `Result` instead of panicking and executes multi-cell plans"
+)]
 #[derive(Debug, Clone)]
 pub struct ExperimentRunner {
     config: BenchmarkConfig,
 }
 
+#[allow(deprecated)]
 impl ExperimentRunner {
     /// Creates a runner for the given configuration.
     #[must_use]
@@ -41,116 +158,56 @@ impl ExperimentRunner {
     /// # Panics
     ///
     /// Panics if the deployment configuration is invalid (fewer than two
-    /// nodes or no SSH key); use [`DeploymentPlan::plan`] directly to handle
-    /// that case gracefully.
+    /// nodes or no SSH key); use [`Campaign::run`] to handle that case
+    /// gracefully.
     #[must_use]
     pub fn run(&self) -> ExperimentResults {
-        let plan = DeploymentPlan::plan(&self.config).expect("valid deployment configuration");
-        let _ = plan.server_node();
-        let mut results = ExperimentResults::new();
-        for (flavor_idx, &flavor) in self.config.flavors.iter().enumerate() {
-            for iteration in 0..self.config.iterations {
-                let seed = self.config.iteration_seed(flavor_idx, iteration);
-                results.push(self.run_iteration(flavor, iteration, seed));
+        use crate::error::BenchmarkError;
+        match Campaign::from_config(self.config.clone()).run() {
+            Ok(results) => results.into_experiment_results(),
+            Err(BenchmarkError::Deployment(err)) => {
+                panic!("valid deployment configuration: {err}")
+            }
+            Err(err @ BenchmarkError::WorkerPanicked { .. }) => {
+                // A panic inside the simulation: legacy behaviour was an
+                // uncaught panic, not a silent re-run. Resume it.
+                panic!("{err}")
+            }
+            Err(_) => {
+                // Campaign validation is stricter than the legacy runner,
+                // which accepted degenerate configurations (zero
+                // iterations/duration, empty flavor list, odd scalar
+                // values) and simply ran them — usually to an empty result
+                // set. Reproduce the legacy loop exactly for those.
+                crate::deployment::DeploymentPlan::plan(&self.config)
+                    .unwrap_or_else(|err| panic!("valid deployment configuration: {err}"));
+                let mut results = ExperimentResults::new();
+                for (flavor_idx, &flavor) in self.config.flavors.iter().enumerate() {
+                    for iteration in 0..self.config.iterations {
+                        let seed = self.config.iteration_seed(flavor_idx, iteration);
+                        results.push(execute_iteration(&self.config, flavor, iteration, seed));
+                    }
+                }
+                results
             }
         }
-        results
     }
 
     /// Runs a single iteration of a single flavor, with the environment
     /// randomness derived from `seed`.
     #[must_use]
-    pub fn run_iteration(&self, flavor: ServerFlavor, iteration: u32, seed: u64) -> IterationResult {
-        // The workload world is identical across iterations (same base seed);
-        // only the environment and bot behaviour randomness changes.
-        let built = self.config.workload.build(self.config.base_seed);
-        let (mut server, mut emulation) = self.prepare(flavor, &built, seed);
-        let mut engine = self.config.environment.instantiate(seed).engine;
-
-        let ticks_planned = self.config.ticks_per_iteration();
-        let duration_ms = self.config.duration_secs as f64 * 1_000.0;
-        let mut trace = TickTrace::new(server.config().tick_budget_ms);
-        let mut collector = SystemMetricsCollector::new(30);
-        let mut crashed = None;
-        let mut ticks_executed = 0;
-
-        // The iteration runs for a fixed span of *virtual time*, exactly like
-        // the paper's fixed wall-clock duration: when the server is
-        // overloaded, fewer ticks fit into the iteration (Na ≤ Ne in the ISR
-        // definition).
-        while server.clock_ms() < duration_ms {
-            let summary = emulation.step(&mut server, &mut engine);
-            ticks_executed += 1;
-            trace.push(summary.record);
-            collector.observe_tick(
-                summary.end_ms,
-                TickObservation {
-                    cpu_utilization: summary.cpu_utilization,
-                    entities: summary.entity_count as u64,
-                    loaded_chunks: server.world().loaded_chunk_count() as u64,
-                    players: summary.player_count as u32,
-                    network_sent_bytes: summary.packets_emitted * 40,
-                    network_received_bytes: summary.bytes_received,
-                    blocks_written: summary.packets_emitted / 4,
-                },
-            );
-            if let Some(crash) = summary.crash {
-                crashed = Some(crash.reason);
-                break;
-            }
-        }
-
-        let response_samples = emulation.response_samples().to_vec();
-        IterationResult {
-            flavor,
-            workload: built.kind,
-            iteration,
-            environment: self.config.environment.label(),
-            instability_ratio: trace.instability_ratio(Some(ticks_planned)),
-            response: ResponseTimeSummary::of(&response_samples),
-            response_samples,
-            system_samples: collector.finish(),
-            traffic: server.traffic_summary().clone(),
-            ticks_executed,
-            ticks_planned,
-            crashed,
-            trace,
-        }
-    }
-
-    fn prepare(
+    pub fn run_iteration(
         &self,
         flavor: ServerFlavor,
-        built: &BuiltWorkload,
+        iteration: u32,
         seed: u64,
-    ) -> (GameServer, PlayerEmulation) {
-        // Rebuild the world for this server instance (worlds are not Clone on
-        // purpose: each server owns its own state).
-        let fresh = self.config.workload.build(self.config.base_seed);
-        let server_config = ServerConfig::for_flavor(flavor).with_seed(self.config.base_seed);
-        let mut server = GameServer::new(server_config, fresh.world, fresh.spawn_point);
-
-        let bots = self.config.bots_override.unwrap_or(built.players.bots);
-        let mut emulation = PlayerEmulation::new(
-            bots,
-            built.spawn_point,
-            built.players.walk_area,
-            built.players.moving,
-            self.config.link,
-            seed,
-        );
-        emulation.connect_all(&mut server);
-        for (kind, pos) in &fresh.ambient_entities {
-            server.spawn_entity(*kind, *pos);
-        }
-        if let Some(delay) = built.tnt_fuse_delay_ticks {
-            server.schedule_tnt_ignition(delay);
-        }
-        (server, emulation)
+    ) -> IterationResult {
+        execute_iteration(&self.config, flavor, iteration, seed)
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use cloud_sim::environment::Environment;
@@ -171,7 +228,11 @@ mod tests {
         let it = &results.iterations()[0];
         // The iteration spans 3 virtual seconds; at 20 Hz that is at most 60
         // ticks, slightly fewer when individual ticks run over budget.
-        assert!(it.ticks_executed >= 40 && it.ticks_executed <= 60, "{}", it.ticks_executed);
+        assert!(
+            it.ticks_executed >= 40 && it.ticks_executed <= 60,
+            "{}",
+            it.ticks_executed
+        );
         assert!(!it.crashed());
         assert!(it.instability_ratio >= 0.0 && it.instability_ratio <= 1.0);
         assert!(!it.response_samples.is_empty());
@@ -221,6 +282,46 @@ mod tests {
         let b = ExperimentRunner::new(config).run();
         let ta: Vec<f64> = a.iterations()[0].trace.busy_durations();
         let tb: Vec<f64> = b.iterations()[0].trace.busy_durations();
-        assert_eq!(ta, tb, "identical configuration must reproduce identical traces");
+        assert_eq!(
+            ta, tb,
+            "identical configuration must reproduce identical traces"
+        );
+    }
+
+    #[test]
+    fn legacy_degenerate_configs_still_return_empty_results() {
+        // The pre-campaign runner accepted iterations == 0 (its loop ran
+        // nothing); the shim must not turn that into a panic.
+        let mut config = quick_config(WorkloadKind::Control);
+        config.iterations = 0;
+        let results = ExperimentRunner::new(config).run();
+        assert!(results.iterations().is_empty());
+
+        let mut config = quick_config(WorkloadKind::Control);
+        config.duration_secs = 0;
+        let results = ExperimentRunner::new(config).run();
+        assert_eq!(results.iterations().len(), 1);
+        assert_eq!(results.iterations()[0].ticks_executed, 0);
+
+        let config = quick_config(WorkloadKind::Control).with_flavors(Vec::new());
+        let results = ExperimentRunner::new(config).run();
+        assert!(results.iterations().is_empty());
+    }
+
+    #[test]
+    fn runner_and_campaign_agree_bit_for_bit() {
+        // The shim must not change results: the same configuration through
+        // the deprecated runner and through a one-cell campaign yields
+        // identical traces.
+        let config = quick_config(WorkloadKind::Control)
+            .with_environment(Environment::aws_default())
+            .with_iterations(2);
+        let legacy = ExperimentRunner::new(config.clone()).run();
+        let campaign = Campaign::from_config(config).run().unwrap();
+        assert_eq!(legacy.iterations().len(), campaign.iterations().len());
+        for (l, c) in legacy.iterations().iter().zip(campaign.iterations()) {
+            assert_eq!(l.trace.busy_durations(), c.trace.busy_durations());
+            assert_eq!(l.instability_ratio, c.instability_ratio);
+        }
     }
 }

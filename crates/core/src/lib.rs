@@ -9,51 +9,94 @@
 //!
 //! The crate orchestrates everything the paper's benchmark does:
 //!
-//! * [`config`] — the benchmark configuration (Table 4);
+//! * [`campaign`] — factorial benchmark sweeps (workloads × flavors ×
+//!   environments × iterations) expanded into independent, seeded jobs;
+//! * [`executor`] — pluggable execution strategies: sequential or
+//!   thread-based parallel fan-out with bit-identical results;
+//! * [`sink`] — streaming observers that consume results as they complete
+//!   (CSV rows, progress lines) instead of materializing everything;
+//! * [`error`] — the non-panicking [`BenchmarkError`] every orchestration
+//!   path reports through;
+//! * [`config`] — the per-cell benchmark configuration (Table 4);
 //! * [`deployment`] — the deployment component that places workers on nodes
 //!   (Figure 5, component 2);
 //! * [`controller`] — the controller/worker message protocol (Table 1);
-//! * [`experiment`] — the experiment runner: iterations of a workload against
-//!   a server flavor inside a deployment environment, collecting tick traces,
-//!   response times, system metrics and traffic summaries;
+//! * [`experiment`] — single-iteration execution and the deprecated
+//!   [`ExperimentRunner`] shim;
 //! * [`results`] — per-iteration and aggregate results, including the
 //!   Instability Ratio;
-//! * [`report`] — plain-text tables and CSV output for every figure and table
-//!   in the paper's evaluation.
+//! * [`report`] — plain-text tables and CSV output for every figure and
+//!   table in the paper's evaluation.
 //!
 //! # Quickstart
 //!
+//! The paper's evaluation is a *matrix* of experiments; a [`Campaign`]
+//! declares the whole matrix and runs it in one call:
+//!
 //! ```
-//! use meterstick::config::BenchmarkConfig;
-//! use meterstick::experiment::ExperimentRunner;
+//! use meterstick::campaign::Campaign;
 //! use meterstick_workloads::WorkloadKind;
 //! use mlg_server::ServerFlavor;
 //! use cloud_sim::environment::Environment;
 //!
-//! // Benchmark the vanilla server on the Control workload, self-hosted,
-//! // with two short iterations.
-//! let config = BenchmarkConfig::new(WorkloadKind::Control)
-//!     .with_flavors(vec![ServerFlavor::Vanilla])
-//!     .with_environment(Environment::das5(2))
-//!     .with_duration_secs(5)
-//!     .with_iterations(2);
-//! let results = ExperimentRunner::new(config).run();
-//! assert_eq!(results.iterations().len(), 2);
-//! for iteration in results.iterations() {
-//!     assert!(iteration.instability_ratio >= 0.0);
+//! // Two workloads × two flavors × one environment × two iterations.
+//! let results = Campaign::new()
+//!     .workloads([WorkloadKind::Control, WorkloadKind::Players])
+//!     .flavors([ServerFlavor::Vanilla, ServerFlavor::Paper])
+//!     .environments([Environment::das5(2)])
+//!     .duration_secs(3)
+//!     .iterations(2)
+//!     .run()
+//!     .expect("the campaign configuration is valid");
+//! assert_eq!(results.iterations().len(), 8);
+//! for cell in results.cell_summaries() {
+//!     assert!(cell.mean_isr >= 0.0 && cell.mean_isr <= 1.0);
 //! }
+//! ```
+//!
+//! Iterations are seed-deterministic and independent, so the same campaign
+//! can fan out across threads — and stream results as they complete:
+//!
+//! ```
+//! use meterstick::campaign::Campaign;
+//! use meterstick::executor::ParallelExecutor;
+//! use meterstick::sink::CsvSink;
+//! use meterstick_workloads::WorkloadKind;
+//! use mlg_server::ServerFlavor;
+//! use cloud_sim::environment::Environment;
+//!
+//! let campaign = Campaign::new()
+//!     .workloads([WorkloadKind::Control])
+//!     .flavors([ServerFlavor::Vanilla])
+//!     .environments([Environment::das5(2)])
+//!     .duration_secs(2);
+//! let mut csv = CsvSink::new(Vec::new());
+//! let results = campaign
+//!     .run_with(&ParallelExecutor::default(), &mut csv)
+//!     .expect("valid campaign");
+//! let rows = String::from_utf8(csv.into_inner()).unwrap();
+//! assert_eq!(rows.lines().count(), 1 + results.iterations().len());
 //! ```
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod campaign;
 pub mod config;
 pub mod controller;
 pub mod deployment;
+pub mod error;
+pub mod executor;
 pub mod experiment;
 pub mod report;
 pub mod results;
+pub mod sink;
 
+pub use campaign::{Campaign, CampaignPlan, CampaignResults, IterationJob};
 pub use config::BenchmarkConfig;
+pub use error::BenchmarkError;
+pub use executor::{Executor, ParallelExecutor, SequentialExecutor};
+#[allow(deprecated)]
 pub use experiment::ExperimentRunner;
 pub use results::{ExperimentResults, IterationResult};
+pub use sink::{CsvSink, NullSink, ProgressSink, ResultSink};

@@ -45,22 +45,41 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
+fn csv_escape(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Renders one CSV row (no trailing newline). Cells containing commas,
+/// quotes or newlines are quoted. Streaming sinks use this to emit rows as
+/// results complete; [`to_csv`] uses it for whole tables.
+#[must_use]
+pub fn csv_row(cells: &[String]) -> String {
+    cells
+        .iter()
+        .map(|c| csv_escape(c))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
 /// Renders rows as CSV with a header line. Cells containing commas or quotes
 /// are quoted.
 #[must_use]
 pub fn to_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
-    fn escape(cell: &str) -> String {
-        if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
-            format!("\"{}\"", cell.replace('"', "\"\""))
-        } else {
-            cell.to_string()
-        }
-    }
     let mut out = String::new();
-    out.push_str(&headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+    out.push_str(
+        &headers
+            .iter()
+            .map(|h| csv_escape(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
     out.push('\n');
     for row in rows {
-        out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+        out.push_str(&csv_row(row));
         out.push('\n');
     }
     out

@@ -5,9 +5,9 @@ use meterstick_metrics::response::ResponseTimeSummary;
 use meterstick_metrics::stats::{BoxplotSummary, Percentiles};
 use meterstick_metrics::trace::TickTrace;
 use meterstick_metrics::TickDistribution;
+use meterstick_workloads::WorkloadKind;
 use mlg_protocol::TrafficSummary;
 use mlg_server::ServerFlavor;
-use meterstick_workloads::WorkloadKind;
 
 /// Everything recorded for one iteration of one flavor under one workload.
 #[derive(Debug, Clone)]
@@ -93,7 +93,10 @@ impl ExperimentResults {
     /// Iteration results for one flavor.
     #[must_use]
     pub fn for_flavor(&self, flavor: ServerFlavor) -> Vec<&IterationResult> {
-        self.iterations.iter().filter(|r| r.flavor == flavor).collect()
+        self.iterations
+            .iter()
+            .filter(|r| r.flavor == flavor)
+            .collect()
     }
 
     /// Iteration results for one flavor and workload.
@@ -139,7 +142,10 @@ impl ExperimentResults {
     /// Number of iterations that ended in a crash, per flavor.
     #[must_use]
     pub fn crash_count(&self, flavor: ServerFlavor) -> usize {
-        self.for_flavor(flavor).iter().filter(|r| r.crashed()).count()
+        self.for_flavor(flavor)
+            .iter()
+            .filter(|r| r.crashed())
+            .count()
     }
 
     /// Merges another result set into this one.
@@ -159,7 +165,12 @@ mod tests {
     use super::*;
     use meterstick_metrics::trace::TickRecord;
 
-    fn iteration(flavor: ServerFlavor, workload: WorkloadKind, isr: f64, crashed: bool) -> IterationResult {
+    fn iteration(
+        flavor: ServerFlavor,
+        workload: WorkloadKind,
+        isr: f64,
+        crashed: bool,
+    ) -> IterationResult {
         let mut trace = TickTrace::new(50.0);
         for i in 0..10 {
             trace.push(TickRecord {
@@ -190,9 +201,24 @@ mod tests {
     #[test]
     fn grouping_by_flavor_and_workload() {
         let mut results = ExperimentResults::new();
-        results.push(iteration(ServerFlavor::Vanilla, WorkloadKind::Control, 0.01, false));
-        results.push(iteration(ServerFlavor::Vanilla, WorkloadKind::Tnt, 0.2, false));
-        results.push(iteration(ServerFlavor::Paper, WorkloadKind::Tnt, 0.05, false));
+        results.push(iteration(
+            ServerFlavor::Vanilla,
+            WorkloadKind::Control,
+            0.01,
+            false,
+        ));
+        results.push(iteration(
+            ServerFlavor::Vanilla,
+            WorkloadKind::Tnt,
+            0.2,
+            false,
+        ));
+        results.push(iteration(
+            ServerFlavor::Paper,
+            WorkloadKind::Tnt,
+            0.05,
+            false,
+        ));
         assert_eq!(results.iterations().len(), 3);
         assert_eq!(results.for_flavor(ServerFlavor::Vanilla).len(), 2);
         assert_eq!(
@@ -207,8 +233,18 @@ mod tests {
     #[test]
     fn pooled_views_concatenate_iterations() {
         let mut results = ExperimentResults::new();
-        results.push(iteration(ServerFlavor::Forge, WorkloadKind::Players, 0.01, false));
-        results.push(iteration(ServerFlavor::Forge, WorkloadKind::Players, 0.02, false));
+        results.push(iteration(
+            ServerFlavor::Forge,
+            WorkloadKind::Players,
+            0.01,
+            false,
+        ));
+        results.push(iteration(
+            ServerFlavor::Forge,
+            WorkloadKind::Players,
+            0.02,
+            false,
+        ));
         assert_eq!(results.pooled_tick_times(ServerFlavor::Forge).len(), 20);
         assert_eq!(results.pooled_response_times(ServerFlavor::Forge).len(), 4);
     }
@@ -216,8 +252,18 @@ mod tests {
     #[test]
     fn crash_counting() {
         let mut results = ExperimentResults::new();
-        results.push(iteration(ServerFlavor::Vanilla, WorkloadKind::Lag, 0.9, true));
-        results.push(iteration(ServerFlavor::Vanilla, WorkloadKind::Lag, 0.9, false));
+        results.push(iteration(
+            ServerFlavor::Vanilla,
+            WorkloadKind::Lag,
+            0.9,
+            true,
+        ));
+        results.push(iteration(
+            ServerFlavor::Vanilla,
+            WorkloadKind::Lag,
+            0.9,
+            false,
+        ));
         assert_eq!(results.crash_count(ServerFlavor::Vanilla), 1);
         assert!(results.iterations()[0].crashed());
     }

@@ -1,0 +1,214 @@
+//! Streaming result sinks: observers that consume [`IterationResult`]s as
+//! they complete.
+//!
+//! A [`ResultSink`] is attached to a campaign run via
+//! [`Campaign::run_with`]; executors call it once per finished iteration
+//! *as soon as that iteration finishes*, so reports and figure binaries can
+//! stream rows (CSV, progress lines) instead of materializing every result
+//! before presenting anything. With a parallel executor the calls arrive in
+//! completion order, not plan order; each call carries the originating
+//! [`IterationJob`] so sinks can label rows without assuming order.
+//!
+//! [`Campaign::run_with`]: crate::campaign::Campaign::run_with
+
+use std::io::Write;
+
+use crate::campaign::{CampaignPlan, IterationJob};
+use crate::report::csv_row;
+use crate::results::IterationResult;
+
+/// Observer of a campaign run; all methods have no-op defaults so sinks
+/// implement only what they need.
+pub trait ResultSink {
+    /// Called once before the first job starts.
+    fn on_campaign_start(&mut self, plan: &CampaignPlan) {
+        let _ = plan;
+    }
+
+    /// Called once per finished iteration, in completion order.
+    fn on_result(&mut self, job: &IterationJob, result: &IterationResult) {
+        let _ = (job, result);
+    }
+
+    /// Called once after the last job finished.
+    fn on_campaign_end(&mut self) {}
+}
+
+/// A sink that ignores everything; the default for [`Campaign::run`].
+///
+/// [`Campaign::run`]: crate::campaign::Campaign::run
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl ResultSink for NullSink {}
+
+/// Streams one CSV summary row per iteration into any [`Write`] target.
+///
+/// The header is written when the campaign starts. Write errors are not
+/// propagated into the benchmark run; the first one is retained and can be
+/// inspected with [`CsvSink::error`].
+#[derive(Debug)]
+pub struct CsvSink<W: Write> {
+    writer: W,
+    error: Option<std::io::Error>,
+}
+
+/// Column headers of the per-iteration CSV stream.
+pub const CSV_COLUMNS: [&str; 13] = [
+    "workload",
+    "flavor",
+    "environment",
+    "iteration",
+    "seed",
+    "ticks_executed",
+    "ticks_planned",
+    "isr",
+    "tick_p50_ms",
+    "tick_max_ms",
+    "response_p50_ms",
+    "response_p95_ms",
+    "crashed",
+];
+
+impl<W: Write> CsvSink<W> {
+    /// Creates a sink writing to `writer`.
+    pub fn new(writer: W) -> Self {
+        CsvSink {
+            writer,
+            error: None,
+        }
+    }
+
+    /// The first write error encountered, if any.
+    pub fn error(&self) -> Option<&std::io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Consumes the sink and returns the writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+
+    fn write_line(&mut self, line: &str) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(err) = writeln!(self.writer, "{line}") {
+            self.error = Some(err);
+        }
+    }
+}
+
+impl<W: Write> ResultSink for CsvSink<W> {
+    fn on_campaign_start(&mut self, _plan: &CampaignPlan) {
+        let headers: Vec<String> = CSV_COLUMNS.iter().map(|c| (*c).to_string()).collect();
+        let line = csv_row(&headers);
+        self.write_line(&line);
+    }
+
+    fn on_result(&mut self, job: &IterationJob, result: &IterationResult) {
+        let ticks = result.tick_percentiles();
+        let line = csv_row(&[
+            result.workload.to_string(),
+            result.flavor.to_string(),
+            result.environment.clone(),
+            result.iteration.to_string(),
+            job.seed.to_string(),
+            result.ticks_executed.to_string(),
+            result.ticks_planned.to_string(),
+            format!("{:.6}", result.instability_ratio),
+            format!("{:.3}", ticks.p50),
+            format!("{:.3}", ticks.max),
+            format!("{:.3}", result.response.percentiles.p50),
+            format!("{:.3}", result.response.percentiles.p95),
+            result.crashed.clone().unwrap_or_default(),
+        ]);
+        self.write_line(&line);
+    }
+
+    fn on_campaign_end(&mut self) {
+        if self.error.is_none() {
+            if let Err(err) = self.writer.flush() {
+                self.error = Some(err);
+            }
+        }
+    }
+}
+
+/// Prints one human-readable progress line per finished iteration.
+#[derive(Debug)]
+pub struct ProgressSink<W: Write> {
+    writer: W,
+    total: usize,
+    done: usize,
+}
+
+impl<W: Write> ProgressSink<W> {
+    /// Creates a sink printing to `writer` (e.g. `std::io::stderr()`).
+    pub fn new(writer: W) -> Self {
+        ProgressSink {
+            writer,
+            total: 0,
+            done: 0,
+        }
+    }
+}
+
+impl<W: Write> ResultSink for ProgressSink<W> {
+    fn on_campaign_start(&mut self, plan: &CampaignPlan) {
+        self.total = plan.jobs().len();
+        self.done = 0;
+    }
+
+    fn on_result(&mut self, job: &IterationJob, result: &IterationResult) {
+        self.done += 1;
+        let status = if result.crashed() { "CRASHED" } else { "ok" };
+        let _ = writeln!(
+            self.writer,
+            "[{:>3}/{}] {}: ISR {:.4}, {} ticks, {status}",
+            self.done,
+            self.total,
+            job.label(),
+            result.instability_ratio,
+            result.ticks_executed,
+        );
+    }
+}
+
+/// Fans every callback out to two sinks, so e.g. a CSV stream and a progress
+/// display can observe the same run.
+#[derive(Debug)]
+pub struct TeeSink<'a> {
+    first: &'a mut dyn ResultSink,
+    second: &'a mut dyn ResultSink,
+}
+
+impl<'a> TeeSink<'a> {
+    /// Combines two sinks.
+    pub fn new(first: &'a mut dyn ResultSink, second: &'a mut dyn ResultSink) -> Self {
+        TeeSink { first, second }
+    }
+}
+
+impl ResultSink for TeeSink<'_> {
+    fn on_campaign_start(&mut self, plan: &CampaignPlan) {
+        self.first.on_campaign_start(plan);
+        self.second.on_campaign_start(plan);
+    }
+
+    fn on_result(&mut self, job: &IterationJob, result: &IterationResult) {
+        self.first.on_result(job, result);
+        self.second.on_result(job, result);
+    }
+
+    fn on_campaign_end(&mut self) {
+        self.first.on_campaign_end();
+        self.second.on_campaign_end();
+    }
+}
+
+impl std::fmt::Debug for dyn ResultSink + '_ {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ResultSink")
+    }
+}

@@ -29,7 +29,10 @@ pub fn allan_variance(values: &[f64]) -> f64 {
     if values.len() < 2 {
         return 0.0;
     }
-    let sum_sq: f64 = values.windows(2).map(|w| (w[1] - w[0]) * (w[1] - w[0])).sum();
+    let sum_sq: f64 = values
+        .windows(2)
+        .map(|w| (w[1] - w[0]) * (w[1] - w[0]))
+        .sum();
     sum_sq / (2.0 * (values.len() - 1) as f64)
 }
 
@@ -174,7 +177,10 @@ mod tests {
         assert_eq!(rows.len(), 4);
         let isr = rows.iter().find(|r| r.name == "ISR").unwrap();
         assert!(isr.order_dependent && isr.irregular_sampling && isr.normalized);
-        let sd = rows.iter().find(|r| r.name == "standard deviation").unwrap();
+        let sd = rows
+            .iter()
+            .find(|r| r.name == "standard deviation")
+            .unwrap();
         assert!(!sd.order_dependent && !sd.normalized);
         // Only ISR is normalized.
         assert_eq!(rows.iter().filter(|r| r.normalized).count(), 1);

@@ -181,7 +181,10 @@ mod tests {
     #[test]
     fn shares_sum_to_one_hundred() {
         let d = sample();
-        let total: f64 = TickOperation::all().iter().map(|&op| d.share_percent(op)).sum();
+        let total: f64 = TickOperation::all()
+            .iter()
+            .map(|&op| d.share_percent(op))
+            .sum();
         assert!((total - 100.0).abs() < 1e-9);
         let busy: f64 = TickOperation::all()
             .iter()

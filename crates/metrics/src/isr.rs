@@ -82,7 +82,12 @@ pub fn analytical_isr(s: f64, lambda: f64) -> f64 {
 /// tick has duration `s * budget` and all others exactly `budget`. Used by the
 /// Figure 6 analysis and by tests validating the analytical model.
 #[must_use]
-pub fn synthetic_outlier_trace(total_ticks: usize, lambda: usize, s: f64, budget_ms: f64) -> Vec<f64> {
+pub fn synthetic_outlier_trace(
+    total_ticks: usize,
+    lambda: usize,
+    s: f64,
+    budget_ms: f64,
+) -> Vec<f64> {
     (0..total_ticks)
         .map(|i| {
             if lambda > 0 && (i + 1) % lambda == 0 {
@@ -191,8 +196,14 @@ mod tests {
         // clustered trace gives ~0.0095 and the spread trace ~0.095 — an
         // order of magnitude apart, which is the property the figure makes.
         assert!(high_isr > low_isr * 5.0, "high {high_isr} vs low {low_isr}");
-        assert!((low_isr - 0.0095).abs() < 0.005, "low ISR ≈ 0.009, got {low_isr}");
-        assert!((high_isr - 0.095).abs() < 0.03, "high ISR ≈ 0.095, got {high_isr}");
+        assert!(
+            (low_isr - 0.0095).abs() < 0.005,
+            "low ISR ≈ 0.009, got {low_isr}"
+        );
+        assert!(
+            (high_isr - 0.095).abs() < 0.03,
+            "high ISR ≈ 0.095, got {high_isr}"
+        );
     }
 
     #[test]
@@ -231,7 +242,9 @@ mod tests {
         let value = isr(&trace);
         // Constant overload has zero jitter regardless of normalization.
         assert_eq!(value, 0.0);
-        let spiky: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 50.0 } else { 150.0 }).collect();
+        let spiky: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 50.0 } else { 150.0 })
+            .collect();
         assert!(isr(&spiky) > 0.2);
     }
 

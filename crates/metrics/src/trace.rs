@@ -104,7 +104,10 @@ impl TickTrace {
     /// Number of ticks whose busy time exceeded the budget (overloaded ticks).
     #[must_use]
     pub fn overloaded_ticks(&self) -> usize {
-        self.records.iter().filter(|r| r.busy_ms > self.budget_ms).count()
+        self.records
+            .iter()
+            .filter(|r| r.busy_ms > self.budget_ms)
+            .count()
     }
 
     /// Fraction of ticks that were overloaded (0–1).

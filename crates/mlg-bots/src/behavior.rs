@@ -37,7 +37,10 @@ impl Behavior {
     pub fn next_position<R: Rng>(&self, pos: Vec3, rng: &mut R) -> Option<Vec3> {
         match self {
             Behavior::Idle => None,
-            Behavior::RandomWalk { center, half_extent } => {
+            Behavior::RandomWalk {
+                center,
+                half_extent,
+            } => {
                 // A bounded random step of at most one block per tick.
                 let step = 0.3;
                 let dx = rng.gen_range(-step..=step);

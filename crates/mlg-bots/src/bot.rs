@@ -67,7 +67,7 @@ impl Bot {
                 on_ground: true,
             });
         }
-        if self.is_prober() && self.ticks_seen % self.probe_interval_ticks == 0 {
+        if self.is_prober() && self.ticks_seen.is_multiple_of(self.probe_interval_ticks) {
             packets.push(ServerboundPacket::Chat {
                 message: format!("probe-{}", self.ticks_seen),
                 sent_at_ms: now_ms,

@@ -68,7 +68,12 @@ impl PlayerEmulation {
             } else {
                 Behavior::players_workload(spawn_point, f64::from(walk_area.max(2)))
             };
-            let mut bot = Bot::new(format!("meterstick-bot-{i:02}"), spawn_point, behavior, seeder.gen());
+            let mut bot = Bot::new(
+                format!("meterstick-bot-{i:02}"),
+                spawn_point,
+                behavior,
+                seeder.gen(),
+            );
             if i == 0 {
                 bot = bot.with_probe_interval(DEFAULT_PROBE_INTERVAL_TICKS);
             }
@@ -132,7 +137,9 @@ impl PlayerEmulation {
     /// delivered into the server's networking queues.
     pub fn deliver_to_server(&mut self, now_ms: f64, server: &mut GameServer) {
         for conn in &mut self.connections {
-            let Some(id) = conn.bot.player_id else { continue };
+            let Some(id) = conn.bot.player_id else {
+                continue;
+            };
             for packet in conn.uplink.poll(now_ms) {
                 server.enqueue_packet(id, packet);
             }
@@ -152,7 +159,9 @@ impl PlayerEmulation {
     pub fn collect_from_server(&mut self, server: &mut GameServer, tick: &TickSummary) {
         let base_latency = self.link_config.base_latency_ms;
         for conn in &mut self.connections {
-            let Some(id) = conn.bot.player_id else { continue };
+            let Some(id) = conn.bot.player_id else {
+                continue;
+            };
             let is_prober = conn.bot.is_prober();
             for packet in server.drain_outgoing(id) {
                 let size = clientbound_wire_size(&packet);
@@ -244,7 +253,9 @@ mod tests {
         ticks: u32,
     ) -> Vec<TickSummary> {
         let mut engine = Environment::das5(2).instantiate(1).engine;
-        (0..ticks).map(|_| emulation.step(server, &mut engine)).collect()
+        (0..ticks)
+            .map(|_| emulation.step(server, &mut engine))
+            .collect()
     }
 
     #[test]
@@ -278,7 +289,11 @@ mod tests {
         emu.connect_all(&mut s);
         run_ticks(&mut emu, &mut s, 200);
         let samples = emu.response_samples();
-        assert!(samples.len() >= 8, "expected ~10 probes, got {}", samples.len());
+        assert!(
+            samples.len() >= 8,
+            "expected ~10 probes, got {}",
+            samples.len()
+        );
         for &rtt in samples {
             assert!(rtt > 0.0 && rtt < 1_000.0, "implausible RTT {rtt}");
         }
@@ -301,7 +316,10 @@ mod tests {
         run_ticks(&mut emu, &mut s, 300);
         let samples = emu.response_samples();
         let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
-        assert!(mean > 10.0 && mean < 120.0, "mean RTT {mean} out of expected band");
+        assert!(
+            mean > 10.0 && mean < 120.0,
+            "mean RTT {mean} out of expected band"
+        );
     }
 
     #[test]
@@ -342,7 +360,10 @@ mod tests {
         );
         emu.connect_all(&mut s);
         run_ticks(&mut emu, &mut s, 50);
-        assert!(emu.bytes_sent() > 10_000, "25 walking bots should send plenty of moves");
+        assert!(
+            emu.bytes_sent() > 10_000,
+            "25 walking bots should send plenty of moves"
+        );
         assert!(emu.bytes_received() > 0);
     }
 

@@ -155,7 +155,10 @@ mod tests {
         let out = decide(&mut w, &mut zombie, &players, &mut rng());
         assert!(out.has_target);
         assert!(out.pathfinding_performed);
-        assert!(zombie.velocity.x > 0.0, "zombie should move towards the player");
+        assert!(
+            zombie.velocity.x > 0.0,
+            "zombie should move towards the player"
+        );
     }
 
     #[test]

@@ -39,7 +39,8 @@ pub fn merge_items(entities: &mut [Entity], grid: &SpatialGrid) -> ItemPassOutco
     let mut outcome = ItemPassOutcome::default();
     let mut absorbed: std::collections::HashSet<EntityId> = std::collections::HashSet::new();
     // Index entities by id for stack bookkeeping.
-    let mut kind_by_id: std::collections::HashMap<EntityId, EntityKind> = std::collections::HashMap::new();
+    let mut kind_by_id: std::collections::HashMap<EntityId, EntityKind> =
+        std::collections::HashMap::new();
     for e in entities.iter() {
         kind_by_id.insert(e.id, e.kind);
     }
@@ -197,7 +198,11 @@ mod tests {
     fn stack_size_never_exceeds_max() {
         let mut entities: Vec<Entity> = (0..80)
             .map(|i| {
-                let mut e = item(i, BlockKind::Cobblestone, Vec3::new(0.1 * i as f64 % 1.0, 61.0, 0.0));
+                let mut e = item(
+                    i,
+                    BlockKind::Cobblestone,
+                    Vec3::new(0.1 * i as f64 % 1.0, 61.0, 0.0),
+                );
                 e.stack_size = 1;
                 e
             })

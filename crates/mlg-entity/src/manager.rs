@@ -147,7 +147,10 @@ impl EntityManager {
     /// Number of live hostile mobs.
     #[must_use]
     pub fn hostile_count(&self) -> usize {
-        self.entities.values().filter(|e| e.kind.is_hostile()).count()
+        self.entities
+            .values()
+            .filter(|e| e.kind.is_hostile())
+            .count()
     }
 
     /// Returns a reference to an entity by id.
@@ -195,17 +198,15 @@ impl EntityManager {
 
             // Kind-specific behaviour.
             match entity.kind {
-                EntityKind::PrimedTnt => {
-                    if tnt_processed < self.max_tnt_per_tick {
-                        tnt_processed += 1;
-                        let out = tnt::tick_fuse(world, &mut entity);
-                        if out.exploded {
-                            let explosion = out.explosion.expect("explosion present when exploded");
-                            report.explosions += 1;
-                            report.blocks_destroyed += explosion.blocks_destroyed;
-                            chain_ignitions.extend(explosion.tnt_ignited);
-                            exploded.push((entity.id, entity.pos));
-                        }
+                EntityKind::PrimedTnt if tnt_processed < self.max_tnt_per_tick => {
+                    tnt_processed += 1;
+                    let out = tnt::tick_fuse(world, &mut entity);
+                    if out.exploded {
+                        let explosion = out.explosion.expect("explosion present when exploded");
+                        report.explosions += 1;
+                        report.blocks_destroyed += explosion.blocks_destroyed;
+                        chain_ignitions.extend(explosion.tnt_ignited);
+                        exploded.push((entity.id, entity.pos));
                     }
                 }
                 kind if kind.is_mob() => {
@@ -248,7 +249,12 @@ impl EntityManager {
         }
 
         // Item maintenance: merging and hopper collection.
-        let mut all: Vec<Entity> = self.order.iter().filter_map(|id| self.entities.get(id)).cloned().collect();
+        let mut all: Vec<Entity> = self
+            .order
+            .iter()
+            .filter_map(|id| self.entities.get(id))
+            .cloned()
+            .collect();
         let merge_out = items::merge_items(&mut all, &self.grid);
         report.proximity_candidates += u64::from(merge_out.candidates_examined);
         report.items_merged += merge_out.merged_away.len() as u64;
@@ -261,7 +267,12 @@ impl EntityManager {
             self.remove(id);
             report.removed.push(id);
         }
-        let snapshot: Vec<Entity> = self.order.iter().filter_map(|id| self.entities.get(id)).cloned().collect();
+        let snapshot: Vec<Entity> = self
+            .order
+            .iter()
+            .filter_map(|id| self.entities.get(id))
+            .cloned()
+            .collect();
         let collect_out = items::collect_into_hoppers(world, &snapshot);
         report.items_collected += collect_out.collected.len() as u64;
         for id in collect_out.collected {
@@ -383,7 +394,11 @@ mod tests {
         }
         let report = m.tick(&mut w, &[]);
         assert_eq!(report.explosions, 1);
-        assert_eq!(report.spawned.len(), 4, "ignited blocks become primed TNT entities");
+        assert_eq!(
+            report.spawned.len(),
+            4,
+            "ignited blocks become primed TNT entities"
+        );
         assert_eq!(m.count(), 4);
     }
 
@@ -398,7 +413,10 @@ mod tests {
         }
         m.tick(&mut w, &[]);
         let cow = m.get(bystander).unwrap();
-        assert!(cow.velocity.x > 0.0, "cow should be pushed away from the blast");
+        assert!(
+            cow.velocity.x > 0.0,
+            "cow should be pushed away from the blast"
+        );
     }
 
     #[test]
@@ -436,7 +454,10 @@ mod tests {
     fn old_items_despawn() {
         let mut m = manager();
         let mut w = world();
-        let id = m.spawn(EntityKind::Item(BlockKind::Stone), Vec3::new(4.5, 61.5, 4.5));
+        let id = m.spawn(
+            EntityKind::Item(BlockKind::Stone),
+            Vec3::new(4.5, 61.5, 4.5),
+        );
         if let Some(e) = m.entities.get_mut(&id) {
             e.age = 7_000;
         }

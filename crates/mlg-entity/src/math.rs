@@ -30,12 +30,17 @@ impl Vec3 {
     }
 
     /// Component-wise addition.
+    // Inherent rather than `std::ops::Add` so call sites stay explicit
+    // method chains (`a.add(b).scale(c)`); widely used across the physics
+    // and pathfinding code.
+    #[allow(clippy::should_implement_trait)]
     #[must_use]
     pub fn add(self, other: Vec3) -> Vec3 {
         Vec3::new(self.x + other.x, self.y + other.y, self.z + other.z)
     }
 
     /// Component-wise subtraction.
+    #[allow(clippy::should_implement_trait)]
     #[must_use]
     pub fn sub(self, other: Vec3) -> Vec3 {
         Vec3::new(self.x - other.x, self.y - other.y, self.z - other.z)
@@ -252,7 +257,10 @@ mod tests {
 
     #[test]
     fn block_pos_conversion_floors() {
-        assert_eq!(Vec3::new(1.9, 64.0, -0.1).block_pos(), BlockPos::new(1, 64, -1));
+        assert_eq!(
+            Vec3::new(1.9, 64.0, -0.1).block_pos(),
+            BlockPos::new(1, 64, -1)
+        );
         let center = Vec3::from_block_center(BlockPos::new(2, 60, -3));
         assert_eq!(center, Vec3::new(2.5, 60.0, -2.5));
         assert_eq!(center.block_pos(), BlockPos::new(2, 60, -3));

@@ -78,7 +78,11 @@ pub fn find_path(world: &mut World, start: BlockPos, goal: BlockPos, max_nodes: 
     let mut counter: u64 = 0;
 
     g_score.insert(start, 0);
-    open.push(Reverse((u64::from(start.manhattan_distance(goal)), counter, start)));
+    open.push(Reverse((
+        u64::from(start.manhattan_distance(goal)),
+        counter,
+        start,
+    )));
 
     while let Some(Reverse((_, _, current))) = open.pop() {
         result.nodes_expanded += 1;
@@ -156,7 +160,10 @@ mod tests {
         let goal = BlockPos::new(6, STAND_Y, 0);
         let result = find_path(&mut w, start, goal, 10_000);
         assert!(result.reached_goal);
-        assert!(result.path.len() > 6, "detour must be longer than the direct route");
+        assert!(
+            result.path.len() > 6,
+            "detour must be longer than the direct route"
+        );
         // The path never crosses the wall column except above it.
         for p in &result.path {
             if p.x == 3 {
@@ -171,7 +178,10 @@ mod tests {
         // A one-block step up halfway along the route.
         for x in 3..7 {
             for z in -1..=1 {
-                w.set_block_silent(BlockPos::new(x, STAND_Y, z), Block::simple(BlockKind::Stone));
+                w.set_block_silent(
+                    BlockPos::new(x, STAND_Y, z),
+                    Block::simple(BlockKind::Stone),
+                );
             }
         }
         let start = BlockPos::new(0, STAND_Y, 0);
@@ -197,7 +207,10 @@ mod tests {
         }
         let result = find_path(&mut w, BlockPos::new(0, STAND_Y, 0), goal, 500);
         assert!(!result.reached_goal);
-        assert!(result.nodes_expanded >= 500, "search should hit the node budget");
+        assert!(
+            result.nodes_expanded >= 500,
+            "search should hit the node budget"
+        );
     }
 
     #[test]
@@ -217,7 +230,10 @@ mod tests {
         // Mid-air is not walkable.
         assert!(!is_walkable(&mut w, BlockPos::new(0, STAND_Y + 5, 0)));
         // A low ceiling blocks walkability.
-        w.set_block_silent(BlockPos::new(2, STAND_Y + 1, 0), Block::simple(BlockKind::Stone));
+        w.set_block_silent(
+            BlockPos::new(2, STAND_Y + 1, 0),
+            Block::simple(BlockKind::Stone),
+        );
         assert!(!is_walkable(&mut w, BlockPos::new(2, STAND_Y, 0)));
     }
 

@@ -125,7 +125,11 @@ mod tests {
         }
         assert!(e.on_ground, "entity should land");
         // Surface is at y = 60, so feet rest near y = 61.
-        assert!(e.pos.y > 60.4 && e.pos.y < 61.6, "resting height {}", e.pos.y);
+        assert!(
+            e.pos.y > 60.4 && e.pos.y < 61.6,
+            "resting height {}",
+            e.pos.y
+        );
         assert_eq!(e.velocity.y, 0.0);
     }
 
@@ -165,7 +169,10 @@ mod tests {
         e.velocity = Vec3::new(1.0, 0.0, 0.5);
         let before_z = e.pos.z;
         step(&mut w, &mut e);
-        assert!(e.pos.z > before_z, "z motion should continue while x is blocked");
+        assert!(
+            e.pos.z > before_z,
+            "z motion should continue while x is blocked"
+        );
     }
 
     #[test]

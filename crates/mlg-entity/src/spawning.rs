@@ -74,7 +74,11 @@ impl Spawner {
         if feet.kind().is_fluid() {
             return false;
         }
-        sky_light_at(world, pos) <= MAX_SPAWN_LIGHT
+        // `<=` keeps the comparison correct if MAX_SPAWN_LIGHT is ever
+        // raised above 0 (its current value makes this equivalent to `==`).
+        #[allow(clippy::absurd_extreme_comparisons)]
+        let dark_enough = sky_light_at(world, pos) <= MAX_SPAWN_LIGHT;
+        dark_enough
     }
 
     /// Runs one spawning pass around the given player positions.
@@ -200,7 +204,10 @@ mod tests {
         let players = vec![Vec3::new(0.5, 61.0, 0.5)];
         let outcome = spawner.tick(&mut w, &players, 0, &mut rng);
         assert!(outcome.positions_scanned == 1_000);
-        assert!(!outcome.spawns.is_empty(), "the dark area should produce spawns");
+        assert!(
+            !outcome.spawns.is_empty(),
+            "the dark area should produce spawns"
+        );
         for (kind, _) in &outcome.spawns {
             assert!(kind.is_hostile());
         }

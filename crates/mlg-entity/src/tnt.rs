@@ -48,7 +48,7 @@ pub fn tick_fuse(world: &mut World, entity: &mut Entity) -> TntTickOutcome {
 pub fn knockback(blast_pos: Vec3, target_pos: Vec3) -> Vec3 {
     let offset = target_pos.sub(blast_pos);
     let distance = offset.length();
-    if distance >= KNOCKBACK_RADIUS || distance < 1e-9 {
+    if !(1e-9..KNOCKBACK_RADIUS).contains(&distance) {
         return Vec3::ZERO;
     }
     let strength = (KNOCKBACK_RADIUS - distance) / KNOCKBACK_RADIUS;
@@ -69,7 +69,11 @@ mod tests {
     #[test]
     fn fuse_counts_down_before_exploding() {
         let mut w = world();
-        let mut tnt = Entity::new(EntityId(1), EntityKind::PrimedTnt, Vec3::new(8.5, 61.0, 8.5));
+        let mut tnt = Entity::new(
+            EntityId(1),
+            EntityKind::PrimedTnt,
+            Vec3::new(8.5, 61.0, 8.5),
+        );
         tnt.fuse = 3;
         for _ in 0..3 {
             let out = tick_fuse(&mut w, &mut tnt);
@@ -83,7 +87,11 @@ mod tests {
     #[test]
     fn explosion_destroys_surrounding_terrain() {
         let mut w = world();
-        let mut tnt = Entity::new(EntityId(1), EntityKind::PrimedTnt, Vec3::new(8.5, 61.0, 8.5));
+        let mut tnt = Entity::new(
+            EntityId(1),
+            EntityKind::PrimedTnt,
+            Vec3::new(8.5, 61.0, 8.5),
+        );
         tnt.fuse = 0;
         let out = tick_fuse(&mut w, &mut tnt);
         let explosion = out.explosion.unwrap();
@@ -97,12 +105,13 @@ mod tests {
         let mut w = world();
         // Place a small cluster of TNT blocks near the blast.
         for dx in 0..3 {
-            w.set_block_silent(
-                BlockPos::new(9 + dx, 61, 8),
-                Block::simple(BlockKind::Tnt),
-            );
+            w.set_block_silent(BlockPos::new(9 + dx, 61, 8), Block::simple(BlockKind::Tnt));
         }
-        let mut tnt = Entity::new(EntityId(1), EntityKind::PrimedTnt, Vec3::new(8.5, 61.0, 8.5));
+        let mut tnt = Entity::new(
+            EntityId(1),
+            EntityKind::PrimedTnt,
+            Vec3::new(8.5, 61.0, 8.5),
+        );
         tnt.fuse = 0;
         let out = tick_fuse(&mut w, &mut tnt);
         let explosion = out.explosion.unwrap();

@@ -95,7 +95,10 @@ impl TrafficSummary {
     /// Counters for one category.
     #[must_use]
     pub fn category(&self, category: TrafficCategory) -> CategoryCounters {
-        self.per_category.get(&category).copied().unwrap_or_default()
+        self.per_category
+            .get(&category)
+            .copied()
+            .unwrap_or_default()
     }
 
     /// Percentage of messages that belong to `category` (0–100). Returns 0
@@ -196,7 +199,10 @@ mod tests {
     #[test]
     fn classification_covers_all_categories() {
         assert_eq!(TrafficCategory::of(&entity_move()), TrafficCategory::Entity);
-        assert_eq!(TrafficCategory::of(&block_change()), TrafficCategory::Terrain);
+        assert_eq!(
+            TrafficCategory::of(&block_change()),
+            TrafficCategory::Terrain
+        );
         assert_eq!(
             TrafficCategory::of(&ClientboundPacket::Chat {
                 message: "x".into(),
@@ -251,10 +257,7 @@ mod tests {
         let mut acc = TrafficAccountant::new();
         acc.record(&entity_move(), 25);
         assert_eq!(acc.summary().total_messages(), 25);
-        assert_eq!(
-            acc.summary().category(TrafficCategory::Entity).messages,
-            25
-        );
+        assert_eq!(acc.summary().category(TrafficCategory::Entity).messages, 25);
     }
 
     #[test]

@@ -120,7 +120,8 @@ fn get_block(buf: &mut Bytes) -> Result<Block, DecodeError> {
     }
     let kind_id = buf.get_u16();
     let state = buf.get_u8();
-    let kind = BlockKind::from_protocol_id(kind_id).ok_or(DecodeError::UnknownBlockKind(kind_id))?;
+    let kind =
+        BlockKind::from_protocol_id(kind_id).ok_or(DecodeError::UnknownBlockKind(kind_id))?;
     Ok(Block::with_state(kind, state))
 }
 
@@ -140,7 +141,10 @@ pub fn encode_serverbound(packet: &ServerboundPacket) -> Bytes {
             put_block(&mut buf, *block);
         }
         ServerboundPacket::BlockDig { pos } => put_block_pos(&mut buf, *pos),
-        ServerboundPacket::Chat { message, sent_at_ms } => {
+        ServerboundPacket::Chat {
+            message,
+            sent_at_ms,
+        } => {
             put_string(&mut buf, message);
             buf.put_f64(*sent_at_ms);
         }
@@ -228,7 +232,10 @@ pub fn encode_clientbound(packet: &ClientboundPacket) -> Bytes {
             put_vec3(&mut buf, *pos);
         }
         ClientboundPacket::EntityDestroy { id } => put_varint(&mut buf, id.0),
-        ClientboundPacket::Chat { message, echo_of_ms } => {
+        ClientboundPacket::Chat {
+            message,
+            echo_of_ms,
+        } => {
             put_string(&mut buf, message);
             buf.put_f64(*echo_of_ms);
         }
@@ -440,7 +447,10 @@ mod tests {
             pos: Vec3::new(1.0, 2.0, 3.0),
         });
         let truncated = full.slice(0..full.len() - 5);
-        assert_eq!(decode_clientbound(truncated), Err(DecodeError::UnexpectedEnd));
+        assert_eq!(
+            decode_clientbound(truncated),
+            Err(DecodeError::UnexpectedEnd)
+        );
     }
 
     #[test]

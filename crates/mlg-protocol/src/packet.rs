@@ -231,7 +231,10 @@ mod tests {
             payload_bytes: 100
         }
         .is_terrain_related());
-        assert!(ServerboundPacket::BlockDig { pos: BlockPos::ORIGIN }.is_terrain_related());
+        assert!(ServerboundPacket::BlockDig {
+            pos: BlockPos::ORIGIN
+        }
+        .is_terrain_related());
         assert!(!ServerboundPacket::Disconnect.is_terrain_related());
     }
 
@@ -252,7 +255,10 @@ mod tests {
                 block: Block::AIR,
             }
             .packet_id(),
-            ServerboundPacket::BlockDig { pos: BlockPos::ORIGIN }.packet_id(),
+            ServerboundPacket::BlockDig {
+                pos: BlockPos::ORIGIN,
+            }
+            .packet_id(),
             ServerboundPacket::Chat {
                 message: String::new(),
                 sent_at_ms: 0.0,

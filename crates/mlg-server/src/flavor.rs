@@ -31,7 +31,11 @@ impl ServerFlavor {
     /// All flavors in the order the paper lists them.
     #[must_use]
     pub fn all() -> [ServerFlavor; 3] {
-        [ServerFlavor::Vanilla, ServerFlavor::Forge, ServerFlavor::Paper]
+        [
+            ServerFlavor::Vanilla,
+            ServerFlavor::Forge,
+            ServerFlavor::Paper,
+        ]
     }
 
     /// The performance profile of this flavor.

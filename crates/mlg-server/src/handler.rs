@@ -102,7 +102,10 @@ pub fn process_player_actions(
                     report.blocks_dug += 1;
                 }
             }
-            ServerboundPacket::Chat { message, sent_at_ms } => {
+            ServerboundPacket::Chat {
+                message,
+                sent_at_ms,
+            } => {
                 report.chat_messages += 1;
                 report.pending_chat.push(PendingChat {
                     sender: player.name.clone(),

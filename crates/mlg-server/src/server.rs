@@ -3,12 +3,12 @@
 use cloud_sim::engine::{ComputeEngine, TickWork};
 use meterstick_metrics::distribution::TickDistribution;
 use meterstick_metrics::trace::TickRecord;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use mlg_entity::{EntityId, EntityKind, EntityManager, Vec3};
 use mlg_protocol::{ClientboundPacket, ServerboundPacket, TrafficAccountant, TrafficSummary};
 use mlg_world::sim::TerrainEvent;
 use mlg_world::{BlockKind, TerrainSimulator, World};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::config::ServerConfig;
 use crate::flavor::FlavorProfile;
@@ -301,7 +301,10 @@ impl GameServer {
         self.entities.spawn(kind, pos)
     }
 
-    fn handle_terrain_events(&mut self, events: Vec<TerrainEvent>) -> Vec<(EntityId, EntityKind, Vec3)> {
+    fn handle_terrain_events(
+        &mut self,
+        events: Vec<TerrainEvent>,
+    ) -> Vec<(EntityId, EntityKind, Vec3)> {
         let mut spawned = Vec::new();
         for event in events {
             match event {
@@ -317,7 +320,9 @@ impl GameServer {
                 }
                 TerrainEvent::ItemDispensed { pos } => {
                     let p = Vec3::from_block_center(pos.up());
-                    let id = self.entities.spawn(EntityKind::Item(BlockKind::Cobblestone), p);
+                    let id = self
+                        .entities
+                        .spawn(EntityKind::Item(BlockKind::Cobblestone), p);
                     spawned.push((id, EntityKind::Item(BlockKind::Cobblestone), p));
                 }
             }
@@ -372,7 +377,12 @@ impl GameServer {
                 .map(|a| mlg_protocol::codec::serverbound_wire_size(a) as u64)
                 .sum::<u64>();
             if let Some(player) = self.players.iter_mut().find(|p| p.id == *id) {
-                handler::process_player_actions(&mut self.world, player, actions, &mut player_report);
+                handler::process_player_actions(
+                    &mut self.world,
+                    player,
+                    actions,
+                    &mut player_report,
+                );
             }
         }
 
@@ -450,15 +460,17 @@ impl GameServer {
                 self.traffic.record(&packet, recipients);
                 packets_emitted += self.queues.broadcast(&packet);
             }
-            if self.tick_index % 20 == 0 {
+            if self.tick_index.is_multiple_of(20) {
                 let packet = ClientboundPacket::TimeUpdate {
                     world_age_ticks: self.tick_index,
                 };
                 self.traffic.record(&packet, recipients);
                 packets_emitted += self.queues.broadcast(&packet);
             }
-            if self.tick_index % 100 == 0 {
-                let packet = ClientboundPacket::KeepAlive { id: self.tick_index };
+            if self.tick_index.is_multiple_of(100) {
+                let packet = ClientboundPacket::KeepAlive {
+                    id: self.tick_index,
+                };
                 self.traffic.record(&packet, recipients);
                 packets_emitted += self.queues.broadcast(&packet);
             }
@@ -478,13 +490,16 @@ impl GameServer {
             + terrain_report.growths * 20
             + terrain_report.blocks_scanned;
         let update_work = (update_work_raw as f64 * p.redstone_multiplier) as u64;
-        let light_work = (terrain_report.light_positions as f64 * 2.0 * p.lighting_multiplier) as u64;
+        let light_work =
+            (terrain_report.light_positions as f64 * 2.0 * p.lighting_multiplier) as u64;
         let chunk_work = (terrain_report.chunks_generated + self.pending_join_chunks) * 4_000;
         self.pending_join_chunks = 0;
 
-        let explosion_component = entity_report.explosions * 500 + entity_report.blocks_destroyed * 30;
+        let explosion_component =
+            entity_report.explosions * 500 + entity_report.blocks_destroyed * 30;
         let entity_base = entity_report.base_work_units();
-        let entity_work = ((entity_base.saturating_sub(explosion_component)) as f64 * p.entity_multiplier
+        let entity_work = ((entity_base.saturating_sub(explosion_component)) as f64
+            * p.entity_multiplier
             + explosion_component as f64 * p.explosion_multiplier) as u64;
 
         let chat_work = player_report.chat_messages * 25 * recipients.max(1);
@@ -498,7 +513,9 @@ impl GameServer {
         // occasional large outliers that even self-hosted deployments show.
         let mut gc_work = 0u64;
         if self.tick_index >= self.next_minor_gc_tick {
-            gc_work += 80_000 + self.entities.count() as u64 * 60 + self.world.loaded_chunk_count() as u64 * 150;
+            gc_work += 80_000
+                + self.entities.count() as u64 * 60
+                + self.world.loaded_chunk_count() as u64 * 150;
             self.next_minor_gc_tick =
                 self.tick_index + MINOR_GC_INTERVAL_TICKS + self.gc_rng.gen_range(0..60);
         }
@@ -548,7 +565,8 @@ impl GameServer {
             (update_work as f64, 2),                          // BlockUpdate
             (entity_work as f64, 3),                          // Entities
             (
-                (light_work + chunk_work + chat_work + packet_work + gc_work + overhead_work) as f64,
+                (light_work + chunk_work + chat_work + packet_work + gc_work + overhead_work)
+                    as f64,
                 4,
             ), // Other
         ];
@@ -582,7 +600,7 @@ impl GameServer {
         // workload crashes every MLG on AWS in the paper (MF2). A single
         // monster tick longer than the window has the same effect.
         self.ms_since_keepalive += period_ms;
-        if self.tick_index % 100 == 0 {
+        if self.tick_index.is_multiple_of(100) {
             self.ms_since_keepalive = 0.0;
         }
         let stalled = busy_ms > self.config.keepalive_timeout_ms
@@ -672,7 +690,10 @@ mod tests {
             max_busy = max_busy.max(summary.record.busy_ms);
             assert!(summary.crash.is_none());
         }
-        assert!(max_busy < 10.0, "idle ticks should be far under budget, got {max_busy}");
+        assert!(
+            max_busy < 10.0,
+            "idle ticks should be far under budget, got {max_busy}"
+        );
         assert_eq!(s.ticks_executed(), 100);
         assert!(s.clock_ms() >= 100.0 * 50.0);
     }
@@ -815,7 +836,10 @@ mod tests {
                 saw_entities = true;
             }
         }
-        assert!(saw_entities, "chain reaction should prime many TNT entities");
+        assert!(
+            saw_entities,
+            "chain reaction should prime many TNT entities"
+        );
         assert_eq!(s.world().count_kind(BlockKind::Tnt), 0, "all TNT consumed");
     }
 
@@ -836,7 +860,10 @@ mod tests {
                 break;
             }
         }
-        assert!(crashed, "server should crash when a tick exceeds the keep-alive window");
+        assert!(
+            crashed,
+            "server should crash when a tick exceeds the keep-alive window"
+        );
         assert!(!s.is_running());
         assert_eq!(s.player_count(), 0);
         // Further ticks are no-ops that keep reporting the crash.

@@ -15,8 +15,10 @@ use serde::{Deserialize, Serialize};
 /// constructs* (resource farms, item sorters, lag machines).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 #[non_exhaustive]
+#[derive(Default)]
 pub enum BlockKind {
     /// Empty space.
+    #[default]
     Air,
     /// Generic stone; the most common underground block.
     Stone,
@@ -180,7 +182,10 @@ impl BlockKind {
     /// Returns `true` if this kind can be destroyed by an explosion.
     #[must_use]
     pub fn is_destructible(self) -> bool {
-        !matches!(self, BlockKind::Bedrock | BlockKind::Obsidian | BlockKind::Air)
+        !matches!(
+            self,
+            BlockKind::Bedrock | BlockKind::Obsidian | BlockKind::Air
+        )
     }
 
     /// Returns `true` if entities can be spawned standing on this block kind.
@@ -331,12 +336,6 @@ impl std::fmt::Display for BlockKind {
     }
 }
 
-impl Default for BlockKind {
-    fn default() -> Self {
-        BlockKind::Air
-    }
-}
-
 /// A block: a kind plus one byte of kind-specific state.
 ///
 /// The meaning of `state` depends on the kind:
@@ -411,19 +410,11 @@ impl Block {
         match self.kind {
             BlockKind::RedstoneBlock => 15,
             BlockKind::RedstoneDust => self.state.min(15),
-            BlockKind::RedstoneTorch | BlockKind::Lever => {
-                if self.state != 0 {
-                    15
-                } else {
-                    0
-                }
-            }
-            BlockKind::Repeater | BlockKind::Comparator | BlockKind::Observer => {
-                if self.state & 0b1_0000 != 0 {
-                    15
-                } else {
-                    0
-                }
+            BlockKind::RedstoneTorch | BlockKind::Lever if self.state != 0 => 15,
+            BlockKind::Repeater | BlockKind::Comparator | BlockKind::Observer
+                if self.state & 0b1_0000 != 0 =>
+            {
+                15
             }
             _ => 0,
         }

@@ -218,7 +218,12 @@ mod tests {
         assert_eq!(c.block(0, -1, 0), Block::AIR);
         assert_eq!(c.block(0, WORLD_HEIGHT as i32, 0), Block::AIR);
         assert_eq!(
-            c.set_block(0, WORLD_HEIGHT as i32 + 5, 0, Block::simple(BlockKind::Stone)),
+            c.set_block(
+                0,
+                WORLD_HEIGHT as i32 + 5,
+                0,
+                Block::simple(BlockKind::Stone)
+            ),
             Block::AIR
         );
         assert_eq!(c.non_air_blocks(), 0);

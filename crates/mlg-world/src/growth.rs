@@ -90,7 +90,10 @@ fn grow_sugar_cane(world: &mut World, pos: BlockPos, block: Block) -> GrowthOutc
     }
     let above = pos.up();
     if world.block(above).is_air() {
-        world.set_block(above, Block::with_state(BlockKind::SugarCane, block.state() + 1));
+        world.set_block(
+            above,
+            Block::with_state(BlockKind::SugarCane, block.state() + 1),
+        );
         outcome.grew = true;
         outcome.blocks_placed = 1;
     }

@@ -143,7 +143,10 @@ mod tests {
     fn relight_in_open_air_floods_widely() {
         let mut w = world();
         let report = relight_after_change(&mut w, BlockPos::new(0, 90, 0));
-        assert!(report.flood_positions > 100, "open air flood should visit many positions");
+        assert!(
+            report.flood_positions > 100,
+            "open air flood should visit many positions"
+        );
         assert!(report.sky_positions > 0);
     }
 

@@ -47,7 +47,11 @@ pub fn incoming_power(world: &mut World, pos: BlockPos) -> u8 {
 }
 
 /// Processes a block update for a redstone component at `pos`.
-pub fn apply_redstone(world: &mut World, pos: BlockPos, update_kind: UpdateKind) -> RedstoneOutcome {
+pub fn apply_redstone(
+    world: &mut World,
+    pos: BlockPos,
+    update_kind: UpdateKind,
+) -> RedstoneOutcome {
     let block = world.block(pos);
     match block.kind() {
         BlockKind::RedstoneDust => update_dust(world, pos, block),
@@ -270,7 +274,10 @@ mod tests {
         let mut w = world();
         let dust = BlockPos::new(4, 61, 4);
         w.set_block_silent(dust, Block::simple(BlockKind::RedstoneDust));
-        w.set_block_silent(dust.offset(1, 0, 0), Block::simple(BlockKind::RedstoneBlock));
+        w.set_block_silent(
+            dust.offset(1, 0, 0),
+            Block::simple(BlockKind::RedstoneBlock),
+        );
         let out = apply_redstone(&mut w, dust, UpdateKind::NeighborChanged);
         assert!(out.changed);
         assert_eq!(w.block(dust).state(), 15);
@@ -303,7 +310,10 @@ mod tests {
         let torch = BlockPos::new(4, 61, 4);
         w.set_block_silent(torch, Block::with_state(BlockKind::RedstoneTorch, 1));
         // Power the torch: it should schedule itself to turn off.
-        w.set_block_silent(torch.offset(1, 0, 0), Block::simple(BlockKind::RedstoneBlock));
+        w.set_block_silent(
+            torch.offset(1, 0, 0),
+            Block::simple(BlockKind::RedstoneBlock),
+        );
         let out = apply_redstone(&mut w, torch, UpdateKind::NeighborChanged);
         assert!(out.changed);
         assert_eq!(w.block(torch).state(), 0);
@@ -314,7 +324,10 @@ mod tests {
     fn clock_toggles_and_reschedules() {
         let mut w = world();
         let clock = BlockPos::new(4, 61, 4);
-        w.set_block_silent(clock, Block::with_state(BlockKind::Comparator, DEFAULT_CLOCK_PERIOD));
+        w.set_block_silent(
+            clock,
+            Block::with_state(BlockKind::Comparator, DEFAULT_CLOCK_PERIOD),
+        );
         let before = w.block(clock).state() & POWERED_BIT;
         let out = apply_redstone(&mut w, clock, UpdateKind::Scheduled);
         assert!(out.changed);
@@ -347,14 +360,20 @@ mod tests {
         let kelp = piston.offset(0, 0, 1);
         w.set_block_silent(piston, Block::simple(BlockKind::Piston));
         w.set_block_silent(kelp, Block::simple(BlockKind::Kelp));
-        w.set_block_silent(piston.offset(1, 0, 0), Block::simple(BlockKind::RedstoneBlock));
+        w.set_block_silent(
+            piston.offset(1, 0, 0),
+            Block::simple(BlockKind::RedstoneBlock),
+        );
         let out = apply_redstone(&mut w, piston, UpdateKind::NeighborChanged);
         assert!(out.changed);
         assert_eq!(w.block(kelp), Block::AIR);
         assert_eq!(out.events.len(), 1);
         assert!(matches!(
             out.events[0],
-            TerrainEvent::BlockHarvested { kind: BlockKind::Kelp, .. }
+            TerrainEvent::BlockHarvested {
+                kind: BlockKind::Kelp,
+                ..
+            }
         ));
     }
 
@@ -373,7 +392,10 @@ mod tests {
         let mut w = world();
         let disp = BlockPos::new(4, 61, 4);
         w.set_block_silent(disp, Block::simple(BlockKind::Dispenser));
-        w.set_block_silent(disp.offset(1, 0, 0), Block::simple(BlockKind::RedstoneBlock));
+        w.set_block_silent(
+            disp.offset(1, 0, 0),
+            Block::simple(BlockKind::RedstoneBlock),
+        );
         let first = apply_redstone(&mut w, disp, UpdateKind::NeighborChanged);
         assert_eq!(first.events.len(), 1);
         // Still powered: no second ejection until the power drops.

@@ -94,8 +94,7 @@ impl Region {
         let min = self.min;
         let max = self.max;
         (min.y..=max.y).flat_map(move |y| {
-            (min.z..=max.z)
-                .flat_map(move |z| (min.x..=max.x).map(move |x| BlockPos::new(x, y, z)))
+            (min.z..=max.z).flat_map(move |z| (min.x..=max.x).map(move |x| BlockPos::new(x, y, z)))
         })
     }
 

@@ -364,8 +364,14 @@ mod tests {
         }
         let busy_ticks = per_tick_updates.iter().filter(|&&u| u > 0).count();
         let idle_ticks = per_tick_updates.iter().filter(|&&u| u == 0).count();
-        assert!(busy_ticks >= 3, "clock should fire repeatedly: {per_tick_updates:?}");
-        assert!(idle_ticks >= 3, "clock should idle between firings: {per_tick_updates:?}");
+        assert!(
+            busy_ticks >= 3,
+            "clock should fire repeatedly: {per_tick_updates:?}"
+        );
+        assert!(
+            idle_ticks >= 3,
+            "clock should idle between firings: {per_tick_updates:?}"
+        );
     }
 
     #[test]

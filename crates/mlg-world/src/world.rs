@@ -315,7 +315,10 @@ impl World {
     /// Total number of non-air blocks across all loaded chunks.
     #[must_use]
     pub fn total_non_air_blocks(&self) -> u64 {
-        self.chunks.values().map(|c| u64::from(c.non_air_blocks())).sum()
+        self.chunks
+            .values()
+            .map(|c| u64::from(c.non_air_blocks()))
+            .sum()
     }
 
     /// Counts blocks of a given kind across all loaded chunks.

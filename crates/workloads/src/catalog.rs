@@ -115,7 +115,10 @@ mod tests {
     fn average_popularity_matches_the_paper_claim() {
         // "each have 1.6 million views on average"
         let constructs = table3_constructs();
-        let mean: f64 = constructs.iter().map(|c| c.popularity_million_views).sum::<f64>()
+        let mean: f64 = constructs
+            .iter()
+            .map(|c| c.popularity_million_views)
+            .sum::<f64>()
             / constructs.len() as f64;
         assert!((mean - 1.575).abs() < 0.1);
     }

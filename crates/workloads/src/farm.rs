@@ -220,7 +220,8 @@ mod tests {
     fn clocks_are_armed() {
         let built = build(1, 1);
         assert!(
-            built.world.updates().scheduled_len() >= (STONE_FARMS + KELP_FARMS + ITEM_SORTERS) as usize,
+            built.world.updates().scheduled_len()
+                >= (STONE_FARMS + KELP_FARMS + ITEM_SORTERS) as usize,
             "every clock must have a pending scheduled tick"
         );
     }
@@ -232,7 +233,10 @@ mod tests {
         let interior = BlockPos::new(26 + 3, 62, 3);
         let light = mlg_world::light::sky_light_at(&mut built.world, interior);
         // Interior points under the roof must be dark enough for spawning.
-        assert!(light <= 2, "entity farm interior should be dark, light={light}");
+        assert!(
+            light <= 2,
+            "entity farm interior should be dark, light={light}"
+        );
     }
 
     #[test]

@@ -30,7 +30,10 @@ pub const CLOCK_PERIOD: u8 = 2;
 
 /// Builds one clock cell: a period-2 clock with four dust arms.
 fn build_clock_cell(world: &mut World, center: BlockPos) {
-    world.set_block_silent(center, Block::with_state(BlockKind::Comparator, CLOCK_PERIOD));
+    world.set_block_silent(
+        center,
+        Block::with_state(BlockKind::Comparator, CLOCK_PERIOD),
+    );
     for (dx, dz) in [(1, 0), (-1, 0), (0, 1), (0, -1)] {
         for step in 1..=DUST_ARM_LENGTH {
             world.set_block_silent(

@@ -187,7 +187,10 @@ mod tests {
         for kind in WorkloadKind::all() {
             let built = WorkloadSpec::new(kind).build(42);
             assert_eq!(built.kind, kind);
-            assert!(built.world.loaded_chunk_count() > 0, "{kind} world must have chunks");
+            assert!(
+                built.world.loaded_chunk_count() > 0,
+                "{kind} world must have chunks"
+            );
             assert!(!built.description.is_empty());
         }
     }
@@ -202,7 +205,12 @@ mod tests {
 
     #[test]
     fn environment_workloads_use_a_single_observer() {
-        for kind in [WorkloadKind::Control, WorkloadKind::Farm, WorkloadKind::Tnt, WorkloadKind::Lag] {
+        for kind in [
+            WorkloadKind::Control,
+            WorkloadKind::Farm,
+            WorkloadKind::Tnt,
+            WorkloadKind::Lag,
+        ] {
             let built = WorkloadSpec::new(kind).build(1);
             assert_eq!(built.players.bots, 1, "{kind}");
             assert!(!built.players.moving);

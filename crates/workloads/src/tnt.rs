@@ -85,6 +85,9 @@ mod tests {
     fn spawn_is_outside_the_blast_cuboid() {
         let built = build(1, 1);
         let spawn_block = built.spawn_point.block_pos();
-        assert!(spawn_block.x < STANDOFF - 4, "observer spawns away from the cuboid");
+        assert!(
+            spawn_block.x < STANDOFF - 4,
+            "observer spawns away from the cuboid"
+        );
     }
 }

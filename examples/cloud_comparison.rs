@@ -6,8 +6,7 @@
 //! Run with: `cargo run --release --example cloud_comparison`
 
 use cloud_sim::environment::Environment;
-use meterstick::config::BenchmarkConfig;
-use meterstick::experiment::ExperimentRunner;
+use meterstick::campaign::Campaign;
 use meterstick::report::{ascii_bar, render_table};
 use meterstick_metrics::stats::Percentiles;
 use meterstick_workloads::WorkloadKind;
@@ -19,19 +18,27 @@ fn main() {
         Environment::azure_default(),
         Environment::aws_default(),
     ];
+    let flavors = [ServerFlavor::Vanilla, ServerFlavor::Paper];
+    // The whole comparison is one factorial campaign: 3 environments ×
+    // 2 flavors × 6 iterations.
+    let results = Campaign::new()
+        .workloads([WorkloadKind::Players])
+        .flavors(flavors)
+        .environments(environments.iter().cloned())
+        .duration_secs(15)
+        .iterations(6)
+        .run()
+        .expect("valid campaign configuration");
+
     let mut rows = Vec::new();
     let mut bars = Vec::new();
-    for environment in environments {
-        for flavor in [ServerFlavor::Vanilla, ServerFlavor::Paper] {
-            let config = BenchmarkConfig::new(WorkloadKind::Players)
-                .with_flavors(vec![flavor])
-                .with_environment(environment.clone())
-                .with_duration_secs(15)
-                .with_iterations(6);
-            let results = ExperimentRunner::new(config).run();
-            let isr = results.isr_values(flavor);
+    for environment in &environments {
+        for flavor in flavors {
+            let cell = results.for_cell(WorkloadKind::Players, flavor, &environment.label());
+            let isr: Vec<f64> = cell.iter().map(|r| r.instability_ratio).collect();
             let isr_p = Percentiles::of(&isr);
-            let ticks = Percentiles::of(&results.pooled_tick_times(flavor));
+            let ticks: Vec<f64> = cell.iter().flat_map(|r| r.trace.busy_durations()).collect();
+            let ticks = Percentiles::of(&ticks);
             rows.push(vec![
                 environment.label(),
                 flavor.to_string(),
@@ -46,7 +53,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["environment", "server", "median ISR", "ISR IQR", "median tick [ms]", "tick IQR [ms]"],
+            &[
+                "environment",
+                "server",
+                "median ISR",
+                "ISR IQR",
+                "median tick [ms]",
+                "tick IQR [ms]"
+            ],
             &rows
         )
     );

@@ -62,7 +62,11 @@ fn main() {
     println!("\nwhere the non-idle tick time went:");
     for op in TickOperation::all() {
         if !op.is_wait() {
-            println!("  {:>16}: {:>5.1}%", op.to_string(), distribution.busy_share_percent(op));
+            println!(
+                "  {:>16}: {:>5.1}%",
+                op.to_string(),
+                distribution.busy_share_percent(op)
+            );
         }
     }
     println!("\nAs in the paper's MF4, entity processing dominates the busy share once the");

@@ -8,8 +8,7 @@
 use cloud_sim::environment::Environment;
 use cloud_sim::node::NodeType;
 use cloud_sim::recommendations::{summarize, table7_recommendations};
-use meterstick::config::BenchmarkConfig;
-use meterstick::experiment::ExperimentRunner;
+use meterstick::campaign::Campaign;
 use meterstick::report::render_table;
 use meterstick_workloads::WorkloadKind;
 use mlg_server::ServerFlavor;
@@ -27,16 +26,23 @@ fn main() {
         NodeType::aws_t3_xlarge(),
         NodeType::aws_t3_2xlarge(),
     ];
+    // The node-size axis is a campaign dimension: one TNT run per AWS size.
+    let results = Campaign::new()
+        .workloads([WorkloadKind::Tnt])
+        .flavors([ServerFlavor::Vanilla])
+        .environments([])
+        .aws_node_sizes(nodes.iter().cloned())
+        .duration_secs(30)
+        .iterations(1)
+        .run()
+        .expect("valid campaign configuration");
+
     let mut rows = Vec::new();
     for node in nodes {
         let label = node.name.clone();
-        let config = BenchmarkConfig::new(WorkloadKind::Tnt)
-            .with_flavors(vec![ServerFlavor::Vanilla])
-            .with_environment(Environment::aws(node))
-            .with_duration_secs(30)
-            .with_iterations(1);
-        let results = ExperimentRunner::new(config).run();
-        let it = &results.iterations()[0];
+        let env_label = Environment::aws(node).label();
+        let cell = results.for_cell(WorkloadKind::Tnt, ServerFlavor::Vanilla, &env_label);
+        let it = cell.first().expect("one iteration per node size");
         let p = it.tick_percentiles();
         let verdict = if p.mean > 50.0 {
             "overloaded"
@@ -57,7 +63,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["node", "mean tick [ms]", "p95 [ms]", "max [ms]", "ISR", "verdict"],
+            &[
+                "node",
+                "mean tick [ms]",
+                "p95 [ms]",
+                "max [ms]",
+                "ISR",
+                "verdict"
+            ],
             &rows
         )
     );

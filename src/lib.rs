@@ -1,3 +1,36 @@
 //! Umbrella crate for workspace-level examples and integration tests of the
 //! Meterstick reproduction. Re-exports nothing; the examples and integration
 //! tests under `examples/` and `tests/` depend on the member crates directly.
+//!
+//! # Where to start
+//!
+//! The benchmark is driven through the **`Campaign` API** in the
+//! `meterstick` crate (`crates/core`): a campaign declares a full factorial
+//! sweep — workloads × server flavors × environments (including AWS node
+//! sizes) × iterations — expands it into independent, seeded iteration
+//! jobs, runs them on a pluggable executor (sequential, or thread-based
+//! parallel with bit-identical results), and streams each result into
+//! attached `ResultSink`s as it completes:
+//!
+//! ```text
+//! Campaign::new()
+//!     .workloads([WorkloadKind::Control, WorkloadKind::Farm])
+//!     .flavors(ServerFlavor::all())
+//!     .environments([Environment::aws_default(), Environment::das5(2)])
+//!     .iterations(5)
+//!     .run()?;                       // -> Result<CampaignResults, BenchmarkError>
+//! ```
+//!
+//! * `examples/quickstart.rs` — a small campaign end to end;
+//! * `examples/cloud_comparison.rs`, `examples/node_sizing.rs` — sweeps
+//!   over environments and node sizes;
+//! * `examples/farm_stress.rs` — the lower-level substrate API without the
+//!   campaign layer;
+//! * `crates/bench/src/bin/` — one binary per figure/table of the paper,
+//!   all built on campaigns (`--sequential`, `--progress`, `--csv PATH`
+//!   flags select executor and streaming sinks);
+//! * `tests/end_to_end.rs` — the paper's main findings (MF1–MF5) checked
+//!   against the simulation.
+//!
+//! The legacy `ExperimentRunner` still exists as a deprecated shim over a
+//! single-cell campaign.

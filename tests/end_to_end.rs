@@ -1,35 +1,53 @@
 //! End-to-end integration tests: workload worlds, game server, player
-//! emulation, deployment environments and the experiment runner working
-//! together, checking the qualitative findings (MF1–MF5) the reproduction is
-//! supposed to preserve.
+//! emulation, deployment environments and the campaign orchestration
+//! working together, checking the qualitative findings (MF1–MF5) the
+//! reproduction is supposed to preserve.
 
 use cloud_sim::environment::Environment;
-use meterstick::config::BenchmarkConfig;
-use meterstick::experiment::ExperimentRunner;
+use meterstick::campaign::{Campaign, CampaignResults};
+use meterstick::executor::{ParallelExecutor, SequentialExecutor};
+use meterstick::sink::NullSink;
 use meterstick_metrics::stats::Percentiles;
 use meterstick_workloads::WorkloadKind;
 use mlg_server::ServerFlavor;
 
-fn runner(
+fn campaign(
     workload: WorkloadKind,
     flavor: ServerFlavor,
     environment: Environment,
     secs: u64,
     iterations: u32,
-) -> ExperimentRunner {
-    ExperimentRunner::new(
-        BenchmarkConfig::new(workload)
-            .with_flavors(vec![flavor])
-            .with_environment(environment)
-            .with_duration_secs(secs)
-            .with_iterations(iterations),
-    )
+) -> Campaign {
+    Campaign::new()
+        .workloads([workload])
+        .flavors([flavor])
+        .environments([environment])
+        .duration_secs(secs)
+        .iterations(iterations)
+}
+
+fn run(
+    workload: WorkloadKind,
+    flavor: ServerFlavor,
+    environment: Environment,
+    secs: u64,
+    iterations: u32,
+) -> CampaignResults {
+    campaign(workload, flavor, environment, secs, iterations)
+        .run()
+        .expect("valid campaign configuration")
 }
 
 #[test]
 fn mf2_environment_workloads_cause_more_variability_than_control() {
     let isr_of = |workload| {
-        let results = runner(workload, ServerFlavor::Vanilla, Environment::aws_default(), 25, 1).run();
+        let results = run(
+            workload,
+            ServerFlavor::Vanilla,
+            Environment::aws_default(),
+            25,
+            1,
+        );
         results.iterations()[0].instability_ratio
     };
     let control = isr_of(WorkloadKind::Control);
@@ -39,18 +57,36 @@ fn mf2_environment_workloads_cause_more_variability_than_control() {
         farm > control,
         "Farm ISR ({farm}) should exceed Control ISR ({control})"
     );
-    assert!(lag > 0.3, "the Lag machine should produce extreme ISR, got {lag}");
-    assert!(lag > farm, "Lag ({lag}) should be the worst workload (farm {farm})");
+    assert!(
+        lag > 0.3,
+        "the Lag machine should produce extreme ISR, got {lag}"
+    );
+    assert!(
+        lag > farm,
+        "Lag ({lag}) should be the worst workload (farm {farm})"
+    );
 }
 
 #[test]
 fn mf2_lag_crashes_on_aws_but_not_on_das5() {
-    let aws = runner(WorkloadKind::Lag, ServerFlavor::Vanilla, Environment::aws_default(), 60, 1).run();
+    let aws = run(
+        WorkloadKind::Lag,
+        ServerFlavor::Vanilla,
+        Environment::aws_default(),
+        60,
+        1,
+    );
     assert!(
         aws.iterations()[0].crashed(),
         "the Lag workload should crash the vanilla server on the AWS 2-vCPU node"
     );
-    let das5 = runner(WorkloadKind::Lag, ServerFlavor::Vanilla, Environment::das5(2), 60, 1).run();
+    let das5 = run(
+        WorkloadKind::Lag,
+        ServerFlavor::Vanilla,
+        Environment::das5(2),
+        60,
+        1,
+    );
     assert!(
         !das5.iterations()[0].crashed(),
         "the same workload should survive on dedicated hardware"
@@ -61,14 +97,13 @@ fn mf2_lag_crashes_on_aws_but_not_on_das5() {
 fn mf3_clouds_are_more_variable_than_self_hosting() {
     let iterations = 5;
     let isr_spread = |environment: Environment| {
-        let results = runner(
+        let results = run(
             WorkloadKind::Players,
             ServerFlavor::Vanilla,
             environment,
             15,
             iterations,
-        )
-        .run();
+        );
         Percentiles::of(&results.isr_values(ServerFlavor::Vanilla))
     };
     let das5 = isr_spread(Environment::das5(2));
@@ -89,7 +124,13 @@ fn mf3_clouds_are_more_variable_than_self_hosting() {
 
 #[test]
 fn mf4_entities_dominate_non_idle_tick_time_under_tnt() {
-    let results = runner(WorkloadKind::Tnt, ServerFlavor::Vanilla, Environment::aws_default(), 30, 1).run();
+    let results = run(
+        WorkloadKind::Tnt,
+        ServerFlavor::Vanilla,
+        Environment::aws_default(),
+        30,
+        1,
+    );
     let it = &results.iterations()[0];
     let distribution = it.tick_distribution();
     let entity_share = distribution.busy_share_percent(meterstick_metrics::TickOperation::Entities);
@@ -98,10 +139,17 @@ fn mf4_entities_dominate_non_idle_tick_time_under_tnt() {
         "entity processing should dominate the busy tick share, got {entity_share:.1}%"
     );
     // Entity messages dominate the message count but not the byte count.
-    let msg_share = it.traffic.message_share_percent(mlg_protocol::TrafficCategory::Entity);
-    let byte_share = it.traffic.byte_share_percent(mlg_protocol::TrafficCategory::Entity);
+    let msg_share = it
+        .traffic
+        .message_share_percent(mlg_protocol::TrafficCategory::Entity);
+    let byte_share = it
+        .traffic
+        .byte_share_percent(mlg_protocol::TrafficCategory::Entity);
     assert!(msg_share > 50.0, "entity message share {msg_share:.1}%");
-    assert!(byte_share < msg_share, "entity byte share should be smaller than message share");
+    assert!(
+        byte_share < msg_share,
+        "entity byte share should be smaller than message share"
+    );
 }
 
 #[test]
@@ -109,14 +157,13 @@ fn mf5_bigger_nodes_reduce_overload_and_variability() {
     // 60 seconds: the TNT cuboid detonates at t=20 s and the sustained chain
     // reaction afterwards is what exhausts the small node's CPU budget.
     let mean_tick = |node| {
-        let results = runner(
+        let results = run(
             WorkloadKind::Tnt,
             ServerFlavor::Vanilla,
             Environment::aws(node),
             60,
             1,
-        )
-        .run();
+        );
         results.iterations()[0].tick_percentiles().mean
     };
     let large = mean_tick(cloud_sim::node::NodeType::aws_t3_large());
@@ -130,7 +177,13 @@ fn mf5_bigger_nodes_reduce_overload_and_variability() {
 #[test]
 fn paper_flavor_tames_environment_workloads() {
     let isr_of = |flavor| {
-        let results = runner(WorkloadKind::Farm, flavor, Environment::aws_default(), 25, 1).run();
+        let results = run(
+            WorkloadKind::Farm,
+            flavor,
+            Environment::aws_default(),
+            25,
+            1,
+        );
         results.iterations()[0].instability_ratio
     };
     let vanilla = isr_of(ServerFlavor::Vanilla);
@@ -144,7 +197,7 @@ fn paper_flavor_tames_environment_workloads() {
 #[test]
 fn response_time_prober_collects_samples_on_every_workload() {
     for workload in [WorkloadKind::Control, WorkloadKind::Farm] {
-        let results = runner(workload, ServerFlavor::Forge, Environment::das5(2), 15, 1).run();
+        let results = run(workload, ServerFlavor::Forge, Environment::das5(2), 15, 1);
         let it = &results.iterations()[0];
         assert!(
             it.response_samples.len() >= 10,
@@ -157,7 +210,13 @@ fn response_time_prober_collects_samples_on_every_workload() {
 
 #[test]
 fn system_metrics_are_collected_twice_per_second() {
-    let results = runner(WorkloadKind::Control, ServerFlavor::Vanilla, Environment::das5(2), 10, 1).run();
+    let results = run(
+        WorkloadKind::Control,
+        ServerFlavor::Vanilla,
+        Environment::das5(2),
+        10,
+        1,
+    );
     let it = &results.iterations()[0];
     // 10 seconds at 2 samples/second, give or take the final partial window.
     assert!(
@@ -174,17 +233,81 @@ fn system_metrics_are_collected_twice_per_second() {
 
 #[test]
 fn experiments_are_deterministic_per_seed() {
-    let config = BenchmarkConfig::new(WorkloadKind::Farm)
-        .with_flavors(vec![ServerFlavor::Paper])
-        .with_environment(Environment::aws_default())
-        .with_duration_secs(10)
-        .with_iterations(2)
-        .with_seed(1234);
-    let a = ExperimentRunner::new(config.clone()).run();
-    let b = ExperimentRunner::new(config).run();
+    let config = Campaign::new()
+        .workloads([WorkloadKind::Farm])
+        .flavors([ServerFlavor::Paper])
+        .environments([Environment::aws_default()])
+        .duration_secs(10)
+        .iterations(2)
+        .seed(1234);
+    let a = config.run().expect("valid campaign");
+    let b = config.run().expect("valid campaign");
     for (x, y) in a.iterations().iter().zip(b.iterations()) {
         assert_eq!(x.instability_ratio, y.instability_ratio);
         assert_eq!(x.ticks_executed, y.ticks_executed);
         assert_eq!(x.response_samples, y.response_samples);
     }
+}
+
+#[test]
+fn campaign_sweep_covers_the_full_factorial_grid() {
+    // One call runs a 2-workload × 2-flavor × 2-iteration sweep.
+    let results = Campaign::new()
+        .workloads([WorkloadKind::Control, WorkloadKind::Players])
+        .flavors([ServerFlavor::Vanilla, ServerFlavor::Paper])
+        .environments([Environment::das5(2)])
+        .duration_secs(5)
+        .iterations(2)
+        .run()
+        .expect("valid campaign configuration");
+    assert_eq!(results.iterations().len(), 8);
+    let cells = results.cell_summaries();
+    assert_eq!(cells.len(), 4, "every (workload, flavor) cell is present");
+    for cell in &cells {
+        assert_eq!(cell.iterations, 2);
+        assert!(cell.mean_isr >= 0.0 && cell.mean_isr <= 1.0);
+    }
+    // The sweep contains the exact cells requested, not just the right count.
+    for workload in [WorkloadKind::Control, WorkloadKind::Players] {
+        for flavor in [ServerFlavor::Vanilla, ServerFlavor::Paper] {
+            assert_eq!(results.for_cell(workload, flavor, "DAS-5 2-core").len(), 2);
+        }
+    }
+}
+
+#[test]
+fn parallel_and_sequential_executors_agree_end_to_end() {
+    let sweep = Campaign::new()
+        .workloads([WorkloadKind::Control, WorkloadKind::Players])
+        .flavors([ServerFlavor::Vanilla])
+        .environments([Environment::aws_default()])
+        .duration_secs(4)
+        .iterations(2);
+    let sequential = sweep
+        .run_with(&SequentialExecutor, &mut NullSink)
+        .expect("valid campaign");
+    let parallel = sweep
+        .run_with(&ParallelExecutor::new(4), &mut NullSink)
+        .expect("valid campaign");
+    for (s, p) in sequential.iterations().iter().zip(parallel.iterations()) {
+        assert_eq!(s.trace.busy_durations(), p.trace.busy_durations());
+        assert_eq!(s.response_samples, p.response_samples);
+        assert_eq!(s.instability_ratio, p.instability_ratio);
+    }
+}
+
+#[test]
+fn invalid_campaigns_report_errors_instead_of_panicking() {
+    let err = Campaign::new().run().unwrap_err();
+    assert_eq!(
+        err,
+        meterstick::BenchmarkError::EmptyDimension {
+            dimension: "workloads"
+        }
+    );
+
+    let mut bad = meterstick::BenchmarkConfig::new(WorkloadKind::Control);
+    bad.ssh_keys.clear();
+    let err = Campaign::from_config(bad).run().unwrap_err();
+    assert!(matches!(err, meterstick::BenchmarkError::Deployment(_)));
 }

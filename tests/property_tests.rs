@@ -1,9 +1,10 @@
 //! Property-based tests (proptest) on the core data structures and
 //! invariants: the ISR metric, coordinate conversions, the protocol codec,
-//! region geometry and summary statistics.
+//! the controller wire format, region geometry and summary statistics.
 
 use proptest::prelude::*;
 
+use meterstick::controller::ControllerMessage;
 use meterstick_metrics::isr::{analytical_isr, instability_ratio, IsrParams};
 use meterstick_metrics::stats::{percentile, BoxplotSummary, Percentiles};
 use mlg_entity::{EntityId, Vec3};
@@ -148,6 +149,32 @@ proptest! {
         };
         let decoded = decode_clientbound(encode_clientbound(&packet)).unwrap();
         prop_assert_eq!(decoded, packet);
+    }
+
+    // ------------------------------------------------------------ controller
+    #[test]
+    fn controller_messages_roundtrip_through_wire_format(
+        payload in ".{0,40}",
+        n in 0u32..u32::MAX,
+        variant in 0usize..11,
+    ) {
+        // Covers every ControllerMessage variant, with arbitrary payloads
+        // (including colons) for the parameterized ones.
+        let message = match variant {
+            0 => ControllerMessage::SetServer(payload.clone()),
+            1 => ControllerMessage::SetJmx(payload.clone()),
+            2 => ControllerMessage::Iter(n),
+            3 => ControllerMessage::Initialize,
+            4 => ControllerMessage::LogStart,
+            5 => ControllerMessage::LogStop,
+            6 => ControllerMessage::StopServer,
+            7 => ControllerMessage::Connect,
+            8 => ControllerMessage::Convert,
+            9 => ControllerMessage::KeepAlive,
+            _ => ControllerMessage::Exit,
+        };
+        let wire = message.wire_format();
+        prop_assert_eq!(ControllerMessage::parse(&wire), Ok(message));
     }
 
     #[test]

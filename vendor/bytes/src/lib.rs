@@ -1,0 +1,271 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides `Bytes`, `BytesMut` and the `Buf`/`BufMut` traits with the
+//! big-endian accessor subset the protocol codec uses. `Bytes` keeps its
+//! backing store in an `Arc<[u8]>`, so `clone`, `slice` and `split_to` are
+//! cheap views exactly like upstream; `BytesMut` is a plain growable
+//! buffer.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Deref, Range};
+use std::sync::Arc;
+
+/// Read access to a byte cursor, mirroring `bytes::Buf`.
+///
+/// The `get_*` accessors read big-endian and advance the cursor; like
+/// upstream they panic when fewer bytes remain than the read needs.
+pub trait Buf {
+    /// Number of unread bytes.
+    fn remaining(&self) -> usize;
+
+    /// Consumes and returns the next `n` unread bytes.
+    fn take_bytes(&mut self, n: usize) -> &[u8];
+
+    /// Returns `true` while unread bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        self.take_bytes(1)[0]
+    }
+
+    /// Reads a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        u16::from_be_bytes(self.take_bytes(2).try_into().expect("2 bytes"))
+    }
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.take_bytes(4).try_into().expect("4 bytes"))
+    }
+
+    /// Reads a big-endian `i32`.
+    fn get_i32(&mut self) -> i32 {
+        i32::from_be_bytes(self.take_bytes(4).try_into().expect("4 bytes"))
+    }
+
+    /// Reads a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.take_bytes(8).try_into().expect("8 bytes"))
+    }
+
+    /// Reads a big-endian `f64`.
+    fn get_f64(&mut self) -> f64 {
+        f64::from_bits(self.get_u64())
+    }
+}
+
+/// Write access to a growable byte buffer, mirroring `bytes::BufMut`.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `i32`.
+    fn put_i32(&mut self, v: i32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `f64`.
+    fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+}
+
+/// A cheaply cloneable, sliceable view over immutable bytes.
+#[derive(Debug, Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Wraps a static byte slice.
+    #[must_use]
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Returns a view of `range`, counted relative to this view's unread
+    /// bytes. Panics when the range is out of bounds.
+    #[must_use]
+    pub fn slice(&self, range: Range<usize>) -> Self {
+        assert!(range.start <= range.end && self.start + range.end <= self.end);
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// Splits off and returns the first `n` unread bytes, advancing this
+    /// view past them. Panics when fewer than `n` bytes remain.
+    pub fn split_to(&mut self, n: usize) -> Self {
+        assert!(n <= self.remaining(), "split_to out of bounds");
+        let head = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + n,
+        };
+        self.start += n;
+        head
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        let end = data.len();
+        Bytes {
+            data: Arc::from(data),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.end - self.start
+    }
+
+    fn take_bytes(&mut self, n: usize) -> &[u8] {
+        assert!(n <= self.remaining(), "buffer underrun");
+        let at = self.start;
+        self.start += n;
+        &self.data[at..at + n]
+    }
+}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with `capacity` bytes preallocated.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when nothing has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts the buffer into an immutable [`Bytes`].
+    #[must_use]
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_accessors() {
+        let mut buf = BytesMut::with_capacity(32);
+        buf.put_u8(0xAB);
+        buf.put_u16(0xBEEF);
+        buf.put_u32(0xDEAD_BEEF);
+        buf.put_i32(-7);
+        buf.put_f64(1.5);
+        buf.put_slice(b"ok");
+        let mut bytes = buf.freeze();
+        assert_eq!(bytes.remaining(), 1 + 2 + 4 + 4 + 8 + 2);
+        assert_eq!(bytes.get_u8(), 0xAB);
+        assert_eq!(bytes.get_u16(), 0xBEEF);
+        assert_eq!(bytes.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(bytes.get_i32(), -7);
+        assert_eq!(bytes.get_f64(), 1.5);
+        assert_eq!(&bytes.split_to(2)[..], b"ok");
+        assert!(!bytes.has_remaining());
+    }
+
+    #[test]
+    fn slices_and_splits_are_views() {
+        let bytes = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let mid = bytes.slice(1..4);
+        assert_eq!(&mid[..], &[2, 3, 4]);
+        let mut tail = mid.clone();
+        let head = tail.split_to(2);
+        assert_eq!(&head[..], &[2, 3]);
+        assert_eq!(&tail[..], &[4]);
+        assert_eq!(bytes.len(), 5, "the original view is untouched");
+    }
+}

@@ -1,0 +1,222 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`/`iter_batched`,
+//! `BatchSize` and the `criterion_group!`/`criterion_main!` macros — with a
+//! simple measurement loop: warm up briefly, pick an iteration count that
+//! fills a fixed measurement window, then report mean time per iteration.
+//! No statistical analysis, plots or saved baselines.
+
+#![forbid(unsafe_code)]
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// How `iter_batched` amortizes setup cost; informational in this shim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup call per iteration.
+    PerIteration,
+}
+
+/// Drives the measured closure of one benchmark.
+pub struct Bencher {
+    samples: u64,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(samples: u64) -> Self {
+        Bencher {
+            samples,
+            total: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    /// Measures `routine` repeatedly and records the elapsed time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: time a single call, then size the
+        // measurement loop to fill roughly 50 ms or `samples` calls,
+        // whichever is larger.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(20));
+        let target = Duration::from_millis(50);
+        let planned = (target.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let iters = planned.max(self.samples);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.total = start.elapsed();
+        self.iters = iters;
+    }
+
+    /// Measures `routine` over fresh inputs from `setup`, timing only the
+    /// routine.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let iters = self.samples.max(10);
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.total = total;
+        self.iters = iters;
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters == 0 {
+            println!("{name:<40} (no measurement)");
+            return;
+        }
+        let per_iter = self.total.as_secs_f64() / self.iters as f64;
+        let (value, unit) = if per_iter >= 1e-3 {
+            (per_iter * 1e3, "ms")
+        } else if per_iter >= 1e-6 {
+            (per_iter * 1e6, "µs")
+        } else {
+            (per_iter * 1e9, "ns")
+        };
+        println!(
+            "{name:<40} {value:>10.3} {unit}/iter ({} iters)",
+            self.iters
+        );
+    }
+}
+
+/// A named group of benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the minimum number of measured iterations per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.criterion.samples = samples as u64;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<N: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: N,
+        f: F,
+    ) -> &mut Self {
+        let qualified = format!("{}/{id}", self.name);
+        self.criterion.run_one(&qualified, f);
+        self
+    }
+
+    /// Ends the group (restores the default sample size).
+    pub fn finish(self) {
+        self.criterion.samples = Criterion::DEFAULT_SAMPLES;
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    samples: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            samples: Criterion::DEFAULT_SAMPLES,
+        }
+    }
+}
+
+impl Criterion {
+    const DEFAULT_SAMPLES: u64 = 50;
+
+    /// Runs one named benchmark.
+    pub fn bench_function<N: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: N,
+        f: F,
+    ) -> &mut Self {
+        let name = id.to_string();
+        self.run_one(&name, f);
+        self
+    }
+
+    /// Opens a named group whose benchmarks share settings.
+    pub fn benchmark_group<N: std::fmt::Display>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            criterion: self,
+        }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut bencher = Bencher::new(self.samples);
+        f(&mut bencher);
+        bencher.report(name);
+    }
+}
+
+/// Bundles benchmark functions into one group function, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Expands to `main` running the listed groups, as in criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut counter = 0u64;
+        Criterion::default().bench_function("count", |b| b.iter(|| counter += 1));
+        assert!(counter > 0);
+    }
+
+    #[test]
+    fn groups_apply_sample_size_and_restore_it() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(7);
+        let mut ran = 0u64;
+        group.bench_function("inner", |b| {
+            b.iter_batched(|| (), |()| ran += 1, BatchSize::SmallInput)
+        });
+        group.finish();
+        assert!(ran >= 7);
+        assert_eq!(c.samples, Criterion::DEFAULT_SAMPLES);
+    }
+}

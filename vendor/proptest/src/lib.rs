@@ -1,0 +1,318 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset the workspace's property tests use: the `proptest!`
+//! macro over functions whose arguments are `name in strategy` bindings,
+//! numeric range strategies, `any::<T>()`, `prop::collection::vec`, simple
+//! `".{n,m}"` string patterns, and the `prop_assert!`/`prop_assert_eq!`
+//! assertion macros.
+//!
+//! Differences from upstream: cases are generated from a fixed seed (fully
+//! deterministic, no persisted failure files) and failing cases are *not*
+//! shrunk — the assertion message reports the failing values instead.
+
+#![forbid(unsafe_code)]
+
+/// Number of cases each property runs.
+pub const NUM_CASES: u32 = 128;
+
+/// Deterministic random source driving case generation.
+pub mod test_runner {
+    /// A splitmix64 generator with a fixed seed per test function.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates the deterministic per-test generator.
+        #[must_use]
+        pub fn deterministic() -> Self {
+            TestRng {
+                state: 0x4D65_7465_7273_7469,
+            } // "Metersti"
+        }
+
+        /// Returns the next uniform `u64`.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Returns a uniform `f64` in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Returns a uniform value in `[lo, hi]`.
+        pub fn int_in(&mut self, lo: i128, hi: i128) -> i128 {
+            debug_assert!(lo <= hi);
+            let span = (hi - lo) as u128 + 1;
+            lo + (u128::from(self.next_u64()) % span) as i128
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating random values of one type.
+    pub trait Strategy {
+        /// The type of value the strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    rng.int_in(self.start as i128, self.end as i128 - 1) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    rng.int_in(*self.start() as i128, *self.end() as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_int_range_strategy!(u8, u16, u32, usize, i8, i16, i32, i64);
+
+    // u64 ranges may span more than i128's positive half at the top end, so
+    // they are sampled in u128 space separately from the signed macro above.
+    impl Strategy for Range<u64> {
+        type Value = u64;
+        fn generate(&self, rng: &mut TestRng) -> u64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let span = u128::from(self.end - self.start);
+            self.start + (u128::from(rng.next_u64()) % span) as u64
+        }
+    }
+
+    impl Strategy for RangeInclusive<u64> {
+        type Value = u64;
+        fn generate(&self, rng: &mut TestRng) -> u64 {
+            assert!(self.start() <= self.end(), "empty range strategy");
+            let span = u128::from(self.end() - self.start()) + 1;
+            self.start() + (u128::from(rng.next_u64()) % span) as u64
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start() + rng.next_f64() * (self.end() - self.start())
+        }
+    }
+
+    /// String pattern strategy: supports the `".{lo,hi}"` shape (a random
+    /// printable-ASCII string whose length is uniform in `[lo, hi]`); any
+    /// other pattern falls back to lengths 0–32.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (lo, hi) = parse_repetition(self).unwrap_or((0, 32));
+            let len = rng.int_in(lo as i128, hi as i128) as usize;
+            (0..len)
+                .map(|_| char::from(rng.int_in(0x20, 0x7E) as u8))
+                .collect()
+        }
+    }
+
+    fn parse_repetition(pattern: &str) -> Option<(usize, usize)> {
+        let rest = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+        let (lo, hi) = rest.split_once(',')?;
+        Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+    }
+
+    /// Types with a canonical "anything" strategy (see [`crate::any`]).
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy produced by [`crate::any`].
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// The strategy for "any value of type `T`".
+#[must_use]
+pub fn any<T: strategy::Arbitrary>() -> strategy::Any<T> {
+    strategy::Any(std::marker::PhantomData)
+}
+
+/// Collection strategies and the `prop` namespace, mirroring
+/// `proptest::prelude::prop`.
+pub mod prop {
+    /// Re-export so `prop::collection::vec` resolves as upstream.
+    pub mod collection {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        use std::ops::Range;
+
+        /// A length distribution for collection strategies.
+        #[derive(Debug, Clone)]
+        pub struct SizeRange {
+            lo: usize,
+            hi_exclusive: usize,
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(range: Range<usize>) -> Self {
+                assert!(range.start < range.end, "empty size range");
+                SizeRange {
+                    lo: range.start,
+                    hi_exclusive: range.end,
+                }
+            }
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(exact: usize) -> Self {
+                SizeRange {
+                    lo: exact,
+                    hi_exclusive: exact + 1,
+                }
+            }
+        }
+
+        /// Strategy for `Vec`s of values drawn from `element`.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// Creates a strategy producing vectors whose lengths are uniform in
+        /// `size` and whose elements come from `element`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len =
+                    rng.int_in(self.size.lo as i128, self.size.hi_exclusive as i128 - 1) as usize;
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything a property-test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{any, prop, prop_assert, prop_assert_eq, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// item becomes a `#[test]` that runs the body over [`NUM_CASES`] generated
+/// cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut proptest_rng = $crate::test_runner::TestRng::deterministic();
+                for _ in 0..$crate::NUM_CASES {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut proptest_rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_vecs_stay_in_bounds(
+            x in -50i32..50,
+            len in prop::collection::vec(0.0f64..1.0, 0..10),
+            s in ".{0,8}",
+            b in any::<u8>(),
+        ) {
+            prop_assert!((-50..50).contains(&x));
+            prop_assert!(len.len() < 10);
+            prop_assert!(len.iter().all(|v| (0.0..1.0).contains(v)));
+            prop_assert!(s.len() <= 8);
+            prop_assert_eq!(u16::from(b) & 0xFF00, 0);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::strategy::Strategy;
+        let strat = prop::collection::vec(0u64..1_000, 1..20);
+        let mut a = crate::test_runner::TestRng::deterministic();
+        let mut b = crate::test_runner::TestRng::deterministic();
+        for _ in 0..50 {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! No-op stand-ins for serde's `Serialize`/`Deserialize` derive macros.
+//!
+//! The workspace builds in an offline container, so the real `serde_derive`
+//! is unavailable. Nothing in the workspace serializes at runtime — the
+//! derives exist for interface fidelity with the paper artifact — so the
+//! derive macros here simply emit no code. If real serialization is ever
+//! needed, replace this vendored crate with the upstream one.
+
+use proc_macro::TokenStream;
+
+/// Derives nothing; the `Serialize` marker trait has no required items.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derives nothing; the `Deserialize` marker trait has no required items.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
