@@ -109,6 +109,75 @@ fn bench_pathfinding(c: &mut Criterion) {
     });
 }
 
+/// A terrain scene with cascading activity spanning several shard stripes,
+/// for the sequential-vs-sharded tick comparison.
+fn sharded_scene() -> World {
+    let mut world = World::new(Box::new(FlatGenerator::grassland()), 7);
+    world.ensure_area(mlg_world::ChunkPos::new(2, 0), 4);
+    for x in [10, 40, 70, 100] {
+        for y in 70..80 {
+            world.set_block(BlockPos::new(x, y, 8), Block::simple(BlockKind::Sand));
+        }
+        for dx in 0..3 {
+            let tnt = BlockPos::new(x + 6 + dx, 61, 12);
+            world.set_block_silent(tnt, Block::simple(BlockKind::Tnt));
+            world.schedule_tick(tnt, 1);
+        }
+    }
+    world
+}
+
+fn bench_sharded_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tick_pipeline");
+    group.sample_size(10);
+    group.bench_function("terrain_sequential", |b| {
+        b.iter_batched(
+            sharded_scene,
+            |mut world| {
+                let sim = mlg_world::TerrainSimulator::new();
+                world.advance_tick();
+                let (report, _) = sim.tick(&mut world);
+                report
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    for threads in [1u32, 4] {
+        group.bench_function(format!("terrain_sharded_4x{threads}"), |b| {
+            let pipeline = mlg_world::TickPipeline::new(4, threads);
+            b.iter_batched(
+                sharded_scene,
+                |mut world| {
+                    let sim = mlg_world::TerrainSimulator::new();
+                    world.advance_tick();
+                    sim.tick_sharded(&mut world, &pipeline).report
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    // Whole-server comparison: the classic serial loop vs the Folia-like
+    // sharded pipeline under the TNT workload.
+    for (name, flavor, threads) in [
+        ("server_tnt_vanilla", ServerFlavor::Vanilla, 1u32),
+        ("server_tnt_folia_1thr", ServerFlavor::Folia, 1),
+        ("server_tnt_folia_4thr", ServerFlavor::Folia, 4),
+    ] {
+        group.bench_function(name, |b| {
+            let built = WorkloadSpec::new(WorkloadKind::Tnt).build(392_114_485);
+            let config = ServerConfig::for_flavor(flavor).with_tick_threads(threads);
+            let mut server = GameServer::new(config, built.world, built.spawn_point);
+            server.schedule_tnt_ignition(5);
+            let mut engine = Environment::das5(4).instantiate(1).engine;
+            for _ in 0..30 {
+                server.run_tick(&mut engine);
+            }
+            b.iter(|| server.run_tick(&mut engine));
+        });
+    }
+    group.finish();
+}
+
 fn bench_player_emulation(c: &mut Criterion) {
     c.bench_function("players_workload_tick_25_bots", |b| {
         let (mut server, mut emulation) = prepared_server(WorkloadKind::Players);
@@ -126,6 +195,7 @@ criterion_group!(
     bench_terrain_cascade,
     bench_explosion,
     bench_pathfinding,
+    bench_sharded_tick,
     bench_player_emulation
 );
 criterion_main!(benches);

@@ -13,7 +13,10 @@
 //! * `--progress` — stream one progress line per finished iteration to
 //!   stderr;
 //! * `--csv PATH` — stream one CSV summary row per finished iteration into
-//!   `PATH` as results complete.
+//!   `PATH` as results complete;
+//! * `--tick-threads N` — worker threads for the server's sharded tick
+//!   pipeline (results are bit-identical at any value; CI diffs the CSVs
+//!   of two settings to prove it).
 
 use std::fs::File;
 
@@ -102,6 +105,24 @@ fn csv_path_from_args() -> Option<String> {
     None
 }
 
+/// The tick-pipeline worker thread count selected by `--tick-threads N`
+/// (default 1, the sequential reference path).
+///
+/// # Panics
+///
+/// Panics when the flag is present without a valid number.
+#[must_use]
+pub fn tick_threads_from_args() -> u32 {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--tick-threads" {
+            let value = args.next().and_then(|v| v.parse().ok());
+            return value.unwrap_or_else(|| panic!("--tick-threads requires a thread count"));
+        }
+    }
+    1
+}
+
 /// Runs one workload for one flavor set in one environment and returns the
 /// results. Seeds are fixed so figures are reproducible run-to-run.
 #[must_use]
@@ -116,6 +137,7 @@ pub fn run(
         .workloads([workload])
         .flavors(flavors.iter().copied())
         .environments([environment])
+        .tick_threads([tick_threads_from_args()])
         .duration_secs(duration_secs)
         .iterations(iterations);
     run_campaign(&campaign)

@@ -16,20 +16,64 @@ use crate::interference::{BurstCredits, InterferenceState};
 use crate::node::NodeType;
 
 /// One tick's worth of compute demand, in abstract work units.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+///
+/// The split models three execution classes:
+///
+/// * `main_thread` — strictly serial game-loop work (Amdahl's serial
+///   fraction);
+/// * `parallelizable` — work the server's architecture can fan out across
+///   up to `parallel_width` cores *within* the game loop (sharded tick
+///   regions, parallel JVM GC, chunk encoding), barriering back before the
+///   tick ends. `max_shard` is the largest single indivisible share of it
+///   (the busiest tick shard), a load-balance floor no core count can beat;
+/// * `offloadable` — asynchronous work overlapped with the game loop on
+///   spare cores (async chat, async environment processing).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TickWork {
     /// Work that must execute on the main game-loop thread.
     pub main_thread: u64,
     /// Work that the server flavor can execute on auxiliary threads
     /// concurrently with the main thread (e.g. async chat, async lighting).
     pub offloadable: u64,
+    /// Work divisible across cores within the game loop (Amdahl's parallel
+    /// fraction).
+    pub parallelizable: u64,
+    /// Maximum number of workers `parallelizable` can usefully spread over
+    /// (e.g. the tick shard count; `u32::MAX` for freely divisible work
+    /// like parallel GC).
+    pub parallel_width: u32,
+    /// The largest indivisible share of `parallelizable` (the busiest
+    /// shard's work); the parallel phase can never finish faster than this.
+    pub max_shard: u64,
+}
+
+impl Default for TickWork {
+    fn default() -> Self {
+        TickWork {
+            main_thread: 0,
+            offloadable: 0,
+            parallelizable: 0,
+            parallel_width: 1,
+            max_shard: 0,
+        }
+    }
 }
 
 impl TickWork {
+    /// Work bound entirely to the main game-loop thread (no parallel or
+    /// offloaded component).
+    #[must_use]
+    pub fn serial(main_thread: u64) -> Self {
+        TickWork {
+            main_thread,
+            ..TickWork::default()
+        }
+    }
+
     /// Total work units regardless of placement.
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.main_thread + self.offloadable
+        self.main_thread + self.offloadable + self.parallelizable
     }
 }
 
@@ -94,22 +138,37 @@ impl ComputeEngine {
         let throttle = self.pending_throttle;
         let per_core_rate = self.node.work_units_per_core_ms() / (interference * throttle);
 
-        // Main-thread work is serial; offloadable work runs on the remaining
-        // cores concurrently with the main thread.
+        // The tick's critical path: serial main-thread work, plus the
+        // parallel phase fanned out over min(vCPUs, parallel_width) cores —
+        // Amdahl's law with a load-balance floor at the busiest shard.
         let main_ms = work.main_thread as f64 / per_core_rate;
+        let width = f64::from(self.node.vcpus.min(work.parallel_width).max(1));
+        let parallel_ideal = work.parallelizable as f64 / width;
+        let parallel_floor = work.max_shard.min(work.parallelizable) as f64;
+        let parallel_ms = parallel_ideal.max(parallel_floor) / per_core_rate;
+        let critical_ms = main_ms + parallel_ms;
+
+        // Offloadable work runs concurrently with the game loop on whatever
+        // core capacity the critical path leaves idle: vCPUs-1 cores while
+        // the serial part runs, vCPUs-width cores while the parallel phase
+        // runs. Capacity is conserved — the tick stretches when offloadable
+        // work exceeds that slack (with no parallel phase this reduces
+        // exactly to the previous max(main, offload/aux) model).
         let aux_cores = f64::from(self.node.vcpus.saturating_sub(1)).max(0.0);
-        let offload_ms = if work.offloadable == 0 {
-            0.0
+        let offload_core_ms = work.offloadable as f64 / per_core_rate;
+        let busy_ms = if work.offloadable == 0 {
+            critical_ms
         } else if aux_cores > 0.0 {
-            work.offloadable as f64 / (per_core_rate * aux_cores)
+            let slack_core_ms =
+                aux_cores * main_ms + (f64::from(self.node.vcpus) - width).max(0.0) * parallel_ms;
+            if offload_core_ms <= slack_core_ms {
+                critical_ms
+            } else {
+                critical_ms + (offload_core_ms - slack_core_ms) / aux_cores
+            }
         } else {
             // No spare core: offloadable work falls back onto the main thread.
-            work.offloadable as f64 / per_core_rate
-        };
-        let busy_ms = if aux_cores > 0.0 {
-            main_ms.max(offload_ms)
-        } else {
-            main_ms + offload_ms
+            critical_ms + offload_core_ms
         };
 
         // Core-seconds actually consumed (work / single-core rate).
@@ -150,6 +209,7 @@ mod tests {
             TickWork {
                 main_thread: 10_000,
                 offloadable: 0,
+                ..TickWork::default()
             },
             50.0,
         );
@@ -164,6 +224,7 @@ mod tests {
             TickWork {
                 main_thread: 1_000_000,
                 offloadable: 0,
+                ..TickWork::default()
             },
             50.0,
         );
@@ -175,6 +236,7 @@ mod tests {
         let work = TickWork {
             main_thread: 100_000,
             offloadable: 300_000,
+            ..TickWork::default()
         };
         let mut two_core = quiet_engine(NodeType::das5(2));
         let mut eight_core = quiet_engine(NodeType::das5(8));
@@ -188,6 +250,7 @@ mod tests {
         let work = TickWork {
             main_thread: 50_000,
             offloadable: 50_000,
+            ..TickWork::default()
         };
         let mut one_core = quiet_engine(NodeType::das5(1));
         let mut two_core = quiet_engine(NodeType::das5(2));
@@ -201,6 +264,7 @@ mod tests {
         let work = TickWork {
             main_thread: 400_000,
             offloadable: 0,
+            ..TickWork::default()
         };
         let mut two_core = quiet_engine(NodeType::das5(2));
         let mut sixteen_core = quiet_engine(NodeType::das5(16));
@@ -208,6 +272,102 @@ mod tests {
         let t16 = sixteen_core.execute_tick(work, 50.0).busy_ms;
         // Identical clock: the main thread is the bottleneck on both.
         assert!((t2 - t16).abs() / t2 < 0.05);
+    }
+
+    #[test]
+    fn parallelizable_work_scales_with_vcpus_amdahl_style() {
+        let work = TickWork {
+            main_thread: 100_000,
+            parallelizable: 400_000,
+            parallel_width: u32::MAX,
+            ..TickWork::default()
+        };
+        let t = |cores: u32| {
+            quiet_engine(NodeType::das5(cores))
+                .execute_tick(work, 50.0)
+                .busy_ms
+        };
+        let (t1, t2, t8) = (t(1), t(2), t(8));
+        assert!(t2 < t1 * 0.7, "2 cores ({t2} ms) must beat 1 ({t1} ms)");
+        assert!(t8 < t2 * 0.6, "8 cores ({t8} ms) must beat 2 ({t2} ms)");
+        // Amdahl: the serial fraction bounds the speedup — 8 cores cannot
+        // reach the ideal 8x of the total.
+        assert!(t8 > t1 / 8.0, "serial fraction must cap the speedup");
+    }
+
+    #[test]
+    fn parallel_width_caps_the_useful_core_count() {
+        let work = TickWork {
+            main_thread: 10_000,
+            parallelizable: 800_000,
+            parallel_width: 4,
+            ..TickWork::default()
+        };
+        let mut four = quiet_engine(NodeType::das5(4));
+        let mut sixteen = quiet_engine(NodeType::das5(16));
+        let t4 = four.execute_tick(work, 50.0).busy_ms;
+        let t16 = sixteen.execute_tick(work, 50.0).busy_ms;
+        // Only 4 shards: extra cores beyond 4 buy nothing.
+        assert!((t4 - t16).abs() / t4 < 0.05);
+    }
+
+    #[test]
+    fn busiest_shard_floors_the_parallel_phase() {
+        let balanced = TickWork {
+            parallelizable: 400_000,
+            parallel_width: 4,
+            max_shard: 100_000,
+            ..TickWork::default()
+        };
+        let skewed = TickWork {
+            max_shard: 390_000,
+            ..balanced
+        };
+        let mut engine = quiet_engine(NodeType::das5(4));
+        let t_balanced = engine.execute_tick(balanced, 50.0).busy_ms;
+        let mut engine = quiet_engine(NodeType::das5(4));
+        let t_skewed = engine.execute_tick(skewed, 50.0).busy_ms;
+        assert!(
+            t_skewed > t_balanced * 3.0,
+            "one hot shard ({t_skewed} ms) must dominate a balanced split ({t_balanced} ms)"
+        );
+    }
+
+    #[test]
+    fn parallel_and_offload_work_cannot_exceed_node_capacity() {
+        // 2 cores, no serial work: 200k parallel + 100k offload units must
+        // take at least 300k/(2 cores) of single-core time — the model may
+        // not conjure a third core out of the overlap.
+        let work = TickWork {
+            parallelizable: 200_000,
+            parallel_width: u32::MAX,
+            offloadable: 100_000,
+            ..TickWork::default()
+        };
+        let node = NodeType::das5(2);
+        let floor_ms = work.total() as f64 / (2.0 * node.work_units_per_core_ms());
+        let busy = quiet_engine(node).execute_tick(work, 50.0).busy_ms;
+        assert!(
+            busy >= floor_ms * 0.999,
+            "busy {busy} ms beats the 2-core capacity floor {floor_ms} ms"
+        );
+    }
+
+    #[test]
+    fn serial_constructor_matches_plain_main_thread_work() {
+        let mut a = quiet_engine(NodeType::das5(2));
+        let mut b = quiet_engine(NodeType::das5(2));
+        let from_ctor = a.execute_tick(TickWork::serial(250_000), 50.0).busy_ms;
+        let from_literal = b
+            .execute_tick(
+                TickWork {
+                    main_thread: 250_000,
+                    ..TickWork::default()
+                },
+                50.0,
+            )
+            .busy_ms;
+        assert_eq!(from_ctor, from_literal);
     }
 
     #[test]
@@ -222,6 +382,7 @@ mod tests {
         let work = TickWork {
             main_thread: 250_000,
             offloadable: 0,
+            ..TickWork::default()
         };
         let first = engine.execute_tick(work, 50.0).busy_ms;
         let mut throttled_time = None;
@@ -248,6 +409,7 @@ mod tests {
                 TickWork {
                     main_thread: main,
                     offloadable: main,
+                    ..TickWork::default()
                 },
                 50.0,
             );
@@ -263,6 +425,7 @@ mod tests {
         let work = TickWork {
             main_thread: 60_000,
             offloadable: 0,
+            ..TickWork::default()
         };
         let times: Vec<f64> = (0..2_000)
             .map(|_| engine.execute_tick(work, 50.0).busy_ms)

@@ -149,6 +149,7 @@ mod tests {
         let work = TickWork {
             main_thread: 60_000,
             offloadable: 0,
+            ..TickWork::default()
         };
         let ta: f64 = (0..200)
             .map(|_| a.engine.execute_tick(work, 50.0).busy_ms)
@@ -168,6 +169,7 @@ mod tests {
         let work = TickWork {
             main_thread: 60_000,
             offloadable: 0,
+            ..TickWork::default()
         };
         let mut totals = Vec::new();
         for seed in 0..5 {
@@ -190,6 +192,7 @@ mod tests {
         let work = TickWork {
             main_thread: 80_000,
             offloadable: 0,
+            ..TickWork::default()
         };
         let spread = |env: &Environment| {
             let mut totals = Vec::new();

@@ -3,9 +3,9 @@
 //!
 //! Meterstick's evaluation is a *matrix* of experiments — workloads ×
 //! server flavors × deployment environments × iterations (Figure 5 runs the
-//! same procedure for every combination). The seed reproduction exposed
-//! only [`ExperimentRunner`], which covers a single workload in a single
-//! environment; every figure binary re-implemented the outer loops. A
+//! same procedure for every combination), and the sharded tick pipeline
+//! adds a `tick_threads` axis (worker threads inside one server — results
+//! are bit-identical across it, only wall-clock time changes). A
 //! [`Campaign`] composes the whole sweep declaratively:
 //!
 //! ```
@@ -32,7 +32,6 @@
 //! Attached [`ResultSink`]s observe each result as it completes, which lets
 //! reports stream instead of materializing the full result set first.
 //!
-//! [`ExperimentRunner`]: crate::experiment::ExperimentRunner
 //! [`Executor`]: crate::executor::Executor
 //! [`ResultSink`]: crate::sink::ResultSink
 
@@ -59,6 +58,8 @@ pub struct CellCoord {
     pub environment: usize,
     /// Index into the campaign's flavor list.
     pub flavor: usize,
+    /// Index into the campaign's tick-thread list.
+    pub tick_threads: usize,
 }
 
 /// One independently executable unit of a campaign: a single iteration of a
@@ -90,11 +91,17 @@ impl IterationJob {
         execute_iteration(&self.config, self.flavor, self.iteration, self.seed)
     }
 
-    /// Human-readable job label, e.g. `"TNT × PaperMC @ AWS 2-core #1"`.
+    /// Human-readable job label, e.g. `"TNT × PaperMC @ AWS 2-core #1"`
+    /// (plus a thread suffix for multi-threaded tick pipelines).
     #[must_use]
     pub fn label(&self) -> String {
+        let threads = if self.config.tick_threads > 1 {
+            format!(" [{}thr]", self.config.tick_threads)
+        } else {
+            String::new()
+        };
         format!(
-            "{} × {} @ {} #{}",
+            "{} × {} @ {}{threads} #{}",
             self.config.workload.kind,
             self.flavor,
             self.config.environment.label(),
@@ -321,6 +328,7 @@ pub struct Campaign {
     workloads: Vec<WorkloadSpec>,
     flavors: Vec<ServerFlavor>,
     environments: Vec<Environment>,
+    tick_threads: Vec<u32>,
 }
 
 impl Default for Campaign {
@@ -339,21 +347,21 @@ impl Campaign {
             flavors: template.flavors.clone(),
             environments: vec![template.environment.clone()],
             workloads: Vec::new(),
+            tick_threads: vec![template.tick_threads],
             template,
         }
     }
 
     /// Builds a single-workload campaign from a legacy [`BenchmarkConfig`],
-    /// preserving its flavor list and environment. This is the bridge the
-    /// deprecated [`ExperimentRunner`] shim runs on.
-    ///
-    /// [`ExperimentRunner`]: crate::experiment::ExperimentRunner
+    /// preserving its flavor list, environment and tick-thread setting —
+    /// the migration path for pre-campaign callers.
     #[must_use]
     pub fn from_config(config: BenchmarkConfig) -> Self {
         Campaign {
             workloads: vec![config.workload],
             flavors: config.flavors.clone(),
             environments: vec![config.environment.clone()],
+            tick_threads: vec![config.tick_threads],
             template: config,
         }
     }
@@ -384,6 +392,17 @@ impl Campaign {
     #[must_use]
     pub fn environments(mut self, environments: impl IntoIterator<Item = Environment>) -> Self {
         self.environments = environments.into_iter().collect();
+        self
+    }
+
+    /// Replaces the tick-thread dimension: each value runs the whole grid
+    /// with that many worker threads inside the server's sharded tick
+    /// pipeline. Results are bit-identical across this axis (seeds do not
+    /// depend on it); sweeping it exists to *demonstrate* that identity and
+    /// to measure wall-clock scaling.
+    #[must_use]
+    pub fn tick_threads(mut self, threads: impl IntoIterator<Item = u32>) -> Self {
+        self.tick_threads = threads.into_iter().map(|t| t.max(1)).collect();
         self
     }
 
@@ -447,10 +466,14 @@ impl Campaign {
         self
     }
 
-    /// Number of grid cells (workloads × environments × flavors).
+    /// Number of grid cells (workloads × environments × flavors ×
+    /// tick-thread settings).
     #[must_use]
     pub fn cell_count(&self) -> usize {
-        self.workloads.len() * self.environments.len() * self.flavors.len()
+        self.workloads.len()
+            * self.environments.len()
+            * self.flavors.len()
+            * self.tick_threads.len()
     }
 
     /// Number of jobs the plan will contain (cells × iterations).
@@ -481,6 +504,11 @@ impl Campaign {
         if self.environments.is_empty() {
             return Err(BenchmarkError::EmptyDimension {
                 dimension: "environments",
+            });
+        }
+        if self.tick_threads.is_empty() {
+            return Err(BenchmarkError::EmptyDimension {
+                dimension: "tick_threads",
             });
         }
         if self.template.iterations == 0 {
@@ -515,24 +543,28 @@ impl Campaign {
         for (w_idx, workload) in self.workloads.iter().enumerate() {
             for (e_idx, environment) in self.environments.iter().enumerate() {
                 for (f_idx, &flavor) in self.flavors.iter().enumerate() {
-                    let mut config = self.template.clone();
-                    config.workload = *workload;
-                    config.environment = environment.clone();
-                    config.flavors = vec![flavor];
-                    let coord = CellCoord {
-                        workload: w_idx,
-                        environment: e_idx,
-                        flavor: f_idx,
-                    };
-                    for iteration in 0..self.template.iterations {
-                        jobs.push(IterationJob {
-                            index: jobs.len(),
-                            coord,
-                            config: config.clone(),
-                            flavor,
-                            iteration,
-                            seed: job_seed(&self.template, coord, iteration),
-                        });
+                    for (t_idx, &threads) in self.tick_threads.iter().enumerate() {
+                        let mut config = self.template.clone();
+                        config.workload = *workload;
+                        config.environment = environment.clone();
+                        config.flavors = vec![flavor];
+                        config.tick_threads = threads;
+                        let coord = CellCoord {
+                            workload: w_idx,
+                            environment: e_idx,
+                            flavor: f_idx,
+                            tick_threads: t_idx,
+                        };
+                        for iteration in 0..self.template.iterations {
+                            jobs.push(IterationJob {
+                                index: jobs.len(),
+                                coord,
+                                config: config.clone(),
+                                flavor,
+                                iteration,
+                                seed: job_seed(&self.template, coord, iteration),
+                            });
+                        }
                     }
                 }
             }
@@ -578,11 +610,13 @@ impl Campaign {
 
 /// Derives the seed of one iteration job from the campaign template and
 /// the job's grid position: [`BenchmarkConfig::iteration_seed`] (so a
-/// single-workload single-environment campaign reproduces exactly the seeds
-/// — and therefore exactly the traces — the legacy `ExperimentRunner`
-/// produced) plus prime-weighted workload and environment terms. Seeds
-/// depend only on grid coordinates, never on execution order — which is
-/// what makes parallel execution bit-identical to sequential execution.
+/// single-workload single-environment campaign reproduces exactly the
+/// legacy pre-campaign seed scheme — and therefore exactly its traces)
+/// plus prime-weighted workload and environment terms. Seeds depend only
+/// on grid coordinates, never on execution order — which is what makes
+/// parallel execution bit-identical to sequential execution. The
+/// `tick_threads` coordinate is deliberately **excluded**: thread count is
+/// execution infrastructure and must never change results.
 #[must_use]
 fn job_seed(template: &BenchmarkConfig, coord: CellCoord, iteration: u32) -> u64 {
     template
@@ -708,6 +742,7 @@ mod tests {
             workload,
             environment,
             flavor,
+            tick_threads: 0,
         };
         let t1 = BenchmarkConfig::new(WorkloadKind::Control).with_seed(1);
         let t2 = BenchmarkConfig::new(WorkloadKind::Control).with_seed(2);
@@ -792,11 +827,13 @@ mod tests {
             workload: 0,
             environment: 0,
             flavor: 0,
+            tick_threads: 0,
         });
         let second = results.for_coord(CellCoord {
             workload: 0,
             environment: 1,
             flavor: 0,
+            tick_threads: 0,
         });
         assert_eq!(first.len(), 2);
         assert_eq!(second.len(), 2);
@@ -811,7 +848,7 @@ mod tests {
 
     #[test]
     fn single_cell_seeds_match_the_legacy_scheme() {
-        // The deprecated ExperimentRunner derived seeds with
+        // The legacy pre-campaign runner derived seeds with
         // BenchmarkConfig::iteration_seed; a single-workload
         // single-environment campaign must reproduce them exactly so legacy
         // results stay bit-identical under the new API.
@@ -826,6 +863,47 @@ mod tests {
                 .unwrap();
             assert_eq!(job.seed, config.iteration_seed(f_idx, job.iteration));
         }
+    }
+
+    #[test]
+    fn tick_threads_axis_expands_cells_but_not_seeds() {
+        let campaign = Campaign::new()
+            .workloads([WorkloadKind::Control])
+            .flavors([ServerFlavor::Vanilla])
+            .environments([Environment::das5(2)])
+            .tick_threads([1, 4])
+            .iterations(2)
+            .duration_secs(2);
+        assert_eq!(campaign.cell_count(), 2);
+        let plan = campaign.plan().unwrap();
+        assert_eq!(plan.jobs().len(), 4);
+        // Same grid cell at different thread counts ⇒ identical seeds:
+        // thread count must never perturb results.
+        let one_thread: Vec<u64> = plan
+            .jobs()
+            .iter()
+            .filter(|j| j.coord.tick_threads == 0)
+            .map(|j| j.seed)
+            .collect();
+        let four_threads: Vec<u64> = plan
+            .jobs()
+            .iter()
+            .filter(|j| j.coord.tick_threads == 1)
+            .map(|j| j.seed)
+            .collect();
+        assert_eq!(one_thread, four_threads);
+        assert!(plan
+            .jobs()
+            .iter()
+            .any(|j| j.config.tick_threads == 4 && j.label().contains("[4thr]")));
+
+        let no_threads = campaign.tick_threads([]).run();
+        assert_eq!(
+            no_threads.unwrap_err(),
+            BenchmarkError::EmptyDimension {
+                dimension: "tick_threads"
+            }
+        );
     }
 
     #[test]

@@ -45,6 +45,10 @@ pub struct BenchmarkConfig {
     pub affinity_mask: u64,
     /// Resume a partially completed experiment (Table 4 "Resume").
     pub resume: bool,
+    /// Worker threads the server's sharded tick pipeline may use. Pure
+    /// execution infrastructure: identical results at any value, only
+    /// wall-clock time changes (there are tests pinning this).
+    pub tick_threads: u32,
 }
 
 impl BenchmarkConfig {
@@ -67,6 +71,7 @@ impl BenchmarkConfig {
             ram_gb: 4.0,
             affinity_mask: 0xFFFF_FFFF,
             resume: false,
+            tick_threads: 1,
         }
     }
 
@@ -116,6 +121,13 @@ impl BenchmarkConfig {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.base_seed = seed;
+        self
+    }
+
+    /// Sets the tick-pipeline worker thread count.
+    #[must_use]
+    pub fn with_tick_threads(mut self, threads: u32) -> Self {
+        self.tick_threads = threads.max(1);
         self
     }
 

@@ -2,9 +2,8 @@
 //!
 //! Everything reachable from [`crate::campaign::Campaign::run`] reports
 //! invalid configuration and execution failures through [`BenchmarkError`]
-//! instead of panicking; the legacy `expect`-on-[`DeploymentPlan`] path only
-//! survives inside the deprecated [`crate::experiment::ExperimentRunner`]
-//! shim.
+//! instead of panicking; the legacy `expect`-on-[`DeploymentPlan`] path
+//! died with the removed `ExperimentRunner` shim.
 //!
 //! [`DeploymentPlan`]: crate::deployment::DeploymentPlan
 

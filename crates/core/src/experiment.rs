@@ -1,17 +1,21 @@
-//! Iteration execution and the legacy single-cell experiment runner.
+//! Single-iteration execution.
 //!
 //! One *iteration* follows the Meterstick procedure (Figure 5): deploy,
 //! start the server, start metric logging, connect the player emulation,
 //! run for the configured duration, then collect metrics. The free function
 //! [`execute_iteration`] is the single implementation of that procedure;
-//! [`IterationJob::run`](crate::campaign::IterationJob::run) and the
-//! deprecated [`ExperimentRunner`] both call it.
+//! [`IterationJob::run`](crate::campaign::IterationJob::run) calls it for
+//! every job of a campaign plan.
 //!
-//! New code should compose sweeps with [`Campaign`](crate::campaign::Campaign)
-//! instead of using [`ExperimentRunner`]: a campaign covers multiple
-//! workloads and environments, returns `Result` instead of panicking on bad
-//! deployment configuration, and can execute on any
-//! [`Executor`](crate::executor::Executor).
+//! All sweep composition lives in [`Campaign`](crate::campaign::Campaign):
+//! a campaign covers multiple workloads, environments and tick-thread
+//! settings, returns `Result` instead of panicking on bad deployment
+//! configuration, and can execute on any
+//! [`Executor`](crate::executor::Executor). (The deprecated
+//! `ExperimentRunner` shim that used to live here has been removed; build a
+//! single-cell campaign with [`Campaign::from_config`] instead.)
+//!
+//! [`Campaign::from_config`]: crate::campaign::Campaign::from_config
 
 use cloud_sim::metrics_collector::{SystemMetricsCollector, TickObservation};
 use meterstick_metrics::response::ResponseTimeSummary;
@@ -20,9 +24,8 @@ use meterstick_workloads::BuiltWorkload;
 use mlg_bots::PlayerEmulation;
 use mlg_server::{GameServer, ServerConfig, ServerFlavor};
 
-use crate::campaign::Campaign;
 use crate::config::BenchmarkConfig;
-use crate::results::{ExperimentResults, IterationResult};
+use crate::results::IterationResult;
 
 /// Runs a single iteration of a single flavor under `config`, with the
 /// environment and bot randomness derived from `seed`.
@@ -103,7 +106,9 @@ fn prepare(
     built: BuiltWorkload,
     seed: u64,
 ) -> (GameServer, PlayerEmulation) {
-    let server_config = ServerConfig::for_flavor(flavor).with_seed(config.base_seed);
+    let server_config = ServerConfig::for_flavor(flavor)
+        .with_seed(config.base_seed)
+        .with_tick_threads(config.tick_threads);
     let bots = config.bots_override.unwrap_or(built.players.bots);
     let mut emulation = PlayerEmulation::new(
         bots,
@@ -124,92 +129,10 @@ fn prepare(
     (server, emulation)
 }
 
-/// Runs benchmark configurations and produces [`ExperimentResults`].
-///
-/// Deprecated thin shim over a single-workload, single-environment
-/// [`Campaign`]; it preserves the legacy panic-on-bad-deployment behaviour
-/// for old callers. New code should use [`Campaign`] directly.
-#[deprecated(
-    since = "0.2.0",
-    note = "compose sweeps with `meterstick::campaign::Campaign`, which returns \
-            `Result` instead of panicking and executes multi-cell plans"
-)]
-#[derive(Debug, Clone)]
-pub struct ExperimentRunner {
-    config: BenchmarkConfig,
-}
-
-#[allow(deprecated)]
-impl ExperimentRunner {
-    /// Creates a runner for the given configuration.
-    #[must_use]
-    pub fn new(config: BenchmarkConfig) -> Self {
-        ExperimentRunner { config }
-    }
-
-    /// The configuration this runner executes.
-    #[must_use]
-    pub fn config(&self) -> &BenchmarkConfig {
-        &self.config
-    }
-
-    /// Runs every flavor × iteration combination and collects the results.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the deployment configuration is invalid (fewer than two
-    /// nodes or no SSH key); use [`Campaign::run`] to handle that case
-    /// gracefully.
-    #[must_use]
-    pub fn run(&self) -> ExperimentResults {
-        use crate::error::BenchmarkError;
-        match Campaign::from_config(self.config.clone()).run() {
-            Ok(results) => results.into_experiment_results(),
-            Err(BenchmarkError::Deployment(err)) => {
-                panic!("valid deployment configuration: {err}")
-            }
-            Err(err @ BenchmarkError::WorkerPanicked { .. }) => {
-                // A panic inside the simulation: legacy behaviour was an
-                // uncaught panic, not a silent re-run. Resume it.
-                panic!("{err}")
-            }
-            Err(_) => {
-                // Campaign validation is stricter than the legacy runner,
-                // which accepted degenerate configurations (zero
-                // iterations/duration, empty flavor list, odd scalar
-                // values) and simply ran them — usually to an empty result
-                // set. Reproduce the legacy loop exactly for those.
-                crate::deployment::DeploymentPlan::plan(&self.config)
-                    .unwrap_or_else(|err| panic!("valid deployment configuration: {err}"));
-                let mut results = ExperimentResults::new();
-                for (flavor_idx, &flavor) in self.config.flavors.iter().enumerate() {
-                    for iteration in 0..self.config.iterations {
-                        let seed = self.config.iteration_seed(flavor_idx, iteration);
-                        results.push(execute_iteration(&self.config, flavor, iteration, seed));
-                    }
-                }
-                results
-            }
-        }
-    }
-
-    /// Runs a single iteration of a single flavor, with the environment
-    /// randomness derived from `seed`.
-    #[must_use]
-    pub fn run_iteration(
-        &self,
-        flavor: ServerFlavor,
-        iteration: u32,
-        seed: u64,
-    ) -> IterationResult {
-        execute_iteration(&self.config, flavor, iteration, seed)
-    }
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::campaign::Campaign;
     use cloud_sim::environment::Environment;
     use meterstick_workloads::WorkloadKind;
 
@@ -223,7 +146,9 @@ mod tests {
 
     #[test]
     fn control_workload_runs_to_completion() {
-        let results = ExperimentRunner::new(quick_config(WorkloadKind::Control)).run();
+        let results = Campaign::from_config(quick_config(WorkloadKind::Control))
+            .run()
+            .unwrap();
         assert_eq!(results.iterations().len(), 1);
         let it = &results.iterations()[0];
         // The iteration spans 3 virtual seconds; at 20 Hz that is at most 60
@@ -245,7 +170,7 @@ mod tests {
             .with_flavors(vec![ServerFlavor::Vanilla, ServerFlavor::Paper])
             .with_iterations(2)
             .with_duration_secs(2);
-        let results = ExperimentRunner::new(config).run();
+        let results = Campaign::from_config(config).run().unwrap();
         assert_eq!(results.iterations().len(), 4);
         assert_eq!(results.for_flavor(ServerFlavor::Paper).len(), 2);
     }
@@ -255,7 +180,7 @@ mod tests {
         let config = quick_config(WorkloadKind::Control)
             .with_environment(Environment::aws_default())
             .with_iterations(2);
-        let results = ExperimentRunner::new(config).run();
+        let results = Campaign::from_config(config).run().unwrap();
         let isr: Vec<f64> = results.isr_values(ServerFlavor::Vanilla);
         assert_eq!(isr.len(), 2);
         // Different interference seeds make the two iterations differ.
@@ -267,7 +192,7 @@ mod tests {
     #[test]
     fn players_workload_connects_25_bots() {
         let config = quick_config(WorkloadKind::Players).with_duration_secs(2);
-        let results = ExperimentRunner::new(config).run();
+        let results = Campaign::from_config(config).run().unwrap();
         let it = &results.iterations()[0];
         assert_eq!(it.workload, WorkloadKind::Players);
         // The busiest evidence that 25 bots are connected: entity/player
@@ -278,8 +203,8 @@ mod tests {
     #[test]
     fn same_seed_reproduces_identical_results_on_das5() {
         let config = quick_config(WorkloadKind::Control).with_duration_secs(2);
-        let a = ExperimentRunner::new(config.clone()).run();
-        let b = ExperimentRunner::new(config).run();
+        let a = Campaign::from_config(config.clone()).run().unwrap();
+        let b = Campaign::from_config(config).run().unwrap();
         let ta: Vec<f64> = a.iterations()[0].trace.busy_durations();
         let tb: Vec<f64> = b.iterations()[0].trace.busy_durations();
         assert_eq!(
@@ -289,39 +214,12 @@ mod tests {
     }
 
     #[test]
-    fn legacy_degenerate_configs_still_return_empty_results() {
-        // The pre-campaign runner accepted iterations == 0 (its loop ran
-        // nothing); the shim must not turn that into a panic.
-        let mut config = quick_config(WorkloadKind::Control);
-        config.iterations = 0;
-        let results = ExperimentRunner::new(config).run();
-        assert!(results.iterations().is_empty());
-
-        let mut config = quick_config(WorkloadKind::Control);
-        config.duration_secs = 0;
-        let results = ExperimentRunner::new(config).run();
-        assert_eq!(results.iterations().len(), 1);
-        assert_eq!(results.iterations()[0].ticks_executed, 0);
-
-        let config = quick_config(WorkloadKind::Control).with_flavors(Vec::new());
-        let results = ExperimentRunner::new(config).run();
-        assert!(results.iterations().is_empty());
-    }
-
-    #[test]
-    fn runner_and_campaign_agree_bit_for_bit() {
-        // The shim must not change results: the same configuration through
-        // the deprecated runner and through a one-cell campaign yields
-        // identical traces.
-        let config = quick_config(WorkloadKind::Control)
-            .with_environment(Environment::aws_default())
-            .with_iterations(2);
-        let legacy = ExperimentRunner::new(config.clone()).run();
-        let campaign = Campaign::from_config(config).run().unwrap();
-        assert_eq!(legacy.iterations().len(), campaign.iterations().len());
-        for (l, c) in legacy.iterations().iter().zip(campaign.iterations()) {
-            assert_eq!(l.trace.busy_durations(), c.trace.busy_durations());
-            assert_eq!(l.instability_ratio, c.instability_ratio);
-        }
+    fn execute_iteration_is_callable_directly() {
+        // The campaign layer derives seeds per job; direct calls remain
+        // supported for custom harnesses.
+        let config = quick_config(WorkloadKind::Control).with_duration_secs(2);
+        let result = execute_iteration(&config, ServerFlavor::Vanilla, 0, 42);
+        assert!(result.ticks_executed > 0);
+        assert!(!result.crashed());
     }
 }

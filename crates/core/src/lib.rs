@@ -21,8 +21,7 @@
 //! * [`deployment`] — the deployment component that places workers on nodes
 //!   (Figure 5, component 2);
 //! * [`controller`] — the controller/worker message protocol (Table 1);
-//! * [`experiment`] — single-iteration execution and the deprecated
-//!   [`ExperimentRunner`] shim;
+//! * [`experiment`] — single-iteration execution;
 //! * [`results`] — per-iteration and aggregate results, including the
 //!   Instability Ratio;
 //! * [`report`] — plain-text tables and CSV output for every figure and
@@ -96,7 +95,5 @@ pub use campaign::{Campaign, CampaignPlan, CampaignResults, IterationJob};
 pub use config::BenchmarkConfig;
 pub use error::BenchmarkError;
 pub use executor::{Executor, ParallelExecutor, SequentialExecutor};
-#[allow(deprecated)]
-pub use experiment::ExperimentRunner;
 pub use results::{ExperimentResults, IterationResult};
 pub use sink::{CsvSink, NullSink, ProgressSink, ResultSink};

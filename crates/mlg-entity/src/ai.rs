@@ -7,7 +7,7 @@
 
 use rand::Rng;
 
-use mlg_world::{BlockPos, World};
+use mlg_world::{BlockPos, BlockReader};
 
 use crate::entity::Entity;
 use crate::math::Vec3;
@@ -38,8 +38,8 @@ pub struct AiOutcome {
 ///
 /// `players` are the positions of currently connected players; hostile mobs
 /// target the nearest one within [`AGGRO_RANGE`].
-pub fn decide<R: Rng>(
-    world: &mut World,
+pub fn decide<W: BlockReader, R: Rng>(
+    world: &mut W,
     entity: &mut Entity,
     players: &[Vec3],
     rng: &mut R,
@@ -119,7 +119,7 @@ pub fn decide<R: Rng>(
 /// Finds the nearest standable position at or below `pos` (mobs float above
 /// the ground slightly due to physics; pathfinding wants the block they stand
 /// in).
-fn standable_below(world: &mut World, pos: BlockPos) -> BlockPos {
+fn standable_below<W: BlockReader>(world: &mut W, pos: BlockPos) -> BlockPos {
     let mut candidate = pos;
     for _ in 0..4 {
         if pathfinding::is_walkable(world, candidate) {
@@ -135,6 +135,7 @@ mod tests {
     use super::*;
     use crate::entity::{EntityId, EntityKind};
     use mlg_world::generation::FlatGenerator;
+    use mlg_world::World;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

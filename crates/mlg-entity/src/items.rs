@@ -7,7 +7,7 @@
 //! collect items into chests; both behaviours cost proximity queries every
 //! tick, contributing to the entity share of tick time (MF4).
 
-use mlg_world::{BlockKind, BlockPos, World};
+use mlg_world::{BlockKind, BlockPos, BlockReader};
 
 use crate::entity::{Entity, EntityId, EntityKind};
 use crate::spatial::SpatialGrid;
@@ -57,7 +57,12 @@ pub fn merge_items(entities: &mut [Entity], grid: &SpatialGrid) -> ItemPassOutco
                 continue;
             }
             if kind_by_id.get(&other_id) == Some(&e.kind) && e.stack_size < MAX_STACK {
-                absorbed.insert(other_id);
+                if absorbed.insert(other_id) {
+                    // Encounter order, not hash order: the removal list must
+                    // be deterministic for the sharded pipeline's
+                    // bit-identity guarantee.
+                    outcome.merged_away.push(other_id);
+                }
                 *gains.entry(e.id).or_insert(0) += 1;
             }
         }
@@ -70,7 +75,6 @@ pub fn merge_items(entities: &mut [Entity], grid: &SpatialGrid) -> ItemPassOutco
             e.stack_size = (e.stack_size + gain).min(MAX_STACK);
         }
     }
-    outcome.merged_away = absorbed.into_iter().collect();
     outcome
 }
 
@@ -79,7 +83,7 @@ pub fn merge_items(entities: &mut [Entity], grid: &SpatialGrid) -> ItemPassOutco
 /// Any item entity whose supporting block (directly below its position) is a
 /// hopper is collected: its id is returned for removal, modelling transfer
 /// into storage.
-pub fn collect_into_hoppers(world: &mut World, entities: &[Entity]) -> ItemPassOutcome {
+pub fn collect_into_hoppers<W: BlockReader>(world: &mut W, entities: &[Entity]) -> ItemPassOutcome {
     let mut outcome = ItemPassOutcome::default();
     for e in entities {
         if !e.kind.is_item_like() {
@@ -107,6 +111,7 @@ mod tests {
     use crate::math::Vec3;
     use mlg_world::generation::FlatGenerator;
     use mlg_world::Block;
+    use mlg_world::World;
 
     fn world() -> World {
         World::new(Box::new(FlatGenerator::grassland()), 7)

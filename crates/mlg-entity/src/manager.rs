@@ -7,12 +7,13 @@
 //! the work performed — the paper's MF4 finding is that this stage dominates
 //! non-idle tick time.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-use mlg_world::World;
+use mlg_world::shard::{run_tasks, FrozenWorld, TickPipeline};
+use mlg_world::{BlockPos, World};
 
 use crate::ai;
 use crate::entity::{Entity, EntityId, EntityKind};
@@ -173,11 +174,9 @@ impl EntityManager {
     pub fn tick(&mut self, world: &mut World, players: &[Vec3]) -> EntityTickReport {
         let mut report = EntityTickReport::default();
 
-        // Rebuild the spatial index for this tick.
-        self.grid.clear();
-        for e in self.entities.values() {
-            self.grid.insert(e.id, e.pos);
-        }
+        // Rebuild the spatial index for this tick, in spawn order so every
+        // derived list is reproducible run-to-run.
+        self.rebuild_grid();
 
         let ids: Vec<EntityId> = self.order.clone();
         let mut exploded: Vec<(EntityId, Vec3)> = Vec::new();
@@ -227,6 +226,155 @@ impl EntityManager {
             self.entities.insert(*id, entity);
         }
 
+        self.resolve_explosions(exploded, chain_ignitions, &mut report);
+        self.maintain_items_and_lifecycle(world, players, &mut report);
+        report
+    }
+
+    /// Runs one entity-simulation tick through the sharded pipeline.
+    ///
+    /// Entities are batched by owning shard (the shard of the chunk their
+    /// position falls in) and the per-entity phase — aging, movement
+    /// physics, AI, fuse countdown, proximity queries — fans out across the
+    /// worker pool. That phase reads the terrain through a frozen snapshot
+    /// and mutates only the entities of its own batch, so batches are fully
+    /// independent; results merge in canonical shard order. World-mutating
+    /// effects (TNT detonations) and cross-entity phases (knockback, item
+    /// merging, hopper collection, despawning, natural spawning) run in a
+    /// serial phase afterwards, in the same canonical order.
+    ///
+    /// Mob wander randomness comes from per-shard RNG streams derived from
+    /// one serial draw per tick, so the result is **bit-identical at any
+    /// thread count**; `pipeline.threads() == 1` is the sequential
+    /// reference path. Returns the tick report plus the per-shard entity
+    /// counts the compute model uses for its load-balance floor.
+    pub fn tick_batched(
+        &mut self,
+        world: &mut World,
+        players: &[Vec3],
+        pipeline: &TickPipeline,
+    ) -> (EntityTickReport, Vec<u64>) {
+        let map = pipeline.shard_map();
+        let shard_count = map.count();
+        let mut report = EntityTickReport::default();
+
+        self.rebuild_grid();
+
+        // Explosion batching (PaperMC): the first `max_tnt_per_tick` primed
+        // TNT entities in canonical spawn order are processed this tick.
+        let mut tnt_allowed: HashSet<EntityId> = HashSet::new();
+        for id in &self.order {
+            if tnt_allowed.len() >= self.max_tnt_per_tick {
+                break;
+            }
+            if self.entities.get(id).map(|e| e.kind) == Some(EntityKind::PrimedTnt) {
+                tnt_allowed.insert(*id);
+            }
+        }
+
+        // One serial draw per tick seeds the per-shard RNG streams, keeping
+        // wander decisions deterministic at any thread count.
+        let tick_seed: u64 = self.rng.gen();
+
+        // Partition entities by owning shard, preserving spawn order.
+        let mut tasks: Vec<EntityShardTask> = (0..shard_count).map(EntityShardTask::new).collect();
+        for id in &self.order {
+            if let Some(entity) = self.entities.remove(id) {
+                let shard = map.shard_of_block(entity.pos.block_pos());
+                tasks[shard].entities.push(entity);
+            }
+        }
+
+        {
+            let frozen_source: &World = world;
+            let grid = &self.grid;
+            let allowed = &tnt_allowed;
+            tasks = run_tasks(tasks, pipeline.threads(), |_, task| {
+                let mut rng = StdRng::seed_from_u64(
+                    tick_seed ^ (task.shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                let mut frozen = FrozenWorld(frozen_source);
+                for entity in &mut task.entities {
+                    task.processed += 1;
+                    entity.age += 1;
+                    let before_pos = entity.pos;
+                    let move_out = physics::step(&mut frozen, entity);
+                    task.physics_blocks_checked += u64::from(move_out.blocks_checked);
+                    match entity.kind {
+                        EntityKind::PrimedTnt if allowed.contains(&entity.id) => {
+                            if entity.fuse > 0 {
+                                entity.fuse -= 1;
+                            } else {
+                                // World mutation is deferred to the serial
+                                // phase; only mark the detonation here.
+                                task.detonations.push((entity.id, entity.pos));
+                            }
+                        }
+                        kind if kind.is_mob() => {
+                            let ai_out = ai::decide(&mut frozen, entity, players, &mut rng);
+                            task.path_nodes_expanded += u64::from(ai_out.path_nodes_expanded);
+                        }
+                        _ => {}
+                    }
+                    let (_, examined) = grid.query_radius(entity.pos, 1.0, Some(entity.id));
+                    task.proximity_candidates += u64::from(examined);
+                    if entity.pos.distance_squared(before_pos) > 1e-8 {
+                        task.moved.push((entity.id, entity.pos));
+                    }
+                }
+            });
+        }
+
+        // Merge in canonical shard order.
+        let mut per_shard = vec![0u64; shard_count];
+        let mut detonations: Vec<(EntityId, Vec3)> = Vec::new();
+        for task in &mut tasks {
+            per_shard[task.shard] = task.processed;
+            report.entities_processed += task.processed;
+            report.physics_blocks_checked += task.physics_blocks_checked;
+            report.path_nodes_expanded += task.path_nodes_expanded;
+            report.proximity_candidates += task.proximity_candidates;
+            report.moved.append(&mut task.moved);
+            detonations.append(&mut task.detonations);
+            for entity in task.entities.drain(..) {
+                self.entities.insert(entity.id, entity);
+            }
+        }
+
+        // Serial phase: detonations against the real world, in canonical
+        // order, then the shared cross-entity tail.
+        let mut exploded: Vec<(EntityId, Vec3)> = Vec::new();
+        let mut chain_ignitions: Vec<BlockPos> = Vec::new();
+        for (id, pos) in detonations {
+            let explosion = mlg_world::sim::explode(world, pos.block_pos(), tnt::TNT_POWER);
+            report.explosions += 1;
+            report.blocks_destroyed += explosion.blocks_destroyed;
+            chain_ignitions.extend(explosion.tnt_ignited);
+            exploded.push((id, pos));
+        }
+        self.resolve_explosions(exploded, chain_ignitions, &mut report);
+        self.maintain_items_and_lifecycle(world, players, &mut report);
+        (report, per_shard)
+    }
+
+    /// Rebuilds the spatial index from the live entities, in spawn order.
+    fn rebuild_grid(&mut self) {
+        self.grid.clear();
+        for id in &self.order {
+            if let Some(entity) = self.entities.get(id) {
+                self.grid.insert(entity.id, entity.pos);
+            }
+        }
+    }
+
+    /// Removes exploded TNT entities (with knockback on everything nearby)
+    /// and primes the chain-reaction spawns.
+    fn resolve_explosions(
+        &mut self,
+        exploded: Vec<(EntityId, Vec3)>,
+        chain_ignitions: Vec<BlockPos>,
+        report: &mut EntityTickReport,
+    ) {
         // Remove exploded TNT and knock back nearby entities.
         for (id, blast_pos) in &exploded {
             self.remove(*id);
@@ -247,7 +395,16 @@ impl EntityManager {
             }
             report.spawned.push((id, EntityKind::PrimedTnt));
         }
+    }
 
+    /// The cross-entity tail every tick variant shares: item merging,
+    /// hopper collection, despawning and natural spawning.
+    fn maintain_items_and_lifecycle(
+        &mut self,
+        world: &mut World,
+        players: &[Vec3],
+        report: &mut EntityTickReport,
+    ) {
         // Item maintenance: merging and hopper collection.
         let mut all: Vec<Entity> = self
             .order
@@ -280,10 +437,11 @@ impl EntityManager {
             report.removed.push(id);
         }
 
-        // Despawning.
+        // Despawning, in spawn order so the removal list is deterministic.
         let despawn_ids: Vec<EntityId> = self
-            .entities
-            .values()
+            .order
+            .iter()
+            .filter_map(|id| self.entities.get(id))
             .filter(|e| {
                 let nearest = players
                     .iter()
@@ -308,8 +466,34 @@ impl EntityManager {
                 report.spawned.push((id, kind));
             }
         }
+    }
+}
 
-        report
+/// Per-shard entity batch processed by one worker during
+/// [`EntityManager::tick_batched`].
+struct EntityShardTask {
+    shard: usize,
+    entities: Vec<Entity>,
+    moved: Vec<(EntityId, Vec3)>,
+    detonations: Vec<(EntityId, Vec3)>,
+    processed: u64,
+    physics_blocks_checked: u64,
+    path_nodes_expanded: u64,
+    proximity_candidates: u64,
+}
+
+impl EntityShardTask {
+    fn new(shard: usize) -> Self {
+        EntityShardTask {
+            shard,
+            entities: Vec::new(),
+            moved: Vec::new(),
+            detonations: Vec::new(),
+            processed: 0,
+            physics_blocks_checked: 0,
+            path_nodes_expanded: 0,
+            proximity_candidates: 0,
+        }
     }
 }
 
@@ -489,6 +673,96 @@ mod tests {
         };
         assert!(report.base_work_units() >= 10 * 20 + 500);
         assert_eq!(EntityTickReport::default().base_work_units(), 0);
+    }
+
+    /// A cross-stripe entity population: cows, zombies, items and fused
+    /// TNT spread over several shard stripes.
+    fn batched_setup(seed: u64) -> (EntityManager, World) {
+        let mut m = EntityManager::new(seed);
+        m.natural_spawning = false;
+        let mut w = world();
+        w.ensure_area(mlg_world::ChunkPos::new(2, 0), 4);
+        for x in [5, 40, 75, 100] {
+            m.spawn(EntityKind::Cow, Vec3::new(x as f64 + 0.5, 64.0, 8.5));
+            m.spawn(EntityKind::Zombie, Vec3::new(x as f64 + 2.5, 61.0, 8.5));
+            m.spawn(
+                EntityKind::Item(BlockKind::Cobblestone),
+                Vec3::new(x as f64 + 0.6, 61.5, 8.6),
+            );
+            m.spawn(
+                EntityKind::Item(BlockKind::Cobblestone),
+                Vec3::new(x as f64 + 0.9, 61.5, 8.7),
+            );
+            let tnt = m.spawn(EntityKind::PrimedTnt, Vec3::new(x as f64 + 5.5, 61.0, 12.5));
+            if let Some(e) = m.entities.get_mut(&tnt) {
+                e.fuse = 2;
+            }
+            w.set_block_silent(
+                BlockPos::new(x + 7, 61, 12),
+                mlg_world::Block::simple(BlockKind::Tnt),
+            );
+        }
+        (m, w)
+    }
+
+    fn run_batched(
+        seed: u64,
+        pipeline: &TickPipeline,
+        ticks: u32,
+    ) -> (Vec<EntityTickReport>, usize, u64) {
+        let (mut m, mut w) = batched_setup(seed);
+        let players = [Vec3::new(8.5, 61.0, 8.5)];
+        let mut reports = Vec::new();
+        for _ in 0..ticks {
+            let (report, per_shard) = m.tick_batched(&mut w, &players, pipeline);
+            assert_eq!(per_shard.len(), pipeline.shards() as usize);
+            assert_eq!(
+                per_shard.iter().sum::<u64>(),
+                report.entities_processed,
+                "per-shard counts must cover every processed entity"
+            );
+            reports.push(report);
+        }
+        (reports, m.count(), w.total_non_air_blocks())
+    }
+
+    #[test]
+    fn batched_tick_is_bit_identical_across_thread_counts() {
+        for shards in [1, 2, 4, 8] {
+            let reference = run_batched(77, &TickPipeline::new(shards, 1), 10);
+            let parallel = run_batched(77, &TickPipeline::new(shards, 4), 10);
+            assert_eq!(
+                reference, parallel,
+                "shards={shards} threads=4 diverged from the sequential path"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_tick_detonates_tnt_and_chains() {
+        let (reports, _, _) = run_batched(9, &TickPipeline::new(4, 2), 10);
+        let explosions: u64 = reports.iter().map(|r| r.explosions).sum();
+        assert!(explosions >= 4, "all primed TNT should detonate");
+        let spawned: usize = reports.iter().map(|r| r.spawned.len()).sum();
+        assert!(spawned >= 4, "chain reactions should prime the TNT blocks");
+    }
+
+    #[test]
+    fn batched_tick_respects_the_tnt_cap() {
+        let (mut m, mut w) = batched_setup(31);
+        m.max_tnt_per_tick = 1;
+        let pipeline = TickPipeline::new(4, 2);
+        // Fuses are 2: with the cap only one TNT progresses per tick.
+        let mut first_explosion_report = None;
+        for tick in 0..6 {
+            let (report, _) = m.tick_batched(&mut w, &[], &pipeline);
+            if report.explosions > 0 {
+                first_explosion_report = Some((tick, report.explosions));
+                break;
+            }
+        }
+        let (_, explosions) = first_explosion_report.expect("one TNT must explode");
+        assert_eq!(explosions, 1, "the cap limits detonations per tick");
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
-use mlg_world::{BlockPos, World};
+use mlg_world::{BlockPos, BlockReader};
 
 /// Result of a pathfinding request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,7 +31,7 @@ pub struct PathResult {
 /// Returns `true` if a mob can stand at `pos`: solid ground below, and the
 /// position itself plus head-room above are passable.
 #[must_use]
-pub fn is_walkable(world: &mut World, pos: BlockPos) -> bool {
+pub fn is_walkable<W: BlockReader>(world: &mut W, pos: BlockPos) -> bool {
     let ground = world.block(pos.down());
     let feet = world.block(pos);
     let head = world.block(pos.up());
@@ -61,7 +61,12 @@ fn neighbors_3d(pos: BlockPos) -> [BlockPos; 12] {
 /// `max_nodes` bounds the search so pathological requests (e.g. unreachable
 /// goals across modified terrain) terminate; real MLG servers impose similar
 /// budget limits per mob per tick.
-pub fn find_path(world: &mut World, start: BlockPos, goal: BlockPos, max_nodes: u32) -> PathResult {
+pub fn find_path<W: BlockReader>(
+    world: &mut W,
+    start: BlockPos,
+    goal: BlockPos,
+    max_nodes: u32,
+) -> PathResult {
     let mut result = PathResult {
         path: Vec::new(),
         nodes_expanded: 0,
@@ -127,6 +132,7 @@ pub fn find_path(world: &mut World, start: BlockPos, goal: BlockPos, max_nodes: 
 mod tests {
     use super::*;
     use mlg_world::generation::FlatGenerator;
+    use mlg_world::World;
     use mlg_world::{Block, BlockKind};
 
     fn world() -> World {

@@ -1,6 +1,6 @@
 //! Entity movement physics: gravity, drag and collision with the terrain.
 
-use mlg_world::World;
+use mlg_world::BlockReader;
 
 use crate::entity::Entity;
 use crate::math::Vec3;
@@ -27,7 +27,7 @@ pub struct MoveOutcome {
     pub distance_moved: f64,
 }
 
-fn collides(world: &mut World, entity: &Entity, pos: Vec3) -> (bool, u32) {
+fn collides<W: BlockReader>(world: &mut W, entity: &Entity, pos: Vec3) -> (bool, u32) {
     let aabb = crate::math::Aabb::from_feet(pos, entity.kind.half_width(), entity.kind.height());
     let blocks = aabb.overlapping_blocks();
     let mut checked = 0;
@@ -42,7 +42,7 @@ fn collides(world: &mut World, entity: &Entity, pos: Vec3) -> (bool, u32) {
 
 /// Integrates gravity, drag and axis-separated collision for one entity over
 /// one tick, mutating its position, velocity and `on_ground` flag.
-pub fn step(world: &mut World, entity: &mut Entity) -> MoveOutcome {
+pub fn step<W: BlockReader>(world: &mut W, entity: &mut Entity) -> MoveOutcome {
     let mut outcome = MoveOutcome::default();
     let start = entity.pos;
 
@@ -103,6 +103,7 @@ mod tests {
     use super::*;
     use crate::entity::{EntityId, EntityKind};
     use mlg_world::generation::FlatGenerator;
+    use mlg_world::World;
     use mlg_world::{Block, BlockKind, BlockPos};
 
     fn world() -> World {

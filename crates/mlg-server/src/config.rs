@@ -29,6 +29,10 @@ pub struct ServerConfig {
     /// JVM-style maximum heap size in GiB; only reflected in the memory
     /// metric, mirroring the paper's `-Xmx4G` setting (Table 4).
     pub max_heap_gb: f64,
+    /// Worker threads the sharded tick pipeline may use. Pure execution
+    /// infrastructure: results are bit-identical at any value (1 = the
+    /// sequential reference path); only wall-clock time changes.
+    pub tick_threads: u32,
 }
 
 impl Default for ServerConfig {
@@ -43,6 +47,7 @@ impl Default for ServerConfig {
             natural_spawning: true,
             seed: 392_114_485,
             max_heap_gb: 4.0,
+            tick_threads: 1,
         }
     }
 }
@@ -70,6 +75,13 @@ impl ServerConfig {
         self.view_distance = chunks;
         self
     }
+
+    /// Returns a copy with a different tick-pipeline worker thread count.
+    #[must_use]
+    pub fn with_tick_threads(mut self, threads: u32) -> Self {
+        self.tick_threads = threads.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -83,6 +95,7 @@ mod tests {
         assert_eq!(c.max_heap_gb, 4.0);
         assert_eq!(c.seed, 392_114_485);
         assert_eq!(c.flavor, ServerFlavor::Vanilla);
+        assert_eq!(c.tick_threads, 1);
     }
 
     #[test]
@@ -95,5 +108,10 @@ mod tests {
         assert_eq!(c.view_distance, 10);
         // Unrelated fields keep their defaults.
         assert_eq!(c.tick_budget_ms, 50.0);
+        assert_eq!(
+            ServerConfig::default().with_tick_threads(0).tick_threads,
+            1,
+            "thread count is clamped"
+        );
     }
 }

@@ -13,6 +13,14 @@
 //!   threads, a rewritten entity handler, and targeted optimizations for TNT
 //!   and redstone, reducing both total work and the share bound to the main
 //!   thread.
+//!
+//! Beyond the paper's three systems, the reproduction also models a
+//! **Folia-like sharded flavor** ([`ServerFlavor::Folia`]): the game loop is
+//! split into independently ticked spatial shards, so most entity/terrain
+//! work becomes parallelizable across vCPUs ([`FlavorProfile::tick_shards`],
+//! [`FlavorProfile::parallel_fraction`]). It is excluded from
+//! [`ServerFlavor::all`] (the paper's set) and included in
+//! [`ServerFlavor::extended`].
 
 use serde::{Deserialize, Serialize};
 
@@ -25,6 +33,11 @@ pub enum ServerFlavor {
     Forge,
     /// PaperMC: the community high-performance fork.
     Paper,
+    /// A Folia-like region-sharded server: the tick pipeline is partitioned
+    /// into spatial shards ticked in parallel. Not part of the paper's
+    /// evaluation; used to study how tick-level parallelism changes the
+    /// variability picture.
+    Folia,
 }
 
 impl ServerFlavor {
@@ -35,6 +48,17 @@ impl ServerFlavor {
             ServerFlavor::Vanilla,
             ServerFlavor::Forge,
             ServerFlavor::Paper,
+        ]
+    }
+
+    /// The paper's three flavors plus the Folia-like sharded flavor.
+    #[must_use]
+    pub fn extended() -> [ServerFlavor; 4] {
+        [
+            ServerFlavor::Vanilla,
+            ServerFlavor::Forge,
+            ServerFlavor::Paper,
+            ServerFlavor::Folia,
         ]
     }
 
@@ -50,6 +74,13 @@ impl ServerFlavor {
                 explosion_multiplier: 1.0,
                 lighting_multiplier: 1.0,
                 offload_fraction: 0.05,
+                // The game loop is single-threaded, but the JVM around it
+                // is not: parallel GC, JIT threads and netty I/O spread a
+                // modest slice of each tick's work across however many
+                // vCPUs exist (the mechanism behind the paper's MF5:
+                // bigger nodes reduce TNT overload even for vanilla).
+                parallel_fraction: 0.20,
+                tick_shards: 1,
                 async_chat: false,
                 max_tnt_per_tick: usize::MAX,
             },
@@ -61,6 +92,8 @@ impl ServerFlavor {
                 explosion_multiplier: 1.0,
                 lighting_multiplier: 1.0,
                 offload_fraction: 0.05,
+                parallel_fraction: 0.20,
+                tick_shards: 1,
                 async_chat: false,
                 max_tnt_per_tick: usize::MAX,
             },
@@ -72,6 +105,23 @@ impl ServerFlavor {
                 explosion_multiplier: 0.40,
                 lighting_multiplier: 0.70,
                 offload_fraction: 0.35,
+                parallel_fraction: 0.25,
+                tick_shards: 1,
+                async_chat: true,
+                max_tnt_per_tick: 60,
+            },
+            ServerFlavor::Folia => FlavorProfile {
+                flavor: self,
+                // Paper-derived optimizations plus a region-sharded tick:
+                // most entity/terrain/lighting work fans out across shards.
+                overhead_multiplier: 0.98,
+                entity_multiplier: 0.45,
+                redstone_multiplier: 0.60,
+                explosion_multiplier: 0.40,
+                lighting_multiplier: 0.70,
+                offload_fraction: 0.35,
+                parallel_fraction: 0.80,
+                tick_shards: 8,
                 async_chat: true,
                 max_tnt_per_tick: 60,
             },
@@ -85,6 +135,7 @@ impl ServerFlavor {
             ServerFlavor::Vanilla => "Minecraft",
             ServerFlavor::Forge => "Forge",
             ServerFlavor::Paper => "PaperMC",
+            ServerFlavor::Folia => "Folia",
         }
     }
 }
@@ -118,6 +169,17 @@ pub struct FlavorProfile {
     /// Fraction of terrain/lighting/chat work that can run on auxiliary
     /// threads concurrently with the main game loop.
     pub offload_fraction: f64,
+    /// Fraction of entity/lighting/chunk work that is parallelizable across
+    /// vCPUs *within* the game loop (JVM-runtime parallelism for the serial
+    /// flavors; the sharded tick pipeline for Folia-like flavors). JVM GC
+    /// work is always parallelizable on top of this. Redstone/block-update
+    /// cascades are never included: they are serial dependency chains even
+    /// under sharding (boundary escalation).
+    pub parallel_fraction: f64,
+    /// Number of spatial shards the tick pipeline partitions the world into
+    /// (1 = the classic serial loop). Also caps how many cores the sharded
+    /// work can spread over.
+    pub tick_shards: u32,
     /// Whether chat is handled on a dedicated asynchronous thread.
     pub async_chat: bool,
     /// Cap on primed-TNT entities processed per tick (explosion batching).
@@ -137,6 +199,21 @@ mod tests {
         assert!(paper.explosion_multiplier < vanilla.explosion_multiplier);
         assert!(paper.offload_fraction > vanilla.offload_fraction);
         assert!(paper.async_chat && !vanilla.async_chat);
+    }
+
+    #[test]
+    fn folia_is_the_sharded_flavor() {
+        let folia = ServerFlavor::Folia.profile();
+        let vanilla = ServerFlavor::Vanilla.profile();
+        assert!(folia.tick_shards > 1);
+        assert_eq!(vanilla.tick_shards, 1);
+        assert!(folia.parallel_fraction > vanilla.parallel_fraction);
+        assert!(ServerFlavor::all()
+            .iter()
+            .all(|f| *f != ServerFlavor::Folia));
+        assert_eq!(ServerFlavor::extended().len(), 4);
+        assert!(ServerFlavor::extended().contains(&ServerFlavor::Folia));
+        assert_eq!(ServerFlavor::Folia.to_string(), "Folia");
     }
 
     #[test]

@@ -7,14 +7,35 @@
 //!
 //! Because the paper benchmarks three real server implementations (the
 //! official Minecraft server, Forge and PaperMC) that cannot be run here, the
-//! server supports three [`flavor::ServerFlavor`]s that model their
+//! server supports [`flavor::ServerFlavor`]s that model their
 //! performance-relevant differences: PaperMC's asynchronous chat and
 //! environment processing, its reworked entity handling and explosion
-//! optimizations; Forge's mod-loader overhead on top of vanilla behaviour.
+//! optimizations; Forge's mod-loader overhead on top of vanilla behaviour;
+//! plus a Folia-like sharded flavor that goes beyond the paper's systems.
+//!
+//! # The sharded tick pipeline
+//!
+//! [`server::GameServer::run_tick`] executes explicit stages: player
+//! handler → terrain simulation → entity simulation → state-update
+//! dissemination → work accounting → overload handling. For flavors with
+//! `tick_shards > 1` the two simulation stages run through the **sharded
+//! tick pipeline** (`mlg_world::shard`): loaded chunks are partitioned into
+//! spatial shards, entities are batched by owning shard, and per-shard work
+//! fans out over a scoped worker pool
+//! ([`ServerConfig::tick_threads`]); boundary work is escalated to a serial
+//! merge phase and every result merges in canonical shard order. The
+//! pipeline is **bit-identical at any thread count** — `tick_threads = 1`
+//! is the sequential reference path, and there are tests pinning
+//! [`TickSummary`] equality across settings.
 //!
 //! The server runs entirely in virtual time: each tick's work is accumulated
-//! in abstract work units and converted to milliseconds by a
-//! `cloud-sim` compute engine, so experiments are deterministic and fast.
+//! in abstract work units and converted to milliseconds by a `cloud-sim`
+//! compute engine, so experiments are deterministic and fast. The work split
+//! reported to the engine is three-way: serial main-thread work, an
+//! Amdahl-style *parallelizable* share (tick shards, parallel JVM GC —
+//! controlled by [`FlavorProfile`]'s `parallel_fraction`/`tick_shards`
+//! knobs) that lets vCPU count shorten busy time, and asynchronously
+//! *offloadable* work overlapped on spare cores.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]

@@ -5,6 +5,7 @@ use meterstick_metrics::distribution::TickDistribution;
 use meterstick_metrics::trace::TickRecord;
 use mlg_entity::{EntityId, EntityKind, EntityManager, Vec3};
 use mlg_protocol::{ClientboundPacket, ServerboundPacket, TrafficAccountant, TrafficSummary};
+use mlg_world::shard::TickPipeline;
 use mlg_world::sim::TerrainEvent;
 use mlg_world::{BlockKind, TerrainSimulator, World};
 use rand::rngs::StdRng;
@@ -57,6 +58,7 @@ pub struct TickSummary {
 pub struct GameServer {
     config: ServerConfig,
     profile: FlavorProfile,
+    pipeline: TickPipeline,
     world: World,
     terrain: TerrainSimulator,
     entities: EntityManager,
@@ -104,8 +106,12 @@ impl GameServer {
     /// of the Meterstick workload worlds), with players spawning at
     /// `spawn_point`.
     #[must_use]
-    pub fn new(config: ServerConfig, world: World, spawn_point: Vec3) -> Self {
+    pub fn new(config: ServerConfig, mut world: World, spawn_point: Vec3) -> Self {
         let profile = config.flavor.profile();
+        let pipeline = TickPipeline::new(profile.tick_shards, config.tick_threads);
+        if pipeline.is_sharded() {
+            world.reshard(pipeline.shard_map());
+        }
         let mut entities = EntityManager::new(config.seed ^ 0xE47);
         entities.natural_spawning = config.natural_spawning;
         entities.max_tnt_per_tick = profile.max_tnt_per_tick;
@@ -118,6 +124,7 @@ impl GameServer {
         GameServer {
             config,
             profile,
+            pipeline,
             world,
             terrain,
             entities,
@@ -153,7 +160,17 @@ impl GameServer {
     /// individual optimizations).
     pub fn set_profile(&mut self, profile: FlavorProfile) {
         self.entities.max_tnt_per_tick = profile.max_tnt_per_tick;
+        self.pipeline = TickPipeline::new(profile.tick_shards, self.config.tick_threads);
+        if self.pipeline.is_sharded() {
+            self.world.reshard(self.pipeline.shard_map());
+        }
         self.profile = profile;
+    }
+
+    /// The tick-pipeline execution configuration in effect.
+    #[must_use]
+    pub fn pipeline(&self) -> &TickPipeline {
+        &self.pipeline
     }
 
     /// Read access to the world (for workload validation and tests).
@@ -364,35 +381,51 @@ impl GameServer {
         // --- Stage 1: player handler -------------------------------------
         let mut player_report = PlayerStageReport::default();
         let mut bytes_received = 0u64;
-        let player_ids: Vec<PlayerId> = self
+        // Index connected players once: iterating ids and re-scanning the
+        // player list per id was O(P²) per tick.
+        let connected: Vec<usize> = self
             .players
             .iter()
-            .filter(|p| !p.disconnected)
-            .map(|p| p.id)
+            .enumerate()
+            .filter(|(_, p)| !p.disconnected)
+            .map(|(index, _)| index)
             .collect();
-        for id in &player_ids {
-            let actions = self.queues.drain_incoming(*id);
+        for index in connected {
+            let id = self.players[index].id;
+            let actions = self.queues.drain_incoming(id);
             bytes_received += actions
                 .iter()
                 .map(|a| mlg_protocol::codec::serverbound_wire_size(a) as u64)
                 .sum::<u64>();
-            if let Some(player) = self.players.iter_mut().find(|p| p.id == *id) {
-                handler::process_player_actions(
-                    &mut self.world,
-                    player,
-                    actions,
-                    &mut player_report,
-                );
-            }
+            handler::process_player_actions(
+                &mut self.world,
+                &mut self.players[index],
+                actions,
+                &mut player_report,
+            );
         }
 
         // --- Stage 2: terrain simulation ----------------------------------
-        let (terrain_report, terrain_events) = self.terrain.tick(&mut self.world);
+        let (terrain_report, terrain_events, terrain_shard_work) = if self.pipeline.is_sharded() {
+            let out = self.terrain.tick_sharded(&mut self.world, &self.pipeline);
+            (out.report, out.events, Some(out.per_shard_work))
+        } else {
+            let (report, events) = self.terrain.tick(&mut self.world);
+            (report, events, None)
+        };
         let event_spawns = self.handle_terrain_events(terrain_events);
 
         // --- Stage 3: entity simulation -----------------------------------
         let player_positions = handler::player_positions(&self.players);
-        let entity_report = self.entities.tick(&mut self.world, &player_positions);
+        let (entity_report, entity_shard_work) = if self.pipeline.is_sharded() {
+            let (report, per_shard) =
+                self.entities
+                    .tick_batched(&mut self.world, &player_positions, &self.pipeline);
+            (report, Some(per_shard))
+        } else {
+            let report = self.entities.tick(&mut self.world, &player_positions);
+            (report, None)
+        };
 
         // --- Stage 4: state-update dissemination --------------------------
         let mut packets_emitted = 0u64;
@@ -547,12 +580,56 @@ impl GameServer {
             offloadable += chat_work;
         }
         let offloadable = offloadable.min(total_work);
-        let main_thread = total_work - offloadable;
+
+        // Parallelizable share of the game loop itself: JVM GC is parallel
+        // for every flavor, plus `parallel_fraction` of the entity, lighting
+        // and chunk work (tick shards for Folia-like flavors, JVM-runtime
+        // parallelism otherwise). The light/chunk share already counted as
+        // offloadable is excluded so no component is classified off the
+        // main thread twice. Redstone/block-update cascades stay serial —
+        // they are dependency chains even under sharding.
+        let shardable_pool = entity_work
+            + ((1.0 - p.offload_fraction.clamp(0.0, 1.0)) * (light_work + chunk_work) as f64)
+                as u64;
+        let parallelizable = (gc_work + (p.parallel_fraction * shardable_pool as f64) as u64)
+            .min(total_work - offloadable);
+        let main_thread = total_work - offloadable - parallelizable;
+        let parallel_width = if self.pipeline.is_sharded() {
+            self.pipeline.shards()
+        } else {
+            // JVM-runtime parallelism is not bound to tick shards.
+            u32::MAX
+        };
+        // Load-balance floor: the busiest shard's measured share of the
+        // parallel work (zero when nothing sharded ran, i.e. perfectly
+        // divisible JVM work).
+        let max_shard = match (terrain_shard_work, entity_shard_work) {
+            (Some(terrain), Some(entities)) => {
+                let loads: Vec<u64> = terrain
+                    .iter()
+                    .zip(&entities)
+                    .map(|(t, e)| t * 14 + e * 350)
+                    .collect();
+                let total_load: u64 = loads.iter().sum();
+                let max_load = loads.iter().copied().max().unwrap_or(0);
+                if total_load > 0 {
+                    ((parallelizable as u128 * u128::from(max_load) / u128::from(total_load))
+                        as u64)
+                        .min(parallelizable)
+                } else {
+                    0
+                }
+            }
+            _ => 0,
+        };
 
         let execution = engine.execute_tick(
             TickWork {
                 main_thread,
                 offloadable,
+                parallelizable,
+                parallel_width,
+                max_shard,
             },
             self.config.tick_budget_ms,
         );
@@ -888,6 +965,65 @@ mod tests {
                 .messages
                 > 0,
             "falling cow should generate entity-move packets"
+        );
+    }
+
+    #[test]
+    fn sharded_server_ticks_are_bit_identical_at_any_thread_count() {
+        let run = |threads: u32| {
+            let config = ServerConfig::for_flavor(ServerFlavor::Folia)
+                .with_view_distance(3)
+                .with_tick_threads(threads);
+            let mut s = GameServer::new(config, flat_world(), Vec3::new(0.5, 61.0, 0.5));
+            assert!(s.pipeline().is_sharded());
+            s.connect_player("probe");
+            s.world_mut().fill_region(
+                Region::new(BlockPos::new(4, 61, 4), BlockPos::new(12, 62, 12)),
+                Block::simple(BlockKind::Tnt),
+            );
+            s.schedule_tnt_ignition(2);
+            let mut e = engine();
+            let mut summaries = Vec::new();
+            for _ in 0..60 {
+                summaries.push(s.run_tick(&mut e));
+            }
+            (summaries, s.traffic_summary().clone())
+        };
+        let reference = run(1);
+        let parallel = run(4);
+        for (a, b) in reference.0.iter().zip(&parallel.0) {
+            assert_eq!(a, b, "TickSummary diverged between thread counts");
+        }
+        assert_eq!(reference.1, parallel.1, "traffic summaries diverged");
+    }
+
+    #[test]
+    fn folia_flavor_beats_vanilla_on_entity_load_with_many_cores() {
+        let world_with_tnt = || {
+            let mut w = flat_world();
+            w.fill_region(
+                Region::new(BlockPos::new(0, 61, 0), BlockPos::new(7, 64, 7)),
+                Block::simple(BlockKind::Tnt),
+            );
+            w
+        };
+        let run = |flavor: ServerFlavor| {
+            let config = ServerConfig::for_flavor(flavor).with_view_distance(2);
+            let mut s = GameServer::new(config, world_with_tnt(), Vec3::new(0.5, 61.0, 0.5));
+            s.connect_player("probe");
+            s.schedule_tnt_ignition(2);
+            let mut e = Environment::das5(8).instantiate(1).engine;
+            let mut total = 0.0;
+            for _ in 0..100 {
+                total += s.run_tick(&mut e).record.busy_ms;
+            }
+            total
+        };
+        let vanilla = run(ServerFlavor::Vanilla);
+        let folia = run(ServerFlavor::Folia);
+        assert!(
+            folia < vanilla * 0.6,
+            "sharded Folia ({folia} ms) should exploit the 8-core node far better than Vanilla ({vanilla} ms)"
         );
     }
 

@@ -8,7 +8,7 @@
 
 use crate::block::{Block, BlockKind};
 use crate::pos::BlockPos;
-use crate::world::World;
+use crate::shard::TerrainView;
 
 /// Maximum horizontal flow level: level 0 is a source, levels 1..=MAX_LEVEL
 /// are flowing fluid that gets shallower with distance.
@@ -85,7 +85,7 @@ fn solidification_product(kind: BlockKind, other_state: u8) -> BlockKind {
 /// Every spread step schedules a follow-up tick so flows advance over time
 /// rather than instantaneously, matching the cascade-of-updates behaviour the
 /// paper identifies as a variability source.
-pub fn apply_fluid(world: &mut World, pos: BlockPos) -> FluidOutcome {
+pub fn apply_fluid<W: TerrainView>(world: &mut W, pos: BlockPos) -> FluidOutcome {
     let mut outcome = FluidOutcome::default();
     let block = world.block(pos);
     let kind = block.kind();
@@ -159,6 +159,7 @@ pub fn reacts_to_updates(kind: BlockKind) -> bool {
 mod tests {
     use super::*;
     use crate::generation::FlatGenerator;
+    use crate::world::World;
 
     fn world() -> World {
         World::new(Box::new(FlatGenerator::grassland()), 7)

@@ -8,7 +8,7 @@
 use crate::block::{Block, BlockKind};
 use crate::chunk::WORLD_HEIGHT;
 use crate::pos::BlockPos;
-use crate::world::World;
+use crate::shard::TerrainView;
 
 /// Maximum growth stage for staged crops (wheat, sugar cane).
 pub const MAX_CROP_STAGE: u8 = 7;
@@ -28,7 +28,7 @@ pub struct GrowthOutcome {
 }
 
 /// Applies a random tick to the block at `pos`, if it is a plant.
-pub fn apply_random_tick(world: &mut World, pos: BlockPos) -> GrowthOutcome {
+pub fn apply_random_tick<W: TerrainView>(world: &mut W, pos: BlockPos) -> GrowthOutcome {
     let block = world.block(pos);
     match block.kind() {
         BlockKind::Wheat => grow_wheat(world, pos, block),
@@ -39,7 +39,7 @@ pub fn apply_random_tick(world: &mut World, pos: BlockPos) -> GrowthOutcome {
     }
 }
 
-fn grow_wheat(world: &mut World, pos: BlockPos, block: Block) -> GrowthOutcome {
+fn grow_wheat<W: TerrainView>(world: &mut W, pos: BlockPos, block: Block) -> GrowthOutcome {
     let mut outcome = GrowthOutcome {
         blocks_scanned: 1,
         ..GrowthOutcome::default()
@@ -58,7 +58,7 @@ fn grow_wheat(world: &mut World, pos: BlockPos, block: Block) -> GrowthOutcome {
     outcome
 }
 
-fn grow_kelp(world: &mut World, pos: BlockPos, block: Block) -> GrowthOutcome {
+fn grow_kelp<W: TerrainView>(world: &mut W, pos: BlockPos, block: Block) -> GrowthOutcome {
     let mut outcome = GrowthOutcome {
         blocks_scanned: 2,
         ..GrowthOutcome::default()
@@ -80,7 +80,7 @@ fn grow_kelp(world: &mut World, pos: BlockPos, block: Block) -> GrowthOutcome {
     outcome
 }
 
-fn grow_sugar_cane(world: &mut World, pos: BlockPos, block: Block) -> GrowthOutcome {
+fn grow_sugar_cane<W: TerrainView>(world: &mut W, pos: BlockPos, block: Block) -> GrowthOutcome {
     let mut outcome = GrowthOutcome {
         blocks_scanned: 2,
         ..GrowthOutcome::default()
@@ -100,7 +100,7 @@ fn grow_sugar_cane(world: &mut World, pos: BlockPos, block: Block) -> GrowthOutc
     outcome
 }
 
-fn grow_sapling(world: &mut World, pos: BlockPos, block: Block) -> GrowthOutcome {
+fn grow_sapling<W: TerrainView>(world: &mut W, pos: BlockPos, block: Block) -> GrowthOutcome {
     let mut outcome = GrowthOutcome {
         blocks_scanned: 1,
         ..GrowthOutcome::default()
@@ -143,6 +143,7 @@ pub fn reacts_to_random_tick(kind: BlockKind) -> bool {
 mod tests {
     use super::*;
     use crate::generation::FlatGenerator;
+    use crate::world::World;
 
     fn world() -> World {
         World::new(Box::new(FlatGenerator::grassland()), 7)

@@ -39,6 +39,7 @@ pub mod physics;
 pub mod pos;
 pub mod redstone;
 pub mod region;
+pub mod shard;
 pub mod sim;
 pub mod update;
 pub mod world;
@@ -47,7 +48,8 @@ pub use block::{Block, BlockKind};
 pub use chunk::{Chunk, CHUNK_SIZE, WORLD_HEIGHT};
 pub use pos::{BlockPos, ChunkPos};
 pub use region::Region;
-pub use sim::{TerrainSimulator, TerrainTickReport};
+pub use shard::{BlockReader, FrozenWorld, ShardMap, TerrainView, TickPipeline};
+pub use sim::{ShardedTerrainTick, TerrainSimulator, TerrainTickReport};
 pub use update::{BlockUpdate, UpdateKind};
 pub use world::World;
 

@@ -17,7 +17,7 @@ use std::collections::{HashSet, VecDeque};
 
 use crate::chunk::WORLD_HEIGHT;
 use crate::pos::BlockPos;
-use crate::world::World;
+use crate::shard::BlockReader;
 
 /// Maximum light level (fully lit).
 pub const MAX_LIGHT: u8 = 15;
@@ -45,7 +45,7 @@ impl LightReport {
 /// Computes the sky-light level at a position: 15 if nothing opaque is above
 /// it, otherwise attenuated by the opacity of the blocks above.
 #[must_use]
-pub fn sky_light_at(world: &mut World, pos: BlockPos) -> u8 {
+pub fn sky_light_at<W: BlockReader>(world: &mut W, pos: BlockPos) -> u8 {
     let mut light = i32::from(MAX_LIGHT);
     for y in (pos.y + 1)..WORLD_HEIGHT as i32 {
         let b = world.block(BlockPos::new(pos.x, y, pos.z));
@@ -66,7 +66,7 @@ pub fn sky_light_at(world: &mut World, pos: BlockPos) -> u8 {
 /// * a breadth-first flood from the changed position through transparent
 ///   blocks, bounded by [`LIGHT_FLOOD_RADIUS`], representing block-light
 ///   propagation from or towards nearby emitters.
-pub fn relight_after_change(world: &mut World, pos: BlockPos) -> LightReport {
+pub fn relight_after_change<W: BlockReader>(world: &mut W, pos: BlockPos) -> LightReport {
     let mut report = LightReport::default();
 
     // Sky-light column rescan: from the top of the world down to the lowest
@@ -105,6 +105,7 @@ mod tests {
     use super::*;
     use crate::block::{Block, BlockKind};
     use crate::generation::FlatGenerator;
+    use crate::world::World;
 
     fn world() -> World {
         World::new(Box::new(FlatGenerator::grassland()), 7)

@@ -10,7 +10,7 @@
 
 use crate::block::{Block, BlockKind};
 use crate::pos::BlockPos;
-use crate::world::World;
+use crate::shard::{BlockReader, TerrainView};
 
 /// Result of applying the gravity rule at a single position.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -25,7 +25,7 @@ pub struct GravityOutcome {
 
 /// Returns `true` if the block at `pos` would currently fall.
 #[must_use]
-pub fn is_unsupported(world: &mut World, pos: BlockPos) -> bool {
+pub fn is_unsupported<W: BlockReader>(world: &mut W, pos: BlockPos) -> bool {
     let block = world.block(pos);
     if !block.kind().is_gravity_affected() {
         return false;
@@ -41,7 +41,7 @@ pub fn is_unsupported(world: &mut World, pos: BlockPos) -> bool {
 /// recorded and neighbours (including the vacated position above) receive
 /// updates — this is what lets a whole sand pillar collapse over successive
 /// updates, exactly like the bridge example in the paper.
-pub fn apply_gravity(world: &mut World, pos: BlockPos) -> GravityOutcome {
+pub fn apply_gravity<W: TerrainView>(world: &mut W, pos: BlockPos) -> GravityOutcome {
     let mut outcome = GravityOutcome::default();
     let block = world.block(pos);
     outcome.blocks_scanned += 1;
@@ -78,7 +78,7 @@ pub fn apply_gravity(world: &mut World, pos: BlockPos) -> GravityOutcome {
 /// support, i.e. no solid block is face-adjacent. Used by explosion handling
 /// to decide which neighbouring blocks should also break.
 #[must_use]
-pub fn has_any_support(world: &mut World, pos: BlockPos) -> bool {
+pub fn has_any_support<W: BlockReader>(world: &mut W, pos: BlockPos) -> bool {
     pos.neighbors().iter().any(|&n| world.block(n).is_solid())
 }
 
@@ -93,6 +93,7 @@ pub fn reacts_to_updates(kind: BlockKind) -> bool {
 mod tests {
     use super::*;
     use crate::generation::FlatGenerator;
+    use crate::world::World;
 
     fn world() -> World {
         // Flat grass surface at y = 60.

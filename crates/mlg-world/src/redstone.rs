@@ -11,9 +11,9 @@
 
 use crate::block::{Block, BlockKind};
 use crate::pos::BlockPos;
+use crate::shard::{BlockReader, TerrainView};
 use crate::sim::TerrainEvent;
 use crate::update::UpdateKind;
-use crate::world::World;
 
 /// Bit in the state byte marking a component as powered / extended / lit.
 pub const POWERED_BIT: u8 = 0b1_0000;
@@ -38,7 +38,7 @@ pub struct RedstoneOutcome {
 /// Returns the strongest redstone power level feeding into `pos` from its
 /// face-adjacent neighbours.
 #[must_use]
-pub fn incoming_power(world: &mut World, pos: BlockPos) -> u8 {
+pub fn incoming_power<W: BlockReader>(world: &mut W, pos: BlockPos) -> u8 {
     pos.neighbors()
         .iter()
         .map(|&n| world.block(n).power())
@@ -47,8 +47,8 @@ pub fn incoming_power(world: &mut World, pos: BlockPos) -> u8 {
 }
 
 /// Processes a block update for a redstone component at `pos`.
-pub fn apply_redstone(
-    world: &mut World,
+pub fn apply_redstone<W: TerrainView>(
+    world: &mut W,
     pos: BlockPos,
     update_kind: UpdateKind,
 ) -> RedstoneOutcome {
@@ -65,7 +65,7 @@ pub fn apply_redstone(
     }
 }
 
-fn update_dust(world: &mut World, pos: BlockPos, block: Block) -> RedstoneOutcome {
+fn update_dust<W: TerrainView>(world: &mut W, pos: BlockPos, block: Block) -> RedstoneOutcome {
     let mut outcome = RedstoneOutcome::default();
     let mut strongest = 0u8;
     for n in pos.neighbors() {
@@ -87,7 +87,7 @@ fn update_dust(world: &mut World, pos: BlockPos, block: Block) -> RedstoneOutcom
     outcome
 }
 
-fn update_torch(world: &mut World, pos: BlockPos, block: Block) -> RedstoneOutcome {
+fn update_torch<W: TerrainView>(world: &mut W, pos: BlockPos, block: Block) -> RedstoneOutcome {
     let mut outcome = RedstoneOutcome::default();
     // A torch is an inverter: it is lit when it receives no power.
     let mut powered_input = false;
@@ -110,8 +110,8 @@ fn update_torch(world: &mut World, pos: BlockPos, block: Block) -> RedstoneOutco
     outcome
 }
 
-fn update_repeater(
-    world: &mut World,
+fn update_repeater<W: TerrainView>(
+    world: &mut W,
     pos: BlockPos,
     block: Block,
     update_kind: UpdateKind,
@@ -147,8 +147,8 @@ fn update_repeater(
 /// A comparator wired in a clock loop: it toggles its output every
 /// `period` ticks as long as it keeps being scheduled. Workload builders
 /// start the clock by scheduling one tick on it.
-fn update_clock(
-    world: &mut World,
+fn update_clock<W: TerrainView>(
+    world: &mut W,
     pos: BlockPos,
     block: Block,
     update_kind: UpdateKind,
@@ -169,8 +169,8 @@ fn update_clock(
     outcome
 }
 
-fn update_observer(
-    world: &mut World,
+fn update_observer<W: TerrainView>(
+    world: &mut W,
     pos: BlockPos,
     block: Block,
     update_kind: UpdateKind,
@@ -209,7 +209,7 @@ fn is_harvestable(kind: BlockKind) -> bool {
     )
 }
 
-fn update_piston(world: &mut World, pos: BlockPos, block: Block) -> RedstoneOutcome {
+fn update_piston<W: TerrainView>(world: &mut W, pos: BlockPos, block: Block) -> RedstoneOutcome {
     let mut outcome = RedstoneOutcome::default();
     let powered = incoming_power(world, pos) > 0;
     outcome.blocks_scanned += 6;
@@ -237,7 +237,7 @@ fn update_piston(world: &mut World, pos: BlockPos, block: Block) -> RedstoneOutc
     outcome
 }
 
-fn update_dispenser(world: &mut World, pos: BlockPos, block: Block) -> RedstoneOutcome {
+fn update_dispenser<W: TerrainView>(world: &mut W, pos: BlockPos, block: Block) -> RedstoneOutcome {
     let mut outcome = RedstoneOutcome::default();
     let powered = incoming_power(world, pos) > 0;
     outcome.blocks_scanned += 6;
@@ -264,6 +264,7 @@ pub fn reacts_to_updates(kind: BlockKind) -> bool {
 mod tests {
     use super::*;
     use crate::generation::FlatGenerator;
+    use crate::world::World;
 
     fn world() -> World {
         World::new(Box::new(FlatGenerator::grassland()), 7)

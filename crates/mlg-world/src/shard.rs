@@ -1,0 +1,597 @@
+//! Spatial chunk sharding: the partitioning layer of the sharded tick
+//! pipeline.
+//!
+//! Folia-style MLG servers split the loaded world into independently ticked
+//! regions. This module provides the deterministic partitioning primitives
+//! the rest of the workspace builds on:
+//!
+//! * [`ShardMap`] — a pure function from chunk coordinates to shard index.
+//!   Chunks are grouped into contiguous stripes of
+//!   [`SHARD_STRIPE_CHUNKS`] columns along the x axis, and stripes are
+//!   assigned to shards round-robin. A position is *interior* to its shard
+//!   when every chunk in its 3×3 chunk neighbourhood maps to the same
+//!   shard: every terrain rule in this crate reads and writes within 8
+//!   blocks of the update position it is dispatched for (cascades travel
+//!   through queued updates, not in-dispatch traversal), so interior
+//!   updates can be processed by concurrent shard workers without ever
+//!   touching another shard's chunks. Boundary updates are escalated to a
+//!   serial merge phase.
+//! * [`TickPipeline`] — the (shard count, worker thread count) execution
+//!   configuration of one server. Shard count is part of the *simulated
+//!   architecture* (it changes scheduling and therefore the modeled
+//!   execution, like Folia's region count does); thread count is pure
+//!   execution infrastructure and never changes results: the sharded tick
+//!   is bit-identical at any thread count by construction.
+//! * [`BlockReader`] / [`TerrainView`] — the world-access traits the
+//!   simulation rules are generic over, so the same rule code runs against
+//!   the full [`World`], a read-only [`FrozenWorld`] snapshot, or a
+//!   mutable single-shard view during the parallel phase.
+//! * [`run_tasks`] — the scoped worker pool (crossbeam scoped threads +
+//!   channels) that fans independent shard tasks out and collects them
+//!   back in deterministic shard order. Each call opens a fresh scope —
+//!   workers live for one pipeline phase, not across ticks — trading a
+//!   few spawn/join microseconds per phase for borrow-friendly access to
+//!   per-tick state (a persistent pool could not borrow the tick's
+//!   world).
+
+use std::collections::{HashSet, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use serde::{Deserialize, Serialize};
+
+use crate::block::Block;
+use crate::chunk::WORLD_HEIGHT;
+use crate::generation::ChunkGenerator;
+use crate::pos::{BlockPos, ChunkPos};
+use crate::update::BlockUpdate;
+use crate::world::{BlockChange, ShardStore, World};
+
+/// Width of one shard stripe, in chunks, along the x axis.
+///
+/// Wider stripes mean a larger interior fraction (more parallel work) but
+/// fewer distinct stripes to spread across shards; 4 chunks (64 blocks)
+/// keeps both reasonable for the workload worlds of the paper.
+pub const SHARD_STRIPE_CHUNKS: i32 = 4;
+
+/// Deterministic assignment of chunks to spatial shards.
+///
+/// The mapping is a pure function of the chunk coordinates and the shard
+/// count — independent of load order, thread count and execution history —
+/// which is the foundation of the pipeline's bit-identical parallelism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardMap {
+    count: u32,
+}
+
+impl ShardMap {
+    /// Creates a map over `count` shards (clamped to at least 1).
+    #[must_use]
+    pub fn new(count: u32) -> Self {
+        ShardMap {
+            count: count.max(1),
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count as usize
+    }
+
+    /// The shard owning the given chunk.
+    #[must_use]
+    pub fn shard_of_chunk(&self, chunk: ChunkPos) -> usize {
+        chunk
+            .x
+            .div_euclid(SHARD_STRIPE_CHUNKS)
+            .rem_euclid(self.count as i32) as usize
+    }
+
+    /// The shard owning the chunk containing the given block.
+    #[must_use]
+    pub fn shard_of_block(&self, pos: BlockPos) -> usize {
+        self.shard_of_chunk(pos.chunk())
+    }
+
+    /// Returns `Some(shard)` when `chunk` *and its full 3×3 chunk
+    /// neighbourhood* belong to the same shard — the condition under which
+    /// a terrain rule dispatched inside `chunk` is guaranteed never to read
+    /// or write another shard's chunks (rule footprints are bounded by 8
+    /// blocks; see the module docs). Returns `None` for boundary chunks,
+    /// whose updates must be processed in the serial merge phase.
+    #[must_use]
+    pub fn interior_shard(&self, chunk: ChunkPos) -> Option<usize> {
+        let owner = self.shard_of_chunk(chunk);
+        for dx in -1..=1 {
+            for dz in -1..=1 {
+                if self.shard_of_chunk(ChunkPos::new(chunk.x + dx, chunk.z + dz)) != owner {
+                    return None;
+                }
+            }
+        }
+        Some(owner)
+    }
+
+    /// [`ShardMap::interior_shard`] for the chunk containing a block.
+    #[must_use]
+    pub fn interior_shard_of_block(&self, pos: BlockPos) -> Option<usize> {
+        self.interior_shard(pos.chunk())
+    }
+}
+
+/// Execution configuration of the sharded tick pipeline: how many spatial
+/// shards the world is partitioned into and how many worker threads fan the
+/// per-shard work out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TickPipeline {
+    shards: u32,
+    threads: u32,
+}
+
+impl Default for TickPipeline {
+    fn default() -> Self {
+        TickPipeline::serial()
+    }
+}
+
+impl TickPipeline {
+    /// Creates a pipeline configuration (both values clamped to at least 1).
+    #[must_use]
+    pub fn new(shards: u32, threads: u32) -> Self {
+        TickPipeline {
+            shards: shards.max(1),
+            threads: threads.max(1),
+        }
+    }
+
+    /// The classic single-shard, single-thread game loop.
+    #[must_use]
+    pub fn serial() -> Self {
+        TickPipeline {
+            shards: 1,
+            threads: 1,
+        }
+    }
+
+    /// Number of spatial shards.
+    #[must_use]
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// Number of worker threads used to process shards.
+    #[must_use]
+    pub fn threads(&self) -> u32 {
+        self.threads
+    }
+
+    /// Returns `true` when the sharded tick path should be used at all
+    /// (more than one shard).
+    #[must_use]
+    pub fn is_sharded(&self) -> bool {
+        self.shards > 1
+    }
+
+    /// The shard map this pipeline partitions the world with.
+    #[must_use]
+    pub fn shard_map(&self) -> ShardMap {
+        ShardMap::new(self.shards)
+    }
+}
+
+/// Read access to terrain blocks.
+///
+/// `&mut self` because the canonical implementation ([`World`]) lazily
+/// generates missing chunks on read. Snapshot implementations
+/// ([`FrozenWorld`]) simply read unloaded positions as air.
+pub trait BlockReader {
+    /// Returns the block at `pos`.
+    fn block(&mut self, pos: BlockPos) -> Block;
+}
+
+/// The world-access surface the terrain-simulation rules are written
+/// against: block reads and writes plus delayed-update scheduling.
+///
+/// Implemented by [`World`] (the legacy serial path) and by the pipeline's
+/// per-shard views, so one copy of the rule code serves both paths.
+pub trait TerrainView: BlockReader {
+    /// Returns the block at `pos` without generating missing chunks.
+    fn block_if_loaded(&self, pos: BlockPos) -> Block;
+
+    /// Sets the block at `pos`, recording the change and enqueueing
+    /// neighbour updates. Returns the previous block.
+    fn set_block(&mut self, pos: BlockPos, block: Block) -> Block;
+
+    /// Schedules a block update for `pos` to run `delay_ticks` from now.
+    fn schedule_tick(&mut self, pos: BlockPos, delay_ticks: u64);
+
+    /// The current game tick number.
+    fn current_tick(&self) -> u64;
+}
+
+impl BlockReader for World {
+    fn block(&mut self, pos: BlockPos) -> Block {
+        World::block(self, pos)
+    }
+}
+
+impl TerrainView for World {
+    fn block_if_loaded(&self, pos: BlockPos) -> Block {
+        World::block_if_loaded(self, pos)
+    }
+
+    fn set_block(&mut self, pos: BlockPos, block: Block) -> Block {
+        World::set_block(self, pos, block)
+    }
+
+    fn schedule_tick(&mut self, pos: BlockPos, delay_ticks: u64) {
+        World::schedule_tick(self, pos, delay_ticks);
+    }
+
+    fn current_tick(&self) -> u64 {
+        World::current_tick(self)
+    }
+}
+
+/// A read-only snapshot view of a world.
+///
+/// Unloaded positions read as air instead of being generated, so a frozen
+/// view can be shared (`Copy`) across worker threads during read-only
+/// pipeline phases (entity physics, lighting).
+#[derive(Debug, Clone, Copy)]
+pub struct FrozenWorld<'a>(pub &'a World);
+
+impl BlockReader for FrozenWorld<'_> {
+    fn block(&mut self, pos: BlockPos) -> Block {
+        self.0.block_if_loaded(pos)
+    }
+}
+
+/// A mutable view over exactly one shard's chunks, used by shard workers
+/// during the parallel phase of the sharded terrain tick.
+///
+/// The view owns the shard's [`ShardStore`] for the duration of the phase
+/// and buffers every side effect that crosses the shard boundary or must be
+/// ordered globally — block changes, outbound neighbour updates, scheduled
+/// ticks — for the serial merge phase to apply in canonical shard order.
+/// Reads and writes outside the shard are a modeling-invariant violation
+/// (interior classification guarantees rules never reach that far) and
+/// panic loudly rather than silently corrupting determinism.
+pub struct ShardWorld<'a> {
+    shard: usize,
+    map: &'a ShardMap,
+    store: ShardStore,
+    generator: &'a dyn ChunkGenerator,
+    tick: u64,
+    /// When set, even in-shard interior neighbour pushes are buffered into
+    /// `outbound` instead of the local queue — used by the random-tick
+    /// phase, whose cascades must carry over to the *next* tick exactly
+    /// like the serial path's.
+    defer_local_pushes: bool,
+    /// Chunks lazily generated by this view during the phase.
+    pub chunks_generated: u32,
+    /// Block changes recorded by this view, in application order.
+    pub changes: Vec<BlockChange>,
+    /// Neighbour updates that left the shard interior (or all updates, when
+    /// `defer_local_pushes` is set), in emission order.
+    pub outbound: Vec<BlockPos>,
+    /// Scheduled ticks requested by rules, as (position, absolute due tick).
+    pub scheduled: Vec<(BlockPos, u64)>,
+    queue: VecDeque<BlockUpdate>,
+    queued: HashSet<BlockPos>,
+}
+
+impl<'a> ShardWorld<'a> {
+    /// Creates a view over `store` for `shard`, at game tick `tick`.
+    #[must_use]
+    pub fn new(
+        shard: usize,
+        map: &'a ShardMap,
+        store: ShardStore,
+        generator: &'a dyn ChunkGenerator,
+        tick: u64,
+        defer_local_pushes: bool,
+    ) -> Self {
+        ShardWorld {
+            shard,
+            map,
+            store,
+            generator,
+            tick,
+            defer_local_pushes,
+            chunks_generated: 0,
+            changes: Vec::new(),
+            outbound: Vec::new(),
+            scheduled: Vec::new(),
+            queue: VecDeque::new(),
+            queued: HashSet::new(),
+        }
+    }
+
+    /// The shard this view owns.
+    #[must_use]
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Seeds the local work queue with an update routed to this shard
+    /// (coalescing duplicates, like the global update queue does).
+    pub fn push_local(&mut self, update: BlockUpdate) {
+        if self.queued.insert(update.pos) {
+            self.queue.push_back(update);
+        }
+    }
+
+    /// Pops the next local update, if any.
+    pub fn pop_local(&mut self) -> Option<BlockUpdate> {
+        let update = self.queue.pop_front()?;
+        self.queued.remove(&update.pos);
+        Some(update)
+    }
+
+    /// Drains whatever is left in the local queue (budget exhaustion).
+    pub fn drain_local(&mut self) -> Vec<BlockUpdate> {
+        self.queued.clear();
+        self.queue.drain(..).collect()
+    }
+
+    /// Consumes the view and returns the shard store.
+    #[must_use]
+    pub fn into_store(self) -> ShardStore {
+        self.store
+    }
+
+    fn route_push(&mut self, pos: BlockPos) {
+        if !self.defer_local_pushes && self.map.interior_shard(pos.chunk()) == Some(self.shard) {
+            self.push_local(BlockUpdate::neighbor(pos));
+        } else {
+            self.outbound.push(pos);
+        }
+    }
+
+    fn owned_chunk_mut(&mut self, chunk_pos: ChunkPos) -> &mut crate::chunk::Chunk {
+        assert_eq!(
+            self.map.shard_of_chunk(chunk_pos),
+            self.shard,
+            "shard {} touched foreign chunk {chunk_pos} — interior classification is broken",
+            self.shard
+        );
+        if !self.store.contains(chunk_pos) {
+            self.store.insert(self.generator.generate(chunk_pos));
+            self.chunks_generated += 1;
+        }
+        self.store.get_mut(chunk_pos).expect("chunk just ensured")
+    }
+}
+
+impl BlockReader for ShardWorld<'_> {
+    fn block(&mut self, pos: BlockPos) -> Block {
+        if pos.y < 0 || pos.y >= WORLD_HEIGHT as i32 {
+            return Block::AIR;
+        }
+        let (lx, y, lz) = pos.local();
+        self.owned_chunk_mut(pos.chunk()).block(lx, y, lz)
+    }
+}
+
+impl TerrainView for ShardWorld<'_> {
+    fn block_if_loaded(&self, pos: BlockPos) -> Block {
+        if pos.y < 0 || pos.y >= WORLD_HEIGHT as i32 {
+            return Block::AIR;
+        }
+        let (lx, y, lz) = pos.local();
+        self.store
+            .get(pos.chunk())
+            .map_or(Block::AIR, |c| c.block(lx, y, lz))
+    }
+
+    fn set_block(&mut self, pos: BlockPos, block: Block) -> Block {
+        if pos.y < 0 || pos.y >= WORLD_HEIGHT as i32 {
+            return Block::AIR;
+        }
+        let (lx, y, lz) = pos.local();
+        let old = self
+            .owned_chunk_mut(pos.chunk())
+            .set_block(lx, y, lz, block);
+        if old != block {
+            self.changes.push(BlockChange {
+                pos,
+                old,
+                new: block,
+            });
+            for n in pos.neighbors() {
+                self.route_push(n);
+            }
+            self.route_push(pos);
+        }
+        old
+    }
+
+    fn schedule_tick(&mut self, pos: BlockPos, delay_ticks: u64) {
+        self.scheduled.push((pos, self.tick + delay_ticks.max(1)));
+    }
+
+    fn current_tick(&self) -> u64 {
+        self.tick
+    }
+}
+
+/// Runs independent tasks on a pool of scoped worker threads and returns
+/// them in input order.
+///
+/// Tasks are claimed from a shared queue, so placement is load-balanced,
+/// but because each task is self-contained and results are re-ordered by
+/// index, the output is identical for every `threads` value — including 1,
+/// which runs everything inline on the calling thread.
+///
+/// # Panics
+///
+/// Propagates the first panic raised inside `f`.
+pub fn run_tasks<T, F>(mut tasks: Vec<T>, threads: u32, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let workers = (threads as usize).min(tasks.len());
+    if workers <= 1 {
+        for (index, task) in tasks.iter_mut().enumerate() {
+            f(index, task);
+        }
+        return tasks;
+    }
+
+    type TaskResult<T> = (usize, Result<T, String>);
+    let total = tasks.len();
+    let (job_tx, job_rx) = crossbeam::channel::unbounded::<(usize, T)>();
+    let (result_tx, result_rx) = crossbeam::channel::unbounded::<TaskResult<T>>();
+    // Every job is enqueued before the first worker starts, so an Empty
+    // try_recv unambiguously means the queue is drained.
+    for job in tasks.drain(..).enumerate() {
+        let _ = job_tx.send(job);
+    }
+    drop(job_tx);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            let job_rx = job_rx.clone();
+            let result_tx = result_tx.clone();
+            let f = &f;
+            scope.spawn(move || {
+                while let Ok((index, mut task)) = job_rx.try_recv() {
+                    // A panicking task must still produce a result message,
+                    // otherwise the collector below would wait forever.
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        f(index, &mut task);
+                        task
+                    }))
+                    .map_err(|payload| {
+                        payload
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".into())
+                    });
+                    let _ = result_tx.send((index, outcome));
+                }
+            });
+        }
+        drop(result_tx);
+
+        let mut slots: Vec<Option<T>> = Vec::new();
+        slots.resize_with(total, || None);
+        let mut first_panic: Option<String> = None;
+        for _ in 0..total {
+            let (index, outcome) = result_rx.recv().expect("worker sends one result per task");
+            match outcome {
+                Ok(task) => slots[index] = Some(task),
+                Err(message) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(message);
+                    }
+                }
+            }
+        }
+        if let Some(message) = first_panic {
+            panic!("shard worker panicked: {message}");
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every task completed"))
+            .collect()
+    })
+    .expect("scoped worker pool")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_of_chunk_is_stripe_round_robin() {
+        let map = ShardMap::new(4);
+        // Chunks 0..4 share stripe 0, 4..8 stripe 1, etc.
+        assert_eq!(map.shard_of_chunk(ChunkPos::new(0, 0)), 0);
+        assert_eq!(map.shard_of_chunk(ChunkPos::new(3, 7)), 0);
+        assert_eq!(map.shard_of_chunk(ChunkPos::new(4, -2)), 1);
+        assert_eq!(map.shard_of_chunk(ChunkPos::new(8, 0)), 2);
+        assert_eq!(map.shard_of_chunk(ChunkPos::new(12, 0)), 3);
+        assert_eq!(map.shard_of_chunk(ChunkPos::new(16, 0)), 0);
+        // Negative coordinates wrap without bias.
+        assert_eq!(map.shard_of_chunk(ChunkPos::new(-1, 0)), 3);
+        assert_eq!(map.shard_of_chunk(ChunkPos::new(-4, 0)), 3);
+        assert_eq!(map.shard_of_chunk(ChunkPos::new(-5, 0)), 2);
+    }
+
+    #[test]
+    fn single_shard_owns_everything_and_is_always_interior() {
+        let map = ShardMap::new(1);
+        for x in -40..40 {
+            let chunk = ChunkPos::new(x, x / 3);
+            assert_eq!(map.shard_of_chunk(chunk), 0);
+            assert_eq!(map.interior_shard(chunk), Some(0));
+        }
+    }
+
+    #[test]
+    fn stripe_edges_are_boundary_chunks() {
+        let map = ShardMap::new(2);
+        // x = 0 has a left neighbour in the previous stripe.
+        assert_eq!(map.interior_shard(ChunkPos::new(0, 0)), None);
+        assert_eq!(map.interior_shard(ChunkPos::new(3, 0)), None);
+        // The inner two columns of each stripe are interior.
+        assert_eq!(map.interior_shard(ChunkPos::new(1, 0)), Some(0));
+        assert_eq!(map.interior_shard(ChunkPos::new(2, 5)), Some(0));
+        assert_eq!(map.interior_shard(ChunkPos::new(5, -9)), Some(1));
+    }
+
+    #[test]
+    fn block_and_chunk_mapping_agree() {
+        let map = ShardMap::new(3);
+        for &(x, z) in &[(0, 0), (63, 10), (-17, 5), (128, -4)] {
+            let pos = BlockPos::new(x, 64, z);
+            assert_eq!(map.shard_of_block(pos), map.shard_of_chunk(pos.chunk()));
+        }
+    }
+
+    #[test]
+    fn pipeline_clamps_degenerate_values() {
+        let p = TickPipeline::new(0, 0);
+        assert_eq!(p.shards(), 1);
+        assert_eq!(p.threads(), 1);
+        assert!(!p.is_sharded());
+        assert!(TickPipeline::new(4, 2).is_sharded());
+        assert_eq!(TickPipeline::default(), TickPipeline::serial());
+    }
+
+    #[test]
+    fn run_tasks_is_thread_count_invariant() {
+        let work = |_, task: &mut u64| {
+            // Uneven per-task cost so scheduling actually varies.
+            let mut acc = *task;
+            for i in 0..(*task % 7) * 1_000 {
+                acc = acc.wrapping_mul(31).wrapping_add(i);
+            }
+            *task = acc;
+        };
+        let input: Vec<u64> = (0..37).collect();
+        let serial = run_tasks(input.clone(), 1, work);
+        for threads in [2, 4, 8] {
+            assert_eq!(run_tasks(input.clone(), threads, work), serial);
+        }
+    }
+
+    #[test]
+    fn run_tasks_handles_empty_and_single_inputs() {
+        let bump = |_, t: &mut i32| *t += 1;
+        assert!(run_tasks(Vec::<i32>::new(), 4, bump).is_empty());
+        assert_eq!(run_tasks(vec![41], 4, bump), vec![42]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard worker panicked")]
+    fn run_tasks_propagates_worker_panics() {
+        let _ = run_tasks(vec![0u32, 1, 2, 3], 2, |_, t| {
+            assert!(*t != 2, "boom");
+        });
+    }
+}

@@ -1,5 +1,14 @@
 //! The world: a lazily generated collection of chunks plus the global
 //! block-update and change-tracking state shared by the terrain simulation.
+//!
+//! Chunk storage is physically partitioned by a [`ShardMap`] so the sharded
+//! tick pipeline can hand each worker exclusive ownership of one shard's
+//! chunks ([`World::take_shard_store`] / [`World::put_shard_store`])
+//! without per-tick repartitioning. A freshly created world has a single
+//! shard — the classic layout — and [`World::reshard`] repartitions it when
+//! a server with a sharded tick pipeline adopts it. Chunk iteration is in
+//! deterministic (shard-major, insertion) order, never hash order, so
+//! everything derived from it is reproducible run-to-run.
 
 use std::collections::HashMap;
 
@@ -11,6 +20,7 @@ use crate::chunk::{Chunk, CHUNK_SIZE, WORLD_HEIGHT};
 use crate::generation::ChunkGenerator;
 use crate::pos::{BlockPos, ChunkPos};
 use crate::region::Region;
+use crate::shard::ShardMap;
 use crate::update::UpdateQueue;
 
 /// A record of a single block change applied during the current tick.
@@ -28,6 +38,64 @@ pub struct BlockChange {
     pub new: Block,
 }
 
+/// The chunks owned by one shard, with deterministic insertion-order
+/// iteration on top of the hash-map lookup path.
+#[derive(Debug, Default)]
+pub struct ShardStore {
+    chunks: HashMap<ChunkPos, Chunk>,
+    order: Vec<ChunkPos>,
+}
+
+impl ShardStore {
+    /// The chunk at `pos`, if loaded in this store.
+    #[must_use]
+    pub fn get(&self, pos: ChunkPos) -> Option<&Chunk> {
+        self.chunks.get(&pos)
+    }
+
+    /// Mutable access to the chunk at `pos`, if loaded in this store.
+    pub fn get_mut(&mut self, pos: ChunkPos) -> Option<&mut Chunk> {
+        self.chunks.get_mut(&pos)
+    }
+
+    /// Returns `true` when the chunk at `pos` is loaded in this store.
+    #[must_use]
+    pub fn contains(&self, pos: ChunkPos) -> bool {
+        self.chunks.contains_key(&pos)
+    }
+
+    /// Inserts a freshly generated chunk (appending it to the iteration
+    /// order).
+    pub fn insert(&mut self, chunk: Chunk) {
+        let pos = chunk.pos();
+        if self.chunks.insert(pos, chunk).is_none() {
+            self.order.push(pos);
+        }
+    }
+
+    /// Number of chunks in this store.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Returns `true` when the store holds no chunks.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Iterates the chunks in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Chunk> {
+        self.order.iter().filter_map(|pos| self.chunks.get(pos))
+    }
+
+    /// Iterates the chunk positions in insertion order.
+    pub fn positions(&self) -> impl Iterator<Item = ChunkPos> + '_ {
+        self.order.iter().copied()
+    }
+}
+
 /// The game world.
 ///
 /// Owns every loaded chunk, the terrain generator used to lazily populate new
@@ -35,7 +103,8 @@ pub struct BlockChange {
 /// goes through [`World::set_block`] (or the silent variant used by workload
 /// builders) so that neighbour updates and change tracking stay consistent.
 pub struct World {
-    chunks: HashMap<ChunkPos, Chunk>,
+    shard_map: ShardMap,
+    stores: Vec<ShardStore>,
     generator: Box<dyn ChunkGenerator>,
     updates: UpdateQueue,
     changes: Vec<BlockChange>,
@@ -49,7 +118,8 @@ impl std::fmt::Debug for World {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("World")
             .field("generator", &self.generator.name())
-            .field("loaded_chunks", &self.chunks.len())
+            .field("shards", &self.shard_map.count())
+            .field("loaded_chunks", &self.loaded_chunk_count())
             .field("current_tick", &self.current_tick)
             .field("pending_changes", &self.changes.len())
             .finish()
@@ -64,7 +134,8 @@ impl World {
     #[must_use]
     pub fn new(generator: Box<dyn ChunkGenerator>, seed: u64) -> Self {
         World {
-            chunks: HashMap::new(),
+            shard_map: ShardMap::new(1),
+            stores: vec![ShardStore::default()],
             generator,
             updates: UpdateQueue::new(),
             changes: Vec::new(),
@@ -79,6 +150,54 @@ impl World {
     #[must_use]
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// The shard map chunk storage is currently partitioned by.
+    #[must_use]
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.shard_map
+    }
+
+    /// Repartitions chunk storage for `map`, preserving the global
+    /// insertion order within each shard. Called once when a server with a
+    /// sharded tick pipeline adopts a world; a no-op when the map is
+    /// unchanged.
+    pub fn reshard(&mut self, map: ShardMap) {
+        if map == self.shard_map {
+            return;
+        }
+        let mut stores: Vec<ShardStore> = Vec::new();
+        stores.resize_with(map.count(), ShardStore::default);
+        for store in self.stores.drain(..) {
+            let mut chunks = store.chunks;
+            for pos in store.order {
+                if let Some(chunk) = chunks.remove(&pos) {
+                    stores[map.shard_of_chunk(pos)].insert(chunk);
+                }
+            }
+        }
+        self.shard_map = map;
+        self.stores = stores;
+    }
+
+    /// Moves one shard's chunk store out of the world, leaving an empty
+    /// store in its place. Used by the sharded tick pipeline to give a
+    /// worker exclusive ownership of the shard's chunks; the caller must
+    /// return the store with [`World::put_shard_store`] before the world is
+    /// used as a whole again.
+    pub fn take_shard_store(&mut self, shard: usize) -> ShardStore {
+        std::mem::take(&mut self.stores[shard])
+    }
+
+    /// Returns a shard's chunk store taken with [`World::take_shard_store`].
+    pub fn put_shard_store(&mut self, shard: usize, store: ShardStore) {
+        self.stores[shard] = store;
+    }
+
+    /// Read access to one shard's chunk store.
+    #[must_use]
+    pub fn shard_store(&self, shard: usize) -> &ShardStore {
+        &self.stores[shard]
     }
 
     /// Returns the current game tick number.
@@ -97,7 +216,7 @@ impl World {
     /// Number of chunks currently loaded in memory.
     #[must_use]
     pub fn loaded_chunk_count(&self) -> usize {
-        self.chunks.len()
+        self.stores.iter().map(ShardStore::len).sum()
     }
 
     /// Number of chunks generated since the last [`World::advance_tick`] call.
@@ -109,24 +228,38 @@ impl World {
         self.chunks_generated_this_tick
     }
 
+    /// Adds externally performed chunk generations (from shard workers) to
+    /// this tick's generation counter.
+    pub fn note_chunks_generated(&mut self, generated: u32) {
+        self.chunks_generated_this_tick += generated;
+    }
+
+    /// The terrain generator, shareable across shard workers.
+    #[must_use]
+    pub fn generator(&self) -> &dyn ChunkGenerator {
+        self.generator.as_ref()
+    }
+
     /// Ensures the chunk at `pos` is loaded, generating it if needed, and
     /// returns a reference to it.
     pub fn ensure_chunk(&mut self, pos: ChunkPos) -> &Chunk {
-        if !self.chunks.contains_key(&pos) {
+        let shard = self.shard_map.shard_of_chunk(pos);
+        if !self.stores[shard].contains(pos) {
             let chunk = self.generator.generate(pos);
-            self.chunks.insert(pos, chunk);
+            self.stores[shard].insert(chunk);
             self.chunks_generated_this_tick += 1;
         }
-        self.chunks.get(&pos).expect("chunk just ensured")
+        self.stores[shard].get(pos).expect("chunk just ensured")
     }
 
     fn ensure_chunk_mut(&mut self, pos: ChunkPos) -> &mut Chunk {
-        if !self.chunks.contains_key(&pos) {
+        let shard = self.shard_map.shard_of_chunk(pos);
+        if !self.stores[shard].contains(pos) {
             let chunk = self.generator.generate(pos);
-            self.chunks.insert(pos, chunk);
+            self.stores[shard].insert(chunk);
             self.chunks_generated_this_tick += 1;
         }
-        self.chunks.get_mut(&pos).expect("chunk just ensured")
+        self.stores[shard].get_mut(pos).expect("chunk just ensured")
     }
 
     /// Ensures every chunk within `radius` (Chebyshev, in chunks) of `center`
@@ -134,9 +267,10 @@ impl World {
     pub fn ensure_area(&mut self, center: ChunkPos, radius: u32) -> usize {
         let mut generated = 0;
         for pos in center.within_radius(radius) {
-            if !self.chunks.contains_key(&pos) {
+            let shard = self.shard_map.shard_of_chunk(pos);
+            if !self.stores[shard].contains(pos) {
                 let chunk = self.generator.generate(pos);
-                self.chunks.insert(pos, chunk);
+                self.stores[shard].insert(chunk);
                 self.chunks_generated_this_tick += 1;
                 generated += 1;
             }
@@ -147,18 +281,22 @@ impl World {
     /// Returns the chunk at `pos` if it is already loaded.
     #[must_use]
     pub fn chunk_if_loaded(&self, pos: ChunkPos) -> Option<&Chunk> {
-        self.chunks.get(&pos)
+        self.stores[self.shard_map.shard_of_chunk(pos)].get(pos)
     }
 
-    /// Iterates over all loaded chunks.
+    /// Iterates over all loaded chunks in deterministic (shard-major,
+    /// insertion) order.
     pub fn iter_chunks(&self) -> impl Iterator<Item = &Chunk> {
-        self.chunks.values()
+        self.stores.iter().flat_map(ShardStore::iter)
     }
 
     /// Iterates mutably over all loaded chunks (used by the server to clear
-    /// dirty flags after broadcasting chunk data).
+    /// dirty flags after broadcasting chunk data; iteration order is
+    /// unspecified).
     pub fn iter_chunks_mut(&mut self) -> impl Iterator<Item = &mut Chunk> {
-        self.chunks.values_mut()
+        self.stores
+            .iter_mut()
+            .flat_map(|store| store.chunks.values_mut())
     }
 
     /// Returns the block at `pos`, lazily generating the containing chunk.
@@ -180,8 +318,7 @@ impl World {
             return Block::AIR;
         }
         let (lx, y, lz) = pos.local();
-        self.chunks
-            .get(&pos.chunk())
+        self.chunk_if_loaded(pos.chunk())
             .map_or(Block::AIR, |c| c.block(lx, y, lz))
     }
 
@@ -258,6 +395,13 @@ impl World {
         self.updates.schedule_at(pos, due);
     }
 
+    /// Schedules a block update for `pos` at the absolute game tick
+    /// `due_tick` (used by the sharded pipeline to register shard workers'
+    /// deferred schedules).
+    pub fn schedule_tick_at(&mut self, pos: BlockPos, due_tick: u64) {
+        self.updates.schedule_at(pos, due_tick);
+    }
+
     /// Grants the terrain simulator access to the update queue.
     pub fn updates_mut(&mut self) -> &mut UpdateQueue {
         &mut self.updates
@@ -283,6 +427,12 @@ impl World {
         &self.changes
     }
 
+    /// Appends externally recorded block changes (from shard workers) to the
+    /// change log, in the order given.
+    pub fn append_changes(&mut self, changes: impl IntoIterator<Item = BlockChange>) {
+        self.changes.extend(changes);
+    }
+
     /// Number of block changes recorded and not yet drained.
     #[must_use]
     pub fn pending_change_count(&self) -> usize {
@@ -295,9 +445,14 @@ impl World {
     /// `random_ticks_per_chunk` randomly chosen block positions per tick;
     /// plant growth and similar slow processes react to them.
     pub fn pick_random_tick_positions(&mut self, random_ticks_per_chunk: u32) -> Vec<BlockPos> {
-        let mut chunk_positions: Vec<ChunkPos> = self.chunks.keys().copied().collect();
+        let mut chunk_positions: Vec<ChunkPos> = self
+            .stores
+            .iter()
+            .flat_map(|store| store.positions())
+            .collect();
         // Sort so the RNG draws are assigned to chunks in a stable order,
-        // keeping the lottery deterministic for a given seed and chunk set.
+        // keeping the lottery deterministic for a given seed and chunk set —
+        // independent of shard partitioning and load order.
         chunk_positions.sort();
         let mut picks = Vec::with_capacity(chunk_positions.len() * random_ticks_per_chunk as usize);
         for chunk_pos in chunk_positions {
@@ -315,8 +470,7 @@ impl World {
     /// Total number of non-air blocks across all loaded chunks.
     #[must_use]
     pub fn total_non_air_blocks(&self) -> u64 {
-        self.chunks
-            .values()
+        self.iter_chunks()
             .map(|c| u64::from(c.non_air_blocks()))
             .sum()
     }
@@ -327,7 +481,7 @@ impl World {
     /// for per-tick use.
     #[must_use]
     pub fn count_kind(&self, kind: BlockKind) -> usize {
-        self.chunks.values().map(|c| c.count_kind(kind)).sum()
+        self.iter_chunks().map(|c| c.count_kind(kind)).sum()
     }
 }
 
@@ -441,12 +595,22 @@ mod tests {
         let p1 = w1.pick_random_tick_positions(3);
         let p2 = w2.pick_random_tick_positions(3);
         assert_eq!(p1.len(), 9 * 3);
-        // Same seed and same chunk set: the multisets of picks must match.
-        let mut s1 = p1.clone();
-        let mut s2 = p2.clone();
-        s1.sort();
-        s2.sort();
-        assert_eq!(s1, s2);
+        // Same seed and same chunk set: the picks must match exactly (the
+        // lottery iterates chunks in sorted order).
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn random_tick_positions_are_shard_partition_independent() {
+        let mut flat = World::new(Box::new(FlatGenerator::grassland()), 4242);
+        let mut sharded = World::new(Box::new(FlatGenerator::grassland()), 4242);
+        sharded.reshard(ShardMap::new(4));
+        flat.ensure_area(ChunkPos::new(0, 0), 3);
+        sharded.ensure_area(ChunkPos::new(0, 0), 3);
+        assert_eq!(
+            flat.pick_random_tick_positions(3),
+            sharded.pick_random_tick_positions(3)
+        );
     }
 
     #[test]
@@ -461,5 +625,55 @@ mod tests {
         let due = w.updates_mut().pop_due(tick);
         assert_eq!(due.len(), 1);
         assert_eq!(due[0].pos, pos);
+    }
+
+    #[test]
+    fn reshard_preserves_content_and_lookup() {
+        let mut w = world();
+        w.ensure_area(ChunkPos::new(0, 0), 3);
+        let pos = BlockPos::new(37, 70, -12);
+        w.set_block(pos, Block::simple(BlockKind::Tnt));
+        let chunks_before = w.loaded_chunk_count();
+        let non_air_before = w.total_non_air_blocks();
+        w.reshard(ShardMap::new(4));
+        assert_eq!(w.loaded_chunk_count(), chunks_before);
+        assert_eq!(w.total_non_air_blocks(), non_air_before);
+        assert_eq!(w.block(pos).kind(), BlockKind::Tnt);
+        assert_eq!(w.shard_map().count(), 4);
+        // Every chunk landed in the store its shard map entry names.
+        for shard in 0..4 {
+            for chunk_pos in w.shard_store(shard).positions().collect::<Vec<_>>() {
+                assert_eq!(w.shard_map().shard_of_chunk(chunk_pos), shard);
+            }
+        }
+    }
+
+    #[test]
+    fn take_and_put_shard_store_round_trips() {
+        let mut w = world();
+        w.ensure_area(ChunkPos::new(0, 0), 2);
+        w.reshard(ShardMap::new(2));
+        let before = w.loaded_chunk_count();
+        let store = w.take_shard_store(1);
+        assert!(w.loaded_chunk_count() < before || store.is_empty());
+        w.put_shard_store(1, store);
+        assert_eq!(w.loaded_chunk_count(), before);
+    }
+
+    #[test]
+    fn chunk_iteration_is_insertion_ordered() {
+        let mut w = world();
+        w.ensure_chunk(ChunkPos::new(2, 2));
+        w.ensure_chunk(ChunkPos::new(-1, 0));
+        w.ensure_chunk(ChunkPos::new(0, 5));
+        let order: Vec<ChunkPos> = w.iter_chunks().map(Chunk::pos).collect();
+        assert_eq!(
+            order,
+            vec![
+                ChunkPos::new(2, 2),
+                ChunkPos::new(-1, 0),
+                ChunkPos::new(0, 5)
+            ]
+        );
     }
 }

@@ -32,5 +32,12 @@
 //! * `tests/end_to_end.rs` — the paper's main findings (MF1–MF5) checked
 //!   against the simulation.
 //!
-//! The legacy `ExperimentRunner` still exists as a deprecated shim over a
-//! single-cell campaign.
+//! The game server itself runs a **sharded tick pipeline**: loaded chunks
+//! are partitioned into spatial shards, entities are batched by owning
+//! shard, and per-tick work fans out over a reusable worker pool — with
+//! results merged in canonical shard order, so output is bit-identical at
+//! any `tick_threads` setting (campaigns can sweep that axis). The
+//! Folia-like `ServerFlavor::Folia` turns the sharded architecture on; the
+//! cost model's Amdahl-style `parallelizable` work split is how vCPU count
+//! affects tick busy time. (The legacy `ExperimentRunner` shim has been
+//! removed; use `Campaign::from_config`.)

@@ -1,0 +1,129 @@
+//! Equivalence tests for the sharded tick pipeline at the campaign level:
+//! tick records, traffic summaries and CSV output must be **bit-identical**
+//! between the sequential reference path (`tick_threads = 1`) and any
+//! parallel setting, across workloads and seeds.
+//!
+//! Lower-level equivalence (per-shard terrain/entity phases at 1/2/4/8
+//! shard counts) is pinned by unit tests in `mlg-world` and `mlg-entity`;
+//! this suite drives the whole stack the way the figure binaries do.
+
+use cloud_sim::environment::Environment;
+use meterstick::campaign::{Campaign, CampaignResults};
+use meterstick::sink::CsvSink;
+use meterstick_workloads::WorkloadKind;
+use mlg_server::{FlavorProfile, GameServer, ServerConfig, ServerFlavor};
+use mlg_world::generation::FlatGenerator;
+use mlg_world::{Block, BlockKind, BlockPos, Region, World};
+
+fn folia_campaign(workload: WorkloadKind, seed: u64, threads: u32) -> Campaign {
+    Campaign::new()
+        .workloads([workload])
+        .flavors([ServerFlavor::Folia])
+        .environments([Environment::das5(4)])
+        .tick_threads([threads])
+        .duration_secs(3)
+        .iterations(2)
+        .seed(seed)
+}
+
+fn assert_bit_identical(a: &CampaignResults, b: &CampaignResults, context: &str) {
+    assert_eq!(a.iterations().len(), b.iterations().len(), "{context}");
+    for (x, y) in a.iterations().iter().zip(b.iterations()) {
+        assert_eq!(
+            x.trace.busy_durations(),
+            y.trace.busy_durations(),
+            "{context}: tick records diverged"
+        );
+        assert_eq!(
+            x.response_samples, y.response_samples,
+            "{context}: response samples diverged"
+        );
+        assert_eq!(x.traffic, y.traffic, "{context}: traffic diverged");
+        assert_eq!(
+            x.instability_ratio, y.instability_ratio,
+            "{context}: ISR diverged"
+        );
+        assert_eq!(
+            x.ticks_executed, y.ticks_executed,
+            "{context}: tick counts diverged"
+        );
+    }
+}
+
+#[test]
+fn sharded_campaigns_are_bit_identical_across_thread_counts() {
+    for workload in [
+        WorkloadKind::Control,
+        WorkloadKind::Tnt,
+        WorkloadKind::Farm,
+        WorkloadKind::Lag,
+    ] {
+        for seed in [1234u64, 99_991] {
+            let reference = folia_campaign(workload, seed, 1).run().unwrap();
+            let parallel = folia_campaign(workload, seed, 4).run().unwrap();
+            assert_bit_identical(
+                &reference,
+                &parallel,
+                &format!("{workload} seed {seed} (1 vs 4 threads)"),
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_campaign_csv_streams_are_bit_identical() {
+    let run_csv = |threads: u32| {
+        let mut sink = CsvSink::new(Vec::new());
+        folia_campaign(WorkloadKind::Tnt, 7, threads)
+            .run_with(&meterstick::executor::SequentialExecutor, &mut sink)
+            .unwrap();
+        String::from_utf8(sink.into_inner()).unwrap()
+    };
+    let sequential = run_csv(1);
+    let parallel = run_csv(4);
+    assert!(
+        sequential.lines().count() > 1,
+        "CSV must contain header plus rows"
+    );
+    assert_eq!(
+        sequential, parallel,
+        "CSV streams must not depend on the tick-thread count"
+    );
+}
+
+#[test]
+fn shard_count_sweep_stays_thread_invariant_at_server_level() {
+    // The shard count itself is part of the modeled architecture (results
+    // legitimately differ between 1/2/4/8 shards); what must hold at every
+    // shard count is thread invariance against the sequential path.
+    let run = |shards: u32, threads: u32| {
+        let profile = FlavorProfile {
+            tick_shards: shards,
+            ..ServerFlavor::Folia.profile()
+        };
+        let config = ServerConfig::for_flavor(ServerFlavor::Folia)
+            .with_view_distance(3)
+            .with_tick_threads(threads);
+        let world = World::new(Box::new(FlatGenerator::grassland()), 7);
+        let mut server = GameServer::new(config, world, mlg_entity::Vec3::new(0.5, 61.0, 0.5));
+        server.set_profile(profile);
+        server.connect_player("probe");
+        server.world_mut().fill_region(
+            Region::new(BlockPos::new(2, 61, 2), BlockPos::new(10, 62, 10)),
+            Block::simple(BlockKind::Tnt),
+        );
+        server.schedule_tnt_ignition(2);
+        let mut engine = Environment::das5(4).instantiate(1).engine;
+        (0..50)
+            .map(|_| server.run_tick(&mut engine))
+            .collect::<Vec<_>>()
+    };
+    for shards in [2u32, 4, 8] {
+        let reference = run(shards, 1);
+        let parallel = run(shards, 4);
+        assert_eq!(
+            reference, parallel,
+            "shards={shards}: thread count changed the tick summaries"
+        );
+    }
+}

@@ -4,9 +4,37 @@
 //! MPMC channels with cloneable senders *and* receivers, `send`, `recv` and
 //! `try_recv`. Backed by a `Mutex<VecDeque>` + `Condvar` rather than
 //! crossbeam's lock-free internals — ample for the controller protocol's
-//! message volumes.
+//! message volumes. Also provides `crossbeam::thread::scope`, the scoped
+//! worker-thread entry point the sharded tick pipeline fans out on, backed
+//! by `std::thread::scope`.
 
 #![forbid(unsafe_code)]
+
+/// Scoped threads, mirroring `crossbeam::thread`.
+///
+/// Thin adapter over `std::thread::scope` (stabilized after crossbeam
+/// popularized the pattern). One deliberate difference from upstream
+/// crossbeam: a panic in a spawned thread propagates out of `scope` when the
+/// handle is not joined explicitly, instead of being collected into the
+/// returned `Result` — callers in this workspace treat worker panics as
+/// fatal bugs either way.
+pub mod thread {
+    pub use std::thread::{Scope, ScopedJoinHandle};
+
+    /// Creates a scope for spawning scoped threads; all threads spawned in
+    /// the scope are joined before `scope` returns.
+    ///
+    /// # Errors
+    ///
+    /// Never returns `Err` in this shim (see the module docs); the
+    /// `Result` exists for signature compatibility with crossbeam.
+    pub fn scope<'env, F, T>(f: F) -> std::thread::Result<T>
+    where
+        F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> T,
+    {
+        Ok(std::thread::scope(f))
+    }
+}
 
 /// Multi-producer multi-consumer channels, mirroring `crossbeam::channel`.
 pub mod channel {
