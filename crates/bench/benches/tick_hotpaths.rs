@@ -178,6 +178,41 @@ fn bench_sharded_tick(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_shard_rebalancing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shard_rebalance");
+    group.sample_size(10);
+    // Static stripes vs adaptive quadtree regions on the same hotspot
+    // scene (the shared `workloads::tnt::clustered_hotspot_world`, which
+    // the integration test pinning the busiest-shard improvement also
+    // drives), both through the Folia flavor at 8 worker threads.
+    for (name, rebalance) in [
+        ("hotspot_tnt_static_stripes", false),
+        ("hotspot_tnt_adaptive_regions", true),
+    ] {
+        group.bench_function(name, |b| {
+            let config = ServerConfig::for_flavor(ServerFlavor::Folia)
+                .with_view_distance(2)
+                .with_tick_threads(8)
+                .with_shard_rebalance(Some(rebalance));
+            let (sx, sy, sz) = meterstick_workloads::tnt::CLUSTERED_HOTSPOT_SPAWN;
+            let mut server = GameServer::new(
+                config,
+                meterstick_workloads::tnt::clustered_hotspot_world(7),
+                mlg_entity::Vec3::new(sx, sy, sz),
+            );
+            server.connect_player("probe");
+            server.schedule_tnt_ignition(2);
+            let mut engine = Environment::das5(8).instantiate(1).engine;
+            // Warm through ignition so the steady state is the cascade.
+            for _ in 0..40 {
+                server.run_tick(&mut engine);
+            }
+            b.iter(|| server.run_tick(&mut engine));
+        });
+    }
+    group.finish();
+}
+
 fn bench_player_emulation(c: &mut Criterion) {
     c.bench_function("players_workload_tick_25_bots", |b| {
         let (mut server, mut emulation) = prepared_server(WorkloadKind::Players);
@@ -196,6 +231,7 @@ criterion_group!(
     bench_explosion,
     bench_pathfinding,
     bench_sharded_tick,
+    bench_shard_rebalancing,
     bench_player_emulation
 );
 criterion_main!(benches);

@@ -25,9 +25,18 @@ fn main() {
             WorkloadKind::Farm,
             WorkloadKind::Lag,
         ])
-        .flavors([ServerFlavor::Folia, ServerFlavor::Vanilla])
+        // Folia only: serial flavors never enter the tick pipeline, so
+        // their thread invariance is structural (tick_threads is excluded
+        // from seed derivation and unused on the serial path) — sweeping
+        // them here would just run identical cells twice per thread count.
+        .flavors([ServerFlavor::Folia])
         .environments([Environment::das5(4)])
         .tick_threads([threads])
+        // Both partition architectures are pinned: the static stripes and
+        // the adaptive quadtree (whose split/merge decisions derive from
+        // merged load reports and must replay identically at any thread
+        // count).
+        .shard_rebalance([false, true])
         .duration_secs(duration_from_args().min(10))
         .iterations(1);
     let results = run_campaign(&campaign);

@@ -25,7 +25,11 @@ use crate::node::NodeType;
 ///   up to `parallel_width` cores *within* the game loop (sharded tick
 ///   regions, parallel JVM GC, chunk encoding), barriering back before the
 ///   tick ends. `max_shard` is the largest single indivisible share of it
-///   (the busiest tick shard), a load-balance floor no core count can beat;
+///   (the busiest tick shard), a load-balance floor no core count can beat.
+///   Both reflect the server's *current* shard partition: under adaptive
+///   rebalancing the width follows the post-rebalance leaf count and the
+///   floor shrinks as hotspot regions split — which is exactly the lever
+///   that lets added vCPUs keep helping under clustered workloads;
 /// * `offloadable` — asynchronous work overlapped with the game loop on
 ///   spare cores (async chat, async environment processing).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -330,6 +334,35 @@ mod tests {
         assert!(
             t_skewed > t_balanced * 3.0,
             "one hot shard ({t_skewed} ms) must dominate a balanced split ({t_balanced} ms)"
+        );
+    }
+
+    #[test]
+    fn a_rebalanced_partition_beats_a_hotspotted_one_on_the_same_node() {
+        // The same parallelizable work, before and after an adaptive
+        // rebalance of a hotspot: pre-rebalance one shard carries most of
+        // the load (high max_shard, few useful shards); post-rebalance the
+        // hot region has split (wider partition, lower floor). The engine
+        // must turn that into a shorter tick on an 8-core node.
+        let pre = TickWork {
+            main_thread: 20_000,
+            parallelizable: 800_000,
+            parallel_width: 4,
+            max_shard: 600_000,
+            ..TickWork::default()
+        };
+        let post = TickWork {
+            parallel_width: 7,
+            max_shard: 200_000,
+            ..pre
+        };
+        let mut engine = quiet_engine(NodeType::das5(8));
+        let t_pre = engine.execute_tick(pre, 50.0).busy_ms;
+        let mut engine = quiet_engine(NodeType::das5(8));
+        let t_post = engine.execute_tick(post, 50.0).busy_ms;
+        assert!(
+            t_post < t_pre * 0.5,
+            "post-rebalance ({t_post} ms) should be far faster than the hotspotted partition ({t_pre} ms)"
         );
     }
 

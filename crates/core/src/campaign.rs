@@ -60,6 +60,8 @@ pub struct CellCoord {
     pub flavor: usize,
     /// Index into the campaign's tick-thread list.
     pub tick_threads: usize,
+    /// Index into the campaign's shard-rebalance list.
+    pub shard_rebalance: usize,
 }
 
 /// One independently executable unit of a campaign: a single iteration of a
@@ -100,8 +102,13 @@ impl IterationJob {
         } else {
             String::new()
         };
+        let rebalance = match self.config.shard_rebalance {
+            Some(true) => " [rebal]",
+            Some(false) => " [static]",
+            None => "",
+        };
         format!(
-            "{} × {} @ {}{threads} #{}",
+            "{} × {} @ {}{threads}{rebalance} #{}",
             self.config.workload.kind,
             self.flavor,
             self.config.environment.label(),
@@ -329,6 +336,7 @@ pub struct Campaign {
     flavors: Vec<ServerFlavor>,
     environments: Vec<Environment>,
     tick_threads: Vec<u32>,
+    shard_rebalance: Vec<Option<bool>>,
 }
 
 impl Default for Campaign {
@@ -348,6 +356,7 @@ impl Campaign {
             environments: vec![template.environment.clone()],
             workloads: Vec::new(),
             tick_threads: vec![template.tick_threads],
+            shard_rebalance: vec![template.shard_rebalance],
             template,
         }
     }
@@ -362,6 +371,7 @@ impl Campaign {
             flavors: config.flavors.clone(),
             environments: vec![config.environment.clone()],
             tick_threads: vec![config.tick_threads],
+            shard_rebalance: vec![config.shard_rebalance],
             template: config,
         }
     }
@@ -403,6 +413,21 @@ impl Campaign {
     #[must_use]
     pub fn tick_threads(mut self, threads: impl IntoIterator<Item = u32>) -> Self {
         self.tick_threads = threads.into_iter().map(|t| t.max(1)).collect();
+        self
+    }
+
+    /// Replaces the shard-rebalance dimension: each value runs the whole
+    /// grid with adaptive shard rebalancing forced on or off (overriding
+    /// the flavor default; serial flavors with `tick_shards <= 1` have no
+    /// partition to rebalance and ignore the setting, so sweep this axis
+    /// over sharded flavors). Unlike `tick_threads`, this is a
+    /// *modeled-architecture* axis — results legitimately differ across it
+    /// — but, like `tick_threads`, it is excluded from seed derivation so
+    /// cells differing only in this coordinate run identical worlds, bots
+    /// and interference (a paired comparison of the two partitions).
+    #[must_use]
+    pub fn shard_rebalance(mut self, settings: impl IntoIterator<Item = bool>) -> Self {
+        self.shard_rebalance = settings.into_iter().map(Some).collect();
         self
     }
 
@@ -474,6 +499,7 @@ impl Campaign {
             * self.environments.len()
             * self.flavors.len()
             * self.tick_threads.len()
+            * self.shard_rebalance.len()
     }
 
     /// Number of jobs the plan will contain (cells × iterations).
@@ -511,6 +537,11 @@ impl Campaign {
                 dimension: "tick_threads",
             });
         }
+        if self.shard_rebalance.is_empty() {
+            return Err(BenchmarkError::EmptyDimension {
+                dimension: "shard_rebalance",
+            });
+        }
         if self.template.iterations == 0 {
             return Err(BenchmarkError::EmptyDimension {
                 dimension: "iterations",
@@ -544,26 +575,30 @@ impl Campaign {
             for (e_idx, environment) in self.environments.iter().enumerate() {
                 for (f_idx, &flavor) in self.flavors.iter().enumerate() {
                     for (t_idx, &threads) in self.tick_threads.iter().enumerate() {
-                        let mut config = self.template.clone();
-                        config.workload = *workload;
-                        config.environment = environment.clone();
-                        config.flavors = vec![flavor];
-                        config.tick_threads = threads;
-                        let coord = CellCoord {
-                            workload: w_idx,
-                            environment: e_idx,
-                            flavor: f_idx,
-                            tick_threads: t_idx,
-                        };
-                        for iteration in 0..self.template.iterations {
-                            jobs.push(IterationJob {
-                                index: jobs.len(),
-                                coord,
-                                config: config.clone(),
-                                flavor,
-                                iteration,
-                                seed: job_seed(&self.template, coord, iteration),
-                            });
+                        for (r_idx, &rebalance) in self.shard_rebalance.iter().enumerate() {
+                            let mut config = self.template.clone();
+                            config.workload = *workload;
+                            config.environment = environment.clone();
+                            config.flavors = vec![flavor];
+                            config.tick_threads = threads;
+                            config.shard_rebalance = rebalance;
+                            let coord = CellCoord {
+                                workload: w_idx,
+                                environment: e_idx,
+                                flavor: f_idx,
+                                tick_threads: t_idx,
+                                shard_rebalance: r_idx,
+                            };
+                            for iteration in 0..self.template.iterations {
+                                jobs.push(IterationJob {
+                                    index: jobs.len(),
+                                    coord,
+                                    config: config.clone(),
+                                    flavor,
+                                    iteration,
+                                    seed: job_seed(&self.template, coord, iteration),
+                                });
+                            }
                         }
                     }
                 }
@@ -616,7 +651,10 @@ impl Campaign {
 /// on grid coordinates, never on execution order — which is what makes
 /// parallel execution bit-identical to sequential execution. The
 /// `tick_threads` coordinate is deliberately **excluded**: thread count is
-/// execution infrastructure and must never change results.
+/// execution infrastructure and must never change results. The
+/// `shard_rebalance` coordinate is excluded too, for a different reason:
+/// partitions should be compared on identical worlds, bots and
+/// interference, so the axis varies only the architecture.
 #[must_use]
 fn job_seed(template: &BenchmarkConfig, coord: CellCoord, iteration: u32) -> u64 {
     template
@@ -743,6 +781,7 @@ mod tests {
             environment,
             flavor,
             tick_threads: 0,
+            shard_rebalance: 0,
         };
         let t1 = BenchmarkConfig::new(WorkloadKind::Control).with_seed(1);
         let t2 = BenchmarkConfig::new(WorkloadKind::Control).with_seed(2);
@@ -828,12 +867,14 @@ mod tests {
             environment: 0,
             flavor: 0,
             tick_threads: 0,
+            shard_rebalance: 0,
         });
         let second = results.for_coord(CellCoord {
             workload: 0,
             environment: 1,
             flavor: 0,
             tick_threads: 0,
+            shard_rebalance: 0,
         });
         assert_eq!(first.len(), 2);
         assert_eq!(second.len(), 2);
@@ -902,6 +943,51 @@ mod tests {
             no_threads.unwrap_err(),
             BenchmarkError::EmptyDimension {
                 dimension: "tick_threads"
+            }
+        );
+    }
+
+    #[test]
+    fn shard_rebalance_axis_expands_cells_with_paired_seeds() {
+        let campaign = Campaign::new()
+            .workloads([WorkloadKind::Control])
+            .flavors([ServerFlavor::Vanilla])
+            .environments([Environment::das5(2)])
+            .shard_rebalance([false, true])
+            .iterations(2)
+            .duration_secs(2);
+        assert_eq!(campaign.cell_count(), 2);
+        let plan = campaign.plan().unwrap();
+        assert_eq!(plan.jobs().len(), 4);
+        // The axis is a paired architecture comparison: same grid cell with
+        // rebalancing off vs on gets identical seeds.
+        let off: Vec<u64> = plan
+            .jobs()
+            .iter()
+            .filter(|j| j.coord.shard_rebalance == 0)
+            .map(|j| j.seed)
+            .collect();
+        let on: Vec<u64> = plan
+            .jobs()
+            .iter()
+            .filter(|j| j.coord.shard_rebalance == 1)
+            .map(|j| j.seed)
+            .collect();
+        assert_eq!(off, on);
+        assert!(plan
+            .jobs()
+            .iter()
+            .any(|j| j.config.shard_rebalance == Some(true) && j.label().contains("[rebal]")));
+        assert!(plan
+            .jobs()
+            .iter()
+            .any(|j| j.config.shard_rebalance == Some(false) && j.label().contains("[static]")));
+
+        let empty = campaign.shard_rebalance([]).run();
+        assert_eq!(
+            empty.unwrap_err(),
+            BenchmarkError::EmptyDimension {
+                dimension: "shard_rebalance"
             }
         );
     }

@@ -49,6 +49,13 @@ pub struct BenchmarkConfig {
     /// execution infrastructure: identical results at any value, only
     /// wall-clock time changes (there are tests pinning this).
     pub tick_threads: u32,
+    /// Overrides the flavor's adaptive shard-rebalancing knob: `None` uses
+    /// the flavor default (on for Folia, off for the paper's flavors),
+    /// `Some(v)` forces it for sharded flavors. Serial flavors
+    /// (`tick_shards <= 1`) ignore the override — they have no partition
+    /// to rebalance. A modeled-architecture change, unlike `tick_threads`
+    /// — campaigns sweep it via the `shard_rebalance` axis.
+    pub shard_rebalance: Option<bool>,
 }
 
 impl BenchmarkConfig {
@@ -72,6 +79,7 @@ impl BenchmarkConfig {
             affinity_mask: 0xFFFF_FFFF,
             resume: false,
             tick_threads: 1,
+            shard_rebalance: None,
         }
     }
 
@@ -128,6 +136,13 @@ impl BenchmarkConfig {
     #[must_use]
     pub fn with_tick_threads(mut self, threads: u32) -> Self {
         self.tick_threads = threads.max(1);
+        self
+    }
+
+    /// Sets the shard-rebalancing override (`None` = flavor default).
+    #[must_use]
+    pub fn with_shard_rebalance(mut self, rebalance: Option<bool>) -> Self {
+        self.shard_rebalance = rebalance;
         self
     }
 

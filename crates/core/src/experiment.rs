@@ -108,7 +108,8 @@ fn prepare(
 ) -> (GameServer, PlayerEmulation) {
     let server_config = ServerConfig::for_flavor(flavor)
         .with_seed(config.base_seed)
-        .with_tick_threads(config.tick_threads);
+        .with_tick_threads(config.tick_threads)
+        .with_shard_rebalance(config.shard_rebalance);
     let bots = config.bots_override.unwrap_or(built.players.bots);
     let mut emulation = PlayerEmulation::new(
         bots,

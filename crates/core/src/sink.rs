@@ -54,10 +54,11 @@ pub struct CsvSink<W: Write> {
 }
 
 /// Column headers of the per-iteration CSV stream.
-pub const CSV_COLUMNS: [&str; 13] = [
+pub const CSV_COLUMNS: [&str; 14] = [
     "workload",
     "flavor",
     "environment",
+    "shard_rebalance",
     "iteration",
     "seed",
     "ticks_executed",
@@ -112,6 +113,11 @@ impl<W: Write> ResultSink for CsvSink<W> {
             result.workload.to_string(),
             result.flavor.to_string(),
             result.environment.clone(),
+            match job.config.shard_rebalance {
+                Some(true) => "on".to_string(),
+                Some(false) => "off".to_string(),
+                None => "default".to_string(),
+            },
             result.iteration.to_string(),
             job.seed.to_string(),
             result.ticks_executed.to_string(),

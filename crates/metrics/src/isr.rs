@@ -143,6 +143,36 @@ mod tests {
     }
 
     #[test]
+    fn isr_matches_hand_computed_fixtures_exactly() {
+        // Trace [50, 50, 150, 50]: periods unchanged (all ≥ b). Jitter sum
+        // = |50−50| + |150−50| + |50−150| = 200. Derived Ne =
+        // ceil(300/50) = 6 ⇒ ISR = 200/(6·2·50) = 1/3 exactly.
+        let trace = [50.0, 50.0, 150.0, 50.0];
+        let derived = instability_ratio(&trace, IsrParams::default());
+        assert!((derived - 1.0 / 3.0).abs() < 1e-12, "got {derived}");
+        // Same trace with Ne pinned to the actual tick count (Na = Ne = 4):
+        // ISR = 200/(4·2·50) = 0.5 exactly.
+        let pinned = instability_ratio(
+            &trace,
+            IsrParams {
+                budget_ms: B,
+                expected_ticks: Some(4),
+            },
+        );
+        assert!((pinned - 0.5).abs() < 1e-12, "got {pinned}");
+        // Sub-budget ticks clamp to the budget period before differencing:
+        // [10, 49, 50] has zero jitter.
+        assert_eq!(
+            instability_ratio(&[10.0, 49.0, 50.0], IsrParams::default()),
+            0.0
+        );
+        // One step up then flat: jitter only at the step. [50, 100, 100]:
+        // jitter 50, Ne = ceil(250/50) = 5 ⇒ ISR = 50/500 = 0.1 exactly.
+        let step = instability_ratio(&[50.0, 100.0, 100.0], IsrParams::default());
+        assert!((step - 0.1).abs() < 1e-12, "got {step}");
+    }
+
+    #[test]
     fn matches_analytical_model() {
         // ISR = (s-1)/(s+λ-1). The analytical model derives Ne from the trace
         // duration (overloaded ticks push Na below Ne); passing

@@ -49,6 +49,22 @@ pub fn std_dev(values: &[f64]) -> f64 {
     var.sqrt()
 }
 
+/// Computes the coefficient of variation (CoV = population standard
+/// deviation / mean) of a sample; 0 when the sample is empty or its mean is
+/// zero.
+///
+/// The paper uses CoV as the scale-free measure of tick-time variability
+/// when comparing environments whose mean tick times differ (the quantity
+/// the ISR metric is then argued to improve on).
+#[must_use]
+pub fn coefficient_of_variation(values: &[f64]) -> f64 {
+    let m = mean(values);
+    if m == 0.0 {
+        return 0.0;
+    }
+    std_dev(values) / m
+}
+
 /// Computes percentile `p` (0–100) of a sample using linear interpolation
 /// between closest ranks. Returns 0 for an empty sample.
 ///
@@ -170,6 +186,55 @@ mod tests {
         assert_eq!(mean(&[2.0, 4.0, 6.0]), 4.0);
         assert_eq!(std_dev(&[5.0]), 0.0);
         assert!((std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coefficient_of_variation_matches_hand_computed_fixtures() {
+        // Fixture: mean 5, population std dev 2 ⇒ CoV = 0.4 exactly.
+        let sample = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((coefficient_of_variation(&sample) - 0.4).abs() < 1e-12);
+        // A constant trace has no variation.
+        assert_eq!(coefficient_of_variation(&[50.0; 20]), 0.0);
+        // Scale invariance: CoV(k·x) = CoV(x).
+        let scaled: Vec<f64> = sample.iter().map(|v| v * 17.5).collect();
+        assert!(
+            (coefficient_of_variation(&scaled) - coefficient_of_variation(&sample)).abs() < 1e-12
+        );
+        // Degenerate inputs.
+        assert_eq!(coefficient_of_variation(&[]), 0.0);
+        assert_eq!(coefficient_of_variation(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn mean_std_dev_and_percentiles_match_the_paper_style_fixture() {
+        // A 20-tick trace shaped like a stable server with one outlier
+        // (values in ms). Every statistic below is hand-computed.
+        let mut trace = vec![50.0; 19];
+        trace.push(250.0);
+        assert!((mean(&trace) - 60.0).abs() < 1e-12, "mean = (19·50+250)/20");
+        // Variance = (19·(50−60)² + (250−60)²)/20 = (1900 + 36100)/20 = 1900.
+        assert!((std_dev(&trace) - 1900.0_f64.sqrt()).abs() < 1e-12);
+        assert!((coefficient_of_variation(&trace) - 1900.0_f64.sqrt() / 60.0).abs() < 1e-12);
+        // Sorted trace: 19×50 then 250. Linear-interpolation ranks over
+        // n−1 = 19 intervals: p95 sits at rank 18.05 ⇒ 50 + 0.05·200 = 60.
+        assert_eq!(percentile(&trace, 50.0), 50.0);
+        assert!((percentile(&trace, 95.0) - 60.0).abs() < 1e-9);
+        assert_eq!(percentile(&trace, 100.0), 250.0);
+        let p = Percentiles::of(&trace);
+        assert_eq!((p.min, p.p50, p.max), (50.0, 50.0, 250.0));
+        assert!((p.mean - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_fixture_with_exact_interpolation_points() {
+        // Hand-computed interpolation fixture: values 10, 20, 30, 40 (n=4,
+        // 3 rank intervals). p(33.3…%) lands exactly on rank 1 ⇒ 20;
+        // p50 = rank 1.5 ⇒ 25; p75 = rank 2.25 ⇒ 32.5; p90 = rank 2.7 ⇒ 37.
+        let values = [40.0, 10.0, 30.0, 20.0];
+        assert!((percentile(&values, 100.0 / 3.0) - 20.0).abs() < 1e-9);
+        assert!((percentile(&values, 50.0) - 25.0).abs() < 1e-12);
+        assert!((percentile(&values, 75.0) - 32.5).abs() < 1e-12);
+        assert!((percentile(&values, 90.0) - 37.0).abs() < 1e-12);
     }
 
     #[test]

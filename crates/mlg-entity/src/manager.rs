@@ -243,6 +243,11 @@ impl EntityManager {
     /// merging, hopper collection, despawning, natural spawning) run in a
     /// serial phase afterwards, in the same canonical order.
     ///
+    /// Entities are partitioned against the pipeline's *current* shard
+    /// map every tick, so after an adaptive rebalance (split or merge of a
+    /// quadtree region) they re-batch onto the new partition automatically
+    /// — no migration bookkeeping exists to get wrong.
+    ///
     /// Mob wander randomness comes from per-shard RNG streams derived from
     /// one serial draw per tick, so the result is **bit-identical at any
     /// thread count**; `pipeline.threads() == 1` is the sequential

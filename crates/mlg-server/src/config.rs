@@ -33,6 +33,17 @@ pub struct ServerConfig {
     /// infrastructure: results are bit-identical at any value (1 = the
     /// sequential reference path); only wall-clock time changes.
     pub tick_threads: u32,
+    /// Overrides the flavor's [`FlavorProfile::rebalance`] knob: `None`
+    /// uses the flavor default, `Some(v)` forces adaptive shard rebalancing
+    /// on or off *for sharded flavors* — flavors with `tick_shards <= 1`
+    /// have no partition to rebalance and ignore the override (their serial
+    /// game loop is the architecture being modeled). Unlike `tick_threads`
+    /// this is a *modeled-architecture* change — results legitimately
+    /// differ across it (campaigns sweep it through the `shard_rebalance`
+    /// axis).
+    ///
+    /// [`FlavorProfile::rebalance`]: crate::flavor::FlavorProfile::rebalance
+    pub shard_rebalance: Option<bool>,
 }
 
 impl Default for ServerConfig {
@@ -48,6 +59,7 @@ impl Default for ServerConfig {
             seed: 392_114_485,
             max_heap_gb: 4.0,
             tick_threads: 1,
+            shard_rebalance: None,
         }
     }
 }
@@ -80,6 +92,14 @@ impl ServerConfig {
     #[must_use]
     pub fn with_tick_threads(mut self, threads: u32) -> Self {
         self.tick_threads = threads.max(1);
+        self
+    }
+
+    /// Returns a copy with the shard-rebalancing override set (`None` =
+    /// flavor default).
+    #[must_use]
+    pub fn with_shard_rebalance(mut self, rebalance: Option<bool>) -> Self {
+        self.shard_rebalance = rebalance;
         self
     }
 }

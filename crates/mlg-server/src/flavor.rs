@@ -18,9 +18,12 @@
 //! **Folia-like sharded flavor** ([`ServerFlavor::Folia`]): the game loop is
 //! split into independently ticked spatial shards, so most entity/terrain
 //! work becomes parallelizable across vCPUs ([`FlavorProfile::tick_shards`],
-//! [`FlavorProfile::parallel_fraction`]). It is excluded from
-//! [`ServerFlavor::all`] (the paper's set) and included in
-//! [`ServerFlavor::extended`].
+//! [`FlavorProfile::parallel_fraction`]), and the shard partition
+//! **rebalances adaptively** ([`FlavorProfile::rebalance`]): a 2D region
+//! quadtree splits hot regions and merges cold ones between ticks, so
+//! clustered hotspot workloads (TNT cascades) spread across shards instead
+//! of pinning one. It is excluded from [`ServerFlavor::all`] (the paper's
+//! set) and included in [`ServerFlavor::extended`].
 
 use serde::{Deserialize, Serialize};
 
@@ -81,6 +84,7 @@ impl ServerFlavor {
                 // bigger nodes reduce TNT overload even for vanilla).
                 parallel_fraction: 0.20,
                 tick_shards: 1,
+                rebalance: false,
                 async_chat: false,
                 max_tnt_per_tick: usize::MAX,
             },
@@ -94,6 +98,7 @@ impl ServerFlavor {
                 offload_fraction: 0.05,
                 parallel_fraction: 0.20,
                 tick_shards: 1,
+                rebalance: false,
                 async_chat: false,
                 max_tnt_per_tick: usize::MAX,
             },
@@ -107,6 +112,7 @@ impl ServerFlavor {
                 offload_fraction: 0.35,
                 parallel_fraction: 0.25,
                 tick_shards: 1,
+                rebalance: false,
                 async_chat: true,
                 max_tnt_per_tick: 60,
             },
@@ -122,6 +128,7 @@ impl ServerFlavor {
                 offload_fraction: 0.35,
                 parallel_fraction: 0.80,
                 tick_shards: 8,
+                rebalance: true,
                 async_chat: true,
                 max_tnt_per_tick: 60,
             },
@@ -178,8 +185,17 @@ pub struct FlavorProfile {
     pub parallel_fraction: f64,
     /// Number of spatial shards the tick pipeline partitions the world into
     /// (1 = the classic serial loop). Also caps how many cores the sharded
-    /// work can spread over.
+    /// work can spread over. For rebalancing flavors this is the *target*
+    /// leaf count of the adaptive partition, which may grow to twice this
+    /// value under hotspot load.
     pub tick_shards: u32,
+    /// Whether the shard partition rebalances between ticks: the static
+    /// stripe partition is replaced by a 2D region quadtree that splits hot
+    /// regions and merges cold ones based on the previous tick's merged
+    /// load report. On for the Folia-like flavor (real Folia regionizes
+    /// dynamically); off for the paper's serial flavors, whose Lag-workload
+    /// crash behaviour (MF2) depends on the load staying serial.
+    pub rebalance: bool,
     /// Whether chat is handled on a dedicated asynchronous thread.
     pub async_chat: bool,
     /// Cap on primed-TNT entities processed per tick (explosion batching).
@@ -208,6 +224,11 @@ mod tests {
         assert!(folia.tick_shards > 1);
         assert_eq!(vanilla.tick_shards, 1);
         assert!(folia.parallel_fraction > vanilla.parallel_fraction);
+        assert!(
+            folia.rebalance && !vanilla.rebalance,
+            "only the Folia-like flavor rebalances its shard partition"
+        );
+        assert!(!ServerFlavor::Paper.profile().rebalance);
         assert!(ServerFlavor::all()
             .iter()
             .all(|f| *f != ServerFlavor::Folia));

@@ -28,6 +28,19 @@
 //! is the sequential reference path, and there are tests pinning
 //! [`TickSummary`] equality across settings.
 //!
+//! Flavors with [`FlavorProfile::rebalance`] set (the Folia-like one)
+//! replace the static stripe partition with an **adaptive 2D region
+//! quadtree**: at the end of every tick the merged per-shard load report
+//! (terrain updates + entity counts) drives one deterministic split/merge
+//! step — hot regions split while cold quads merge back, within a
+//! hysteresis band — and entities are re-batched against the new partition
+//! on the next tick. Scheduled updates (TNT fuses, repeater delays) are
+//! keyed by position in the world's global queue, so a chunk migrating
+//! between shards keeps its fuses tick-exact (there is a regression test
+//! pinning this). The evolving leaf count feeds the compute model's
+//! `parallel_width` and the busiest shard its `max_shard` floor, which is
+//! how rebalancing lets extra vCPUs absorb clustered hotspot workloads.
+//!
 //! The server runs entirely in virtual time: each tick's work is accumulated
 //! in abstract work units and converted to milliseconds by a `cloud-sim`
 //! compute engine, so experiments are deterministic and fast. The work split

@@ -5,7 +5,7 @@ use meterstick_metrics::distribution::TickDistribution;
 use meterstick_metrics::trace::TickRecord;
 use mlg_entity::{EntityId, EntityKind, EntityManager, Vec3};
 use mlg_protocol::{ClientboundPacket, ServerboundPacket, TrafficAccountant, TrafficSummary};
-use mlg_world::shard::TickPipeline;
+use mlg_world::shard::{ShardLoadReport, TickPipeline};
 use mlg_world::sim::TerrainEvent;
 use mlg_world::{BlockKind, TerrainSimulator, World};
 use rand::rngs::StdRng;
@@ -50,6 +50,11 @@ pub struct TickSummary {
     /// Whether chat echoes emitted this tick were handled asynchronously
     /// (PaperMC behaviour) and therefore do not wait for the tick to finish.
     pub async_chat: bool,
+    /// The busiest shard's share of this tick's parallelizable work, in
+    /// work units — the load-balance floor the compute engine applied
+    /// (0 on the serial path). Adaptive rebalancing exists to shrink this
+    /// number under hotspot workloads.
+    pub max_shard_work: u64,
     /// Set when the server crashed during this tick.
     pub crash: Option<ServerCrash>,
 }
@@ -108,9 +113,9 @@ impl GameServer {
     #[must_use]
     pub fn new(config: ServerConfig, mut world: World, spawn_point: Vec3) -> Self {
         let profile = config.flavor.profile();
-        let pipeline = TickPipeline::new(profile.tick_shards, config.tick_threads);
+        let pipeline = build_pipeline(&profile, &config, &world);
         if pipeline.is_sharded() {
-            world.reshard(pipeline.shard_map());
+            world.reshard(pipeline.shard_map().clone());
         }
         let mut entities = EntityManager::new(config.seed ^ 0xE47);
         entities.natural_spawning = config.natural_spawning;
@@ -160,9 +165,9 @@ impl GameServer {
     /// individual optimizations).
     pub fn set_profile(&mut self, profile: FlavorProfile) {
         self.entities.max_tnt_per_tick = profile.max_tnt_per_tick;
-        self.pipeline = TickPipeline::new(profile.tick_shards, self.config.tick_threads);
+        self.pipeline = build_pipeline(&profile, &self.config, &self.world);
         if self.pipeline.is_sharded() {
-            self.world.reshard(self.pipeline.shard_map());
+            self.world.reshard(self.pipeline.shard_map().clone());
         }
         self.profile = profile;
     }
@@ -371,6 +376,7 @@ impl GameServer {
                 bytes_received: 0,
                 cpu_utilization: 0.0,
                 async_chat: self.profile.async_chat,
+                max_shard_work: 0,
                 crash: Some(crash.clone()),
             };
         }
@@ -602,26 +608,33 @@ impl GameServer {
         };
         // Load-balance floor: the busiest shard's measured share of the
         // parallel work (zero when nothing sharded ran, i.e. perfectly
-        // divisible JVM work).
-        let max_shard = match (terrain_shard_work, entity_shard_work) {
+        // divisible JVM work). The same merged report also drives adaptive
+        // rebalancing below, so the compute model and the partition always
+        // see identical loads.
+        let load_report = match (&terrain_shard_work, &entity_shard_work) {
             (Some(terrain), Some(entities)) => {
-                let loads: Vec<u64> = terrain
-                    .iter()
-                    .zip(&entities)
-                    .map(|(t, e)| t * 14 + e * 350)
-                    .collect();
-                let total_load: u64 = loads.iter().sum();
-                let max_load = loads.iter().copied().max().unwrap_or(0);
-                if total_load > 0 {
-                    ((parallelizable as u128 * u128::from(max_load) / u128::from(total_load))
-                        as u64)
-                        .min(parallelizable)
-                } else {
-                    0
-                }
+                Some(ShardLoadReport::from_stage_work(terrain, entities))
+            }
+            _ => None,
+        };
+        let max_shard = match &load_report {
+            Some(report) if report.total() > 0 => {
+                ((parallelizable as u128 * u128::from(report.max()) / u128::from(report.total()))
+                    as u64)
+                    .min(parallelizable)
             }
             _ => 0,
         };
+
+        // Adaptive rebalancing: apply this tick's merged load report to the
+        // partition (a pure function of the report, so bit-identical at any
+        // thread count). The world is resharded lazily by the next tick's
+        // sharded terrain phase.
+        if self.pipeline.rebalance_enabled() {
+            if let Some(report) = &load_report {
+                self.pipeline.apply_load_report(report);
+            }
+        }
 
         let execution = engine.execute_tick(
             TickWork {
@@ -717,8 +730,26 @@ impl GameServer {
             bytes_received,
             cpu_utilization: execution.cpu_utilization,
             async_chat: self.profile.async_chat,
+            max_shard_work: max_shard,
             crash,
         }
+    }
+}
+
+/// Builds the tick pipeline for a profile: a static stripe partition, or —
+/// when the flavor rebalances (subject to the [`ServerConfig`] override) —
+/// an adaptive quadtree partition whose root covers the world's current
+/// chunk footprint, pre-split toward the profile's target shard count.
+fn build_pipeline(profile: &FlavorProfile, config: &ServerConfig, world: &World) -> TickPipeline {
+    let rebalance = config.shard_rebalance.unwrap_or(profile.rebalance);
+    if rebalance && profile.tick_shards > 1 {
+        TickPipeline::adaptive(
+            world.chunk_bounds(),
+            profile.tick_shards,
+            config.tick_threads,
+        )
+    } else {
+        TickPipeline::new(profile.tick_shards, config.tick_threads)
     }
 }
 

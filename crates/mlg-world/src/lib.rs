@@ -13,6 +13,13 @@
 //! ([`sim::TerrainTickReport`]), which the deployment-environment simulator
 //! (`cloud-sim`) later converts into milliseconds.
 //!
+//! The [`shard`] module partitions the loaded world for the sharded tick
+//! pipeline: either static 4-chunk x-stripes or an adaptive 2D region
+//! quadtree whose leaves split and merge between ticks from per-shard
+//! load reports ([`shard::ShardLoadReport`]) under a hysteresis rule —
+//! both partitions are pure functions of their inputs, keeping the
+//! pipeline bit-identical at any worker-thread count.
+//!
 //! # Example
 //!
 //! ```
@@ -48,7 +55,7 @@ pub use block::{Block, BlockKind};
 pub use chunk::{Chunk, CHUNK_SIZE, WORLD_HEIGHT};
 pub use pos::{BlockPos, ChunkPos};
 pub use region::Region;
-pub use shard::{BlockReader, FrozenWorld, ShardMap, TerrainView, TickPipeline};
+pub use shard::{BlockReader, FrozenWorld, ShardLoadReport, ShardMap, TerrainView, TickPipeline};
 pub use sim::{ShardedTerrainTick, TerrainSimulator, TerrainTickReport};
 pub use update::{BlockUpdate, UpdateKind};
 pub use world::World;

@@ -5,20 +5,35 @@
 //! regions. This module provides the deterministic partitioning primitives
 //! the rest of the workspace builds on:
 //!
-//! * [`ShardMap`] — a pure function from chunk coordinates to shard index.
-//!   Chunks are grouped into contiguous stripes of
-//!   [`SHARD_STRIPE_CHUNKS`] columns along the x axis, and stripes are
-//!   assigned to shards round-robin. A position is *interior* to its shard
-//!   when every chunk in its 3×3 chunk neighbourhood maps to the same
-//!   shard: every terrain rule in this crate reads and writes within 8
-//!   blocks of the update position it is dispatched for (cascades travel
-//!   through queued updates, not in-dispatch traversal), so interior
-//!   updates can be processed by concurrent shard workers without ever
-//!   touching another shard's chunks. Boundary updates are escalated to a
-//!   serial merge phase.
-//! * [`TickPipeline`] — the (shard count, worker thread count) execution
-//!   configuration of one server. Shard count is part of the *simulated
-//!   architecture* (it changes scheduling and therefore the modeled
+//! * [`ShardMap`] — a pure function from chunk coordinates to shard index,
+//!   in one of two modes:
+//!   - **static stripes** ([`ShardMap::stripes`]): chunks are grouped into
+//!     contiguous stripes of [`SHARD_STRIPE_CHUNKS`] columns along the x
+//!     axis, assigned to shards round-robin (the PR 2 partition);
+//!   - **adaptive 2D regions** ([`ShardMap::regions_over`]): a region
+//!     quadtree over the chunk plane whose leaves are the shards, in
+//!     canonical pre-order (NW, NE, SW, SE) leaf order. Leaves are square,
+//!     at least [`MIN_REGION_CHUNKS`] chunks on a side, and can be split
+//!     and merged between ticks by [`ShardMap::rebalanced`] — a **pure
+//!     function of the previous tick's merged [`ShardLoadReport`]** with a
+//!     hysteresis rule: the busiest splittable leaf is split when its load
+//!     exceeds 2× the mean shard load, and the coldest all-leaf quad is
+//!     merged back when its combined load falls below ½× the mean. The gap
+//!     between the two thresholds prevents oscillation, and because the
+//!     decision depends only on (map, report) — never on scheduling — the
+//!     partition evolves identically at any worker-thread count.
+//!
+//!   In both modes a position is *interior* to its shard when every chunk
+//!   in its 3×3 chunk neighbourhood maps to the same shard: every terrain
+//!   rule in this crate reads and writes within 8 blocks of the update
+//!   position it is dispatched for (cascades travel through queued updates,
+//!   not in-dispatch traversal), so interior updates can be processed by
+//!   concurrent shard workers without ever touching another shard's chunks.
+//!   Boundary updates are escalated to a serial merge phase.
+//! * [`TickPipeline`] — the execution configuration of one server: the
+//!   current shard partition, whether it rebalances, and the worker thread
+//!   count. Shard count and partition shape are part of the *simulated
+//!   architecture* (they change scheduling and therefore the modeled
 //!   execution, like Folia's region count does); thread count is pure
 //!   execution infrastructure and never changes results: the sharded tick
 //!   is bit-identical at any thread count by construction.
@@ -53,38 +68,324 @@ use crate::world::{BlockChange, ShardStore, World};
 /// keeps both reasonable for the workload worlds of the paper.
 pub const SHARD_STRIPE_CHUNKS: i32 = 4;
 
+/// Minimum side length of an adaptive quadtree region, in chunks.
+///
+/// A region narrower than this would have no interior chunks at all (the
+/// 3×3 neighbourhood test fails everywhere), turning its entire workload
+/// into serial boundary escalation; splits stop above this floor.
+pub const MIN_REGION_CHUNKS: i32 = 4;
+
+/// Split threshold of the rebalancing hysteresis: a leaf is split when its
+/// load exceeds this multiple of the mean shard load.
+const SPLIT_LOAD_FACTOR: u64 = 2;
+
+/// Merge threshold of the rebalancing hysteresis: an all-leaf quad is
+/// merged when its combined load falls below the mean shard load divided by
+/// this factor. Together with [`SPLIT_LOAD_FACTOR`] this leaves a wide dead
+/// band (½× … 2× mean) so the partition cannot oscillate between ticks.
+const MERGE_LOAD_DIVISOR: u64 = 2;
+
+/// Work weight of one terrain update when folding stage counters into a
+/// [`ShardLoadReport`] (matches the scheduled-update weight of the terrain
+/// work model).
+pub const TERRAIN_LOAD_WEIGHT: u64 = 14;
+
+/// Work weight of one processed entity when folding stage counters into a
+/// [`ShardLoadReport`] (matches the per-entity weight of the entity work
+/// model — MF4: entity processing dominates non-idle tick time).
+pub const ENTITY_LOAD_WEIGHT: u64 = 350;
+
+/// One node of the region quadtree: a square of chunks, either a leaf (one
+/// shard) or split into four equal quadrants. `leaves` caches the subtree's
+/// leaf count so shard lookup is O(depth).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct QuadNode {
+    x0: i32,
+    z0: i32,
+    size: i32,
+    leaves: u32,
+    children: Option<Box<[QuadNode; 4]>>,
+}
+
+impl QuadNode {
+    fn leaf(x0: i32, z0: i32, size: i32) -> Self {
+        QuadNode {
+            x0,
+            z0,
+            size,
+            leaves: 1,
+            children: None,
+        }
+    }
+
+    fn contains(&self, cx: i32, cz: i32) -> bool {
+        cx >= self.x0 && cx < self.x0 + self.size && cz >= self.z0 && cz < self.z0 + self.size
+    }
+
+    /// Leaf index (in canonical pre-order) of the leaf containing the given
+    /// chunk coordinates, which must lie inside this node.
+    fn leaf_index_of(&self, cx: i32, cz: i32) -> usize {
+        let mut node = self;
+        let mut index = 0usize;
+        'descend: while let Some(children) = node.children.as_deref() {
+            for child in children {
+                if child.contains(cx, cz) {
+                    node = child;
+                    continue 'descend;
+                }
+                index += child.leaves as usize;
+            }
+            unreachable!("quadrants tile their parent");
+        }
+        index
+    }
+
+    /// Appends every leaf square as `(x0, z0, size)`, in canonical order.
+    fn collect_leaves(&self, out: &mut Vec<(i32, i32, i32)>) {
+        match self.children.as_deref() {
+            None => out.push((self.x0, self.z0, self.size)),
+            Some(children) => {
+                for child in children {
+                    child.collect_leaves(out);
+                }
+            }
+        }
+    }
+
+    /// Appends the starting leaf index of every internal node whose four
+    /// children are all leaves (the merge candidates), in canonical order.
+    fn collect_merge_starts(&self, base: u32, out: &mut Vec<u32>) {
+        if let Some(children) = self.children.as_deref() {
+            if children.iter().all(|c| c.children.is_none()) {
+                out.push(base);
+            } else {
+                let mut b = base;
+                for child in children {
+                    child.collect_merge_starts(b, out);
+                    b += child.leaves;
+                }
+            }
+        }
+    }
+
+    /// Splits the leaf at `index` (subtree-relative) into four quadrants.
+    /// Returns `false` when the leaf is already at the minimum size.
+    fn split_leaf(&mut self, index: u32) -> bool {
+        if self.children.is_none() {
+            debug_assert_eq!(index, 0, "leaf index exhausted at a leaf");
+            if self.size < 2 * MIN_REGION_CHUNKS {
+                return false;
+            }
+            let h = self.size / 2;
+            self.children = Some(Box::new([
+                QuadNode::leaf(self.x0, self.z0, h),
+                QuadNode::leaf(self.x0 + h, self.z0, h),
+                QuadNode::leaf(self.x0, self.z0 + h, h),
+                QuadNode::leaf(self.x0 + h, self.z0 + h, h),
+            ]));
+            self.leaves = 4;
+            return true;
+        }
+        let mut base = index;
+        let mut split = false;
+        for child in self.children.as_deref_mut().expect("checked above") {
+            if base < child.leaves {
+                split = child.split_leaf(base);
+                break;
+            }
+            base -= child.leaves;
+        }
+        if split {
+            self.recount();
+        }
+        split
+    }
+
+    /// Merges the all-leaf quad whose first leaf has index `index`
+    /// (subtree-relative) back into a single leaf.
+    fn merge_quad(&mut self, index: u32) -> bool {
+        let is_this_quad = match self.children.as_deref() {
+            None => return false,
+            Some(children) => index == 0 && children.iter().all(|c| c.children.is_none()),
+        };
+        if is_this_quad {
+            self.children = None;
+            self.leaves = 1;
+            return true;
+        }
+        let mut base = index;
+        let mut merged = false;
+        for child in self.children.as_deref_mut().expect("checked above") {
+            if base < child.leaves {
+                merged = child.merge_quad(base);
+                break;
+            }
+            base -= child.leaves;
+        }
+        if merged {
+            self.recount();
+        }
+        merged
+    }
+
+    fn recount(&mut self) {
+        if let Some(children) = self.children.as_deref() {
+            self.leaves = children.iter().map(|c| c.leaves).sum();
+        }
+    }
+}
+
+/// The two partition modes a [`ShardMap`] can be in.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+enum Partition {
+    /// Static round-robin x-stripes (the PR 2 partition).
+    Stripes { count: u32 },
+    /// Adaptive 2D quadtree regions.
+    Regions { root: QuadNode },
+}
+
+/// Per-shard load observed during one tick, used to drive rebalancing.
+///
+/// The report is assembled from the pipeline's *merged* per-shard counters
+/// (which are bit-identical at any thread count), so every consumer — the
+/// compute model's busiest-shard floor and the quadtree rebalancer — sees
+/// the same numbers regardless of execution parallelism.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardLoadReport {
+    loads: Vec<u64>,
+}
+
+impl ShardLoadReport {
+    /// Wraps raw per-shard load values (index = shard index).
+    #[must_use]
+    pub fn new(loads: Vec<u64>) -> Self {
+        ShardLoadReport { loads }
+    }
+
+    /// Folds the terrain stage's per-shard update counts and the entity
+    /// stage's per-shard entity counts into one weighted load per shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two slices disagree on the shard count.
+    #[must_use]
+    pub fn from_stage_work(terrain_updates: &[u64], entities: &[u64]) -> Self {
+        assert_eq!(
+            terrain_updates.len(),
+            entities.len(),
+            "terrain and entity stages must report the same shard count"
+        );
+        ShardLoadReport {
+            loads: terrain_updates
+                .iter()
+                .zip(entities)
+                .map(|(t, e)| t * TERRAIN_LOAD_WEIGHT + e * ENTITY_LOAD_WEIGHT)
+                .collect(),
+        }
+    }
+
+    /// The per-shard loads (index = shard index).
+    #[must_use]
+    pub fn loads(&self) -> &[u64] {
+        &self.loads
+    }
+
+    /// Sum of all shard loads.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.loads.iter().sum()
+    }
+
+    /// The busiest shard's load (0 for an empty report).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.loads.iter().copied().max().unwrap_or(0)
+    }
+}
+
 /// Deterministic assignment of chunks to spatial shards.
 ///
-/// The mapping is a pure function of the chunk coordinates and the shard
-/// count — independent of load order, thread count and execution history —
-/// which is the foundation of the pipeline's bit-identical parallelism.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// The mapping is a pure function of the chunk coordinates and the map's
+/// own structure — independent of load order, thread count and execution
+/// history — which is the foundation of the pipeline's bit-identical
+/// parallelism. Static stripe maps never change; adaptive region maps
+/// evolve only through [`ShardMap::rebalanced`], itself a pure function of
+/// the previous tick's merged load report.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ShardMap {
-    count: u32,
+    partition: Partition,
 }
 
 impl ShardMap {
-    /// Creates a map over `count` shards (clamped to at least 1).
+    /// Creates a static stripe map over `count` shards (clamped to at least
+    /// 1). Alias of [`ShardMap::stripes`], kept for the PR 2 call sites.
     #[must_use]
     pub fn new(count: u32) -> Self {
+        ShardMap::stripes(count)
+    }
+
+    /// Creates a static stripe map over `count` shards (clamped to at least
+    /// 1).
+    #[must_use]
+    pub fn stripes(count: u32) -> Self {
         ShardMap {
-            count: count.max(1),
+            partition: Partition::Stripes {
+                count: count.max(1),
+            },
         }
+    }
+
+    /// Creates a single-region adaptive map whose root square covers the
+    /// given inclusive chunk bounds (or a default 16×16-chunk square around
+    /// the origin when `bounds` is `None` — e.g. for a world with no loaded
+    /// chunks yet). Chunks outside the root are clamped onto its edge
+    /// shards, so the map is total over the chunk plane.
+    #[must_use]
+    pub fn regions_over(bounds: Option<(ChunkPos, ChunkPos)>) -> Self {
+        let (min, max) = bounds.unwrap_or((ChunkPos::new(-8, -8), ChunkPos::new(7, 7)));
+        let extent = (max.x.saturating_sub(min.x) + 1)
+            .max(max.z.saturating_sub(min.z) + 1)
+            .max(2 * MIN_REGION_CHUNKS);
+        // Next power of two, capped so x0 + size cannot overflow for any
+        // realistic world (2^20 chunks = 16 Mblocks across).
+        let size = (extent as u32).next_power_of_two().min(1 << 20) as i32;
+        ShardMap {
+            partition: Partition::Regions {
+                root: QuadNode::leaf(min.x, min.z, size),
+            },
+        }
+    }
+
+    /// Returns `true` for adaptive region maps (the ones
+    /// [`ShardMap::rebalanced`] can evolve).
+    #[must_use]
+    pub fn is_adaptive(&self) -> bool {
+        matches!(self.partition, Partition::Regions { .. })
     }
 
     /// Number of shards.
     #[must_use]
     pub fn count(&self) -> usize {
-        self.count as usize
+        match &self.partition {
+            Partition::Stripes { count } => *count as usize,
+            Partition::Regions { root } => root.leaves as usize,
+        }
     }
 
     /// The shard owning the given chunk.
     #[must_use]
     pub fn shard_of_chunk(&self, chunk: ChunkPos) -> usize {
-        chunk
-            .x
-            .div_euclid(SHARD_STRIPE_CHUNKS)
-            .rem_euclid(self.count as i32) as usize
+        match &self.partition {
+            Partition::Stripes { count } => chunk
+                .x
+                .div_euclid(SHARD_STRIPE_CHUNKS)
+                .rem_euclid(*count as i32) as usize,
+            Partition::Regions { root } => {
+                let cx = chunk.x.clamp(root.x0, root.x0 + root.size - 1);
+                let cz = chunk.z.clamp(root.z0, root.z0 + root.size - 1);
+                root.leaf_index_of(cx, cz)
+            }
+        }
     }
 
     /// The shard owning the chunk containing the given block.
@@ -117,15 +418,134 @@ impl ShardMap {
     pub fn interior_shard_of_block(&self, pos: BlockPos) -> Option<usize> {
         self.interior_shard(pos.chunk())
     }
+
+    /// The leaf squares of an adaptive map as `(x0, z0, size)` in shard
+    /// order; empty for stripe maps. Intended for tests, diagnostics and
+    /// partition visualization.
+    #[must_use]
+    pub fn region_rects(&self) -> Vec<(i32, i32, i32)> {
+        match &self.partition {
+            Partition::Stripes { .. } => Vec::new(),
+            Partition::Regions { root } => {
+                let mut rects = Vec::with_capacity(root.leaves as usize);
+                root.collect_leaves(&mut rects);
+                rects
+            }
+        }
+    }
+
+    /// One rebalancing step: a **pure function** of `(self, report)`.
+    ///
+    /// Returns the next partition when the hysteresis rule fires, `None`
+    /// when the partition is already balanced (or the map is a static
+    /// stripe map, the report is empty/stale, or no eligible candidate
+    /// exists). At most one operation happens per step, preferring splits:
+    ///
+    /// 1. **Split** the busiest leaf whose load exceeds
+    ///    [`SPLIT_LOAD_FACTOR`]× the mean shard load (a lone leaf holds the
+    ///    whole load by definition and splits under any load at all),
+    ///    provided its children would stay at least [`MIN_REGION_CHUNKS`]
+    ///    wide and the leaf count stays within `max_shards`.
+    /// 2. Otherwise **merge** the coldest quad of four sibling leaves whose
+    ///    combined load is below the mean divided by [`MERGE_LOAD_DIVISOR`].
+    ///
+    /// Ties break toward the lowest shard index, so the step is fully
+    /// deterministic.
+    #[must_use]
+    pub fn rebalanced(&self, report: &ShardLoadReport, max_shards: u32) -> Option<ShardMap> {
+        let Partition::Regions { root } = &self.partition else {
+            return None;
+        };
+        let loads = report.loads();
+        if loads.len() != self.count() {
+            return None; // stale report from a different partition
+        }
+        let total: u64 = loads.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let count = self.count() as u64;
+
+        // Split phase. A lone leaf carries the whole load by definition
+        // (its share can never exceed the mean), so any load at all splits
+        // it; from two shards up the hysteresis threshold applies.
+        if self.count() as u32 + 3 <= max_shards {
+            let mut rects = Vec::with_capacity(self.count());
+            root.collect_leaves(&mut rects);
+            let mut candidate: Option<(u32, u64)> = None;
+            for (index, (_, _, size)) in rects.iter().enumerate() {
+                if *size < 2 * MIN_REGION_CHUNKS {
+                    continue;
+                }
+                let load = loads[index];
+                let hot = count == 1 || load * count > SPLIT_LOAD_FACTOR * total;
+                if hot && candidate.is_none_or(|(_, best)| load > best) {
+                    candidate = Some((index as u32, load));
+                }
+            }
+            if let Some((index, _)) = candidate {
+                let mut next = root.clone();
+                if next.split_leaf(index) {
+                    return Some(ShardMap {
+                        partition: Partition::Regions { root: next },
+                    });
+                }
+            }
+        }
+
+        // Merge phase.
+        let mut starts = Vec::new();
+        root.collect_merge_starts(0, &mut starts);
+        let mut candidate: Option<(u32, u64)> = None;
+        for start in starts {
+            let quad: u64 = loads[start as usize..start as usize + 4].iter().sum();
+            if quad * count * MERGE_LOAD_DIVISOR < total
+                && candidate.is_none_or(|(_, best)| quad < best)
+            {
+                candidate = Some((start, quad));
+            }
+        }
+        if let Some((start, _)) = candidate {
+            let mut next = root.clone();
+            if next.merge_quad(start) {
+                return Some(ShardMap {
+                    partition: Partition::Regions { root: next },
+                });
+            }
+        }
+        None
+    }
+
+    /// Splits the largest splittable leaf (ties toward the lowest index);
+    /// used to pre-split an adaptive map toward its target shard count
+    /// before any load has been observed.
+    fn split_largest_leaf(&self) -> Option<ShardMap> {
+        let Partition::Regions { root } = &self.partition else {
+            return None;
+        };
+        let mut rects = Vec::with_capacity(self.count());
+        root.collect_leaves(&mut rects);
+        let (index, _) = rects
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, _, size))| *size >= 2 * MIN_REGION_CHUNKS)
+            .max_by(|(ai, (_, _, a)), (bi, (_, _, b))| a.cmp(b).then(bi.cmp(ai)))?;
+        let mut next = root.clone();
+        next.split_leaf(index as u32).then_some(ShardMap {
+            partition: Partition::Regions { root: next },
+        })
+    }
 }
 
-/// Execution configuration of the sharded tick pipeline: how many spatial
-/// shards the world is partitioned into and how many worker threads fan the
-/// per-shard work out.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// Execution configuration of the sharded tick pipeline: the current shard
+/// partition of the world, whether it rebalances between ticks, and how
+/// many worker threads fan the per-shard work out.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TickPipeline {
-    shards: u32,
     threads: u32,
+    rebalance: bool,
+    max_shards: u32,
+    map: ShardMap,
 }
 
 impl Default for TickPipeline {
@@ -135,28 +555,64 @@ impl Default for TickPipeline {
 }
 
 impl TickPipeline {
-    /// Creates a pipeline configuration (both values clamped to at least 1).
+    /// Creates a static stripe pipeline (both values clamped to at least 1).
     #[must_use]
     pub fn new(shards: u32, threads: u32) -> Self {
+        let shards = shards.max(1);
         TickPipeline {
-            shards: shards.max(1),
             threads: threads.max(1),
+            rebalance: false,
+            max_shards: shards,
+            map: ShardMap::stripes(shards),
         }
     }
 
     /// The classic single-shard, single-thread game loop.
     #[must_use]
     pub fn serial() -> Self {
+        TickPipeline::new(1, 1)
+    }
+
+    /// Creates an adaptive pipeline whose quadtree root covers the given
+    /// chunk bounds (see [`ShardMap::regions_over`]), pre-split toward
+    /// `target_shards` leaves and allowed to grow to `2 × target_shards`
+    /// leaves under load (the extra headroom is what lets hotspot regions
+    /// split without starving the rest of the map of shards).
+    ///
+    /// A `target_shards` of 1 is degenerate: a split needs headroom for 3
+    /// extra leaves, which a cap of 2 never grants, so the partition stays
+    /// frozen at one region (serial-equivalent execution through the
+    /// sharded path). Callers wanting an adaptive partition should pass a
+    /// target of at least 2 — the server layer only builds adaptive
+    /// pipelines for profiles with `tick_shards > 1`.
+    #[must_use]
+    pub fn adaptive(
+        bounds: Option<(ChunkPos, ChunkPos)>,
+        target_shards: u32,
+        threads: u32,
+    ) -> Self {
+        let target = target_shards.max(1);
+        let mut map = ShardMap::regions_over(bounds);
+        while (map.count() as u32) + 3 <= target {
+            match map.split_largest_leaf() {
+                Some(next) => map = next,
+                None => break,
+            }
+        }
         TickPipeline {
-            shards: 1,
-            threads: 1,
+            threads: threads.max(1),
+            rebalance: true,
+            max_shards: target.saturating_mul(2),
+            map,
         }
     }
 
-    /// Number of spatial shards.
+    /// Number of spatial shards in the current partition. For adaptive
+    /// pipelines this changes as the partition rebalances, and it is what
+    /// the compute model reports as the tick's parallel width.
     #[must_use]
     pub fn shards(&self) -> u32 {
-        self.shards
+        self.map.count() as u32
     }
 
     /// Number of worker threads used to process shards.
@@ -165,17 +621,47 @@ impl TickPipeline {
         self.threads
     }
 
-    /// Returns `true` when the sharded tick path should be used at all
-    /// (more than one shard).
+    /// Returns `true` when the sharded tick path should be used at all:
+    /// more than one shard, or an adaptive partition that may split later.
     #[must_use]
     pub fn is_sharded(&self) -> bool {
-        self.shards > 1
+        self.map.count() > 1 || self.rebalance
     }
 
-    /// The shard map this pipeline partitions the world with.
+    /// Returns `true` when the partition rebalances between ticks.
     #[must_use]
-    pub fn shard_map(&self) -> ShardMap {
-        ShardMap::new(self.shards)
+    pub fn rebalance_enabled(&self) -> bool {
+        self.rebalance
+    }
+
+    /// The shard map this pipeline currently partitions the world with.
+    #[must_use]
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Replaces the current shard map. A test and ablation hook: it lets a
+    /// harness force a specific partition (e.g. to migrate a fused TNT
+    /// chunk between shards mid-cascade) without synthesizing load reports.
+    pub fn set_map(&mut self, map: ShardMap) {
+        self.map = map;
+    }
+
+    /// Applies one tick's merged load report: runs one
+    /// [`ShardMap::rebalanced`] step and adopts the result. Returns `true`
+    /// when the partition changed. A no-op (returning `false`) for
+    /// non-rebalancing pipelines.
+    pub fn apply_load_report(&mut self, report: &ShardLoadReport) -> bool {
+        if !self.rebalance {
+            return false;
+        }
+        match self.map.rebalanced(report, self.max_shards) {
+            Some(next) => {
+                self.map = next;
+                true
+            }
+            None => false,
+        }
     }
 }
 
@@ -561,6 +1047,208 @@ mod tests {
         assert!(!p.is_sharded());
         assert!(TickPipeline::new(4, 2).is_sharded());
         assert_eq!(TickPipeline::default(), TickPipeline::serial());
+    }
+
+    fn region_map(bounds_min: (i32, i32), bounds_max: (i32, i32)) -> ShardMap {
+        ShardMap::regions_over(Some((
+            ChunkPos::new(bounds_min.0, bounds_min.1),
+            ChunkPos::new(bounds_max.0, bounds_max.1),
+        )))
+    }
+
+    #[test]
+    fn region_root_covers_the_bounds_with_one_leaf() {
+        let map = region_map((-4, -4), (4, 4));
+        assert!(map.is_adaptive());
+        assert_eq!(map.count(), 1);
+        let rects = map.region_rects();
+        assert_eq!(rects.len(), 1);
+        let (x0, z0, size) = rects[0];
+        assert_eq!((x0, z0), (-4, -4));
+        assert!(size >= 9 && (size as u32).is_power_of_two());
+        // Every chunk — inside or outside the root — maps to the one shard.
+        for &(x, z) in &[(0, 0), (-4, 4), (1_000, -1_000)] {
+            assert_eq!(map.shard_of_chunk(ChunkPos::new(x, z)), 0);
+            assert_eq!(map.interior_shard(ChunkPos::new(x, z)), Some(0));
+        }
+    }
+
+    #[test]
+    fn split_partitions_the_root_into_quadrants() {
+        let map = region_map((-8, -8), (7, 7));
+        let report = ShardLoadReport::new(vec![100]);
+        let split = map.rebalanced(&report, 8).expect("one hot leaf must split");
+        assert_eq!(split.count(), 4);
+        // Quadrant membership in canonical (NW, NE, SW, SE) order.
+        assert_eq!(split.shard_of_chunk(ChunkPos::new(-8, -8)), 0);
+        assert_eq!(split.shard_of_chunk(ChunkPos::new(0, -8)), 1);
+        assert_eq!(split.shard_of_chunk(ChunkPos::new(-8, 0)), 2);
+        assert_eq!(split.shard_of_chunk(ChunkPos::new(0, 0)), 3);
+        // Chunks outside the root clamp onto the edge shards.
+        assert_eq!(split.shard_of_chunk(ChunkPos::new(-100, -100)), 0);
+        assert_eq!(split.shard_of_chunk(ChunkPos::new(100, 100)), 3);
+        // The quadrant seam is boundary, quadrant cores are interior.
+        assert_eq!(split.interior_shard(ChunkPos::new(0, 0)), None);
+        assert_eq!(split.interior_shard(ChunkPos::new(-1, -1)), None);
+        assert_eq!(split.interior_shard(ChunkPos::new(-5, -5)), Some(0));
+        assert_eq!(split.interior_shard(ChunkPos::new(4, 4)), Some(3));
+    }
+
+    #[test]
+    fn rebalancing_is_a_pure_function_of_the_report() {
+        let mut map = region_map((-8, -8), (7, 7));
+        // Evolve through a few steps; at every step the same (map, report)
+        // pair must produce the same partition again.
+        let reports = [
+            vec![10_000u64],
+            vec![9_000, 100, 100, 100],
+            vec![8_000, 200, 200, 200, 100, 100, 100],
+        ];
+        for loads in reports {
+            let report = ShardLoadReport::new(loads);
+            let a = map.rebalanced(&report, 16);
+            let b = map.rebalanced(&report, 16);
+            assert_eq!(a, b, "rebalancing must be deterministic");
+            if let Some(next) = a {
+                map = next;
+            }
+        }
+        assert!(map.count() > 4, "hot shard 0 should keep splitting");
+    }
+
+    #[test]
+    fn split_respects_the_minimum_region_size_and_shard_cap() {
+        // Root of 8 chunks: one split produces minimum-size leaves that can
+        // never split again.
+        let map = region_map((0, 0), (7, 7));
+        let split = map
+            .rebalanced(&ShardLoadReport::new(vec![100]), 8)
+            .expect("root splits");
+        assert_eq!(split.count(), 4);
+        assert!(split
+            .region_rects()
+            .iter()
+            .all(|r| r.2 == MIN_REGION_CHUNKS));
+        let again = split.rebalanced(&ShardLoadReport::new(vec![100, 0, 0, 0]), 8);
+        assert_eq!(again, None, "minimum-size leaves must not split");
+        // Cap: a map already at the shard budget cannot split either.
+        let capped = split.rebalanced(&ShardLoadReport::new(vec![100, 0, 0, 0]), 4);
+        assert_eq!(capped, None);
+    }
+
+    #[test]
+    fn cold_quads_merge_back_and_hysteresis_prevents_oscillation() {
+        let map = region_map((-16, -16), (15, 15));
+        let split = map
+            .rebalanced(&ShardLoadReport::new(vec![100]), 8)
+            .expect("root splits");
+        assert_eq!(split.count(), 4);
+        // Balanced load: inside the dead band, nothing happens.
+        let balanced = ShardLoadReport::new(vec![25, 25, 25, 25]);
+        assert_eq!(split.rebalanced(&balanced, 8), None);
+        // A quad well below half the mean merges… except the only quad here
+        // is the whole root, whose load IS the total; craft a deeper tree.
+        let deeper = split
+            .rebalanced(&ShardLoadReport::new(vec![1_000, 10, 10, 10]), 16)
+            .expect("hot quadrant splits");
+        assert_eq!(deeper.count(), 7);
+        // Now the sub-quad (leaves 0..4) has gone cold while the remaining
+        // quadrants are hot; with the shard cap blocking further splits the
+        // cold quad merges back into one leaf.
+        let merged = deeper
+            .rebalanced(&ShardLoadReport::new(vec![1, 1, 1, 1, 500, 500, 500]), 8)
+            .expect("cold quad merges");
+        assert_eq!(merged.count(), 4);
+        // And the merged partition equals the original 4-leaf split.
+        assert_eq!(merged, split);
+    }
+
+    #[test]
+    fn stripe_maps_never_rebalance() {
+        let map = ShardMap::stripes(4);
+        assert!(!map.is_adaptive());
+        assert_eq!(
+            map.rebalanced(&ShardLoadReport::new(vec![100, 0, 0, 0]), 16),
+            None
+        );
+        assert!(map.region_rects().is_empty());
+    }
+
+    #[test]
+    fn stale_or_empty_reports_leave_the_partition_alone() {
+        let map = region_map((-8, -8), (7, 7));
+        assert_eq!(map.rebalanced(&ShardLoadReport::new(vec![]), 8), None);
+        assert_eq!(map.rebalanced(&ShardLoadReport::new(vec![0]), 8), None);
+        assert_eq!(
+            map.rebalanced(&ShardLoadReport::new(vec![5, 5]), 8),
+            None,
+            "a report sized for a different partition is stale"
+        );
+    }
+
+    #[test]
+    fn load_report_folds_stage_counters_with_model_weights() {
+        let report = ShardLoadReport::from_stage_work(&[10, 0, 2], &[1, 3, 0]);
+        assert_eq!(
+            report.loads(),
+            &[
+                10 * TERRAIN_LOAD_WEIGHT + ENTITY_LOAD_WEIGHT,
+                3 * ENTITY_LOAD_WEIGHT,
+                2 * TERRAIN_LOAD_WEIGHT
+            ]
+        );
+        assert_eq!(report.total(), report.loads().iter().sum::<u64>());
+        assert_eq!(report.max(), 3 * ENTITY_LOAD_WEIGHT);
+    }
+
+    #[test]
+    fn adaptive_pipeline_pre_splits_toward_the_target() {
+        let bounds = Some((ChunkPos::new(-16, -16), ChunkPos::new(15, 15)));
+        let p = TickPipeline::adaptive(bounds, 8, 2);
+        assert!(p.is_sharded());
+        assert!(p.rebalance_enabled());
+        assert_eq!(p.shards(), 7, "1 -> 4 -> 7 leaves, then 7 + 3 > 8");
+        assert!(p.shard_map().is_adaptive());
+        // A target of 1 is degenerate: the 2×target cap leaves no headroom
+        // for a split (which adds 3 leaves), so the partition is frozen at
+        // one region — serial-equivalent, though still on the sharded path.
+        let mut single = TickPipeline::adaptive(None, 1, 1);
+        assert_eq!(single.shards(), 1);
+        assert!(single.is_sharded());
+        assert!(!single.apply_load_report(&ShardLoadReport::new(vec![1_000_000])));
+        assert_eq!(single.shards(), 1, "degenerate target never splits");
+        // Static pipelines ignore load reports entirely.
+        let mut static_p = TickPipeline::new(4, 2);
+        assert!(!static_p.apply_load_report(&ShardLoadReport::new(vec![100, 0, 0, 0])));
+        assert_eq!(static_p.shards(), 4);
+    }
+
+    #[test]
+    fn every_chunk_maps_to_exactly_one_valid_shard_after_any_sequence() {
+        let mut pipeline =
+            TickPipeline::adaptive(Some((ChunkPos::new(-16, -16), ChunkPos::new(15, 15))), 8, 1);
+        let mut rng: u64 = 0x5EED;
+        for _ in 0..40 {
+            let count = pipeline.shards() as usize;
+            let loads: Vec<u64> = (0..count)
+                .map(|_| {
+                    rng = rng.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                    rng >> 40
+                })
+                .collect();
+            pipeline.apply_load_report(&ShardLoadReport::new(loads));
+            let map = pipeline.shard_map();
+            for x in -20..20 {
+                for z in -20..20 {
+                    let shard = map.shard_of_chunk(ChunkPos::new(x, z));
+                    assert!(shard < map.count());
+                }
+            }
+            // Leaf rects tile the root exactly once.
+            let rects = map.region_rects();
+            let area: i64 = rects.iter().map(|r| i64::from(r.2) * i64::from(r.2)).sum();
+            assert_eq!(area, 32 * 32, "leaves must tile the root");
+        }
     }
 
     #[test]

@@ -334,7 +334,7 @@ impl TerrainSimulator {
     /// comparison in the paper's sense would.
     pub fn tick_sharded(&self, world: &mut World, pipeline: &TickPipeline) -> ShardedTerrainTick {
         let map = pipeline.shard_map();
-        world.reshard(map);
+        world.reshard(map.clone());
         let shard_count = map.count();
         let threads = pipeline.threads();
         let tick = world.current_tick();
@@ -404,7 +404,7 @@ impl TerrainSimulator {
             if !tasks.is_empty() {
                 let generator = world.generator();
                 tasks = shard::run_tasks(tasks, threads, |_, task| {
-                    self.process_shard_batch(task, &map, generator, tick);
+                    self.process_shard_batch(task, map, generator, tick);
                 });
             }
 
@@ -483,7 +483,7 @@ impl TerrainSimulator {
         if !tasks.is_empty() {
             let generator = world.generator();
             tasks = shard::run_tasks(tasks, threads, |_, task| {
-                process_shard_random_ticks(task, &map, generator, tick);
+                process_shard_random_ticks(task, map, generator, tick);
             });
         }
         for task in tasks {
@@ -983,6 +983,79 @@ mod tests {
         );
         // All scheduled TNT fuses eventually fired despite truncation.
         assert_eq!(a.1 .3, 0, "every TNT block should have ignited");
+    }
+
+    #[test]
+    fn tnt_fuses_survive_a_mid_cascade_shard_migration() {
+        use crate::shard::ShardLoadReport;
+
+        // Fused TNT in chunk (1, 1) plus a water dump big enough to exhaust
+        // a tiny per-tick budget for several consecutive ticks, so the
+        // partition change below lands mid-cascade.
+        let fuse_positions: Vec<BlockPos> = (0..4).map(|i| BlockPos::new(20 + i, 61, 20)).collect();
+        let build = |fuses: &[BlockPos]| {
+            let mut w = World::new(Box::new(FlatGenerator::grassland()), 99);
+            w.ensure_area(ChunkPos::new(0, 0), 3);
+            let region = Region::new(BlockPos::new(4, 80, 4), BlockPos::new(9, 84, 9));
+            for pos in region.iter().collect::<Vec<_>>() {
+                w.set_block(pos, Block::simple(BlockKind::Water));
+            }
+            for (i, &pos) in fuses.iter().enumerate() {
+                w.set_block_silent(pos, Block::simple(BlockKind::Tnt));
+                w.schedule_tick(pos, 3 + i as u64);
+            }
+            w
+        };
+        let sim = TerrainSimulator {
+            max_updates_per_tick: 30,
+            ..TerrainSimulator::default()
+        };
+        let bounds = Some((ChunkPos::new(-3, -3), ChunkPos::new(3, 3)));
+
+        let run = |migrate: bool| {
+            let mut w = build(&fuse_positions);
+            let mut pipeline = TickPipeline::adaptive(bounds, 1, 2);
+            let mut detonations: Vec<(u64, BlockPos)> = Vec::new();
+            let mut truncated = false;
+            for tick in 1..=12u64 {
+                if migrate && tick == 3 {
+                    // Force a split mid-cascade: the fused chunk migrates
+                    // out of the lone root leaf into a quadrant shard.
+                    let before = pipeline.shard_map().shard_of_chunk(ChunkPos::new(1, 1));
+                    let next = pipeline
+                        .shard_map()
+                        .rebalanced(&ShardLoadReport::new(vec![1]), 8)
+                        .expect("root leaf splits");
+                    pipeline.set_map(next);
+                    let after = pipeline.shard_map().shard_of_chunk(ChunkPos::new(1, 1));
+                    assert_ne!(before, after, "the fused chunk must change shards");
+                }
+                w.advance_tick();
+                let out = sim.tick_sharded(&mut w, &pipeline);
+                truncated |= out.report.update_budget_exhausted;
+                for event in out.events {
+                    if let TerrainEvent::TntIgnited { pos } = event {
+                        detonations.push((tick, pos));
+                    }
+                }
+            }
+            assert!(truncated, "the scene must actually exhaust the budget");
+            assert_eq!(w.count_kind(BlockKind::Tnt), 0, "no fuse may be lost");
+            detonations.sort_unstable();
+            detonations
+        };
+
+        let stable = run(false);
+        let migrated = run(true);
+        // Scheduled fuses are budget-exempt: every TNT detonates on its
+        // exact due tick whether or not its chunk migrated mid-cascade.
+        let expected: Vec<(u64, BlockPos)> = fuse_positions
+            .iter()
+            .enumerate()
+            .map(|(i, &pos)| (3 + i as u64, pos))
+            .collect();
+        assert_eq!(stable, expected);
+        assert_eq!(migrated, expected);
     }
 
     #[test]

@@ -219,6 +219,23 @@ impl World {
         self.stores.iter().map(ShardStore::len).sum()
     }
 
+    /// Inclusive bounding box `(min, max)` of all loaded chunk positions,
+    /// or `None` when no chunk is loaded. Used to size the root square of
+    /// an adaptive shard partition around the world's actual footprint.
+    #[must_use]
+    pub fn chunk_bounds(&self) -> Option<(ChunkPos, ChunkPos)> {
+        let mut positions = self.stores.iter().flat_map(ShardStore::positions);
+        let first = positions.next()?;
+        let (mut min, mut max) = (first, first);
+        for pos in positions {
+            min.x = min.x.min(pos.x);
+            min.z = min.z.min(pos.z);
+            max.x = max.x.max(pos.x);
+            max.z = max.z.max(pos.z);
+        }
+        Some((min, max))
+    }
+
     /// Number of chunks generated since the last [`World::advance_tick`] call.
     ///
     /// Chunk generation is one of the data- and compute-intensive terrain

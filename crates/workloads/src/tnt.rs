@@ -55,9 +55,53 @@ pub fn build(seed: u64, scale: u32) -> BuiltWorkload {
     }
 }
 
+/// Spawn point of the [`clustered_hotspot_world`] scene, well away from the
+/// TNT column so the observing player's streamed chunks don't overlap it.
+pub const CLUSTERED_HOTSPOT_SPAWN: (f64, f64, f64) = (100.5, 61.0, 100.5);
+
+/// Builds the clustered-TNT *hotspot* scene used by the shard-rebalancing
+/// benchmarks and regression tests (not one of the paper's workloads).
+///
+/// Six TNT slabs sit inside the first 4-chunk x-stripe, spread along z —
+/// the shape a static stripe partition piles onto a single shard (one
+/// stripe owns the whole column) while an adaptive 2D region partition can
+/// split along z and spread across shards. Kept here so the bench and the
+/// integration test pinning the busiest-shard improvement measure the
+/// identical scene.
+#[must_use]
+pub fn clustered_hotspot_world(seed: u64) -> World {
+    let mut world = World::new(Box::new(FlatGenerator::grassland()), seed);
+    world.ensure_area(ChunkPos::new(8, 8), 8);
+    for cluster in 0..6 {
+        let z0 = 8 + cluster * 40;
+        world.fill_region(
+            Region::new(BlockPos::new(8, 61, z0), BlockPos::new(40, 62, z0 + 8)),
+            Block::simple(BlockKind::Tnt),
+        );
+    }
+    world
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn clustered_hotspot_sits_inside_one_x_stripe() {
+        let world = clustered_hotspot_world(7);
+        assert!(world.count_kind(BlockKind::Tnt) > 0);
+        // Every TNT block lives in chunk columns 0..3 — a single 4-chunk
+        // stripe — which is the property the rebalancing comparison needs.
+        for chunk in world.iter_chunks() {
+            if chunk.count_kind(BlockKind::Tnt) > 0 {
+                assert!(
+                    (0..4).contains(&chunk.pos().x),
+                    "TNT leaked outside the first stripe: {:?}",
+                    chunk.pos()
+                );
+            }
+        }
+    }
 
     #[test]
     fn cuboid_has_the_paper_dimensions_at_scale_one() {

@@ -36,8 +36,20 @@
 //! are partitioned into spatial shards, entities are batched by owning
 //! shard, and per-tick work fans out over a reusable worker pool — with
 //! results merged in canonical shard order, so output is bit-identical at
-//! any `tick_threads` setting (campaigns can sweep that axis). The
-//! Folia-like `ServerFlavor::Folia` turns the sharded architecture on; the
-//! cost model's Amdahl-style `parallelizable` work split is how vCPU count
-//! affects tick busy time. (The legacy `ExperimentRunner` shim has been
-//! removed; use `Campaign::from_config`.)
+//! any `tick_threads` setting (campaigns can sweep that axis). Two
+//! partitions exist: static 4-chunk x-stripes, and an **adaptive 2D region
+//! quadtree** that splits hot regions and merges cold ones between ticks
+//! based on the previous tick's merged load report (split above 2× the
+//! mean shard load, merge below ½× — a hysteresis band that prevents
+//! oscillation; decisions are a pure function of the report, so the
+//! partition evolves identically at any thread count). The Folia-like
+//! `ServerFlavor::Folia` turns the sharded architecture on *and*
+//! rebalances; the paper's flavors stay serial, preserving MF2's
+//! Lag-workload crash. Campaigns sweep the architecture through the
+//! `shard_rebalance` axis (seed-paired with the static partition). The
+//! cost model's Amdahl-style `parallelizable` work split — whose
+//! `parallel_width`/`max_shard` reflect the post-rebalance partition — is
+//! how vCPU count affects tick busy time, and why rebalancing lets added
+//! cores absorb clustered hotspots (the busiest-shard floor shrinks).
+//! (The legacy `ExperimentRunner` shim has been removed; use
+//! `Campaign::from_config`.)

@@ -1,0 +1,157 @@
+//! Property-based tests (vendored proptest) for the shard-partition
+//! invariants the sharded tick pipeline's determinism rests on:
+//!
+//! * every loaded chunk maps to exactly one shard, before and after any
+//!   split/merge sequence (chunk stores and the map never disagree);
+//! * boundary classification is symmetric: two adjacent chunks in different
+//!   shards are both boundary chunks, and an interior chunk's whole 3×3
+//!   neighbourhood belongs to its shard;
+//! * rebalancing is a pure function of the load report — the same (map,
+//!   report) pair always produces the same partition.
+
+use proptest::prelude::*;
+
+use mlg_world::generation::FlatGenerator;
+use mlg_world::shard::{ShardLoadReport, ShardMap, TickPipeline};
+use mlg_world::{ChunkPos, World};
+
+/// Splitmix64 step: the deterministic load-report generator the properties
+/// drive rebalancing with.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A synthetic load report for the map's current shard count: mostly small
+/// loads with occasional hotspots, so both split and merge paths fire.
+fn random_report(state: &mut u64, shards: usize) -> ShardLoadReport {
+    let loads = (0..shards)
+        .map(|_| {
+            let draw = splitmix(state);
+            if draw.is_multiple_of(5) {
+                draw >> 40 // hotspot-sized load
+            } else {
+                draw % 97 // background noise
+            }
+        })
+        .collect();
+    ShardLoadReport::new(loads)
+}
+
+/// Runs `steps` rebalancing steps from a fixed initial adaptive partition
+/// and returns every intermediate map (including the initial one).
+fn rebalance_sequence(seed: u64, steps: usize) -> Vec<ShardMap> {
+    let mut pipeline =
+        TickPipeline::adaptive(Some((ChunkPos::new(-16, -16), ChunkPos::new(15, 15))), 8, 1);
+    let mut state = seed;
+    let mut maps = vec![pipeline.shard_map().clone()];
+    for _ in 0..steps {
+        let report = random_report(&mut state, pipeline.shards() as usize);
+        pipeline.apply_load_report(&report);
+        maps.push(pipeline.shard_map().clone());
+    }
+    maps
+}
+
+proptest! {
+    #[test]
+    fn every_chunk_maps_to_exactly_one_shard_through_any_split_merge_sequence(
+        seed in any::<u64>(),
+        steps in 1usize..24,
+    ) {
+        let mut world = World::new(Box::new(FlatGenerator::grassland()), seed ^ 0xA5);
+        world.ensure_area(ChunkPos::new(0, 0), 6);
+        let chunk_count = world.loaded_chunk_count();
+        for map in rebalance_sequence(seed, steps) {
+            // The map is total and in-range over a window wider than the
+            // quadtree root (out-of-root chunks clamp onto edge shards).
+            for x in (-40..40).step_by(5) {
+                for z in (-40..40).step_by(5) {
+                    prop_assert!(map.shard_of_chunk(ChunkPos::new(x, z)) < map.count());
+                }
+            }
+            // Resharding the world to this partition loses no chunk, and
+            // every chunk lands in exactly the store its shard index names.
+            world.reshard(map.clone());
+            prop_assert_eq!(world.loaded_chunk_count(), chunk_count);
+            let mut seen = 0usize;
+            for shard in 0..map.count() {
+                for pos in world.shard_store(shard).positions() {
+                    prop_assert_eq!(map.shard_of_chunk(pos), shard);
+                    seen += 1;
+                }
+            }
+            prop_assert_eq!(seen, chunk_count);
+        }
+    }
+
+    #[test]
+    fn boundary_classification_is_symmetric(
+        seed in any::<u64>(),
+        steps in 1usize..24,
+    ) {
+        let maps = rebalance_sequence(seed, steps);
+        let map = maps.last().expect("sequence is never empty");
+        for x in -20..20 {
+            for z in -20..20 {
+                let a = ChunkPos::new(x, z);
+                match map.interior_shard(a) {
+                    // Interior: the whole 3×3 neighbourhood shares the shard.
+                    Some(shard) => {
+                        prop_assert_eq!(map.shard_of_chunk(a), shard);
+                        for dx in -1..=1 {
+                            for dz in -1..=1 {
+                                let n = ChunkPos::new(x + dx, z + dz);
+                                prop_assert_eq!(map.shard_of_chunk(n), shard);
+                            }
+                        }
+                    }
+                    // Boundary: some direct neighbour is in another shard,
+                    // and that neighbour must classify as boundary too.
+                    None => {
+                        let shard = map.shard_of_chunk(a);
+                        for dx in -1..=1i32 {
+                            for dz in -1..=1i32 {
+                                let n = ChunkPos::new(x + dx, z + dz);
+                                if map.shard_of_chunk(n) != shard {
+                                    prop_assert_eq!(map.interior_shard(n), None);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rebalancing_is_a_pure_function_of_the_load_report(
+        seed in any::<u64>(),
+        steps in 1usize..24,
+    ) {
+        // Replaying the identical report sequence reproduces the identical
+        // partition sequence…
+        let first = rebalance_sequence(seed, steps);
+        let second = rebalance_sequence(seed, steps);
+        prop_assert_eq!(&first, &second);
+        // …and each individual step is idempotent on (map, report).
+        let mut state = seed;
+        for map in &first {
+            let report = random_report(&mut state, map.count());
+            prop_assert_eq!(map.rebalanced(&report, 16), map.rebalanced(&report, 16));
+        }
+    }
+
+    #[test]
+    fn static_stripe_maps_ignore_every_report(
+        count in 1u32..12,
+        load in 1u64..1_000_000,
+    ) {
+        let map = ShardMap::stripes(count);
+        let report = ShardLoadReport::new(vec![load; map.count()]);
+        prop_assert_eq!(map.rebalanced(&report, 64), None);
+    }
+}

@@ -16,6 +16,9 @@ use mlg_world::generation::FlatGenerator;
 use mlg_world::{Block, BlockKind, BlockPos, Region, World};
 
 fn folia_campaign(workload: WorkloadKind, seed: u64, threads: u32) -> Campaign {
+    // Folia defaults to the adaptive quadtree partition, so this pins the
+    // rebalancing path; `rebalance_sweep_campaign` below additionally pins
+    // the static stripes through the explicit axis.
     Campaign::new()
         .workloads([workload])
         .flavors([ServerFlavor::Folia])
@@ -24,6 +27,20 @@ fn folia_campaign(workload: WorkloadKind, seed: u64, threads: u32) -> Campaign {
         .duration_secs(3)
         .iterations(2)
         .seed(seed)
+}
+
+fn rebalance_sweep_campaign(workload: WorkloadKind, threads: u32) -> Campaign {
+    // Both partition architectures through the explicit shard_rebalance
+    // axis (static stripes AND the adaptive quadtree, seed-paired).
+    Campaign::new()
+        .workloads([workload])
+        .flavors([ServerFlavor::Folia])
+        .environments([Environment::das5(4)])
+        .tick_threads([threads])
+        .shard_rebalance([false, true])
+        .duration_secs(3)
+        .iterations(1)
+        .seed(4242)
 }
 
 fn assert_bit_identical(a: &CampaignResults, b: &CampaignResults, context: &str) {
@@ -68,6 +85,80 @@ fn sharded_campaigns_are_bit_identical_across_thread_counts() {
             );
         }
     }
+}
+
+#[test]
+fn rebalancing_campaigns_are_bit_identical_at_1_4_and_8_threads() {
+    // The adaptive partition evolves from merged load reports only, so the
+    // hotspot workloads (TNT cascades, Lag's redstone storm) must replay
+    // bit-identically at any worker-thread count.
+    for workload in [WorkloadKind::Tnt, WorkloadKind::Lag] {
+        let reference = rebalance_sweep_campaign(workload, 1).run().unwrap();
+        for threads in [4u32, 8] {
+            let parallel = rebalance_sweep_campaign(workload, threads).run().unwrap();
+            assert_bit_identical(
+                &reference,
+                &parallel,
+                &format!("{workload} rebalance sweep (1 vs {threads} threads)"),
+            );
+        }
+    }
+}
+
+/// A clustered-TNT hotspot server over the shared
+/// [`meterstick_workloads::tnt::clustered_hotspot_world`] scene — the shape
+/// static stripes cannot split (one stripe owns the whole hotspot) but 2D
+/// regions can. The `tick_hotpaths` bench measures the identical scene.
+fn clustered_tnt_server(rebalance: bool, threads: u32) -> GameServer {
+    let world = meterstick_workloads::tnt::clustered_hotspot_world(7);
+    let (sx, sy, sz) = meterstick_workloads::tnt::CLUSTERED_HOTSPOT_SPAWN;
+    let config = ServerConfig::for_flavor(ServerFlavor::Folia)
+        .with_view_distance(2)
+        .with_tick_threads(threads)
+        .with_shard_rebalance(Some(rebalance));
+    let mut server = GameServer::new(config, world, mlg_entity::Vec3::new(sx, sy, sz));
+    server.connect_player("probe");
+    server.schedule_tnt_ignition(2);
+    server
+}
+
+#[test]
+fn adaptive_regions_cut_the_busiest_shard_on_a_clustered_tnt_hotspot() {
+    let run = |rebalance: bool, threads: u32| {
+        let mut server = clustered_tnt_server(rebalance, threads);
+        let mut engine = Environment::das5(8).instantiate(1).engine;
+        (0..150)
+            .map(|_| server.run_tick(&mut engine))
+            .collect::<Vec<_>>()
+    };
+
+    let static_stripes = run(false, 8);
+    let adaptive = run(true, 8);
+    // Both partitions are thread-count invariant, rebalancing included.
+    assert_eq!(
+        adaptive,
+        run(true, 1),
+        "adaptive run diverged across threads"
+    );
+
+    let floor = |summaries: &[mlg_server::TickSummary]| -> u64 {
+        summaries.iter().map(|s| s.max_shard_work).sum()
+    };
+    let busy = |summaries: &[mlg_server::TickSummary]| -> f64 {
+        summaries.iter().map(|s| s.record.busy_ms).sum()
+    };
+    let (static_floor, adaptive_floor) = (floor(&static_stripes), floor(&adaptive));
+    assert!(static_floor > 0, "the hotspot must load the busiest shard");
+    assert!(
+        adaptive_floor < static_floor * 4 / 5,
+        "adaptive regions should cut the busiest-shard floor: static {static_floor}, adaptive {adaptive_floor}"
+    );
+    assert!(
+        busy(&adaptive) < busy(&static_stripes),
+        "lower busiest-shard floor should shorten tick busy time: static {} ms, adaptive {} ms",
+        busy(&static_stripes),
+        busy(&adaptive)
+    );
 }
 
 #[test]
