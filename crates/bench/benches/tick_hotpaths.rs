@@ -213,6 +213,54 @@ fn bench_shard_rebalancing(c: &mut Criterion) {
     group.finish();
 }
 
+/// Substrate wall-clock cost of the stage-parallel tick graph under the
+/// player-heavy Crowd workload (220 building bots): the serial reference
+/// path vs the worker pool, and the vanilla serial loop for scale. The
+/// *modeled* stage-parallel win is pinned by
+/// `stage_parallel_graph_beats_serial_player_and_dissemination_stages` in
+/// `tests/sharded_determinism.rs`; this group measures what the substrate
+/// itself pays for shard batching and the pipelined lighting stage.
+fn bench_stage_breakdown(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stage_breakdown");
+    group.sample_size(10);
+    for (name, flavor, threads, eager) in [
+        ("crowd_vanilla_serial", ServerFlavor::Vanilla, 1u32, None),
+        ("crowd_folia_1thr", ServerFlavor::Folia, 1, None),
+        ("crowd_folia_8thr", ServerFlavor::Folia, 8, None),
+        (
+            "crowd_folia_8thr_eager_light",
+            ServerFlavor::Folia,
+            8,
+            Some(true),
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            let built = WorkloadSpec::new(WorkloadKind::Crowd).build(392_114_485);
+            let config = ServerConfig::for_flavor(flavor)
+                .with_view_distance(2)
+                .with_tick_threads(threads)
+                .with_eager_lighting(eager);
+            let mut server = GameServer::new(config, built.world, built.spawn_point);
+            let mut emulation = PlayerEmulation::new(
+                built.players.bots,
+                built.spawn_point,
+                built.players.walk_area,
+                built.players.moving,
+                LinkConfig::datacenter(),
+                7,
+            )
+            .with_builders();
+            emulation.connect_all(&mut server);
+            let mut engine = Environment::das5(8).instantiate(1).engine;
+            for _ in 0..30 {
+                emulation.step(&mut server, &mut engine);
+            }
+            b.iter(|| emulation.step(&mut server, &mut engine));
+        });
+    }
+    group.finish();
+}
+
 fn bench_player_emulation(c: &mut Criterion) {
     c.bench_function("players_workload_tick_25_bots", |b| {
         let (mut server, mut emulation) = prepared_server(WorkloadKind::Players);
@@ -232,6 +280,7 @@ criterion_group!(
     bench_pathfinding,
     bench_sharded_tick,
     bench_shard_rebalancing,
+    bench_stage_breakdown,
     bench_player_emulation
 );
 criterion_main!(benches);

@@ -24,6 +24,11 @@ fn main() {
             WorkloadKind::Tnt,
             WorkloadKind::Farm,
             WorkloadKind::Lag,
+            // The player-heavy crowd: 220 clustered bots emitting movement
+            // AND block actions, so the *player-handler* stage's shard
+            // batching (interior parallel phase + serial escalation of
+            // cross-shard edits) is exercised, not just terrain/entities.
+            WorkloadKind::Crowd,
         ])
         // Folia only: serial flavors never enter the tick pipeline, so
         // their thread invariance is structural (tick_threads is excluded
@@ -37,6 +42,11 @@ fn main() {
         // merged load reports and must replay identically at any thread
         // count).
         .shard_rebalance([false, true])
+        // Both lighting architectures are pinned too: eager in-stage
+        // relighting and the cross-tick pipelined lighting stage (whose
+        // one-tick-lagged queue must replay identically at any thread
+        // count).
+        .eager_lighting([true, false])
         .duration_secs(duration_from_args().min(10))
         .iterations(1);
     let results = run_campaign(&campaign);

@@ -81,6 +81,76 @@ impl TickWork {
     }
 }
 
+/// One stage of a tick's compute demand in the stage-parallel tick graph.
+///
+/// A tick is a sequence of stages (player handler, terrain, entities,
+/// lighting, dissemination, …), each declaring its own serial/parallel
+/// split: `main_thread` work runs on the game-loop thread, `parallelizable`
+/// work fans out over up to `parallel_width` cores with a load-balance
+/// floor at `max_shard` (the busiest shard's indivisible share). Stages
+/// barrier in order — the tick's critical path is the sum of per-stage
+/// Amdahl critical paths — which is exactly how a sharded game loop with
+/// per-stage fork/join behaves. Offloadable (asynchronous) work is not per
+/// stage: it overlaps the whole tick on spare cores and is passed
+/// separately to [`ComputeEngine::execute_stages`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageWork {
+    /// Work bound to the main game-loop thread during this stage.
+    pub main_thread: u64,
+    /// Work divisible across cores within this stage.
+    pub parallelizable: u64,
+    /// Maximum number of workers the stage's parallel work can usefully
+    /// spread over (the shard count; `u32::MAX` for freely divisible work).
+    pub parallel_width: u32,
+    /// The largest indivisible share of `parallelizable` (the busiest
+    /// shard's work in this stage).
+    pub max_shard: u64,
+}
+
+impl Default for StageWork {
+    fn default() -> Self {
+        StageWork {
+            main_thread: 0,
+            parallelizable: 0,
+            parallel_width: 1,
+            max_shard: 0,
+        }
+    }
+}
+
+impl StageWork {
+    /// A stage bound entirely to the main thread.
+    #[must_use]
+    pub fn serial(main_thread: u64) -> Self {
+        StageWork {
+            main_thread,
+            ..StageWork::default()
+        }
+    }
+
+    /// Total work units of this stage regardless of placement.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.main_thread + self.parallelizable
+    }
+}
+
+/// Result of executing one staged tick on the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StagedTickExecution {
+    /// Critical-path milliseconds contributed by each stage, in input
+    /// order (serial part plus the stage's Amdahl parallel phase). A
+    /// fully offloaded stage contributes 0 here — its cost shows up in
+    /// `offload_overflow_ms` only when the tick had no slack to hide it.
+    pub stage_ms: Vec<f64>,
+    /// Milliseconds by which offloadable work stretched the tick beyond
+    /// the stage critical paths (0 when it fit into idle-core slack).
+    pub offload_overflow_ms: f64,
+    /// The whole-tick execution record (busy time, interference,
+    /// utilization), identical in meaning to [`ComputeEngine::execute_tick`].
+    pub execution: TickExecution,
+}
+
 /// Result of executing one tick on the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TickExecution {
@@ -137,46 +207,88 @@ impl ComputeEngine {
     ///
     /// `tick_budget_ms` is the nominal tick length (50 ms); it is used for
     /// credit accrual (idle time between ticks earns credits back).
+    ///
+    /// Equivalent to [`ComputeEngine::execute_stages`] with the whole tick
+    /// folded into a single stage.
     pub fn execute_tick(&mut self, work: TickWork, tick_budget_ms: f64) -> TickExecution {
+        let stage = StageWork {
+            main_thread: work.main_thread,
+            parallelizable: work.parallelizable,
+            parallel_width: work.parallel_width,
+            max_shard: work.max_shard,
+        };
+        self.execute_stages(&[stage], work.offloadable, tick_budget_ms)
+            .execution
+    }
+
+    /// Executes one tick decomposed into an ordered stage graph and returns
+    /// per-stage critical-path milliseconds alongside the whole-tick record.
+    ///
+    /// Each stage contributes its own Amdahl critical path — serial
+    /// main-thread time plus its parallel phase fanned out over
+    /// min(vCPUs, `parallel_width`) cores, floored by the stage's busiest
+    /// shard — and the stages barrier in order, so the tick's busy time is
+    /// the sum of stage critical paths. `offloadable` work overlaps the
+    /// *whole* tick on idle-core slack accumulated across all stages (a
+    /// cross-tick-pipelined lighting pass, async chat); it stretches the
+    /// tick only when it exceeds that slack. Capacity is conserved: the
+    /// model never uses more core-milliseconds than the node has.
+    pub fn execute_stages(
+        &mut self,
+        stages: &[StageWork],
+        offloadable: u64,
+        tick_budget_ms: f64,
+    ) -> StagedTickExecution {
         let interference = self.interference.sample_tick();
         let throttle = self.pending_throttle;
         let per_core_rate = self.node.work_units_per_core_ms() / (interference * throttle);
 
-        // The tick's critical path: serial main-thread work, plus the
+        // Per-stage critical paths: serial main-thread work, plus the
         // parallel phase fanned out over min(vCPUs, parallel_width) cores —
         // Amdahl's law with a load-balance floor at the busiest shard.
-        let main_ms = work.main_thread as f64 / per_core_rate;
-        let width = f64::from(self.node.vcpus.min(work.parallel_width).max(1));
-        let parallel_ideal = work.parallelizable as f64 / width;
-        let parallel_floor = work.max_shard.min(work.parallelizable) as f64;
-        let parallel_ms = parallel_ideal.max(parallel_floor) / per_core_rate;
-        let critical_ms = main_ms + parallel_ms;
+        // Idle-core slack (for hiding offloadable work) accrues per stage:
+        // vCPUs-1 cores while a stage's serial part runs, vCPUs-width cores
+        // while its parallel phase runs.
+        let aux_cores = f64::from(self.node.vcpus.saturating_sub(1)).max(0.0);
+        let mut stage_ms = Vec::with_capacity(stages.len());
+        let mut critical_ms = 0.0;
+        let mut slack_core_ms = 0.0;
+        let mut total_units = offloadable;
+        for stage in stages {
+            total_units += stage.total();
+            let main_ms = stage.main_thread as f64 / per_core_rate;
+            let width = f64::from(self.node.vcpus.min(stage.parallel_width).max(1));
+            let parallel_ideal = stage.parallelizable as f64 / width;
+            let parallel_floor = stage.max_shard.min(stage.parallelizable) as f64;
+            let parallel_ms = parallel_ideal.max(parallel_floor) / per_core_rate;
+            critical_ms += main_ms + parallel_ms;
+            slack_core_ms +=
+                aux_cores * main_ms + (f64::from(self.node.vcpus) - width).max(0.0) * parallel_ms;
+            stage_ms.push(main_ms + parallel_ms);
+        }
 
         // Offloadable work runs concurrently with the game loop on whatever
-        // core capacity the critical path leaves idle: vCPUs-1 cores while
-        // the serial part runs, vCPUs-width cores while the parallel phase
-        // runs. Capacity is conserved — the tick stretches when offloadable
-        // work exceeds that slack (with no parallel phase this reduces
-        // exactly to the previous max(main, offload/aux) model).
-        let aux_cores = f64::from(self.node.vcpus.saturating_sub(1)).max(0.0);
-        let offload_core_ms = work.offloadable as f64 / per_core_rate;
-        let busy_ms = if work.offloadable == 0 {
-            critical_ms
+        // core capacity the stage critical paths leave idle. The tick
+        // stretches when offloadable work exceeds that slack (with no
+        // parallel phase this reduces exactly to the previous
+        // max(main, offload/aux) model).
+        let offload_core_ms = offloadable as f64 / per_core_rate;
+        let offload_overflow_ms = if offloadable == 0 {
+            0.0
         } else if aux_cores > 0.0 {
-            let slack_core_ms =
-                aux_cores * main_ms + (f64::from(self.node.vcpus) - width).max(0.0) * parallel_ms;
             if offload_core_ms <= slack_core_ms {
-                critical_ms
+                0.0
             } else {
-                critical_ms + (offload_core_ms - slack_core_ms) / aux_cores
+                (offload_core_ms - slack_core_ms) / aux_cores
             }
         } else {
             // No spare core: offloadable work falls back onto the main thread.
-            critical_ms + offload_core_ms
+            offload_core_ms
         };
+        let busy_ms = critical_ms + offload_overflow_ms;
 
         // Core-seconds actually consumed (work / single-core rate).
-        let core_seconds = (work.total() as f64 / per_core_rate) / 1_000.0;
+        let core_seconds = (total_units as f64 / per_core_rate) / 1_000.0;
         let wall_ms = busy_ms.max(tick_budget_ms);
         let capacity_core_seconds = f64::from(self.node.vcpus) * wall_ms / 1_000.0;
         let cpu_utilization = (core_seconds / capacity_core_seconds).clamp(0.0, 1.0);
@@ -184,12 +296,16 @@ impl ComputeEngine {
         // Update burst credits; the throttle applies from the next tick.
         self.pending_throttle = self.credits.account(core_seconds, wall_ms / 1_000.0);
 
-        TickExecution {
-            busy_ms,
-            interference_multiplier: interference,
-            throttle_multiplier: throttle,
-            core_seconds,
-            cpu_utilization,
+        StagedTickExecution {
+            stage_ms,
+            offload_overflow_ms,
+            execution: TickExecution {
+                busy_ms,
+                interference_multiplier: interference,
+                throttle_multiplier: throttle,
+                core_seconds,
+                cpu_utilization,
+            },
         }
     }
 }
@@ -432,6 +548,120 @@ mod tests {
             throttled > first * 2.0,
             "throttled tick ({throttled} ms) should be much slower than unthrottled ({first} ms)"
         );
+    }
+
+    #[test]
+    fn staged_execution_matches_the_single_stage_tick() {
+        let work = TickWork {
+            main_thread: 120_000,
+            parallelizable: 300_000,
+            parallel_width: 4,
+            max_shard: 90_000,
+            offloadable: 40_000,
+        };
+        let stage = StageWork {
+            main_thread: work.main_thread,
+            parallelizable: work.parallelizable,
+            parallel_width: work.parallel_width,
+            max_shard: work.max_shard,
+        };
+        let mut a = quiet_engine(NodeType::das5(4));
+        let mut b = quiet_engine(NodeType::das5(4));
+        let single = a.execute_tick(work, 50.0);
+        let staged = b.execute_stages(&[stage], work.offloadable, 50.0);
+        assert_eq!(single, staged.execution);
+        assert_eq!(staged.stage_ms.len(), 1);
+        assert!(
+            (staged.stage_ms[0] + staged.offload_overflow_ms - single.busy_ms).abs() < 1e-12,
+            "stage breakdown must account for the whole tick"
+        );
+    }
+
+    #[test]
+    fn stage_critical_paths_sum_and_floors_apply_per_stage() {
+        // Two stages with the same totals as one merged stage, but the
+        // second stage's floor binds: the staged tick must be slower than
+        // the merged tick (the floor cannot be amortized across stages).
+        let stages = [
+            StageWork {
+                main_thread: 50_000,
+                parallelizable: 200_000,
+                parallel_width: 4,
+                max_shard: 50_000,
+            },
+            StageWork {
+                main_thread: 50_000,
+                parallelizable: 200_000,
+                parallel_width: 4,
+                max_shard: 190_000,
+            },
+        ];
+        let merged = TickWork {
+            main_thread: 100_000,
+            parallelizable: 400_000,
+            parallel_width: 4,
+            max_shard: 190_000,
+            offloadable: 0,
+        };
+        let mut a = quiet_engine(NodeType::das5(4));
+        let mut b = quiet_engine(NodeType::das5(4));
+        let staged = a.execute_stages(&stages, 0, 50.0);
+        let single = b.execute_tick(merged, 50.0);
+        let sum: f64 = staged.stage_ms.iter().sum();
+        assert!((sum - staged.execution.busy_ms).abs() < 1e-12);
+        assert!(
+            staged.execution.busy_ms > single.busy_ms,
+            "a floor binding inside one stage must cost more than the same \
+             floor over the merged tick (staged {} ms vs merged {} ms)",
+            staged.execution.busy_ms,
+            single.busy_ms
+        );
+    }
+
+    #[test]
+    fn parallelizing_a_serial_stage_shortens_the_staged_tick() {
+        // The stage-parallel refactor in one number: moving a stage's work
+        // from main_thread to parallelizable must shorten the tick on a
+        // multi-core node.
+        let serial_stage1 = [StageWork::serial(300_000), StageWork::serial(100_000)];
+        let parallel_stage1 = [
+            StageWork {
+                main_thread: 60_000,
+                parallelizable: 240_000,
+                parallel_width: 8,
+                max_shard: 40_000,
+            },
+            StageWork::serial(100_000),
+        ];
+        let mut a = quiet_engine(NodeType::das5(8));
+        let mut b = quiet_engine(NodeType::das5(8));
+        let before = a.execute_stages(&serial_stage1, 0, 50.0).execution.busy_ms;
+        let after = b
+            .execute_stages(&parallel_stage1, 0, 50.0)
+            .execution
+            .busy_ms;
+        assert!(
+            after < before * 0.6,
+            "sharding the stage must shorten the tick ({after} ms vs {before} ms)"
+        );
+    }
+
+    #[test]
+    fn offloaded_work_hides_in_stage_slack() {
+        // A pipelined lighting pass: all-offloadable work overlapping a
+        // tick with a long serial stage costs nothing on a multi-core
+        // node, but stretches a single-core tick in full.
+        let stages = [StageWork::serial(200_000)];
+        let mut multi = quiet_engine(NodeType::das5(4));
+        let with_light = multi.execute_stages(&stages, 150_000, 50.0);
+        assert_eq!(
+            with_light.offload_overflow_ms, 0.0,
+            "offloaded lighting must hide in the serial stage's slack"
+        );
+        let mut single = quiet_engine(NodeType::das5(1));
+        let squeezed = single.execute_stages(&stages, 150_000, 50.0);
+        assert!(squeezed.offload_overflow_ms > 0.0);
+        assert!(squeezed.execution.busy_ms > with_light.execution.busy_ms);
     }
 
     #[test]

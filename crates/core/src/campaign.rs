@@ -62,6 +62,8 @@ pub struct CellCoord {
     pub tick_threads: usize,
     /// Index into the campaign's shard-rebalance list.
     pub shard_rebalance: usize,
+    /// Index into the campaign's eager-lighting list.
+    pub eager_lighting: usize,
 }
 
 /// One independently executable unit of a campaign: a single iteration of a
@@ -107,8 +109,13 @@ impl IterationJob {
             Some(false) => " [static]",
             None => "",
         };
+        let lighting = match self.config.eager_lighting {
+            Some(true) => " [eager]",
+            Some(false) => " [pipelined]",
+            None => "",
+        };
         format!(
-            "{} × {} @ {}{threads}{rebalance} #{}",
+            "{} × {} @ {}{threads}{rebalance}{lighting} #{}",
             self.config.workload.kind,
             self.flavor,
             self.config.environment.label(),
@@ -337,6 +344,7 @@ pub struct Campaign {
     environments: Vec<Environment>,
     tick_threads: Vec<u32>,
     shard_rebalance: Vec<Option<bool>>,
+    eager_lighting: Vec<Option<bool>>,
 }
 
 impl Default for Campaign {
@@ -357,6 +365,7 @@ impl Campaign {
             workloads: Vec::new(),
             tick_threads: vec![template.tick_threads],
             shard_rebalance: vec![template.shard_rebalance],
+            eager_lighting: vec![template.eager_lighting],
             template,
         }
     }
@@ -372,6 +381,7 @@ impl Campaign {
             environments: vec![config.environment.clone()],
             tick_threads: vec![config.tick_threads],
             shard_rebalance: vec![config.shard_rebalance],
+            eager_lighting: vec![config.eager_lighting],
             template: config,
         }
     }
@@ -428,6 +438,20 @@ impl Campaign {
     #[must_use]
     pub fn shard_rebalance(mut self, settings: impl IntoIterator<Item = bool>) -> Self {
         self.shard_rebalance = settings.into_iter().map(Some).collect();
+        self
+    }
+
+    /// Replaces the eager-lighting dimension: each value runs the whole
+    /// grid with lighting forced eager (`true`, relit inside the terrain
+    /// stage) or pipelined (`false`, deferred one tick and overlapped with
+    /// the next tick's player stage), overriding the flavor default. Like
+    /// `shard_rebalance` this is a *modeled-architecture* axis excluded
+    /// from seed derivation, so cells differing only here run identical
+    /// worlds, bots and interference — a paired comparison of the two
+    /// lighting architectures.
+    #[must_use]
+    pub fn eager_lighting(mut self, settings: impl IntoIterator<Item = bool>) -> Self {
+        self.eager_lighting = settings.into_iter().map(Some).collect();
         self
     }
 
@@ -500,6 +524,7 @@ impl Campaign {
             * self.flavors.len()
             * self.tick_threads.len()
             * self.shard_rebalance.len()
+            * self.eager_lighting.len()
     }
 
     /// Number of jobs the plan will contain (cells × iterations).
@@ -542,6 +567,11 @@ impl Campaign {
                 dimension: "shard_rebalance",
             });
         }
+        if self.eager_lighting.is_empty() {
+            return Err(BenchmarkError::EmptyDimension {
+                dimension: "eager_lighting",
+            });
+        }
         if self.template.iterations == 0 {
             return Err(BenchmarkError::EmptyDimension {
                 dimension: "iterations",
@@ -576,28 +606,32 @@ impl Campaign {
                 for (f_idx, &flavor) in self.flavors.iter().enumerate() {
                     for (t_idx, &threads) in self.tick_threads.iter().enumerate() {
                         for (r_idx, &rebalance) in self.shard_rebalance.iter().enumerate() {
-                            let mut config = self.template.clone();
-                            config.workload = *workload;
-                            config.environment = environment.clone();
-                            config.flavors = vec![flavor];
-                            config.tick_threads = threads;
-                            config.shard_rebalance = rebalance;
-                            let coord = CellCoord {
-                                workload: w_idx,
-                                environment: e_idx,
-                                flavor: f_idx,
-                                tick_threads: t_idx,
-                                shard_rebalance: r_idx,
-                            };
-                            for iteration in 0..self.template.iterations {
-                                jobs.push(IterationJob {
-                                    index: jobs.len(),
-                                    coord,
-                                    config: config.clone(),
-                                    flavor,
-                                    iteration,
-                                    seed: job_seed(&self.template, coord, iteration),
-                                });
+                            for (l_idx, &lighting) in self.eager_lighting.iter().enumerate() {
+                                let mut config = self.template.clone();
+                                config.workload = *workload;
+                                config.environment = environment.clone();
+                                config.flavors = vec![flavor];
+                                config.tick_threads = threads;
+                                config.shard_rebalance = rebalance;
+                                config.eager_lighting = lighting;
+                                let coord = CellCoord {
+                                    workload: w_idx,
+                                    environment: e_idx,
+                                    flavor: f_idx,
+                                    tick_threads: t_idx,
+                                    shard_rebalance: r_idx,
+                                    eager_lighting: l_idx,
+                                };
+                                for iteration in 0..self.template.iterations {
+                                    jobs.push(IterationJob {
+                                        index: jobs.len(),
+                                        coord,
+                                        config: config.clone(),
+                                        flavor,
+                                        iteration,
+                                        seed: job_seed(&self.template, coord, iteration),
+                                    });
+                                }
                             }
                         }
                     }
@@ -652,9 +686,10 @@ impl Campaign {
 /// parallel execution bit-identical to sequential execution. The
 /// `tick_threads` coordinate is deliberately **excluded**: thread count is
 /// execution infrastructure and must never change results. The
-/// `shard_rebalance` coordinate is excluded too, for a different reason:
-/// partitions should be compared on identical worlds, bots and
-/// interference, so the axis varies only the architecture.
+/// `shard_rebalance` and `eager_lighting` coordinates are excluded too,
+/// for a different reason: architectures should be compared on identical
+/// worlds, bots and interference, so those axes vary only the
+/// architecture.
 #[must_use]
 fn job_seed(template: &BenchmarkConfig, coord: CellCoord, iteration: u32) -> u64 {
     template
@@ -782,6 +817,7 @@ mod tests {
             flavor,
             tick_threads: 0,
             shard_rebalance: 0,
+            eager_lighting: 0,
         };
         let t1 = BenchmarkConfig::new(WorkloadKind::Control).with_seed(1);
         let t2 = BenchmarkConfig::new(WorkloadKind::Control).with_seed(2);
@@ -868,6 +904,7 @@ mod tests {
             flavor: 0,
             tick_threads: 0,
             shard_rebalance: 0,
+            eager_lighting: 0,
         });
         let second = results.for_coord(CellCoord {
             workload: 0,
@@ -875,6 +912,7 @@ mod tests {
             flavor: 0,
             tick_threads: 0,
             shard_rebalance: 0,
+            eager_lighting: 0,
         });
         assert_eq!(first.len(), 2);
         assert_eq!(second.len(), 2);

@@ -56,6 +56,13 @@ pub struct BenchmarkConfig {
     /// to rebalance. A modeled-architecture change, unlike `tick_threads`
     /// — campaigns sweep it via the `shard_rebalance` axis.
     pub shard_rebalance: Option<bool>,
+    /// Overrides the flavor's eager-lighting knob: `None` uses the flavor
+    /// default (eager for Vanilla/Forge, pipelined for Paper/Folia),
+    /// `Some(true)` forces eager in-stage relighting, `Some(false)` forces
+    /// the cross-tick pipelined lighting stage. A modeled-architecture
+    /// change — campaigns sweep it via the `eager_lighting` axis to
+    /// measure what pipelining the lighting phase buys.
+    pub eager_lighting: Option<bool>,
 }
 
 impl BenchmarkConfig {
@@ -80,6 +87,7 @@ impl BenchmarkConfig {
             resume: false,
             tick_threads: 1,
             shard_rebalance: None,
+            eager_lighting: None,
         }
     }
 
@@ -143,6 +151,14 @@ impl BenchmarkConfig {
     #[must_use]
     pub fn with_shard_rebalance(mut self, rebalance: Option<bool>) -> Self {
         self.shard_rebalance = rebalance;
+        self
+    }
+
+    /// Sets the eager-lighting override (`None` = flavor default;
+    /// `Some(false)` = cross-tick pipelined lighting).
+    #[must_use]
+    pub fn with_eager_lighting(mut self, eager: Option<bool>) -> Self {
+        self.eager_lighting = eager;
         self
     }
 

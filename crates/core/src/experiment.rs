@@ -22,7 +22,7 @@ use meterstick_metrics::response::ResponseTimeSummary;
 use meterstick_metrics::trace::TickTrace;
 use meterstick_workloads::BuiltWorkload;
 use mlg_bots::PlayerEmulation;
-use mlg_server::{GameServer, ServerConfig, ServerFlavor};
+use mlg_server::{GameServer, ServerConfig, ServerFlavor, TickStageBreakdown};
 
 use crate::config::BenchmarkConfig;
 use crate::results::IterationResult;
@@ -51,6 +51,7 @@ pub fn execute_iteration(
     let mut collector = SystemMetricsCollector::new(30);
     let mut crashed = None;
     let mut ticks_executed = 0;
+    let mut stage_busy = TickStageBreakdown::default();
 
     // The iteration runs for a fixed span of *virtual time*, exactly like
     // the paper's fixed wall-clock duration: when the server is
@@ -59,6 +60,7 @@ pub fn execute_iteration(
     while server.clock_ms() < duration_ms {
         let summary = emulation.step(&mut server, &mut engine);
         ticks_executed += 1;
+        stage_busy.accumulate(&summary.stages);
         trace.push(summary.record);
         collector.observe_tick(
             summary.end_ms,
@@ -93,6 +95,7 @@ pub fn execute_iteration(
         ticks_planned,
         crashed,
         trace,
+        stage_busy,
     }
 }
 
@@ -109,7 +112,8 @@ fn prepare(
     let server_config = ServerConfig::for_flavor(flavor)
         .with_seed(config.base_seed)
         .with_tick_threads(config.tick_threads)
-        .with_shard_rebalance(config.shard_rebalance);
+        .with_shard_rebalance(config.shard_rebalance)
+        .with_eager_lighting(config.eager_lighting);
     let bots = config.bots_override.unwrap_or(built.players.bots);
     let mut emulation = PlayerEmulation::new(
         bots,
@@ -119,6 +123,9 @@ fn prepare(
         config.link,
         seed,
     );
+    if built.players.building {
+        emulation = emulation.with_builders();
+    }
     let mut server = GameServer::new(server_config, built.world, built.spawn_point);
     emulation.connect_all(&mut server);
     for (kind, pos) in &built.ambient_entities {

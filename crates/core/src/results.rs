@@ -7,7 +7,7 @@ use meterstick_metrics::trace::TickTrace;
 use meterstick_metrics::TickDistribution;
 use meterstick_workloads::WorkloadKind;
 use mlg_protocol::TrafficSummary;
-use mlg_server::ServerFlavor;
+use mlg_server::{ServerFlavor, TickStageBreakdown};
 
 /// Everything recorded for one iteration of one flavor under one workload.
 #[derive(Debug, Clone)]
@@ -38,6 +38,12 @@ pub struct IterationResult {
     pub ticks_planned: u64,
     /// Crash reason if the server aborted during the iteration.
     pub crashed: Option<String>,
+    /// Per-stage busy-time totals over the iteration, in milliseconds —
+    /// the tick stage graph's breakdown (player handler, terrain,
+    /// entities, lighting, dissemination, other) summed across all
+    /// executed ticks. Attributes variability to pipeline stages the way
+    /// the per-tick distribution attributes it to work classes.
+    pub stage_busy: TickStageBreakdown,
 }
 
 impl IterationResult {
@@ -195,6 +201,7 @@ mod tests {
             ticks_executed: 10,
             ticks_planned: 10,
             crashed: crashed.then(|| "stalled".to_string()),
+            stage_busy: TickStageBreakdown::default(),
         }
     }
 

@@ -53,12 +53,16 @@ pub struct CsvSink<W: Write> {
     error: Option<std::io::Error>,
 }
 
-/// Column headers of the per-iteration CSV stream.
-pub const CSV_COLUMNS: [&str; 14] = [
+/// Column headers of the per-iteration CSV stream. The `stage_*_ms`
+/// columns carry the tick stage graph's per-stage busy-time totals
+/// (milliseconds summed over the iteration's ticks), so a CSV diff across
+/// architecture axes shows *which stage* an optimization moved.
+pub const CSV_COLUMNS: [&str; 21] = [
     "workload",
     "flavor",
     "environment",
     "shard_rebalance",
+    "eager_lighting",
     "iteration",
     "seed",
     "ticks_executed",
@@ -68,6 +72,12 @@ pub const CSV_COLUMNS: [&str; 14] = [
     "tick_max_ms",
     "response_p50_ms",
     "response_p95_ms",
+    "stage_player_ms",
+    "stage_terrain_ms",
+    "stage_entity_ms",
+    "stage_lighting_ms",
+    "stage_dissemination_ms",
+    "stage_other_ms",
     "crashed",
 ];
 
@@ -118,6 +128,11 @@ impl<W: Write> ResultSink for CsvSink<W> {
                 Some(false) => "off".to_string(),
                 None => "default".to_string(),
             },
+            match job.config.eager_lighting {
+                Some(true) => "eager".to_string(),
+                Some(false) => "pipelined".to_string(),
+                None => "default".to_string(),
+            },
             result.iteration.to_string(),
             job.seed.to_string(),
             result.ticks_executed.to_string(),
@@ -127,6 +142,12 @@ impl<W: Write> ResultSink for CsvSink<W> {
             format!("{:.3}", ticks.max),
             format!("{:.3}", result.response.percentiles.p50),
             format!("{:.3}", result.response.percentiles.p95),
+            format!("{:.3}", result.stage_busy.player_ms),
+            format!("{:.3}", result.stage_busy.terrain_ms),
+            format!("{:.3}", result.stage_busy.entity_ms),
+            format!("{:.3}", result.stage_busy.lighting_ms),
+            format!("{:.3}", result.stage_busy.dissemination_ms),
+            format!("{:.3}", result.stage_busy.other_ms),
             result.crashed.clone().unwrap_or_default(),
         ]);
         self.write_line(&line);

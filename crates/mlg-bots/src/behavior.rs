@@ -19,6 +19,17 @@ pub enum Behavior {
         /// Half of the area's edge length, in blocks.
         half_extent: f64,
     },
+    /// Random walk plus periodic block actions: the bot places and digs
+    /// blocks near its position as it wanders. The player-heavy Crowd
+    /// workload uses this to load the player-handler and dissemination
+    /// stages with terrain-touching traffic (movement validation, block
+    /// writes, block-change broadcasts).
+    Builder {
+        /// Centre of the walking area.
+        center: Vec3,
+        /// Half of the area's edge length, in blocks.
+        half_extent: f64,
+    },
 }
 
 impl Behavior {
@@ -31,6 +42,38 @@ impl Behavior {
         }
     }
 
+    /// The walk-and-build behaviour used by the player-heavy Crowd
+    /// workload.
+    #[must_use]
+    pub fn builder_workload(center: Vec3, area_edge: f64) -> Self {
+        Behavior::Builder {
+            center,
+            half_extent: (area_edge / 2.0).max(1.0),
+        }
+    }
+
+    /// Converts a walking behaviour into the equivalent builder behaviour
+    /// (idle bots stay idle).
+    #[must_use]
+    pub fn into_builder(self) -> Self {
+        match self {
+            Behavior::RandomWalk {
+                center,
+                half_extent,
+            } => Behavior::Builder {
+                center,
+                half_extent,
+            },
+            other => other,
+        }
+    }
+
+    /// Returns `true` when the behaviour emits block place/dig actions.
+    #[must_use]
+    pub fn builds(&self) -> bool {
+        matches!(self, Behavior::Builder { .. })
+    }
+
     /// Computes the next position for a bot currently at `pos`.
     ///
     /// Returns `None` when the behaviour does not move (idle observer).
@@ -38,6 +81,10 @@ impl Behavior {
         match self {
             Behavior::Idle => None,
             Behavior::RandomWalk {
+                center,
+                half_extent,
+            }
+            | Behavior::Builder {
                 center,
                 half_extent,
             } => {
@@ -95,7 +142,27 @@ mod tests {
         let b = Behavior::players_workload(Vec3::ZERO, 0.0);
         match b {
             Behavior::RandomWalk { half_extent, .. } => assert!(half_extent >= 1.0),
-            Behavior::Idle => panic!("expected a random walk"),
+            other => panic!("expected a random walk, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builder_walks_like_a_random_walker() {
+        let center = Vec3::new(0.5, 61.0, 0.5);
+        let walker = Behavior::players_workload(center, 32.0);
+        let builder = walker.into_builder();
+        assert!(builder.builds() && !walker.builds());
+        assert!(!Behavior::Idle.into_builder().builds(), "idle stays idle");
+        // Identical RNG stream => identical steps: building adds actions,
+        // it does not change movement.
+        let mut ra = StdRng::seed_from_u64(11);
+        let mut rb = StdRng::seed_from_u64(11);
+        let mut pa = center;
+        let mut pb = center;
+        for _ in 0..100 {
+            pa = walker.next_position(pa, &mut ra).unwrap();
+            pb = builder.next_position(pb, &mut rb).unwrap();
+            assert_eq!(pa, pb);
         }
     }
 }

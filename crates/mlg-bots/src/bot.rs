@@ -6,8 +6,12 @@ use rand::SeedableRng;
 use mlg_entity::Vec3;
 use mlg_protocol::ServerboundPacket;
 use mlg_server::PlayerId;
+use mlg_world::{Block, BlockKind, BlockPos};
 
 use crate::behavior::Behavior;
+
+/// Interval, in ticks, between a builder bot's block actions.
+pub const BUILD_INTERVAL_TICKS: u64 = 4;
 
 /// One emulated player: its behaviour, position and chat-probing schedule.
 #[derive(Debug)]
@@ -23,6 +27,10 @@ pub struct Bot {
     /// Interval between chat probes, in ticks. 0 disables probing.
     pub probe_interval_ticks: u64,
     rng: StdRng,
+    /// Separate stream for builder block-action offsets, so enabling
+    /// building never perturbs the movement RNG: a builder bot walks
+    /// exactly like the plain bot it was derived from.
+    build_rng: StdRng,
     ticks_seen: u64,
 }
 
@@ -38,6 +46,7 @@ impl Bot {
             behavior,
             probe_interval_ticks: 0,
             rng: StdRng::seed_from_u64(seed),
+            build_rng: StdRng::seed_from_u64(seed ^ 0xB11D),
             ticks_seen: 0,
         }
     }
@@ -66,6 +75,25 @@ impl Bot {
                 pos: next,
                 on_ground: true,
             });
+        }
+        if self.behavior.builds() && self.ticks_seen.is_multiple_of(BUILD_INTERVAL_TICKS) {
+            use rand::Rng;
+            // A block action near the bot: place a plank at chest height
+            // (usually air) or dig whatever sits at ground level nearby.
+            // Both go through the server's normal update path, so terrain
+            // simulation and dissemination react to the crowd's edits.
+            let dx = self.build_rng.gen_range(-3..=3);
+            let dz = self.build_rng.gen_range(-3..=3);
+            let feet = self.pos.block_pos();
+            let pos = BlockPos::new(feet.x + dx, feet.y, feet.z + dz);
+            if self.ticks_seen.is_multiple_of(2 * BUILD_INTERVAL_TICKS) {
+                packets.push(ServerboundPacket::BlockPlace {
+                    pos: pos.up(),
+                    block: Block::simple(BlockKind::Planks),
+                });
+            } else {
+                packets.push(ServerboundPacket::BlockDig { pos });
+            }
         }
         if self.is_prober() && self.ticks_seen.is_multiple_of(self.probe_interval_ticks) {
             packets.push(ServerboundPacket::Chat {
@@ -127,6 +155,38 @@ mod tests {
         assert_eq!(packets.len(), 1);
         assert!(matches!(packets[0], ServerboundPacket::PlayerMove { .. }));
         assert_ne!(bot.pos, center);
+    }
+
+    #[test]
+    fn builder_bot_walks_exactly_like_its_plain_twin() {
+        use mlg_protocol::ServerboundPacket;
+
+        let center = Vec3::new(0.5, 61.0, 0.5);
+        let mut walker = Bot::new("w", center, Behavior::players_workload(center, 32.0), 9);
+        let mut builder = Bot::new(
+            "b",
+            center,
+            Behavior::players_workload(center, 32.0).into_builder(),
+            9,
+        );
+        let mut block_actions = 0;
+        for tick in 0..64 {
+            let a = walker.act(tick as f64 * 50.0);
+            let b = builder.act(tick as f64 * 50.0);
+            // Block actions draw from a separate RNG stream, so the
+            // builder's movement packets match the plain bot's exactly.
+            assert_eq!(a[0], b[0], "movement diverged at tick {tick}");
+            block_actions += b
+                .iter()
+                .filter(|p| {
+                    matches!(
+                        p,
+                        ServerboundPacket::BlockPlace { .. } | ServerboundPacket::BlockDig { .. }
+                    )
+                })
+                .count();
+        }
+        assert!(block_actions >= 8, "the builder must actually build");
     }
 
     #[test]

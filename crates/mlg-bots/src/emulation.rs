@@ -92,6 +92,19 @@ impl PlayerEmulation {
         }
     }
 
+    /// Upgrades every walking bot to a *builder* (movement plus periodic
+    /// block place/dig actions near its position) — the player-heavy Crowd
+    /// workload. The prober and idle observers are unaffected, and the
+    /// upgrade changes no RNG stream, so a builder swarm walks exactly like
+    /// the plain swarm it was derived from.
+    #[must_use]
+    pub fn with_builders(mut self) -> Self {
+        for conn in &mut self.connections {
+            conn.bot.behavior = conn.bot.behavior.into_builder();
+        }
+        self
+    }
+
     /// Number of bots in the swarm.
     #[must_use]
     pub fn bot_count(&self) -> usize {

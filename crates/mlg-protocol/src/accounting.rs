@@ -158,6 +158,17 @@ impl TrafficAccountant {
         entry.bytes += size * recipients;
     }
 
+    /// Records a batch of clientbound packets each sent to `recipients`
+    /// clients — the accounting half of the dissemination stage's batched
+    /// broadcast. Exactly equivalent to calling [`TrafficAccountant::record`]
+    /// once per packet; batching only avoids the per-packet call overhead on
+    /// the hot dissemination path.
+    pub fn record_many(&mut self, packets: &[ClientboundPacket], recipients: u64) {
+        for packet in packets {
+            self.record(packet, recipients);
+        }
+    }
+
     /// Returns the accumulated summary.
     #[must_use]
     pub fn summary(&self) -> &TrafficSummary {
@@ -278,6 +289,22 @@ mod tests {
         merged.merge(&b.into_summary());
         assert_eq!(merged.total_messages(), 5);
         assert_eq!(merged.category(TrafficCategory::Terrain).messages, 3);
+    }
+
+    #[test]
+    fn record_many_matches_per_packet_recording() {
+        let packets = vec![
+            entity_move(),
+            block_change(),
+            ClientboundPacket::KeepAlive { id: 7 },
+        ];
+        let mut batched = TrafficAccountant::new();
+        batched.record_many(&packets, 25);
+        let mut one_by_one = TrafficAccountant::new();
+        for packet in &packets {
+            one_by_one.record(packet, 25);
+        }
+        assert_eq!(batched.summary(), one_by_one.summary());
     }
 
     #[test]

@@ -44,6 +44,15 @@ pub struct ServerConfig {
     ///
     /// [`FlavorProfile::rebalance`]: crate::flavor::FlavorProfile::rebalance
     pub shard_rebalance: Option<bool>,
+    /// Overrides the flavor's [`FlavorProfile::eager_lighting`] knob:
+    /// `None` uses the flavor default, `Some(true)` forces eager in-stage
+    /// relighting, `Some(false)` forces the cross-tick pipelined lighting
+    /// stage. A modeled-architecture change (results legitimately differ
+    /// across it); campaigns sweep it through the `eager_lighting` axis to
+    /// measure what pipelining the lighting phase buys.
+    ///
+    /// [`FlavorProfile::eager_lighting`]: crate::flavor::FlavorProfile::eager_lighting
+    pub eager_lighting: Option<bool>,
 }
 
 impl Default for ServerConfig {
@@ -60,6 +69,7 @@ impl Default for ServerConfig {
             max_heap_gb: 4.0,
             tick_threads: 1,
             shard_rebalance: None,
+            eager_lighting: None,
         }
     }
 }
@@ -100,6 +110,14 @@ impl ServerConfig {
     #[must_use]
     pub fn with_shard_rebalance(mut self, rebalance: Option<bool>) -> Self {
         self.shard_rebalance = rebalance;
+        self
+    }
+
+    /// Returns a copy with the eager-lighting override set (`None` = flavor
+    /// default; `Some(false)` = cross-tick pipelined lighting).
+    #[must_use]
+    pub fn with_eager_lighting(mut self, eager: Option<bool>) -> Self {
+        self.eager_lighting = eager;
         self
     }
 }

@@ -16,9 +16,10 @@
 //!
 //! Beyond the paper's three systems, the reproduction also models a
 //! **Folia-like sharded flavor** ([`ServerFlavor::Folia`]): the game loop is
-//! split into independently ticked spatial shards, so most entity/terrain
-//! work becomes parallelizable across vCPUs ([`FlavorProfile::tick_shards`],
-//! [`FlavorProfile::parallel_fraction`]), and the shard partition
+//! split into independently ticked spatial shards, so every tick stage —
+//! player handler, terrain, entities, lighting, dissemination — becomes
+//! parallelizable across vCPUs ([`FlavorProfile::tick_shards`],
+//! [`FlavorProfile::stage_parallel`]), and the shard partition
 //! **rebalances adaptively** ([`FlavorProfile::rebalance`]): a 2D region
 //! quadtree splits hot regions and merges cold ones between ticks, so
 //! clustered hotspot workloads (TNT cascades) spread across shards instead
@@ -26,6 +27,87 @@
 //! set) and included in [`ServerFlavor::extended`].
 
 use serde::{Deserialize, Serialize};
+
+/// Per-stage parallel fractions of the tick stage graph: which share of
+/// each stage's work the flavor's architecture can fan out across vCPUs
+/// *within* the game loop.
+///
+/// Serial flavors still get JVM-runtime parallelism (parallel GC, JIT,
+/// netty I/O) on the simulation-heavy stages — that is
+/// [`StageParallelism::jvm`], the mechanism behind the paper's MF5 (bigger
+/// nodes reduce TNT overload even for vanilla) — while their player handler
+/// and dissemination stay on the main thread. Sharded flavors
+/// ([`StageParallelism::sharded`]) parallelize every stage over their tick
+/// shards: the player handler batches players by shard, dissemination
+/// assembles per-shard packet buffers, and lighting fans out over the
+/// worker pool. Redstone/block-update cascades are *never* included: they
+/// are serial dependency chains even under sharding (boundary escalation),
+/// which is what preserves MF2's Lag crash.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageParallelism {
+    /// Player-handler stage (action processing + connection upkeep).
+    pub player: f64,
+    /// Terrain stage — applies to chunk generation/encoding only; update
+    /// cascades stay serial.
+    pub terrain: f64,
+    /// Entity simulation stage.
+    pub entity: f64,
+    /// Lighting stage (eager lighting only; a pipelined lighting stage is
+    /// modeled as fully overlapped instead — see
+    /// [`FlavorProfile::eager_lighting`]).
+    pub lighting: f64,
+    /// State-update dissemination stage (packet assembly + broadcast).
+    pub dissemination: f64,
+}
+
+impl StageParallelism {
+    /// Everything on the main thread (no intra-loop parallelism at all).
+    pub const SERIAL: StageParallelism = StageParallelism {
+        player: 0.0,
+        terrain: 0.0,
+        entity: 0.0,
+        lighting: 0.0,
+        dissemination: 0.0,
+    };
+
+    /// JVM-runtime parallelism for a serial game loop: `fraction` of the
+    /// simulation-heavy stages (terrain chunks, entities, lighting) spreads
+    /// across vCPUs, the player handler and dissemination stay serial.
+    #[must_use]
+    pub fn jvm(fraction: f64) -> Self {
+        StageParallelism {
+            player: 0.0,
+            terrain: fraction,
+            entity: fraction,
+            lighting: fraction,
+            dissemination: 0.0,
+        }
+    }
+
+    /// A region-sharded game loop: `fraction` of every stage fans out over
+    /// the tick shards, the player handler and dissemination included.
+    #[must_use]
+    pub fn sharded(fraction: f64) -> Self {
+        StageParallelism {
+            player: fraction,
+            terrain: fraction,
+            entity: fraction,
+            lighting: fraction,
+            dissemination: fraction,
+        }
+    }
+
+    /// The largest per-stage fraction (used by tests and diagnostics as a
+    /// scalar summary of how parallel the flavor's loop is).
+    #[must_use]
+    pub fn max_fraction(&self) -> f64 {
+        self.player
+            .max(self.terrain)
+            .max(self.entity)
+            .max(self.lighting)
+            .max(self.dissemination)
+    }
+}
 
 /// The three systems under test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -79,12 +161,16 @@ impl ServerFlavor {
                 offload_fraction: 0.05,
                 // The game loop is single-threaded, but the JVM around it
                 // is not: parallel GC, JIT threads and netty I/O spread a
-                // modest slice of each tick's work across however many
-                // vCPUs exist (the mechanism behind the paper's MF5:
-                // bigger nodes reduce TNT overload even for vanilla).
-                parallel_fraction: 0.20,
+                // modest slice of the simulation stages' work across
+                // however many vCPUs exist (the mechanism behind the
+                // paper's MF5: bigger nodes reduce TNT overload even for
+                // vanilla). The player handler and dissemination stay on
+                // the main thread, and lighting is recomputed eagerly
+                // inside the terrain stage.
+                stage_parallel: StageParallelism::jvm(0.20),
                 tick_shards: 1,
                 rebalance: false,
+                eager_lighting: true,
                 async_chat: false,
                 max_tnt_per_tick: usize::MAX,
             },
@@ -96,9 +182,10 @@ impl ServerFlavor {
                 explosion_multiplier: 1.0,
                 lighting_multiplier: 1.0,
                 offload_fraction: 0.05,
-                parallel_fraction: 0.20,
+                stage_parallel: StageParallelism::jvm(0.20),
                 tick_shards: 1,
                 rebalance: false,
+                eager_lighting: true,
                 async_chat: false,
                 max_tnt_per_tick: usize::MAX,
             },
@@ -110,9 +197,14 @@ impl ServerFlavor {
                 explosion_multiplier: 0.40,
                 lighting_multiplier: 0.70,
                 offload_fraction: 0.35,
-                parallel_fraction: 0.25,
+                stage_parallel: StageParallelism::jvm(0.25),
                 tick_shards: 1,
                 rebalance: false,
+                // PaperMC batches and defers lighting off the critical
+                // path: the relight pass over a tick's changes runs
+                // pipelined during the next tick instead of eagerly
+                // inside the terrain stage.
+                eager_lighting: false,
                 async_chat: true,
                 max_tnt_per_tick: 60,
             },
@@ -126,9 +218,10 @@ impl ServerFlavor {
                 explosion_multiplier: 0.40,
                 lighting_multiplier: 0.70,
                 offload_fraction: 0.35,
-                parallel_fraction: 0.80,
+                stage_parallel: StageParallelism::sharded(0.80),
                 tick_shards: 8,
                 rebalance: true,
+                eager_lighting: false,
                 async_chat: true,
                 max_tnt_per_tick: 60,
             },
@@ -176,13 +269,14 @@ pub struct FlavorProfile {
     /// Fraction of terrain/lighting/chat work that can run on auxiliary
     /// threads concurrently with the main game loop.
     pub offload_fraction: f64,
-    /// Fraction of entity/lighting/chunk work that is parallelizable across
-    /// vCPUs *within* the game loop (JVM-runtime parallelism for the serial
-    /// flavors; the sharded tick pipeline for Folia-like flavors). JVM GC
-    /// work is always parallelizable on top of this. Redstone/block-update
-    /// cascades are never included: they are serial dependency chains even
-    /// under sharding (boundary escalation).
-    pub parallel_fraction: f64,
+    /// Per-stage parallel fractions of the tick stage graph: how much of
+    /// each stage's work the architecture fans out across vCPUs *within*
+    /// the game loop (JVM-runtime parallelism on the simulation stages for
+    /// the serial flavors; every stage over the tick shards for Folia-like
+    /// flavors). JVM GC work is always parallelizable on top of this.
+    /// Redstone/block-update cascades are never included: they are serial
+    /// dependency chains even under sharding (boundary escalation).
+    pub stage_parallel: StageParallelism,
     /// Number of spatial shards the tick pipeline partitions the world into
     /// (1 = the classic serial loop). Also caps how many cores the sharded
     /// work can spread over. For rebalancing flavors this is the *target*
@@ -196,6 +290,16 @@ pub struct FlavorProfile {
     /// dynamically); off for the paper's serial flavors, whose Lag-workload
     /// crash behaviour (MF2) depends on the load staying serial.
     pub rebalance: bool,
+    /// Whether lighting is recomputed eagerly inside the terrain stage
+    /// (vanilla behaviour) or deferred into a cross-tick *pipelined*
+    /// lighting stage (PaperMC/Folia): each tick's relight positions queue
+    /// up and are consumed against a frozen world snapshot while the next
+    /// tick's player stage runs, so lighting overlaps the game loop instead
+    /// of extending its critical path. [`ServerConfig::eager_lighting`]
+    /// can override this per run.
+    ///
+    /// [`ServerConfig::eager_lighting`]: crate::config::ServerConfig::eager_lighting
+    pub eager_lighting: bool,
     /// Whether chat is handled on a dedicated asynchronous thread.
     pub async_chat: bool,
     /// Cap on primed-TNT entities processed per tick (explosion batching).
@@ -223,7 +327,15 @@ mod tests {
         let vanilla = ServerFlavor::Vanilla.profile();
         assert!(folia.tick_shards > 1);
         assert_eq!(vanilla.tick_shards, 1);
-        assert!(folia.parallel_fraction > vanilla.parallel_fraction);
+        assert!(folia.stage_parallel.entity > vanilla.stage_parallel.entity);
+        assert!(
+            folia.stage_parallel.player > 0.0 && vanilla.stage_parallel.player == 0.0,
+            "only the sharded flavor parallelizes the player handler"
+        );
+        assert!(
+            folia.stage_parallel.dissemination > 0.0 && vanilla.stage_parallel.dissemination == 0.0,
+            "only the sharded flavor parallelizes dissemination"
+        );
         assert!(
             folia.rebalance && !vanilla.rebalance,
             "only the Folia-like flavor rebalances its shard partition"
@@ -235,6 +347,30 @@ mod tests {
         assert_eq!(ServerFlavor::extended().len(), 4);
         assert!(ServerFlavor::extended().contains(&ServerFlavor::Folia));
         assert_eq!(ServerFlavor::Folia.to_string(), "Folia");
+    }
+
+    #[test]
+    fn lighting_modes_match_the_architectures() {
+        // Vanilla/Forge relight eagerly inside the terrain stage; Paper and
+        // Folia defer into the cross-tick pipelined lighting stage.
+        assert!(ServerFlavor::Vanilla.profile().eager_lighting);
+        assert!(ServerFlavor::Forge.profile().eager_lighting);
+        assert!(!ServerFlavor::Paper.profile().eager_lighting);
+        assert!(!ServerFlavor::Folia.profile().eager_lighting);
+    }
+
+    #[test]
+    fn stage_parallelism_constructors() {
+        let jvm = StageParallelism::jvm(0.2);
+        assert_eq!(jvm.player, 0.0);
+        assert_eq!(jvm.dissemination, 0.0);
+        assert_eq!(jvm.entity, 0.2);
+        assert_eq!(jvm.max_fraction(), 0.2);
+        let sharded = StageParallelism::sharded(0.8);
+        assert_eq!(sharded.player, 0.8);
+        assert_eq!(sharded.dissemination, 0.8);
+        assert_eq!(sharded.max_fraction(), 0.8);
+        assert_eq!(StageParallelism::SERIAL.max_fraction(), 0.0);
     }
 
     #[test]

@@ -5,10 +5,29 @@
 //! Networking Queues once per tick. […] Because the terrain can obstruct the
 //! player from performing these actions, the Player Handler must read the
 //! terrain state in the vicinity of the player."
+//!
+//! # The sharded player stage
+//!
+//! For sharded tick pipelines the stage runs shard-parallel:
+//! [`process_players_sharded`] batches connected players by the shard that
+//! owns their chunk, processes each shard's batch concurrently against a
+//! per-shard [`ShardWorld`] view (side effects — block changes, neighbour
+//! updates, scheduled ticks — are buffered and merged in canonical shard
+//! order), and escalates *boundary players* to a serial tail:
+//! players standing on a shard-boundary chunk, or whose action queue
+//! touches terrain outside their shard's interior (a cross-shard block
+//! placement or dig), run after the parallel phase against the full world.
+//! Batching and the merge order depend only on the shard map and the
+//! player list — never on scheduling — so the stage's output (the merged
+//! [`PlayerStageReport`], including the `pending_chat` broadcast order, the
+//! players' positions and every world side effect) is **bit-identical at
+//! any worker-thread count**.
 
 use mlg_entity::Vec3;
 use mlg_protocol::ServerboundPacket;
-use mlg_world::{Block, World};
+use mlg_world::shard::{self, ShardMap, ShardWorld, TerrainView, TickPipeline};
+use mlg_world::world::BlockChange;
+use mlg_world::{Block, BlockPos, World};
 
 use crate::player::ConnectedPlayer;
 
@@ -55,15 +74,34 @@ impl PlayerStageReport {
             + self.chat_messages * 25
             + self.blocks_read * 2
     }
+
+    /// Folds another report into this one: counters sum, and the other
+    /// report's pending chat is appended in order. The sharded player stage
+    /// merges per-shard reports in canonical shard order, so the combined
+    /// chat broadcast order is deterministic at any thread count.
+    pub fn merge(&mut self, other: PlayerStageReport) {
+        self.actions_processed += other.actions_processed;
+        self.movements += other.movements;
+        self.blocks_placed += other.blocks_placed;
+        self.blocks_dug += other.blocks_dug;
+        self.chat_messages += other.chat_messages;
+        self.keep_alives += other.keep_alives;
+        self.blocks_read += other.blocks_read;
+        self.pending_chat.extend(other.pending_chat);
+    }
 }
 
-/// Processes one player's buffered actions against the world.
+/// Processes one player's buffered actions against a terrain view.
 ///
 /// Movement is validated by reading the terrain around the destination
 /// (collision and support checks); block placement/digging writes the terrain
 /// through the normal update path so terrain simulation reacts to it.
-pub fn process_player_actions(
-    world: &mut World,
+///
+/// Generic over [`TerrainView`] so the same code runs against the full
+/// [`World`] (the serial loop and the sharded stage's escalation tail) and
+/// against a [`ShardWorld`] view during the parallel phase.
+pub fn process_player_actions<W: TerrainView>(
+    world: &mut W,
     player: &mut ConnectedPlayer,
     actions: Vec<ServerboundPacket>,
     report: &mut PlayerStageReport,
@@ -122,6 +160,189 @@ pub fn process_player_actions(
             _ => {}
         }
     }
+}
+
+/// Result of the sharded player stage for one tick.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardedPlayerStage {
+    /// The merged work report (per-shard batches in canonical shard order,
+    /// then the serial escalation tail in player order).
+    pub report: PlayerStageReport,
+    /// Work units processed inside each shard's parallel batch (index =
+    /// shard); feeds the compute model's player-stage load-balance floor
+    /// and the adaptive rebalancer.
+    pub per_shard_work: Vec<u64>,
+    /// Players escalated to the serial tail this tick (boundary chunks or
+    /// cross-shard actions).
+    pub escalated_players: u64,
+}
+
+/// The shard whose interior confines `player` and its whole action queue,
+/// or `None` when the player must be escalated to the serial tail.
+///
+/// A player is *interior* to the shard owning its chunk
+/// ([`ShardMap::shard_of_chunk`]) when the chunk itself is interior
+/// ([`ShardMap::interior_shard`]) and every world-touching action stays
+/// inside that shard's interior: movement validation reads the terrain
+/// around the destination, and block placement/digging writes it, so a
+/// move, placement or dig targeting another shard — or any boundary chunk —
+/// makes the whole queue serial. Chat and keep-alives touch no terrain and
+/// never force escalation.
+#[must_use]
+pub fn player_shard_assignment(
+    map: &ShardMap,
+    player: &ConnectedPlayer,
+    actions: &[ServerboundPacket],
+) -> Option<usize> {
+    let owner = map.interior_shard(player.chunk())?;
+    let confined = |pos: BlockPos| map.interior_shard_of_block(pos) == Some(owner);
+    for action in actions {
+        let stays = match action {
+            ServerboundPacket::PlayerMove { pos, .. } => confined(pos.block_pos()),
+            ServerboundPacket::BlockPlace { pos, .. } | ServerboundPacket::BlockDig { pos } => {
+                confined(*pos)
+            }
+            _ => true,
+        };
+        if !stays {
+            return None;
+        }
+    }
+    Some(owner)
+}
+
+struct PlayerShardTask {
+    shard: usize,
+    store: mlg_world::world::ShardStore,
+    /// `(players-vec index, player, drained action queue)`, ascending index.
+    players: Vec<(usize, ConnectedPlayer, Vec<ServerboundPacket>)>,
+    report: PlayerStageReport,
+    changes: Vec<BlockChange>,
+    outbound: Vec<BlockPos>,
+    scheduled: Vec<(BlockPos, u64)>,
+    chunks_generated: u32,
+}
+
+/// Runs the sharded player stage: batches `players` by owning shard,
+/// processes interior batches concurrently against per-shard world views,
+/// runs the escalated tail serially, merges every side effect in canonical
+/// shard order, and returns the players in their original order.
+///
+/// `actions` is parallel to `players` (one drained queue per player;
+/// disconnected players must have empty queues). The caller passes the
+/// players by value so each shard worker can own its batch outright — the
+/// returned vector restores the original indexing exactly.
+///
+/// Determinism: batch assignment is a pure function of (map, players,
+/// actions); shard batches merge in ascending shard order with players in
+/// ascending index order inside each batch; the serial tail runs last in
+/// ascending index order. None of it depends on `pipeline.threads()`.
+#[must_use]
+pub fn process_players_sharded(
+    world: &mut World,
+    players: Vec<ConnectedPlayer>,
+    mut actions: Vec<Vec<ServerboundPacket>>,
+    pipeline: &TickPipeline,
+) -> (Vec<ConnectedPlayer>, ShardedPlayerStage) {
+    assert_eq!(
+        players.len(),
+        actions.len(),
+        "one action queue per player slot"
+    );
+    let map = pipeline.shard_map().clone();
+    world.reshard(map.clone());
+    let shard_count = map.count();
+    let tick = world.current_tick();
+    let total = players.len();
+
+    // Classification: interior batches per shard, escalated tail, and
+    // parked (disconnected) players that only need their slots back.
+    let mut batches: Vec<Vec<(usize, ConnectedPlayer, Vec<ServerboundPacket>)>> =
+        vec![Vec::new(); shard_count];
+    let mut serial: Vec<(usize, ConnectedPlayer, Vec<ServerboundPacket>)> = Vec::new();
+    let mut parked: Vec<(usize, ConnectedPlayer)> = Vec::new();
+    for (index, player) in players.into_iter().enumerate() {
+        if player.disconnected {
+            parked.push((index, player));
+            continue;
+        }
+        let queue = std::mem::take(&mut actions[index]);
+        match player_shard_assignment(&map, &player, &queue) {
+            Some(shard) => batches[shard].push((index, player, queue)),
+            None => serial.push((index, player, queue)),
+        }
+    }
+    let escalated_players = serial.len() as u64;
+
+    // Parallel phase: one task per shard with players, fanned over the
+    // worker pool. Local neighbour pushes are deferred (`defer_local_pushes`)
+    // so every cascade seed reaches the world's global queue through the
+    // canonical merge below — the terrain stage, not the player stage, runs
+    // the cascade.
+    let mut tasks: Vec<PlayerShardTask> = Vec::new();
+    for (s, batch) in batches.into_iter().enumerate() {
+        if batch.is_empty() {
+            continue;
+        }
+        tasks.push(PlayerShardTask {
+            shard: s,
+            store: world.take_shard_store(s),
+            players: batch,
+            report: PlayerStageReport::default(),
+            changes: Vec::new(),
+            outbound: Vec::new(),
+            scheduled: Vec::new(),
+            chunks_generated: 0,
+        });
+    }
+    if !tasks.is_empty() {
+        let generator = world.generator();
+        tasks = shard::run_tasks(tasks, pipeline.threads(), |_, task| {
+            let store = std::mem::take(&mut task.store);
+            let mut view = ShardWorld::new(task.shard, &map, store, generator, tick, true);
+            for (_, player, queue) in &mut task.players {
+                process_player_actions(&mut view, player, std::mem::take(queue), &mut task.report);
+            }
+            task.chunks_generated = view.chunks_generated;
+            task.changes = std::mem::take(&mut view.changes);
+            task.outbound = std::mem::take(&mut view.outbound);
+            task.scheduled = std::mem::take(&mut view.scheduled);
+            task.store = view.into_store();
+        });
+    }
+
+    // Merge, in canonical (ascending shard) order.
+    let mut stage = ShardedPlayerStage {
+        per_shard_work: vec![0u64; shard_count],
+        ..ShardedPlayerStage::default()
+    };
+    let mut merged: Vec<(usize, ConnectedPlayer)> = Vec::with_capacity(total);
+    for task in tasks {
+        world.put_shard_store(task.shard, task.store);
+        stage.per_shard_work[task.shard] = task.report.base_work_units();
+        stage.report.merge(task.report);
+        world.append_changes(task.changes);
+        for pos in task.outbound {
+            world.push_neighbor_update(pos);
+        }
+        for (pos, due) in task.scheduled {
+            world.schedule_tick_at(pos, due);
+        }
+        world.note_chunks_generated(task.chunks_generated);
+        merged.extend(task.players.into_iter().map(|(i, p, _)| (i, p)));
+    }
+    stage.escalated_players = escalated_players;
+
+    // Serial tail: escalated players against the full world, in ascending
+    // player order, after every parallel batch has merged.
+    for (index, mut player, queue) in serial {
+        process_player_actions(world, &mut player, queue, &mut stage.report);
+        merged.push((index, player));
+    }
+
+    merged.extend(parked);
+    merged.sort_unstable_by_key(|(index, _)| *index);
+    (merged.into_iter().map(|(_, p)| p).collect(), stage)
 }
 
 /// Convenience: the positions of all connected, non-disconnected players,
@@ -275,6 +496,155 @@ mod tests {
         report.movements = 8;
         report.blocks_placed = 2;
         assert!(report.base_work_units() > 300);
+    }
+
+    #[test]
+    fn report_merge_sums_counters_and_appends_chat() {
+        let mut a = PlayerStageReport {
+            actions_processed: 3,
+            movements: 2,
+            chat_messages: 1,
+            pending_chat: vec![PendingChat {
+                sender: "a".into(),
+                message: "first".into(),
+                sent_at_ms: 1.0,
+            }],
+            ..PlayerStageReport::default()
+        };
+        let b = PlayerStageReport {
+            actions_processed: 5,
+            blocks_placed: 1,
+            chat_messages: 1,
+            pending_chat: vec![PendingChat {
+                sender: "b".into(),
+                message: "second".into(),
+                sent_at_ms: 2.0,
+            }],
+            ..PlayerStageReport::default()
+        };
+        a.merge(b);
+        assert_eq!(a.actions_processed, 8);
+        assert_eq!(a.movements, 2);
+        assert_eq!(a.blocks_placed, 1);
+        assert_eq!(a.chat_messages, 2);
+        let order: Vec<&str> = a.pending_chat.iter().map(|c| c.message.as_str()).collect();
+        assert_eq!(order, vec!["first", "second"]);
+    }
+
+    #[test]
+    fn interior_players_with_interior_actions_stay_parallel() {
+        use mlg_world::shard::ShardMap;
+
+        // Two stripes of 4 chunks: shard 0 interior chunks are x = 1..=2.
+        let map = ShardMap::stripes(2);
+        let mut p = player();
+        p.pos = Vec3::new(24.5, 61.0, 8.5); // chunk (1, 0), interior of shard 0
+        let actions = vec![
+            ServerboundPacket::PlayerMove {
+                pos: Vec3::new(26.0, 61.0, 9.0),
+                on_ground: true,
+            },
+            ServerboundPacket::BlockDig {
+                pos: BlockPos::new(30, 60, 9), // chunk (1, 0)
+            },
+            ServerboundPacket::Chat {
+                message: "hi".into(),
+                sent_at_ms: 0.0,
+            },
+        ];
+        assert_eq!(player_shard_assignment(&map, &p, &actions), Some(0));
+    }
+
+    #[test]
+    fn cross_shard_and_boundary_actions_escalate() {
+        use mlg_world::shard::ShardMap;
+
+        let map = ShardMap::stripes(2);
+        let mut p = player();
+        p.pos = Vec3::new(24.5, 61.0, 8.5); // chunk (1, 0), interior of shard 0
+
+        // Digging into another stripe's interior escalates…
+        let foreign_dig = vec![ServerboundPacket::BlockDig {
+            pos: BlockPos::new(90, 60, 9), // chunk (5, 0), interior of shard 1
+        }];
+        assert_eq!(player_shard_assignment(&map, &p, &foreign_dig), None);
+        // …and so does touching a boundary chunk of the *own* shard.
+        let boundary_place = vec![ServerboundPacket::BlockPlace {
+            pos: BlockPos::new(3, 61, 9), // chunk (0, 0): stripe edge
+            block: Block::simple(BlockKind::Planks),
+        }];
+        assert_eq!(player_shard_assignment(&map, &p, &boundary_place), None);
+        // A player standing on a boundary chunk escalates even when idle.
+        let mut edge = player();
+        edge.pos = Vec3::new(3.5, 61.0, 8.5); // chunk (0, 0)
+        assert_eq!(player_shard_assignment(&map, &edge, &[]), None);
+    }
+
+    #[test]
+    fn sharded_stage_matches_the_serial_loop_for_interior_players() {
+        use mlg_world::shard::TickPipeline;
+
+        // Two players in different stripes placing blocks and chatting:
+        // the sharded stage must produce the same world writes and the
+        // same per-player state as the serial loop (chat merge order is
+        // canonical shard order, which here equals player order).
+        let build_players = || {
+            let mut a = player();
+            a.pos = Vec3::new(24.5, 61.0, 8.5); // shard 0 interior
+            let mut b = player();
+            b.id = PlayerId(2);
+            b.name = "bot-2".into();
+            b.pos = Vec3::new(88.5, 61.0, 8.5); // chunk (5, 0): shard 1 interior
+            vec![a, b]
+        };
+        let actions = || {
+            vec![
+                vec![
+                    ServerboundPacket::BlockPlace {
+                        pos: BlockPos::new(26, 61, 9),
+                        block: Block::simple(BlockKind::Planks),
+                    },
+                    ServerboundPacket::Chat {
+                        message: "from-a".into(),
+                        sent_at_ms: 1.0,
+                    },
+                ],
+                vec![
+                    ServerboundPacket::BlockDig {
+                        pos: BlockPos::new(90, 60, 9),
+                    },
+                    ServerboundPacket::Chat {
+                        message: "from-b".into(),
+                        sent_at_ms: 2.0,
+                    },
+                ],
+            ]
+        };
+
+        let mut serial_world = world();
+        serial_world.ensure_area(mlg_world::ChunkPos::new(3, 0), 4);
+        let mut serial_players = build_players();
+        let mut serial_report = PlayerStageReport::default();
+        for (player, queue) in serial_players.iter_mut().zip(actions()) {
+            process_player_actions(&mut serial_world, player, queue, &mut serial_report);
+        }
+
+        let pipeline = TickPipeline::new(2, 4);
+        let mut sharded_world = world();
+        sharded_world.ensure_area(mlg_world::ChunkPos::new(3, 0), 4);
+        sharded_world.reshard(pipeline.shard_map().clone());
+        let (sharded_players, stage) =
+            process_players_sharded(&mut sharded_world, build_players(), actions(), &pipeline);
+
+        assert_eq!(stage.escalated_players, 0);
+        assert_eq!(stage.report, serial_report);
+        assert_eq!(sharded_players, serial_players);
+        assert_eq!(
+            sharded_world.block(BlockPos::new(26, 61, 9)).kind(),
+            BlockKind::Planks
+        );
+        assert_eq!(sharded_world.block(BlockPos::new(90, 60, 9)), Block::AIR);
+        assert!(stage.per_shard_work[0] > 0 && stage.per_shard_work[1] > 0);
     }
 
     #[test]

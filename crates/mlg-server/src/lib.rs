@@ -13,42 +13,63 @@
 //! optimizations; Forge's mod-loader overhead on top of vanilla behaviour;
 //! plus a Folia-like sharded flavor that goes beyond the paper's systems.
 //!
-//! # The sharded tick pipeline
+//! # The tick stage graph
 //!
-//! [`server::GameServer::run_tick`] executes explicit stages: player
-//! handler → terrain simulation → entity simulation → state-update
-//! dissemination → work accounting → overload handling. For flavors with
-//! `tick_shards > 1` the two simulation stages run through the **sharded
-//! tick pipeline** (`mlg_world::shard`): loaded chunks are partitioned into
-//! spatial shards, entities are batched by owning shard, and per-shard work
-//! fans out over a scoped worker pool
-//! ([`ServerConfig::tick_threads`]); boundary work is escalated to a serial
-//! merge phase and every result merges in canonical shard order. The
-//! pipeline is **bit-identical at any thread count** — `tick_threads = 1`
-//! is the sequential reference path, and there are tests pinning
-//! [`TickSummary`] equality across settings.
+//! [`server::GameServer::run_tick`] executes an explicit **stage graph**:
+//! pipelined lighting → player handler → terrain simulation → entity
+//! simulation → state-update dissemination → work accounting → overload
+//! handling. For flavors with `tick_shards > 1` *every* stage declares its
+//! shard-parallel and serial-tail work against the **sharded tick
+//! pipeline** (`mlg_world::shard`):
+//!
+//! * the **player handler** batches connected players by the shard owning
+//!   their chunk and processes interior batches concurrently against
+//!   per-shard world views; boundary players — standing on a shard-edge
+//!   chunk, or placing/digging across a shard edge — escalate to a serial
+//!   tail ([`handler::process_players_sharded`]);
+//! * **terrain** and **entities** fan per-shard work over the scoped
+//!   worker pool as before (interior/boundary classification, serial
+//!   escalation);
+//! * **dissemination** assembles the tick's broadcasts into one reused,
+//!   pre-sized buffer (player positions grouped per shard in canonical
+//!   order) and flushes it with a single batched
+//!   [`queues::NetworkingQueues::broadcast_many`] call;
+//! * **lighting** is either recomputed eagerly inside the terrain stage
+//!   (vanilla) or — for [`FlavorProfile::eager_lighting`]` = false`
+//!   flavors (Paper/Folia) — deferred into a **cross-tick pipelined
+//!   stage**: each tick's relight positions queue up and are consumed
+//!   against a frozen world snapshot at the start of the *next* tick,
+//!   overlapping that tick's player stage in the compute model.
+//!
+//! Batching, merge order and escalation depend only on the shard map and
+//! the inputs — never on scheduling — so the whole graph is
+//! **bit-identical at any thread count**: `tick_threads = 1` is the
+//! sequential reference path, and tests pin [`TickSummary`] equality
+//! across settings, rebalance on and off, lighting eager and pipelined.
 //!
 //! Flavors with [`FlavorProfile::rebalance`] set (the Folia-like one)
 //! replace the static stripe partition with an **adaptive 2D region
 //! quadtree**: at the end of every tick the merged per-shard load report
-//! (terrain updates + entity counts) drives one deterministic split/merge
-//! step — hot regions split while cold quads merge back, within a
-//! hysteresis band — and entities are re-batched against the new partition
-//! on the next tick. Scheduled updates (TNT fuses, repeater delays) are
-//! keyed by position in the world's global queue, so a chunk migrating
-//! between shards keeps its fuses tick-exact (there is a regression test
-//! pinning this). The evolving leaf count feeds the compute model's
-//! `parallel_width` and the busiest shard its `max_shard` floor, which is
-//! how rebalancing lets extra vCPUs absorb clustered hotspot workloads.
+//! (terrain updates + entity counts + player-stage work units) drives one
+//! deterministic split/merge step — hot regions split while cold quads
+//! merge back, within a hysteresis band — and players and entities are
+//! re-batched against the new partition on the next tick. Scheduled
+//! updates (TNT fuses, repeater delays) are keyed by position in the
+//! world's global queue, so a chunk migrating between shards keeps its
+//! fuses tick-exact (there is a regression test pinning this).
 //!
-//! The server runs entirely in virtual time: each tick's work is accumulated
-//! in abstract work units and converted to milliseconds by a `cloud-sim`
-//! compute engine, so experiments are deterministic and fast. The work split
-//! reported to the engine is three-way: serial main-thread work, an
-//! Amdahl-style *parallelizable* share (tick shards, parallel JVM GC —
-//! controlled by [`FlavorProfile`]'s `parallel_fraction`/`tick_shards`
-//! knobs) that lets vCPU count shorten busy time, and asynchronously
-//! *offloadable* work overlapped on spare cores.
+//! The server runs entirely in virtual time: each stage's work is
+//! accumulated in abstract work units and handed to the `cloud-sim`
+//! compute engine as one `StageWork` record per stage — serial main-thread
+//! work plus a parallelizable share with a per-stage width (the shard
+//! count) and a per-stage load-balance floor (that stage's busiest shard)
+//! — folded into one Amdahl critical path, with asynchronously
+//! *offloadable* work (async chat, the pipelined lighting pass) overlapped
+//! on spare cores. Per-stage fractions come from
+//! [`FlavorProfile::stage_parallel`]; the resulting per-stage busy-time
+//! breakdown is exposed as [`TickStageBreakdown`] on every summary and as
+//! `stage_*_ms` columns in campaign CSVs, so variability can be attributed
+//! to stages the way the paper's Figure 11 attributes it to work classes.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -62,6 +83,6 @@ pub mod queues;
 pub mod server;
 
 pub use config::ServerConfig;
-pub use flavor::{FlavorProfile, ServerFlavor};
+pub use flavor::{FlavorProfile, ServerFlavor, StageParallelism};
 pub use player::{ConnectedPlayer, PlayerId};
-pub use server::{GameServer, ServerCrash, TickSummary};
+pub use server::{GameServer, ServerCrash, TickStageBreakdown, TickSummary};

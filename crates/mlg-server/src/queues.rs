@@ -103,6 +103,28 @@ impl NetworkingQueues {
         count
     }
 
+    /// Buffers a batch of clientbound packets for every connected player
+    /// and returns how many copies were enqueued in total.
+    ///
+    /// The fast path of the dissemination stage: one pass per connection
+    /// (reserving queue capacity up front) instead of one map traversal per
+    /// packet. Each connection receives the packets in slice order, so the
+    /// result is byte-for-byte identical to calling
+    /// [`NetworkingQueues::broadcast`] once per packet — a unit test pins
+    /// the parity.
+    pub fn broadcast_many(&mut self, packets: &[ClientboundPacket]) -> u64 {
+        if packets.is_empty() {
+            return 0;
+        }
+        let mut count = 0;
+        for conn in self.connections.values_mut() {
+            conn.outgoing.reserve(packets.len());
+            conn.outgoing.extend(packets.iter().cloned());
+            count += packets.len() as u64;
+        }
+        count
+    }
+
     /// Drains all pending clientbound packets for `player`.
     pub fn drain_outgoing(&mut self, player: PlayerId) -> Vec<ClientboundPacket> {
         self.connections
@@ -169,6 +191,55 @@ mod tests {
         for i in 0..5 {
             assert_eq!(q.drain_outgoing(PlayerId(i)).len(), 1);
         }
+    }
+
+    #[test]
+    fn broadcast_many_is_byte_identical_to_individual_broadcasts() {
+        use mlg_protocol::codec::clientbound_wire_size;
+
+        let packets = vec![
+            ClientboundPacket::KeepAlive { id: 1 },
+            ClientboundPacket::TimeUpdate {
+                world_age_ticks: 40,
+            },
+            ClientboundPacket::Chat {
+                message: "<a> hi".into(),
+                echo_of_ms: 3.5,
+            },
+            ClientboundPacket::KeepAlive { id: 2 },
+        ];
+
+        let mut batched = NetworkingQueues::new();
+        let mut individual = NetworkingQueues::new();
+        for i in 0..4 {
+            batched.add_connection(PlayerId(i));
+            individual.add_connection(PlayerId(i));
+        }
+
+        let batched_count = batched.broadcast_many(&packets);
+        let mut individual_count = 0;
+        for packet in &packets {
+            individual_count += individual.broadcast(packet);
+        }
+        assert_eq!(batched_count, individual_count);
+        assert_eq!(batched_count, 16);
+
+        for i in 0..4 {
+            let a = batched.drain_outgoing(PlayerId(i));
+            let b = individual.drain_outgoing(PlayerId(i));
+            assert_eq!(a, b, "queue contents diverged for player {i}");
+            let a_bytes: Vec<usize> = a.iter().map(clientbound_wire_size).collect();
+            let b_bytes: Vec<usize> = b.iter().map(clientbound_wire_size).collect();
+            assert_eq!(a_bytes, b_bytes, "wire bytes diverged for player {i}");
+        }
+    }
+
+    #[test]
+    fn broadcast_many_of_nothing_is_a_no_op() {
+        let mut q = NetworkingQueues::new();
+        q.add_connection(PlayerId(1));
+        assert_eq!(q.broadcast_many(&[]), 0);
+        assert_eq!(q.total_buffered(), 0);
     }
 
     #[test]

@@ -1,13 +1,13 @@
 //! The game server and its 20 Hz game loop.
 
-use cloud_sim::engine::{ComputeEngine, TickWork};
+use cloud_sim::engine::{ComputeEngine, StageWork};
 use meterstick_metrics::distribution::TickDistribution;
 use meterstick_metrics::trace::TickRecord;
 use mlg_entity::{EntityId, EntityKind, EntityManager, Vec3};
 use mlg_protocol::{ClientboundPacket, ServerboundPacket, TrafficAccountant, TrafficSummary};
 use mlg_world::shard::{ShardLoadReport, TickPipeline};
-use mlg_world::sim::TerrainEvent;
-use mlg_world::{BlockKind, TerrainSimulator, World};
+use mlg_world::sim::{self, TerrainEvent};
+use mlg_world::{BlockKind, BlockPos, TerrainSimulator, World};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -26,6 +26,56 @@ pub struct ServerCrash {
     pub at_tick: u64,
     /// Virtual time of the crash, in milliseconds.
     pub at_ms: f64,
+}
+
+/// Per-stage busy-time breakdown of one tick under the stage-parallel tick
+/// graph: each stage's contribution to the tick's critical path (its serial
+/// part plus its Amdahl parallel phase), in milliseconds.
+///
+/// A *pipelined* lighting stage contributes (near) zero here by design —
+/// its work overlaps the rest of the tick on idle cores and only surfaces
+/// in `other_ms` when the node has no slack to hide it. The breakdown sums
+/// to the tick's busy time.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TickStageBreakdown {
+    /// Stage 1: player handler (action processing + connection upkeep).
+    pub player_ms: f64,
+    /// Stage 2: terrain simulation (update cascades, random ticks, chunk
+    /// generation).
+    pub terrain_ms: f64,
+    /// Stage 3: entity simulation.
+    pub entity_ms: f64,
+    /// Lighting stage (eager mode only; ~0 when pipelined).
+    pub lighting_ms: f64,
+    /// Stage 4: state-update dissemination (packet assembly + broadcast).
+    pub dissemination_ms: f64,
+    /// Everything else: GC, fixed overhead, and any offloaded work that
+    /// spilled past the tick's idle-core slack.
+    pub other_ms: f64,
+}
+
+impl TickStageBreakdown {
+    /// Adds another breakdown's stage times into this one (used to total
+    /// per-tick breakdowns over an iteration).
+    pub fn accumulate(&mut self, other: &TickStageBreakdown) {
+        self.player_ms += other.player_ms;
+        self.terrain_ms += other.terrain_ms;
+        self.entity_ms += other.entity_ms;
+        self.lighting_ms += other.lighting_ms;
+        self.dissemination_ms += other.dissemination_ms;
+        self.other_ms += other.other_ms;
+    }
+
+    /// Sum of all stage contributions (equals the tick's busy time).
+    #[must_use]
+    pub fn total_ms(&self) -> f64 {
+        self.player_ms
+            + self.terrain_ms
+            + self.entity_ms
+            + self.lighting_ms
+            + self.dissemination_ms
+            + self.other_ms
+    }
 }
 
 /// Summary of one executed game tick.
@@ -51,10 +101,13 @@ pub struct TickSummary {
     /// (PaperMC behaviour) and therefore do not wait for the tick to finish.
     pub async_chat: bool,
     /// The busiest shard's share of this tick's parallelizable work, in
-    /// work units — the load-balance floor the compute engine applied
-    /// (0 on the serial path). Adaptive rebalancing exists to shrink this
-    /// number under hotspot workloads.
+    /// work units, summed over the sharded stages (player, terrain,
+    /// entity) — the load-balance floors the compute engine applied (0 on
+    /// the serial path). Adaptive rebalancing exists to shrink this number
+    /// under hotspot workloads.
     pub max_shard_work: u64,
+    /// Per-stage busy-time breakdown of this tick.
+    pub stages: TickStageBreakdown,
     /// Set when the server crashed during this tick.
     pub crash: Option<ServerCrash>,
 }
@@ -80,6 +133,19 @@ pub struct GameServer {
     gc_rng: StdRng,
     next_minor_gc_tick: u64,
     next_major_gc_tick: u64,
+    /// Whether lighting runs eagerly inside the terrain stage (resolved
+    /// from the flavor profile and the [`ServerConfig::eager_lighting`]
+    /// override). When `false`, relight positions queue in
+    /// `pending_relight` and are consumed by the next tick's pipelined
+    /// lighting stage.
+    eager_lighting: bool,
+    /// Terrain-change positions awaiting the cross-tick pipelined lighting
+    /// stage (empty under eager lighting).
+    pending_relight: Vec<BlockPos>,
+    /// Reused dissemination buffer: the tick's broadcast packets are
+    /// assembled here and flushed with one `broadcast_many` call, so the
+    /// hot path allocates no per-packet vectors.
+    broadcast_buf: Vec<ClientboundPacket>,
 }
 
 /// Base cost, in work units, of keeping one player connected for one tick:
@@ -120,9 +186,10 @@ impl GameServer {
         let mut entities = EntityManager::new(config.seed ^ 0xE47);
         entities.natural_spawning = config.natural_spawning;
         entities.max_tnt_per_tick = profile.max_tnt_per_tick;
+        let eager_lighting = config.eager_lighting.unwrap_or(profile.eager_lighting);
         let terrain = TerrainSimulator {
             random_ticks_per_chunk: config.random_ticks_per_chunk,
-            eager_lighting: true,
+            eager_lighting,
             ..TerrainSimulator::default()
         };
         let gc_seed = config.seed ^ 0x6C;
@@ -146,6 +213,9 @@ impl GameServer {
             gc_rng: StdRng::seed_from_u64(gc_seed),
             next_minor_gc_tick: MINOR_GC_INTERVAL_TICKS,
             next_major_gc_tick: MAJOR_GC_INTERVAL_TICKS,
+            eager_lighting,
+            pending_relight: Vec::new(),
+            broadcast_buf: Vec::new(),
         }
     }
 
@@ -169,7 +239,28 @@ impl GameServer {
         if self.pipeline.is_sharded() {
             self.world.reshard(self.pipeline.shard_map().clone());
         }
+        self.eager_lighting = self.config.eager_lighting.unwrap_or(profile.eager_lighting);
+        self.terrain.eager_lighting = self.eager_lighting;
+        if self.eager_lighting {
+            // An eager server never runs the pipelined stage; drop any
+            // queue carried over from a previous profile.
+            self.pending_relight.clear();
+        }
         self.profile = profile;
+    }
+
+    /// Whether lighting runs eagerly inside the terrain stage (`false` =
+    /// the cross-tick pipelined lighting stage is active).
+    #[must_use]
+    pub fn eager_lighting(&self) -> bool {
+        self.eager_lighting
+    }
+
+    /// Number of terrain changes queued for the next tick's pipelined
+    /// lighting stage (always 0 under eager lighting).
+    #[must_use]
+    pub fn pending_relight_len(&self) -> usize {
+        self.pending_relight.len()
     }
 
     /// The tick-pipeline execution configuration in effect.
@@ -377,6 +468,7 @@ impl GameServer {
                 cpu_utilization: 0.0,
                 async_chat: self.profile.async_chat,
                 max_shard_work: 0,
+                stages: TickStageBreakdown::default(),
                 crash: Some(crash.clone()),
             };
         }
@@ -384,34 +476,97 @@ impl GameServer {
         self.tick_index += 1;
         self.world.advance_tick();
 
+        // --- Stage 0: pipelined lighting ---------------------------------
+        // Under pipelined lighting (`eager_lighting = false`) the previous
+        // tick queued its terrain-change positions; relight them now over a
+        // frozen snapshot of the world at tick start. In the compute model
+        // this work is fully offloadable — it overlaps this tick's player
+        // stage on idle cores — which is the cross-tick pipelining win.
+        let pipelined_light_positions = if self.eager_lighting || self.pending_relight.is_empty() {
+            0
+        } else {
+            let positions = std::mem::take(&mut self.pending_relight);
+            sim::relight_positions_frozen(&self.world, &positions, self.pipeline.threads())
+        };
+
         // --- Stage 1: player handler -------------------------------------
-        let mut player_report = PlayerStageReport::default();
+        // Sharded pipelines batch players by owning shard and process the
+        // interior batches in parallel (boundary players escalate to a
+        // serial tail — see `handler::process_players_sharded`); serial
+        // flavors keep the classic per-player loop. Either way the queues
+        // are drained once, in player order.
         let mut bytes_received = 0u64;
-        // Index connected players once: iterating ids and re-scanning the
-        // player list per id was O(P²) per tick.
-        let connected: Vec<usize> = self
-            .players
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| !p.disconnected)
-            .map(|(index, _)| index)
-            .collect();
-        for index in connected {
-            let id = self.players[index].id;
-            let actions = self.queues.drain_incoming(id);
-            bytes_received += actions
+        let (player_report, player_shard_work) = if self.pipeline.is_sharded() {
+            let players = std::mem::take(&mut self.players);
+            let mut actions: Vec<Vec<ServerboundPacket>> = Vec::with_capacity(players.len());
+            for player in &players {
+                if player.disconnected {
+                    actions.push(Vec::new());
+                    continue;
+                }
+                let queue = self.queues.drain_incoming(player.id);
+                bytes_received += queue
+                    .iter()
+                    .map(|a| mlg_protocol::codec::serverbound_wire_size(a) as u64)
+                    .sum::<u64>();
+                actions.push(queue);
+            }
+            let (players, stage) =
+                handler::process_players_sharded(&mut self.world, players, actions, &self.pipeline);
+            self.players = players;
+            (stage.report, Some(stage.per_shard_work))
+        } else {
+            let mut report = PlayerStageReport::default();
+            // Index connected players once: iterating ids and re-scanning
+            // the player list per id was O(P²) per tick.
+            let connected: Vec<usize> = self
+                .players
                 .iter()
-                .map(|a| mlg_protocol::codec::serverbound_wire_size(a) as u64)
-                .sum::<u64>();
-            handler::process_player_actions(
-                &mut self.world,
-                &mut self.players[index],
-                actions,
-                &mut player_report,
-            );
-        }
+                .enumerate()
+                .filter(|(_, p)| !p.disconnected)
+                .map(|(index, _)| index)
+                .collect();
+            for index in connected {
+                let id = self.players[index].id;
+                let actions = self.queues.drain_incoming(id);
+                bytes_received += actions
+                    .iter()
+                    .map(|a| mlg_protocol::codec::serverbound_wire_size(a) as u64)
+                    .sum::<u64>();
+                handler::process_player_actions(
+                    &mut self.world,
+                    &mut self.players[index],
+                    actions,
+                    &mut report,
+                );
+            }
+            (report, None)
+        };
+
+        // Player-stage block edits feed the lighting stage too (the
+        // paper's workloads never place blocks, but the Crowd workload
+        // does): relit immediately over a frozen post-player-stage
+        // snapshot under eager lighting, queued for the next tick's
+        // pipelined stage otherwise. The change log is empty at tick start
+        // (stage 4 drains it), so everything in it here came from stage 1.
+        let player_light_positions = if self.world.changes().is_empty() {
+            0
+        } else if self.eager_lighting {
+            let positions: Vec<BlockPos> = self
+                .world
+                .changes()
+                .iter()
+                .map(|change| change.pos)
+                .collect();
+            sim::relight_positions_frozen(&self.world, &positions, self.pipeline.threads())
+        } else {
+            self.pending_relight
+                .extend(self.world.changes().iter().map(|change| change.pos));
+            0
+        };
 
         // --- Stage 2: terrain simulation ----------------------------------
+        let relight_from = self.world.changes().len();
         let (terrain_report, terrain_events, terrain_shard_work) = if self.pipeline.is_sharded() {
             let out = self.terrain.tick_sharded(&mut self.world, &self.pipeline);
             (out.report, out.events, Some(out.per_shard_work))
@@ -419,6 +574,17 @@ impl GameServer {
             let (report, events) = self.terrain.tick(&mut self.world);
             (report, events, None)
         };
+        if !self.eager_lighting {
+            // Queue this tick's terrain changes for the next tick's
+            // pipelined lighting stage (the same set the eager path relights
+            // in-stage; player- and entity-stage changes are excluded on
+            // both paths).
+            self.pending_relight.extend(
+                self.world.changes()[relight_from..]
+                    .iter()
+                    .map(|change| change.pos),
+            );
+        }
         let event_spawns = self.handle_terrain_events(terrain_events);
 
         // --- Stage 3: entity simulation -----------------------------------
@@ -434,90 +600,111 @@ impl GameServer {
         };
 
         // --- Stage 4: state-update dissemination --------------------------
+        // Every broadcast of this tick is assembled into one reused,
+        // pre-sized buffer — in canonical order — and flushed with a single
+        // batched `broadcast_many` + `record_many` pair instead of a
+        // per-packet traversal of the connection map.
         let mut packets_emitted = 0u64;
         let recipients = self.player_count() as u64;
         let changes = self.world.drain_changes();
+        let mut packets = std::mem::take(&mut self.broadcast_buf);
+        packets.clear();
         if recipients > 0 {
+            packets.reserve(
+                recipients as usize
+                    + changes.len()
+                    + event_spawns.len()
+                    + entity_report.spawned.len()
+                    + entity_report.moved.len()
+                    + entity_report.removed.len()
+                    + player_report.pending_chat.len()
+                    + 2,
+            );
             // Player position synchronisation: every connected player's
             // position is broadcast each tick (entity-related traffic, which
             // is why Table 8 shows entity messages dominating even the
-            // Control workload).
-            let player_moves: Vec<ClientboundPacket> = self
-                .players
-                .iter()
-                .filter(|pl| !pl.disconnected)
-                .map(|pl| ClientboundPacket::EntityMove {
-                    id: pl.entity_id,
-                    pos: pl.pos,
-                })
-                .collect();
-            for packet in &player_moves {
-                self.traffic.record(packet, recipients);
-                packets_emitted += self.queues.broadcast(packet);
+            // Control workload). Sharded pipelines assemble these per shard
+            // — canonical shard order, player order within a shard —
+            // mirroring how the player stage batches its work.
+            if self.pipeline.is_sharded() {
+                let map = self.pipeline.shard_map();
+                let mut keyed: Vec<(usize, usize)> = self
+                    .players
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, pl)| !pl.disconnected)
+                    .map(|(index, pl)| (map.shard_of_chunk(pl.chunk()), index))
+                    .collect();
+                keyed.sort_unstable();
+                for (_, index) in keyed {
+                    let pl = &self.players[index];
+                    packets.push(ClientboundPacket::EntityMove {
+                        id: pl.entity_id,
+                        pos: pl.pos,
+                    });
+                }
+            } else {
+                for pl in self.players.iter().filter(|pl| !pl.disconnected) {
+                    packets.push(ClientboundPacket::EntityMove {
+                        id: pl.entity_id,
+                        pos: pl.pos,
+                    });
+                }
             }
             for change in &changes {
-                let packet = ClientboundPacket::BlockChange {
+                packets.push(ClientboundPacket::BlockChange {
                     pos: change.pos,
                     block: change.new,
-                };
-                self.traffic.record(&packet, recipients);
-                packets_emitted += self.queues.broadcast(&packet);
+                });
             }
             for (id, kind, pos) in &event_spawns {
-                let packet = ClientboundPacket::EntitySpawn {
+                packets.push(ClientboundPacket::EntitySpawn {
                     id: *id,
                     kind_id: entity_kind_id(*kind),
                     pos: *pos,
-                };
-                self.traffic.record(&packet, recipients);
-                packets_emitted += self.queues.broadcast(&packet);
+                });
             }
             for (id, kind) in &entity_report.spawned {
-                let packet = ClientboundPacket::EntitySpawn {
+                packets.push(ClientboundPacket::EntitySpawn {
                     id: *id,
                     kind_id: entity_kind_id(*kind),
                     pos: self.spawn_point,
-                };
-                self.traffic.record(&packet, recipients);
-                packets_emitted += self.queues.broadcast(&packet);
+                });
             }
             for (id, pos) in &entity_report.moved {
-                let packet = ClientboundPacket::EntityMove { id: *id, pos: *pos };
-                self.traffic.record(&packet, recipients);
-                packets_emitted += self.queues.broadcast(&packet);
+                packets.push(ClientboundPacket::EntityMove { id: *id, pos: *pos });
             }
             for id in &entity_report.removed {
-                let packet = ClientboundPacket::EntityDestroy { id: *id };
-                self.traffic.record(&packet, recipients);
-                packets_emitted += self.queues.broadcast(&packet);
+                packets.push(ClientboundPacket::EntityDestroy { id: *id });
             }
             for chat in &player_report.pending_chat {
-                let packet = ClientboundPacket::Chat {
+                packets.push(ClientboundPacket::Chat {
                     message: format!("<{}> {}", chat.sender, chat.message),
                     echo_of_ms: chat.sent_at_ms,
-                };
-                self.traffic.record(&packet, recipients);
-                packets_emitted += self.queues.broadcast(&packet);
+                });
             }
             if self.tick_index.is_multiple_of(20) {
-                let packet = ClientboundPacket::TimeUpdate {
+                packets.push(ClientboundPacket::TimeUpdate {
                     world_age_ticks: self.tick_index,
-                };
-                self.traffic.record(&packet, recipients);
-                packets_emitted += self.queues.broadcast(&packet);
+                });
             }
             if self.tick_index.is_multiple_of(100) {
-                let packet = ClientboundPacket::KeepAlive {
+                packets.push(ClientboundPacket::KeepAlive {
                     id: self.tick_index,
-                };
-                self.traffic.record(&packet, recipients);
-                packets_emitted += self.queues.broadcast(&packet);
+                });
             }
+            self.traffic.record_many(&packets, recipients);
+            packets_emitted = self.queues.broadcast_many(&packets);
         }
+        self.broadcast_buf = packets;
 
         // --- Stage 5: work accounting and time conversion ------------------
+        // Each stage of the tick graph declares its own serial/parallel
+        // split (per-stage fractions from the flavor profile, per-stage
+        // load-balance floors from the merged shard work); the engine folds
+        // the records into one Amdahl critical path.
         let p = &self.profile;
-        let player_work = (player_report.base_work_units() as f64) as u64;
+        let player_work = player_report.base_work_units();
         let add_remove_work = terrain_report.blocks_added * 25
             + terrain_report.blocks_removed * 25
             + terrain_report.blocks_updated * 10;
@@ -529,8 +716,15 @@ impl GameServer {
             + terrain_report.growths * 20
             + terrain_report.blocks_scanned;
         let update_work = (update_work_raw as f64 * p.redstone_multiplier) as u64;
-        let light_work =
-            (terrain_report.light_positions as f64 * 2.0 * p.lighting_multiplier) as u64;
+        // Under pipelined lighting this tick pays for the *previous* tick's
+        // relight set (consumed by stage 0); the terrain stage reported no
+        // light positions of its own.
+        let light_positions = if self.eager_lighting {
+            terrain_report.light_positions + player_light_positions
+        } else {
+            pipelined_light_positions
+        };
+        let light_work = (light_positions as f64 * 2.0 * p.lighting_multiplier) as u64;
         let chunk_work = (terrain_report.chunks_generated + self.pending_join_chunks) * 4_000;
         self.pending_join_chunks = 0;
 
@@ -579,73 +773,187 @@ impl GameServer {
             + overhead_work) as f64
             * p.overhead_multiplier) as u64;
 
-        let mut offloadable = (p.offload_fraction
-            * (update_work + light_work + chunk_work + packet_work) as f64)
-            as u64;
-        if p.async_chat {
-            offloadable += chat_work;
-        }
-        let offloadable = offloadable.min(total_work);
+        // Asynchronously offloadable work, attributed per stage so serial
+        // residues can be computed below: a flavor-dependent fraction of the
+        // terrain/lighting/dissemination stages, chat wholesale under async
+        // chat, and — the cross-tick pipelining win — the *whole* lighting
+        // pass when it runs pipelined (stage 0 overlapped it with this
+        // tick's player stage on idle cores).
+        let offload_f = p.offload_fraction.clamp(0.0, 1.0);
+        let off_terrain = (offload_f * (update_work + chunk_work) as f64) as u64;
+        let off_light = if self.eager_lighting {
+            (offload_f * light_work as f64) as u64
+        } else {
+            light_work
+        };
+        let off_dissemination =
+            (offload_f * packet_work as f64) as u64 + if p.async_chat { chat_work } else { 0 };
+        let offloadable = (off_terrain + off_light + off_dissemination).min(total_work);
 
-        // Parallelizable share of the game loop itself: JVM GC is parallel
-        // for every flavor, plus `parallel_fraction` of the entity, lighting
-        // and chunk work (tick shards for Folia-like flavors, JVM-runtime
-        // parallelism otherwise). The light/chunk share already counted as
-        // offloadable is excluded so no component is classified off the
-        // main thread twice. Redstone/block-update cascades stay serial —
-        // they are dependency chains even under sharding.
-        let shardable_pool = entity_work
-            + ((1.0 - p.offload_fraction.clamp(0.0, 1.0)) * (light_work + chunk_work) as f64)
-                as u64;
-        let parallelizable = (gc_work + (p.parallel_fraction * shardable_pool as f64) as u64)
-            .min(total_work - offloadable);
-        let main_thread = total_work - offloadable - parallelizable;
-        let parallel_width = if self.pipeline.is_sharded() {
+        // Per-stage parallelizable shares: each stage fans its fraction out
+        // over the tick shards (or plain JVM-runtime parallelism for serial
+        // flavors — GC is always freely parallel on top). The light/chunk/
+        // packet share already counted as offloadable is excluded so no
+        // component is classified off the main thread twice. Redstone/
+        // block-update cascades stay serial — they are dependency chains
+        // even under sharding.
+        let sp = p.stage_parallel;
+        let player_pool = player_work + connection_work;
+        let terrain_pool = add_remove_work + update_work + chunk_work;
+        let dissemination_pool = packet_work + chat_work;
+        let mut par_player = (sp.player * player_pool as f64) as u64;
+        let mut par_terrain = (sp.terrain * (1.0 - offload_f) * chunk_work as f64) as u64;
+        let mut par_entity = (sp.entity * entity_work as f64) as u64;
+        let mut par_light = if self.eager_lighting {
+            (sp.lighting * (1.0 - offload_f) * light_work as f64) as u64
+        } else {
+            0
+        };
+        let mut par_dissemination =
+            (sp.dissemination * (1.0 - offload_f) * packet_work as f64) as u64;
+        let mut par_gc = gc_work;
+        // Keep offload + parallel within the (overhead-scaled) total; the
+        // clamp order is fixed so the split stays deterministic.
+        let mut parallel_budget = total_work.saturating_sub(offloadable);
+        for share in [
+            &mut par_player,
+            &mut par_terrain,
+            &mut par_entity,
+            &mut par_light,
+            &mut par_dissemination,
+            &mut par_gc,
+        ] {
+            *share = (*share).min(parallel_budget);
+            parallel_budget -= *share;
+        }
+        let parallelizable =
+            par_player + par_terrain + par_entity + par_light + par_dissemination + par_gc;
+        let main_total = total_work - offloadable - parallelizable;
+
+        // Attribute the remaining main-thread work to stages in proportion
+        // to their serial residues (work not offloaded and not parallel).
+        // The engine only sums the serial parts, so the attribution shapes
+        // the per-stage breakdown without changing busy time.
+        let serial_player = player_pool.saturating_sub(par_player);
+        let serial_terrain = terrain_pool.saturating_sub(off_terrain + par_terrain);
+        let serial_entity = entity_work.saturating_sub(par_entity);
+        let serial_light = light_work.saturating_sub(off_light + par_light);
+        let serial_dissemination =
+            dissemination_pool.saturating_sub(off_dissemination + par_dissemination);
+        let serial_other = overhead_work + gc_work.saturating_sub(par_gc);
+        let serial_total = (serial_player
+            + serial_terrain
+            + serial_entity
+            + serial_light
+            + serial_dissemination
+            + serial_other)
+            .max(1);
+        let attribute =
+            |units: u64| (main_total as f64 * units as f64 / serial_total as f64) as u64;
+        let main_player = attribute(serial_player);
+        let main_terrain = attribute(serial_terrain);
+        let main_entity = attribute(serial_entity);
+        let main_light = attribute(serial_light);
+        let main_dissemination = attribute(serial_dissemination);
+        let main_other = main_total
+            - (main_player + main_terrain + main_entity + main_light + main_dissemination);
+
+        let stage_width = if self.pipeline.is_sharded() {
             self.pipeline.shards()
         } else {
             // JVM-runtime parallelism is not bound to tick shards.
             u32::MAX
         };
-        // Load-balance floor: the busiest shard's measured share of the
-        // parallel work (zero when nothing sharded ran, i.e. perfectly
-        // divisible JVM work). The same merged report also drives adaptive
-        // rebalancing below, so the compute model and the partition always
-        // see identical loads.
+        // Per-stage load-balance floors: the busiest shard's measured share
+        // of that stage's parallel work (zero when nothing sharded ran).
+        let stage_floor = |par: u64, loads: Option<&Vec<u64>>| -> u64 {
+            let Some(loads) = loads else { return 0 };
+            let total: u64 = loads.iter().sum();
+            if total == 0 {
+                return 0;
+            }
+            let max = loads.iter().copied().max().unwrap_or(0);
+            ((par as u128 * u128::from(max) / u128::from(total)) as u64).min(par)
+        };
+        let floor_player = stage_floor(par_player, player_shard_work.as_ref());
+        let floor_terrain = stage_floor(par_terrain, terrain_shard_work.as_ref());
+        let floor_entity = stage_floor(par_entity, entity_shard_work.as_ref());
+        let max_shard = floor_player + floor_terrain + floor_entity;
+
+        // The same merged per-shard loads — player stage included — drive
+        // adaptive rebalancing, so the compute model and the partition
+        // always see identical hotspots.
         let load_report = match (&terrain_shard_work, &entity_shard_work) {
             (Some(terrain), Some(entities)) => {
-                Some(ShardLoadReport::from_stage_work(terrain, entities))
+                let mut report = ShardLoadReport::from_stage_work(terrain, entities);
+                if let Some(player) = &player_shard_work {
+                    report.fold_player_work(player);
+                }
+                Some(report)
             }
             _ => None,
-        };
-        let max_shard = match &load_report {
-            Some(report) if report.total() > 0 => {
-                ((parallelizable as u128 * u128::from(report.max()) / u128::from(report.total()))
-                    as u64)
-                    .min(parallelizable)
-            }
-            _ => 0,
         };
 
         // Adaptive rebalancing: apply this tick's merged load report to the
         // partition (a pure function of the report, so bit-identical at any
         // thread count). The world is resharded lazily by the next tick's
-        // sharded terrain phase.
+        // sharded player/terrain phases.
         if self.pipeline.rebalance_enabled() {
             if let Some(report) = &load_report {
                 self.pipeline.apply_load_report(report);
             }
         }
 
-        let execution = engine.execute_tick(
-            TickWork {
-                main_thread,
-                offloadable,
-                parallelizable,
-                parallel_width,
-                max_shard,
+        let stage_records = [
+            StageWork {
+                main_thread: main_player,
+                parallelizable: par_player,
+                parallel_width: stage_width,
+                max_shard: floor_player,
             },
-            self.config.tick_budget_ms,
-        );
+            StageWork {
+                main_thread: main_terrain,
+                parallelizable: par_terrain,
+                parallel_width: stage_width,
+                max_shard: floor_terrain,
+            },
+            StageWork {
+                main_thread: main_entity,
+                parallelizable: par_entity,
+                parallel_width: stage_width,
+                max_shard: floor_entity,
+            },
+            StageWork {
+                main_thread: main_light,
+                parallelizable: par_light,
+                parallel_width: stage_width,
+                max_shard: 0,
+            },
+            StageWork {
+                main_thread: main_dissemination,
+                parallelizable: par_dissemination,
+                parallel_width: stage_width,
+                max_shard: 0,
+            },
+            StageWork {
+                main_thread: main_other,
+                parallelizable: par_gc,
+                // Parallel GC is freely divisible across however many
+                // vCPUs exist, not bound to tick shards.
+                parallel_width: u32::MAX,
+                max_shard: 0,
+            },
+        ];
+        let staged = engine.execute_stages(&stage_records, offloadable, self.config.tick_budget_ms);
+        let stages = TickStageBreakdown {
+            player_ms: staged.stage_ms[0],
+            terrain_ms: staged.stage_ms[1],
+            entity_ms: staged.stage_ms[2],
+            lighting_ms: staged.stage_ms[3],
+            dissemination_ms: staged.stage_ms[4],
+            other_ms: staged.stage_ms[5] + staged.offload_overflow_ms,
+        };
+        let execution = staged.execution;
         let busy_ms = execution.busy_ms;
 
         // --- Stage 6: tick-time distribution -------------------------------
@@ -731,6 +1039,7 @@ impl GameServer {
             cpu_utilization: execution.cpu_utilization,
             async_chat: self.profile.async_chat,
             max_shard_work: max_shard,
+            stages,
             crash,
         }
     }
@@ -1056,6 +1365,95 @@ mod tests {
             folia < vanilla * 0.6,
             "sharded Folia ({folia} ms) should exploit the 8-core node far better than Vanilla ({vanilla} ms)"
         );
+    }
+
+    #[test]
+    fn stage_breakdown_accounts_for_the_whole_tick() {
+        let mut s = server(ServerFlavor::Vanilla);
+        let mut e = engine();
+        s.connect_player("probe");
+        s.enqueue_packet(
+            s.player(PlayerId(1)).unwrap().id,
+            ServerboundPacket::BlockPlace {
+                pos: BlockPos::new(3, 61, 3),
+                block: Block::simple(BlockKind::Planks),
+            },
+        );
+        for _ in 0..5 {
+            let summary = s.run_tick(&mut e);
+            assert!(
+                (summary.stages.total_ms() - summary.record.busy_ms).abs() < 1e-9,
+                "stage breakdown ({}) must sum to busy time ({})",
+                summary.stages.total_ms(),
+                summary.record.busy_ms
+            );
+            assert!(summary.stages.player_ms > 0.0, "players are connected");
+        }
+    }
+
+    #[test]
+    fn pipelined_lighting_defers_the_relight_one_tick() {
+        // Folia defaults to pipelined lighting: a terrain change queues its
+        // relight set for the next tick instead of lighting in-stage.
+        let config = ServerConfig::for_flavor(ServerFlavor::Folia).with_view_distance(2);
+        let mut s = GameServer::new(config, flat_world(), Vec3::new(0.5, 61.0, 0.5));
+        assert!(!s.eager_lighting());
+        let mut e = engine();
+        s.connect_player("probe");
+        s.run_tick(&mut e);
+        assert_eq!(s.pending_relight_len(), 0, "idle ticks queue nothing");
+        // A fused TNT block detonating is a terrain-stage change.
+        s.world_mut()
+            .set_block_silent(BlockPos::new(5, 61, 5), Block::simple(BlockKind::Tnt));
+        s.schedule_tnt_ignition(1);
+        s.run_tick(&mut e);
+        assert!(
+            s.pending_relight_len() > 0,
+            "the ignition change must queue for the pipelined stage"
+        );
+        s.run_tick(&mut e);
+        // The next tick consumed the queue (explosion fallout may requeue
+        // new changes, but the original set is gone; on this quiet world
+        // the queue drains as the cascade settles).
+        for _ in 0..40 {
+            s.run_tick(&mut e);
+        }
+        assert_eq!(s.pending_relight_len(), 0, "the queue must drain");
+
+        // The ServerConfig override forces eager lighting back on.
+        let eager_config = ServerConfig::for_flavor(ServerFlavor::Folia)
+            .with_view_distance(2)
+            .with_eager_lighting(Some(true));
+        let eager = GameServer::new(eager_config, flat_world(), Vec3::new(0.5, 61.0, 0.5));
+        assert!(eager.eager_lighting());
+    }
+
+    #[test]
+    fn eager_and_pipelined_lighting_agree_on_world_state() {
+        // Lighting is a pure cost model — pipelining it must not change
+        // simulation results, only when the cost lands.
+        let run = |eager: Option<bool>| {
+            let config = ServerConfig::for_flavor(ServerFlavor::Folia)
+                .with_view_distance(2)
+                .with_eager_lighting(eager);
+            let mut s = GameServer::new(config, flat_world(), Vec3::new(0.5, 61.0, 0.5));
+            s.connect_player("probe");
+            s.world_mut().fill_region(
+                Region::new(BlockPos::new(4, 61, 4), BlockPos::new(9, 62, 9)),
+                Block::simple(BlockKind::Tnt),
+            );
+            s.schedule_tnt_ignition(2);
+            let mut e = engine();
+            for _ in 0..60 {
+                s.run_tick(&mut e);
+            }
+            (
+                s.world().total_non_air_blocks(),
+                s.entity_count(),
+                s.ticks_executed(),
+            )
+        };
+        assert_eq!(run(Some(true)), run(Some(false)));
     }
 
     #[test]

@@ -284,6 +284,26 @@ impl ShardLoadReport {
         }
     }
 
+    /// Folds the player-handler stage's per-shard work units into the
+    /// report. Player work arrives already in work units (the stage's
+    /// `base_work_units`), so no extra weight applies — a shard crowded
+    /// with acting players counts as hot exactly like one crowded with
+    /// entities, and the rebalancer splits it the same way.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slice disagrees with the report's shard count.
+    pub fn fold_player_work(&mut self, player_units: &[u64]) {
+        assert_eq!(
+            player_units.len(),
+            self.loads.len(),
+            "player stage must report the same shard count"
+        );
+        for (load, units) in self.loads.iter_mut().zip(player_units) {
+            *load += units;
+        }
+    }
+
     /// The per-shard loads (index = shard index).
     #[must_use]
     pub fn loads(&self) -> &[u64] {

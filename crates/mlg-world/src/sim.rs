@@ -528,30 +528,7 @@ impl TerrainSimulator {
                 relight_positions.push(change.pos);
             }
         }
-        if !relight_positions.is_empty() {
-            // Per-change relights are independent read-only passes over the
-            // post-cascade world, so the sum is partition-invariant and the
-            // slicing can follow the worker count.
-            let slice_len = relight_positions.len().div_ceil(threads.max(1) as usize);
-            let slices: Vec<LightSliceTask> = relight_positions
-                .chunks(slice_len.max(1))
-                .map(|positions| LightSliceTask {
-                    positions: positions.to_vec(),
-                    light_positions: 0,
-                })
-                .collect();
-            let frozen_source: &World = world;
-            let slices = shard::run_tasks(slices, threads, |_, task| {
-                let mut frozen = FrozenWorld(frozen_source);
-                for pos in &task.positions {
-                    task.light_positions +=
-                        u64::from(light::relight_after_change(&mut frozen, *pos).total_positions());
-                }
-            });
-            for slice in slices {
-                report.light_positions += slice.light_positions;
-            }
-        }
+        report.light_positions += relight_positions_frozen(world, &relight_positions, threads);
 
         report.chunks_generated += u64::from(world.chunks_generated_this_tick());
         ShardedTerrainTick {
@@ -649,6 +626,43 @@ struct RandomTickShardTask {
 struct LightSliceTask {
     positions: Vec<BlockPos>,
     light_positions: u64,
+}
+
+/// Relights every position in `positions` against a frozen snapshot of
+/// `world`, fanning the independent per-change passes out over the worker
+/// pool, and returns the total number of positions visited.
+///
+/// This is the lighting stage of the sharded tick pipeline: because each
+/// relight is a read-only pass over the same snapshot, the sum is
+/// partition-invariant — the slicing can follow the worker count without
+/// affecting the result. The game server also calls it directly for the
+/// cross-tick *pipelined* lighting stage (positions queued by the previous
+/// tick, consumed against the current snapshot while the next tick's player
+/// stage runs in the compute model). The frozen snapshot reads unloaded
+/// chunks as air instead of generating them — see
+/// [`TerrainSimulator::tick_sharded`] for why that is a deliberate
+/// difference from the eager serial path.
+#[must_use]
+pub fn relight_positions_frozen(world: &World, positions: &[BlockPos], threads: u32) -> u64 {
+    if positions.is_empty() {
+        return 0;
+    }
+    let slice_len = positions.len().div_ceil(threads.max(1) as usize);
+    let slices: Vec<LightSliceTask> = positions
+        .chunks(slice_len.max(1))
+        .map(|positions| LightSliceTask {
+            positions: positions.to_vec(),
+            light_positions: 0,
+        })
+        .collect();
+    let slices = shard::run_tasks(slices, threads, |_, task| {
+        let mut frozen = FrozenWorld(world);
+        for pos in &task.positions {
+            task.light_positions +=
+                u64::from(light::relight_after_change(&mut frozen, *pos).total_positions());
+        }
+    });
+    slices.iter().map(|s| s.light_positions).sum()
 }
 
 /// Applies one shard's random-tick picks, deferring every cascade push.

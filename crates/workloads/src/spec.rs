@@ -7,7 +7,7 @@ use mlg_world::World;
 
 use crate::{control, farm, lag, tnt};
 
-/// The five Meterstick workloads.
+/// The five Meterstick workloads, plus the beyond-paper Crowd workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum WorkloadKind {
     /// Freshly generated world; best-case baseline.
@@ -20,6 +20,13 @@ pub enum WorkloadKind {
     Lag,
     /// The player-based workload: 25 bots random-walking on the Control world.
     Players,
+    /// The player-heavy crowd workload: 200+ bots clustered in a small
+    /// area, walking *and* editing terrain (block place/dig). Not part of
+    /// the paper's evaluation; it exists to load the player-handler and
+    /// dissemination stages of the tick graph the way the paper's TNT
+    /// world loads the entity stage. Excluded from [`WorkloadKind::all`]
+    /// (the paper's set), included in [`WorkloadKind::extended`].
+    Crowd,
 }
 
 impl WorkloadKind {
@@ -32,6 +39,19 @@ impl WorkloadKind {
             WorkloadKind::Tnt,
             WorkloadKind::Lag,
             WorkloadKind::Players,
+        ]
+    }
+
+    /// The paper's five workloads plus the player-heavy Crowd workload.
+    #[must_use]
+    pub fn extended() -> [WorkloadKind; 6] {
+        [
+            WorkloadKind::Control,
+            WorkloadKind::Farm,
+            WorkloadKind::Tnt,
+            WorkloadKind::Lag,
+            WorkloadKind::Players,
+            WorkloadKind::Crowd,
         ]
     }
 
@@ -55,6 +75,7 @@ impl WorkloadKind {
             WorkloadKind::Farm => "Farm",
             WorkloadKind::Lag => "Lag",
             WorkloadKind::Players => "Players",
+            WorkloadKind::Crowd => "Crowd",
         }
     }
 }
@@ -76,6 +97,9 @@ pub struct PlayerWorkload {
     /// Whether the bots move at all (environment workloads connect a single
     /// idle observer that only probes response time).
     pub moving: bool,
+    /// Whether the bots also edit terrain (periodic block place/dig near
+    /// their position) — the Crowd workload's player-handler load.
+    pub building: bool,
 }
 
 impl PlayerWorkload {
@@ -88,6 +112,7 @@ impl PlayerWorkload {
             bots: 1,
             walk_area: 0,
             moving: false,
+            building: false,
         }
     }
 
@@ -98,6 +123,21 @@ impl PlayerWorkload {
             bots: 25,
             walk_area: 32,
             moving: true,
+            building: false,
+        }
+    }
+
+    /// The Crowd workload: 220 bots clustered in a 24x24 area, walking and
+    /// editing terrain. The cluster fits inside a handful of chunks, so on
+    /// a sharded server the load lands on few shards until the adaptive
+    /// partition splits them -- a player-stage hotspot by construction.
+    #[must_use]
+    pub fn builder_crowd() -> Self {
+        PlayerWorkload {
+            bots: 220,
+            walk_area: 24,
+            moving: true,
+            building: true,
         }
     }
 }
@@ -139,6 +179,14 @@ impl WorkloadSpec {
                 let mut built = control::build(seed, self.scale);
                 built.kind = WorkloadKind::Players;
                 built.players = PlayerWorkload::random_walkers();
+                built
+            }
+            WorkloadKind::Crowd => {
+                let mut built = control::build(seed, self.scale);
+                built.kind = WorkloadKind::Crowd;
+                built.players = PlayerWorkload::builder_crowd();
+                built.description =
+                    "player-heavy crowd: 220 building bots clustered on the Control world".into();
                 built
             }
         }
@@ -240,5 +288,30 @@ mod tests {
         assert_eq!(WorkloadKind::all().len(), 5);
         assert_eq!(WorkloadKind::environment_based().len(), 4);
         assert_eq!(WorkloadKind::Tnt.to_string(), "TNT");
+        assert!(
+            !WorkloadKind::all().contains(&WorkloadKind::Crowd),
+            "Crowd is not one of the paper's workloads"
+        );
+        assert_eq!(WorkloadKind::extended().len(), 6);
+        assert!(WorkloadKind::extended().contains(&WorkloadKind::Crowd));
+    }
+
+    #[test]
+    fn crowd_workload_is_a_clustered_builder_swarm() {
+        let built = WorkloadSpec::new(WorkloadKind::Crowd).build(1);
+        assert_eq!(built.kind, WorkloadKind::Crowd);
+        assert!(built.players.bots >= 200, "Crowd must be player-heavy");
+        assert!(built.players.moving);
+        assert!(built.players.building);
+        assert!(
+            built.players.walk_area <= 32,
+            "the crowd stays clustered so the player load is a shard hotspot"
+        );
+        assert!(
+            !WorkloadSpec::new(WorkloadKind::Players)
+                .build(1)
+                .players
+                .building
+        );
     }
 }

@@ -32,24 +32,35 @@
 //! * `tests/end_to_end.rs` — the paper's main findings (MF1–MF5) checked
 //!   against the simulation.
 //!
-//! The game server itself runs a **sharded tick pipeline**: loaded chunks
-//! are partitioned into spatial shards, entities are batched by owning
-//! shard, and per-tick work fans out over a reusable worker pool — with
+//! The game server itself runs a **stage-parallel tick graph** over a
+//! sharded tick pipeline: loaded chunks are partitioned into spatial
+//! shards, and every stage of the tick — player handler, terrain,
+//! entities, dissemination — declares shard-parallel work (batched by
+//! owning shard, fanned over a reusable worker pool) plus a serial
+//! escalation tail (boundary chunks, cross-shard player actions), with
 //! results merged in canonical shard order, so output is bit-identical at
-//! any `tick_threads` setting (campaigns can sweep that axis). Two
-//! partitions exist: static 4-chunk x-stripes, and an **adaptive 2D region
-//! quadtree** that splits hot regions and merges cold ones between ticks
-//! based on the previous tick's merged load report (split above 2× the
-//! mean shard load, merge below ½× — a hysteresis band that prevents
-//! oscillation; decisions are a pure function of the report, so the
-//! partition evolves identically at any thread count). The Folia-like
-//! `ServerFlavor::Folia` turns the sharded architecture on *and*
-//! rebalances; the paper's flavors stay serial, preserving MF2's
-//! Lag-workload crash. Campaigns sweep the architecture through the
-//! `shard_rebalance` axis (seed-paired with the static partition). The
-//! cost model's Amdahl-style `parallelizable` work split — whose
-//! `parallel_width`/`max_shard` reflect the post-rebalance partition — is
-//! how vCPU count affects tick busy time, and why rebalancing lets added
-//! cores absorb clustered hotspots (the busiest-shard floor shrinks).
-//! (The legacy `ExperimentRunner` shim has been removed; use
-//! `Campaign::from_config`.)
+//! any `tick_threads` setting (campaigns can sweep that axis). Lighting
+//! is either eager (vanilla, relit inside the terrain stage) or
+//! **cross-tick pipelined** (Paper/Folia): a tick's relight set queues up
+//! and is consumed over a frozen snapshot while the next tick's player
+//! stage runs — swept through the campaign `eager_lighting` axis. Two
+//! partitions exist: static 4-chunk x-stripes, and an **adaptive 2D
+//! region quadtree** that splits hot regions and merges cold ones between
+//! ticks based on the previous tick's merged load report — terrain,
+//! entity AND player-stage loads — (split above 2× the mean shard load,
+//! merge below ½× — a hysteresis band that prevents oscillation;
+//! decisions are a pure function of the report, so the partition evolves
+//! identically at any thread count). The Folia-like `ServerFlavor::Folia`
+//! turns the sharded architecture on *and* rebalances; the paper's
+//! flavors stay serial, preserving MF2's Lag-workload crash. Campaigns
+//! sweep the architecture through the `shard_rebalance` axis (seed-paired
+//! with the static partition). The cost model folds one `StageWork`
+//! record per stage — per-stage parallel fractions, widths and
+//! busiest-shard floors — into an Amdahl critical path; that is how vCPU
+//! count affects tick busy time, why rebalancing lets added cores absorb
+//! clustered hotspots, and where the per-stage `stage_*_ms` CSV columns
+//! come from. The player-heavy `WorkloadKind::Crowd` (220 clustered bots
+//! walking and editing terrain; in `extended()`, not the paper's `all()`)
+//! exists to load the player-handler and dissemination stages the way TNT
+//! loads entities. (The legacy `ExperimentRunner` shim has been removed;
+//! use `Campaign::from_config`.)

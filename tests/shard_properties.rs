@@ -11,9 +11,13 @@
 
 use proptest::prelude::*;
 
+use mlg_entity::{EntityId, Vec3};
+use mlg_protocol::ServerboundPacket;
+use mlg_server::handler;
+use mlg_server::{ConnectedPlayer, PlayerId};
 use mlg_world::generation::FlatGenerator;
 use mlg_world::shard::{ShardLoadReport, ShardMap, TickPipeline};
-use mlg_world::{ChunkPos, World};
+use mlg_world::{Block, BlockKind, BlockPos, ChunkPos, World};
 
 /// Splitmix64 step: the deterministic load-report generator the properties
 /// drive rebalancing with.
@@ -154,4 +158,167 @@ proptest! {
         let report = ShardLoadReport::new(vec![load; map.count()]);
         prop_assert_eq!(map.rebalanced(&report, 64), None);
     }
+
+    /// The sharded player stage — batching by owning shard, parallel
+    /// interior processing, serial escalation, canonical merge — yields the
+    /// identical [`PlayerStageReport`] (counters AND `pending_chat` order),
+    /// identical players and identical per-shard work at 1, 4 and 8 worker
+    /// threads, over random crowds, action queues and partitions.
+    #[test]
+    fn player_stage_is_identical_at_1_4_and_8_threads(
+        seed in any::<u64>(),
+        player_count in 1usize..32,
+        adaptive in any::<bool>(),
+    ) {
+        let outcomes: Vec<_> = [1u32, 4, 8]
+            .iter()
+            .map(|&threads| {
+                let pipeline = if adaptive {
+                    TickPipeline::adaptive(
+                        Some((ChunkPos::new(-8, -8), ChunkPos::new(7, 7))),
+                        8,
+                        threads,
+                    )
+                } else {
+                    TickPipeline::new(4, threads)
+                };
+                let mut world = World::new(Box::new(FlatGenerator::grassland()), 42);
+                world.ensure_area(ChunkPos::new(0, 0), 7);
+                world.advance_tick();
+                let (players, actions) = random_crowd(seed, player_count);
+                let (players, stage) =
+                    handler::process_players_sharded(&mut world, players, actions, &pipeline);
+                // Fold world side effects into the comparison too: block
+                // writes and the pending update count must match.
+                (players, stage, world.pending_change_count(), world.total_non_air_blocks())
+            })
+            .collect();
+        prop_assert_eq!(&outcomes[0], &outcomes[1], "1 vs 4 threads diverged");
+        prop_assert_eq!(&outcomes[0], &outcomes[2], "1 vs 8 threads diverged");
+        // Chat order sanity: every chat the crowd sent is in the merged
+        // report exactly once.
+        let chats_sent: usize = outcomes[0].1.report.chat_messages as usize;
+        prop_assert_eq!(outcomes[0].1.report.pending_chat.len(), chats_sent);
+    }
+}
+
+/// A deterministic crowd for the player-stage property: players scattered
+/// over several shards, each with a random mix of moves, digs, placements
+/// and chats (some deliberately crossing chunk boundaries).
+fn random_crowd(seed: u64, count: usize) -> (Vec<ConnectedPlayer>, Vec<Vec<ServerboundPacket>>) {
+    let mut state = seed ^ 0xC0FFEE;
+    let mut players = Vec::with_capacity(count);
+    let mut actions = Vec::with_capacity(count);
+    for i in 0..count {
+        let x = (splitmix(&mut state) % 96) as f64 - 48.0;
+        let z = (splitmix(&mut state) % 96) as f64 - 48.0;
+        let pos = Vec3::new(x + 0.5, 61.0, z + 0.5);
+        let disconnected = splitmix(&mut state).is_multiple_of(11);
+        players.push(ConnectedPlayer {
+            id: PlayerId(i as u32 + 1),
+            entity_id: EntityId(i as u64 + 1),
+            name: format!("crowd-{i}"),
+            pos,
+            connected_at_tick: 0,
+            last_served_ms: 0.0,
+            disconnected,
+        });
+        if disconnected {
+            actions.push(Vec::new());
+            continue;
+        }
+        let mut queue = Vec::new();
+        for _ in 0..(splitmix(&mut state) % 6) {
+            let dx = (splitmix(&mut state) % 17) as i32 - 8;
+            let dz = (splitmix(&mut state) % 17) as i32 - 8;
+            let target = BlockPos::new(x as i32 + dx, 61, z as i32 + dz);
+            match splitmix(&mut state) % 4 {
+                0 => queue.push(ServerboundPacket::PlayerMove {
+                    pos: Vec3::new(target.x as f64 + 0.5, 61.0, target.z as f64 + 0.5),
+                    on_ground: true,
+                }),
+                1 => queue.push(ServerboundPacket::BlockPlace {
+                    pos: target,
+                    block: Block::simple(BlockKind::Planks),
+                }),
+                2 => queue.push(ServerboundPacket::BlockDig {
+                    pos: BlockPos::new(target.x, 60, target.z),
+                }),
+                _ => queue.push(ServerboundPacket::Chat {
+                    message: format!("msg-{}", splitmix(&mut state) % 1000),
+                    sent_at_ms: (splitmix(&mut state) % 10_000) as f64,
+                }),
+            }
+        }
+        actions.push(queue);
+    }
+    (players, actions)
+}
+
+/// Regression: a player standing in one shard's interior whose dig crosses
+/// the shard edge must be escalated to the serial tail — and the dig must
+/// still happen.
+#[test]
+fn boundary_player_digging_across_a_shard_edge_lands_in_the_serial_tail() {
+    // Interior of shard 0 (stripe chunks 0..4, interior 1..=2) reaching
+    // into the NEXT stripe (shard 1's interior): the dig crosses the
+    // shard edge, so the whole player escalates to the serial tail.
+    let interior_pos = Vec3::new(24.5, 61.0, 8.5);
+    let dig_target = BlockPos::new(80, 60, 8);
+
+    let run = |threads: u32| {
+        let pipeline = TickPipeline::new(2, threads);
+        let map = pipeline.shard_map().clone();
+        assert_eq!(map.interior_shard(ChunkPos::new(1, 0)), Some(0));
+        assert_eq!(map.shard_of_chunk(dig_target.chunk()), 1);
+        let mut world = World::new(Box::new(FlatGenerator::grassland()), 42);
+        world.ensure_area(ChunkPos::new(2, 0), 5);
+        world.advance_tick();
+        let cross_digger = ConnectedPlayer {
+            id: PlayerId(1),
+            entity_id: EntityId(1),
+            name: "cross-digger".into(),
+            pos: interior_pos,
+            connected_at_tick: 0,
+            last_served_ms: 0.0,
+            disconnected: false,
+        };
+        let mut local_builder = cross_digger.clone();
+        local_builder.id = PlayerId(2);
+        local_builder.entity_id = EntityId(2);
+        local_builder.name = "local-builder".into();
+        let actions = vec![
+            vec![ServerboundPacket::BlockDig { pos: dig_target }],
+            vec![ServerboundPacket::BlockPlace {
+                pos: BlockPos::new(26, 61, 9),
+                block: Block::simple(BlockKind::Planks),
+            }],
+        ];
+        let (_, stage) = handler::process_players_sharded(
+            &mut world,
+            vec![cross_digger, local_builder],
+            actions,
+            &pipeline,
+        );
+        assert_eq!(world.block_if_loaded(dig_target), Block::AIR);
+        stage
+    };
+
+    let stage = run(4);
+    assert_eq!(
+        stage.escalated_players, 1,
+        "exactly the cross-shard digger escalates"
+    );
+    assert_eq!(stage.report.blocks_dug, 1, "the escalated dig still lands");
+    assert_eq!(stage.report.blocks_placed, 1);
+    assert_eq!(
+        stage.per_shard_work[1], 0,
+        "the dig ran in the serial tail, not shard 1's batch"
+    );
+    assert!(
+        stage.per_shard_work[0] > 0,
+        "the interior placement ran in shard 0's batch"
+    );
+    // Identical outcome at one worker thread.
+    assert_eq!(stage, run(1));
 }

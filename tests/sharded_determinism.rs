@@ -161,6 +161,129 @@ fn adaptive_regions_cut_the_busiest_shard_on_a_clustered_tnt_hotspot() {
     );
 }
 
+/// A player-heavy clustered crowd (the Crowd workload's 220 building bots)
+/// driven at server level: the stage-parallel tick graph — sharded player
+/// handler, per-shard dissemination, pipelined lighting — must beat the
+/// same server with stages 1/4 pinned to the main thread on an 8-core
+/// node, and its output must be bit-identical at 1 vs 8 worker threads,
+/// rebalance on and off.
+#[test]
+fn stage_parallel_graph_beats_serial_player_and_dissemination_stages() {
+    use meterstick_workloads::WorkloadSpec;
+    use mlg_bots::PlayerEmulation;
+    use mlg_protocol::netsim::LinkConfig;
+    use mlg_server::StageParallelism;
+
+    let run = |stage_parallel: StageParallelism,
+               threads: u32,
+               rebalance: bool|
+     -> Vec<mlg_server::TickSummary> {
+        let built = WorkloadSpec::new(meterstick_workloads::WorkloadKind::Crowd).build(7);
+        assert!(built.players.bots >= 200, "Crowd must be player-heavy");
+        let config = ServerConfig::for_flavor(ServerFlavor::Folia)
+            .with_view_distance(2)
+            .with_tick_threads(threads)
+            .with_shard_rebalance(Some(rebalance));
+        let mut server = GameServer::new(config, built.world, built.spawn_point);
+        let profile = FlavorProfile {
+            stage_parallel,
+            ..ServerFlavor::Folia.profile()
+        };
+        server.set_profile(profile);
+        let mut emulation = PlayerEmulation::new(
+            built.players.bots,
+            built.spawn_point,
+            built.players.walk_area,
+            built.players.moving,
+            LinkConfig::datacenter(),
+            7,
+        )
+        .with_builders();
+        emulation.connect_all(&mut server);
+        let mut engine = Environment::das5(8).instantiate(1).engine;
+        (0..80)
+            .map(|_| emulation.step(&mut server, &mut engine))
+            .collect()
+    };
+
+    let folia = ServerFlavor::Folia.profile().stage_parallel;
+    let serial_stages = StageParallelism {
+        player: 0.0,
+        dissemination: 0.0,
+        ..folia
+    };
+
+    let stage_parallel = run(folia, 8, true);
+    let serial_14 = run(serial_stages, 8, true);
+    let busy = |summaries: &[mlg_server::TickSummary]| -> f64 {
+        summaries.iter().map(|s| s.record.busy_ms).sum()
+    };
+    assert!(
+        busy(&stage_parallel) < busy(&serial_14),
+        "sharding stages 1/4 must lower modeled busy time on 8 cores: \
+         stage-parallel {} ms vs serial stages {} ms",
+        busy(&stage_parallel),
+        busy(&serial_14)
+    );
+    // The win comes from the player/dissemination stages specifically.
+    let stage_ms = |summaries: &[mlg_server::TickSummary]| -> (f64, f64) {
+        summaries.iter().fold((0.0, 0.0), |(p, d), s| {
+            (p + s.stages.player_ms, d + s.stages.dissemination_ms)
+        })
+    };
+    let (par_player, par_dissem) = stage_ms(&stage_parallel);
+    let (ser_player, ser_dissem) = stage_ms(&serial_14);
+    assert!(
+        par_player < ser_player && par_dissem < ser_dissem,
+        "per-stage breakdown must attribute the win: player {par_player} vs {ser_player}, \
+         dissemination {par_dissem} vs {ser_dissem}"
+    );
+
+    // Bit-identical at 1 vs 8 threads, rebalance on and off.
+    for rebalance in [false, true] {
+        let reference = run(folia, 1, rebalance);
+        let parallel = run(folia, 8, rebalance);
+        assert_eq!(
+            reference, parallel,
+            "rebalance={rebalance}: crowd run diverged across thread counts"
+        );
+    }
+}
+
+#[test]
+fn crowd_lighting_sweep_campaigns_are_bit_identical_across_threads() {
+    // The Crowd workload through the campaign layer, sweeping the lighting
+    // architecture (eager vs pipelined): CSV rows — stage breakdown columns
+    // included — must not depend on the worker-thread count.
+    let run_csv = |threads: u32| {
+        let campaign = Campaign::new()
+            .workloads([WorkloadKind::Crowd])
+            .flavors([ServerFlavor::Folia])
+            .environments([Environment::das5(8)])
+            .tick_threads([threads])
+            .eager_lighting([true, false])
+            .duration_secs(2)
+            .iterations(1)
+            .seed(7);
+        let mut sink = CsvSink::new(Vec::new());
+        campaign
+            .run_with(&meterstick::executor::SequentialExecutor, &mut sink)
+            .unwrap();
+        String::from_utf8(sink.into_inner()).unwrap()
+    };
+    let sequential = run_csv(1);
+    let parallel = run_csv(4);
+    assert!(
+        sequential.lines().count() > 2,
+        "two lighting cells expected"
+    );
+    assert!(
+        sequential.contains("pipelined") && sequential.contains("eager"),
+        "the lighting axis must be visible in the CSV"
+    );
+    assert_eq!(sequential, parallel);
+}
+
 #[test]
 fn sharded_campaign_csv_streams_are_bit_identical() {
     let run_csv = |threads: u32| {
