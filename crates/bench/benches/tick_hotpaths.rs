@@ -261,6 +261,78 @@ fn bench_stage_breakdown(c: &mut Criterion) {
     group.finish();
 }
 
+/// Substrate cost of the persistent tick worker pool vs the per-phase
+/// scoped-thread fallback: same server, same workload, same thread count,
+/// bit-identical results (pinned by `pool_reuse_is_bit_identical` in
+/// `tests/sharded_determinism.rs`) — the only difference is whether the
+/// parallel phases dispatch onto long-lived parked workers or spawn and
+/// join fresh OS threads every phase of every tick. The delta is pure
+/// runtime-environment overhead in the Reichelt et al. sense; current
+/// numbers are recorded in `docs/ARCHITECTURE.md`'s performance notes.
+fn bench_worker_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("worker_pool");
+    group.sample_size(10);
+    // Crowd: 220 clustered building bots — the sharded player handler and
+    // dissemination dominate, with several pool dispatches per tick.
+    for (name, pooled) in [
+        ("crowd_8thr_persistent_pool", true),
+        ("crowd_8thr_fresh_scopes", false),
+    ] {
+        group.bench_function(name, |b| {
+            let built = WorkloadSpec::new(WorkloadKind::Crowd).build(392_114_485);
+            let config = ServerConfig::for_flavor(ServerFlavor::Folia)
+                .with_view_distance(2)
+                .with_tick_threads(8);
+            let mut server = GameServer::new(config, built.world, built.spawn_point);
+            server.set_worker_pool_enabled(pooled);
+            let mut emulation = PlayerEmulation::new(
+                built.players.bots,
+                built.spawn_point,
+                built.players.walk_area,
+                built.players.moving,
+                LinkConfig::datacenter(),
+                7,
+            )
+            .with_builders();
+            emulation.connect_all(&mut server);
+            let mut engine = Environment::das5(8).instantiate(1).engine;
+            for _ in 0..30 {
+                emulation.step(&mut server, &mut engine);
+            }
+            b.iter(|| emulation.step(&mut server, &mut engine));
+        });
+    }
+    // Clustered TNT hotspot: terrain cascade rounds are the pool's worst
+    // case — every cascade round is a separate dispatch, so a tick can pay
+    // the substrate cost a dozen times over.
+    for (name, pooled) in [
+        ("hotspot_tnt_8thr_persistent_pool", true),
+        ("hotspot_tnt_8thr_fresh_scopes", false),
+    ] {
+        group.bench_function(name, |b| {
+            let config = ServerConfig::for_flavor(ServerFlavor::Folia)
+                .with_view_distance(2)
+                .with_tick_threads(8)
+                .with_shard_rebalance(Some(true));
+            let (sx, sy, sz) = meterstick_workloads::tnt::CLUSTERED_HOTSPOT_SPAWN;
+            let mut server = GameServer::new(
+                config,
+                meterstick_workloads::tnt::clustered_hotspot_world(7),
+                mlg_entity::Vec3::new(sx, sy, sz),
+            );
+            server.set_worker_pool_enabled(pooled);
+            server.connect_player("probe");
+            server.schedule_tnt_ignition(2);
+            let mut engine = Environment::das5(8).instantiate(1).engine;
+            for _ in 0..40 {
+                server.run_tick(&mut engine);
+            }
+            b.iter(|| server.run_tick(&mut engine));
+        });
+    }
+    group.finish();
+}
+
 fn bench_player_emulation(c: &mut Criterion) {
     c.bench_function("players_workload_tick_25_bots", |b| {
         let (mut server, mut emulation) = prepared_server(WorkloadKind::Players);
@@ -281,6 +353,7 @@ criterion_group!(
     bench_sharded_tick,
     bench_shard_rebalancing,
     bench_stage_breakdown,
+    bench_worker_pool,
     bench_player_emulation
 );
 criterion_main!(benches);

@@ -336,6 +336,29 @@ impl CampaignResults {
 /// `t3.large` environment — but `workloads` has no default: an empty
 /// workload list (like any empty dimension) makes [`Campaign::run`] return
 /// [`BenchmarkError::EmptyDimension`] rather than silently running nothing.
+///
+/// # Quickstart
+///
+/// Declare the matrix, run it, inspect per-cell summaries:
+///
+/// ```
+/// use cloud_sim::environment::Environment;
+/// use meterstick::campaign::Campaign;
+/// use meterstick_workloads::WorkloadKind;
+/// use mlg_server::ServerFlavor;
+///
+/// let results = Campaign::new()
+///     .workloads([WorkloadKind::Control])
+///     .flavors([ServerFlavor::Vanilla, ServerFlavor::Paper])
+///     .environments([Environment::das5(2)])
+///     .duration_secs(2)
+///     .iterations(1)
+///     .run()
+///     .expect("the campaign configuration is valid");
+/// // One iteration per (workload × flavor × environment) cell.
+/// assert_eq!(results.iterations().len(), 2);
+/// assert_eq!(results.cell_summaries().len(), 2);
+/// ```
 #[derive(Debug, Clone)]
 pub struct Campaign {
     template: BenchmarkConfig,

@@ -12,7 +12,8 @@ use std::collections::{HashMap, HashSet};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use mlg_world::shard::{run_tasks, FrozenWorld, TickPipeline};
+use mlg_world::shard::{FrozenChunks, TickPipeline};
+use mlg_world::world::WorldSnapshot;
 use mlg_world::{BlockPos, World};
 
 use crate::ai;
@@ -290,45 +291,59 @@ impl EntityManager {
             }
         }
 
-        {
-            let frozen_source: &World = world;
-            let grid = &self.grid;
-            let allowed = &tnt_allowed;
-            tasks = run_tasks(tasks, pipeline.threads(), |_, task| {
-                let mut rng = StdRng::seed_from_u64(
-                    tick_seed ^ (task.shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                );
-                let mut frozen = FrozenWorld(frozen_source);
-                for entity in &mut task.entities {
-                    task.processed += 1;
-                    entity.age += 1;
-                    let before_pos = entity.pos;
-                    let move_out = physics::step(&mut frozen, entity);
-                    task.physics_blocks_checked += u64::from(move_out.blocks_checked);
-                    match entity.kind {
-                        EntityKind::PrimedTnt if allowed.contains(&entity.id) => {
-                            if entity.fuse > 0 {
-                                entity.fuse -= 1;
-                            } else {
-                                // World mutation is deferred to the serial
-                                // phase; only mark the detonation here.
-                                task.detonations.push((entity.id, entity.pos));
+        // The per-entity phase reads terrain through an owned chunk
+        // snapshot (moved out of the world, not copied) so it can run on
+        // the persistent worker pool, whose jobs cannot borrow the tick's
+        // stack; the spatial grid rides along the same way and both move
+        // back as soon as the phase completes.
+        let ctx = EntityPhaseCtx {
+            snapshot: world.snapshot_chunks(),
+            grid: std::mem::take(&mut self.grid),
+            allowed: tnt_allowed,
+            players: players.to_vec(),
+            tick_seed,
+        };
+        let (returned, ctx) =
+            pipeline
+                .scope()
+                .run_tasks_ctx(tasks, ctx, |_, task, ctx: &EntityPhaseCtx| {
+                    let mut rng = StdRng::seed_from_u64(
+                        ctx.tick_seed ^ (task.shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    let mut frozen = FrozenChunks(&ctx.snapshot);
+                    for entity in &mut task.entities {
+                        task.processed += 1;
+                        entity.age += 1;
+                        let before_pos = entity.pos;
+                        let move_out = physics::step(&mut frozen, entity);
+                        task.physics_blocks_checked += u64::from(move_out.blocks_checked);
+                        match entity.kind {
+                            EntityKind::PrimedTnt if ctx.allowed.contains(&entity.id) => {
+                                if entity.fuse > 0 {
+                                    entity.fuse -= 1;
+                                } else {
+                                    // World mutation is deferred to the serial
+                                    // phase; only mark the detonation here.
+                                    task.detonations.push((entity.id, entity.pos));
+                                }
                             }
+                            kind if kind.is_mob() => {
+                                let ai_out =
+                                    ai::decide(&mut frozen, entity, &ctx.players, &mut rng);
+                                task.path_nodes_expanded += u64::from(ai_out.path_nodes_expanded);
+                            }
+                            _ => {}
                         }
-                        kind if kind.is_mob() => {
-                            let ai_out = ai::decide(&mut frozen, entity, players, &mut rng);
-                            task.path_nodes_expanded += u64::from(ai_out.path_nodes_expanded);
+                        let (_, examined) = ctx.grid.query_radius(entity.pos, 1.0, Some(entity.id));
+                        task.proximity_candidates += u64::from(examined);
+                        if entity.pos.distance_squared(before_pos) > 1e-8 {
+                            task.moved.push((entity.id, entity.pos));
                         }
-                        _ => {}
                     }
-                    let (_, examined) = grid.query_radius(entity.pos, 1.0, Some(entity.id));
-                    task.proximity_candidates += u64::from(examined);
-                    if entity.pos.distance_squared(before_pos) > 1e-8 {
-                        task.moved.push((entity.id, entity.pos));
-                    }
-                }
-            });
-        }
+                });
+        tasks = returned;
+        world.restore_chunks(ctx.snapshot);
+        self.grid = ctx.grid;
 
         // Merge in canonical shard order.
         let mut per_shard = vec![0u64; shard_count];
@@ -500,6 +515,19 @@ impl EntityShardTask {
             proximity_candidates: 0,
         }
     }
+}
+
+/// Shared context of the parallel per-entity phase: the world's chunks
+/// (moved, not copied), the tick's spatial grid, the TNT batching
+/// allowance, player positions and the tick's RNG seed — everything the
+/// shard workers read, owned so the phase can run on the persistent worker
+/// pool. The snapshot and grid move back into place when the phase ends.
+struct EntityPhaseCtx {
+    snapshot: WorldSnapshot,
+    grid: SpatialGrid,
+    allowed: HashSet<EntityId>,
+    players: Vec<Vec3>,
+    tick_seed: u64,
 }
 
 #[cfg(test)]

@@ -22,10 +22,36 @@
 //! [`PlayerStageReport`], including the `pending_chat` broadcast order, the
 //! players' positions and every world side effect) is **bit-identical at
 //! any worker-thread count**.
+//!
+//! # Determinism contract
+//!
+//! The stage follows the three pipeline-wide rules spelled out in
+//! [`mlg_world::shard`] (pure partitioning, canonical merge order,
+//! serial-tail escalation). Concretely, for the player stage:
+//!
+//! * **Escalation rules** ([`player_shard_assignment`]): a player runs in
+//!   the parallel phase only when its own chunk is *interior* to one shard
+//!   AND every terrain-touching action in its queue (move target, block
+//!   placement, dig) stays inside that same shard's interior. Anything
+//!   else — a boundary-chunk player, a cross-shard edit — runs in the
+//!   serial tail. Chat and keep-alives touch no terrain and never
+//!   escalate.
+//! * **Merge order**: shard batches merge in ascending shard order with
+//!   players in ascending player-index order inside each batch; the serial
+//!   tail runs last, in ascending index order; the returned player vector
+//!   restores the original indexing exactly.
+//! * **Execution substrate**: the parallel phase dispatches through
+//!   `TickPipeline::scope()` — the server's persistent
+//!   [`TickWorkerPool`](mlg_world::pool::TickWorkerPool) when one is
+//!   attached, fresh scoped threads otherwise — and both substrates
+//!   produce identical output by the rules above.
+
+use std::sync::Arc;
 
 use mlg_entity::Vec3;
 use mlg_protocol::ServerboundPacket;
-use mlg_world::shard::{self, ShardMap, ShardWorld, TerrainView, TickPipeline};
+use mlg_world::generation::ChunkGenerator;
+use mlg_world::shard::{ShardMap, ShardWorld, TerrainView, TickPipeline};
 use mlg_world::world::BlockChange;
 use mlg_world::{Block, BlockPos, World};
 
@@ -223,6 +249,15 @@ struct PlayerShardTask {
     chunks_generated: u32,
 }
 
+/// Shared context of the parallel player phase: owned copies of the shard
+/// map and a generator handle, so the phase can execute on the persistent
+/// worker pool (whose jobs cannot borrow the tick's stack).
+struct PlayerPhaseCtx {
+    map: ShardMap,
+    generator: Arc<dyn ChunkGenerator>,
+    tick: u64,
+}
+
 /// Runs the sharded player stage: batches `players` by owning shard,
 /// processes interior batches concurrently against per-shard world views,
 /// runs the escalated tail serially, merges every side effect in canonical
@@ -296,19 +331,32 @@ pub fn process_players_sharded(
         });
     }
     if !tasks.is_empty() {
-        let generator = world.generator();
-        tasks = shard::run_tasks(tasks, pipeline.threads(), |_, task| {
-            let store = std::mem::take(&mut task.store);
-            let mut view = ShardWorld::new(task.shard, &map, store, generator, tick, true);
-            for (_, player, queue) in &mut task.players {
-                process_player_actions(&mut view, player, std::mem::take(queue), &mut task.report);
-            }
-            task.chunks_generated = view.chunks_generated;
-            task.changes = std::mem::take(&mut view.changes);
-            task.outbound = std::mem::take(&mut view.outbound);
-            task.scheduled = std::mem::take(&mut view.scheduled);
-            task.store = view.into_store();
-        });
+        let ctx = PlayerPhaseCtx {
+            map,
+            generator: world.generator_arc(),
+            tick,
+        };
+        tasks = pipeline
+            .scope()
+            .run_tasks_ctx(tasks, ctx, |_, task, ctx: &PlayerPhaseCtx| {
+                let store = std::mem::take(&mut task.store);
+                let mut view =
+                    ShardWorld::new(task.shard, &ctx.map, store, &*ctx.generator, ctx.tick, true);
+                for (_, player, queue) in &mut task.players {
+                    process_player_actions(
+                        &mut view,
+                        player,
+                        std::mem::take(queue),
+                        &mut task.report,
+                    );
+                }
+                task.chunks_generated = view.chunks_generated;
+                task.changes = std::mem::take(&mut view.changes);
+                task.outbound = std::mem::take(&mut view.outbound);
+                task.scheduled = std::mem::take(&mut view.scheduled);
+                task.store = view.into_store();
+            })
+            .0;
     }
 
     // Merge, in canonical (ascending shard) order.

@@ -27,9 +27,9 @@
 //!   per-shard world views; boundary players — standing on a shard-edge
 //!   chunk, or placing/digging across a shard edge — escalate to a serial
 //!   tail ([`handler::process_players_sharded`]);
-//! * **terrain** and **entities** fan per-shard work over the scoped
-//!   worker pool as before (interior/boundary classification, serial
-//!   escalation);
+//! * **terrain** and **entities** fan per-shard work over the server's
+//!   persistent tick worker pool (interior/boundary classification,
+//!   serial escalation);
 //! * **dissemination** assembles the tick's broadcasts into one reused,
 //!   pre-sized buffer (player positions grouped per shard in canonical
 //!   order) and flushes it with a single batched

@@ -1,10 +1,13 @@
 //! The game server and its 20 Hz game loop.
 
+use std::sync::Arc;
+
 use cloud_sim::engine::{ComputeEngine, StageWork};
 use meterstick_metrics::distribution::TickDistribution;
 use meterstick_metrics::trace::TickRecord;
 use mlg_entity::{EntityId, EntityKind, EntityManager, Vec3};
 use mlg_protocol::{ClientboundPacket, ServerboundPacket, TrafficAccountant, TrafficSummary};
+use mlg_world::pool::TickWorkerPool;
 use mlg_world::shard::{ShardLoadReport, TickPipeline};
 use mlg_world::sim::{self, TerrainEvent};
 use mlg_world::{BlockKind, BlockPos, TerrainSimulator, World};
@@ -117,6 +120,14 @@ pub struct GameServer {
     config: ServerConfig,
     profile: FlavorProfile,
     pipeline: TickPipeline,
+    /// The server's persistent tick worker pool: `tick_threads - 1` parked
+    /// workers spawned once here and reused by every parallel phase of
+    /// every tick (the pipeline holds a shared handle). `None` when
+    /// `tick_threads <= 1` (phases run inline) or when a bench/test
+    /// explicitly disabled it via [`GameServer::set_worker_pool_enabled`]
+    /// to measure the per-phase scoped-thread fallback. Dropped — and its
+    /// workers joined — with the server.
+    pool: Option<Arc<TickWorkerPool>>,
     world: World,
     terrain: TerrainSimulator,
     entities: EntityManager,
@@ -179,7 +190,14 @@ impl GameServer {
     #[must_use]
     pub fn new(config: ServerConfig, mut world: World, spawn_point: Vec3) -> Self {
         let profile = config.flavor.profile();
-        let pipeline = build_pipeline(&profile, &config, &world);
+        // One persistent worker pool per server: spawned here, shared with
+        // the pipeline, shut down (workers joined) when the server drops.
+        let pool =
+            (config.tick_threads > 1).then(|| Arc::new(TickWorkerPool::new(config.tick_threads)));
+        let mut pipeline = build_pipeline(&profile, &config, &world);
+        if let Some(pool) = &pool {
+            pipeline.attach_pool(Arc::clone(pool));
+        }
         if pipeline.is_sharded() {
             world.reshard(pipeline.shard_map().clone());
         }
@@ -197,6 +215,7 @@ impl GameServer {
             config,
             profile,
             pipeline,
+            pool,
             world,
             terrain,
             entities,
@@ -236,6 +255,9 @@ impl GameServer {
     pub fn set_profile(&mut self, profile: FlavorProfile) {
         self.entities.max_tnt_per_tick = profile.max_tnt_per_tick;
         self.pipeline = build_pipeline(&profile, &self.config, &self.world);
+        if let Some(pool) = &self.pool {
+            self.pipeline.attach_pool(Arc::clone(pool));
+        }
         if self.pipeline.is_sharded() {
             self.world.reshard(self.pipeline.shard_map().clone());
         }
@@ -267,6 +289,37 @@ impl GameServer {
     #[must_use]
     pub fn pipeline(&self) -> &TickPipeline {
         &self.pipeline
+    }
+
+    /// Enables or disables the persistent tick worker pool.
+    ///
+    /// A bench/ablation/test hook, not a modeled-architecture knob: with the
+    /// pool disabled every parallel phase falls back to per-phase scoped
+    /// threads (the pre-pool execution model), which produces **bit-identical
+    /// results** — the `worker_pool` bench group and the
+    /// `pool_reuse_is_bit_identical` test both rely on exactly that. Pool
+    /// state is execution infrastructure, like `tick_threads`. Re-enabling
+    /// spawns a fresh pool sized from the config; a no-op for
+    /// `tick_threads <= 1`, which never uses a pool.
+    pub fn set_worker_pool_enabled(&mut self, enabled: bool) {
+        if enabled {
+            if self.pool.is_none() && self.config.tick_threads > 1 {
+                self.pool = Some(Arc::new(TickWorkerPool::new(self.config.tick_threads)));
+            }
+            if let Some(pool) = &self.pool {
+                self.pipeline.attach_pool(Arc::clone(pool));
+            }
+        } else {
+            self.pipeline.detach_pool();
+            self.pool = None;
+        }
+    }
+
+    /// Whether the persistent worker pool is attached and in use (always
+    /// `false` for `tick_threads <= 1`).
+    #[must_use]
+    pub fn worker_pool_enabled(&self) -> bool {
+        self.pipeline.has_pool()
     }
 
     /// Read access to the world (for workload validation and tests).
@@ -486,7 +539,7 @@ impl GameServer {
             0
         } else {
             let positions = std::mem::take(&mut self.pending_relight);
-            sim::relight_positions_frozen(&self.world, &positions, self.pipeline.threads())
+            sim::relight_positions_frozen(&mut self.world, &positions, &self.pipeline.scope())
         };
 
         // --- Stage 1: player handler -------------------------------------
@@ -558,7 +611,7 @@ impl GameServer {
                 .iter()
                 .map(|change| change.pos)
                 .collect();
-            sim::relight_positions_frozen(&self.world, &positions, self.pipeline.threads())
+            sim::relight_positions_frozen(&mut self.world, &positions, &self.pipeline.scope())
         } else {
             self.pending_relight
                 .extend(self.world.changes().iter().map(|change| change.pos));

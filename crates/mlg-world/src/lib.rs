@@ -18,7 +18,13 @@
 //! quadtree whose leaves split and merge between ticks from per-shard
 //! load reports ([`shard::ShardLoadReport`]) under a hysteresis rule —
 //! both partitions are pure functions of their inputs, keeping the
-//! pipeline bit-identical at any worker-thread count.
+//! pipeline bit-identical at any worker-thread count. The [`pool`] module
+//! provides the execution substrate: a persistent [`TickWorkerPool`] of
+//! parked workers, spawned once per server and reused by every parallel
+//! phase of every tick (per-phase scoped threads remain as the fallback
+//! and bench baseline). The system-wide map — stage graph, determinism
+//! contract, cost model, measured pool-vs-scoped numbers — lives in
+//! `docs/ARCHITECTURE.md` at the repository root.
 //!
 //! # Example
 //!
@@ -43,6 +49,7 @@ pub mod generation;
 pub mod growth;
 pub mod light;
 pub mod physics;
+pub mod pool;
 pub mod pos;
 pub mod redstone;
 pub mod region;
@@ -53,12 +60,13 @@ pub mod world;
 
 pub use block::{Block, BlockKind};
 pub use chunk::{Chunk, CHUNK_SIZE, WORLD_HEIGHT};
+pub use pool::{PoolScope, TickWorkerPool};
 pub use pos::{BlockPos, ChunkPos};
 pub use region::Region;
 pub use shard::{BlockReader, FrozenWorld, ShardLoadReport, ShardMap, TerrainView, TickPipeline};
 pub use sim::{ShardedTerrainTick, TerrainSimulator, TerrainTickReport};
 pub use update::{BlockUpdate, UpdateKind};
-pub use world::World;
+pub use world::{World, WorldSnapshot};
 
 /// The fixed duration of one game tick at the intended 20 Hz rate, in
 /// milliseconds.

@@ -37,7 +37,7 @@ pub fn is_unsupported<W: BlockReader>(world: &mut W, pos: BlockPos) -> bool {
 /// Applies gravity at `pos`: if the block there is gravity-affected and
 /// unsupported, it is moved down to rest on the first solid block below.
 ///
-/// The move is performed through [`World::set_block`] so the change is
+/// The move is performed through [`TerrainView::set_block`] so the change is
 /// recorded and neighbours (including the vacated position above) receive
 /// updates — this is what lets a whole sand pillar collapse over successive
 /// updates, exactly like the bridge example in the paper.

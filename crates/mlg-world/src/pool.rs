@@ -1,0 +1,509 @@
+//! The persistent tick worker pool: long-lived parked workers that execute
+//! every parallel phase of the tick path.
+//!
+//! # Why a persistent pool
+//!
+//! Through PR 4 every parallel phase of every tick — terrain cascade
+//! rounds, random ticks, frozen relighting, the sharded player handler,
+//! batched entities — opened a fresh `crossbeam::thread::scope`, spawning
+//! and joining OS threads once *per phase per tick*. That substrate tax is
+//! pure runtime-environment overhead in the sense of Reichelt et al.
+//! (arXiv:2411.05491): it inflates wall-clock measurements without touching
+//! the modeled work, so benchmark deltas between architectures get polluted
+//! by thread spawn/join noise. [`TickWorkerPool`] replaces the per-phase
+//! scopes with `tick_threads - 1` workers spawned once per server and
+//! parked between phases (a blocking `crossbeam::channel` receive), plus
+//! the calling thread itself, which always participates as the final
+//! executor.
+//!
+//! # Design: owned jobs, no work stealing
+//!
+//! The workspace forbids `unsafe` code, so pool jobs cannot borrow the
+//! tick's state the way scoped threads can — everything a phase needs is
+//! packaged into an owned *context* value ([`PoolScope::run_tasks_ctx`])
+//! that is shared behind an `Arc` for the duration of the phase and handed
+//! back to the caller afterwards. The world's chunks move into such a
+//! context wholesale via [`World::snapshot_chunks`] (pointer moves, not
+//! copies), which is how the frozen phases read terrain from pool workers.
+//!
+//! Jobs are claimed from one shared injector queue — there are no
+//! per-worker deques and no work stealing. Claiming order is racy, but
+//! every task is self-contained and results are re-ordered by index, so the
+//! output is **bit-identical for any executor count** — including the pool
+//! vs the scoped fallback vs fully inline execution. The determinism
+//! contract of the sharded tick pipeline (canonical shard merge order; see
+//! [`crate::shard`]) is therefore unaffected by who executes the tasks.
+//!
+//! # Shutdown
+//!
+//! Dropping the pool hangs up the injector channel; parked workers observe
+//! the disconnect, drain nothing (the queue is empty between phases by
+//! construction) and exit, and `Drop` joins them. `GameServer` owns one
+//! pool per server instance, so a server going away reliably reclaims its
+//! threads.
+//!
+//! [`World::snapshot_chunks`]: crate::world::World::snapshot_chunks
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{self, Receiver, Sender};
+
+use crate::shard;
+
+/// A unit of work enqueued on the pool: fully owned, so it can outlive any
+/// borrow of the tick's state.
+type Job = Box<dyn FnOnce() + Send>;
+
+/// Extracts a human-readable message from a panic payload so worker panics
+/// can be re-raised on the calling thread.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into())
+}
+
+/// A long-lived pool of parked tick workers (see the [module docs](self)).
+///
+/// Created once per game server from `ServerConfig::tick_threads` and
+/// reused by every parallel phase of every tick; `tick_threads - 1` threads
+/// are spawned, because the thread calling [`TickWorkerPool::scope`] always
+/// executes jobs too. The pool is execution infrastructure only: results
+/// are bit-identical whether a phase runs here, on fresh scoped threads, or
+/// inline on one thread.
+pub struct TickWorkerPool {
+    /// Job injector; `None` only during `Drop`, which hangs the channel up
+    /// to release the parked workers before joining them.
+    injector: Option<Sender<Job>>,
+    /// The shared claim queue. Workers block on it between phases; the
+    /// calling thread drains it non-blockingly while a phase is in flight.
+    feed: Receiver<Job>,
+    workers: Vec<JoinHandle<()>>,
+    executors: u32,
+}
+
+impl std::fmt::Debug for TickWorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TickWorkerPool")
+            .field("executors", &self.executors)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl TickWorkerPool {
+    /// Creates a pool sized for `tick_threads` total executors (clamped to
+    /// at least 1): `tick_threads - 1` parked worker threads plus the
+    /// calling thread. A pool for `tick_threads <= 1` spawns no threads at
+    /// all and runs every phase inline.
+    #[must_use]
+    pub fn new(tick_threads: u32) -> Self {
+        let executors = tick_threads.max(1);
+        let (injector, feed) = channel::unbounded::<Job>();
+        let workers = (1..executors)
+            .map(|index| {
+                let feed = feed.clone();
+                std::thread::Builder::new()
+                    .name(format!("mlg-tick-worker-{index}"))
+                    .spawn(move || {
+                        // Parked here between phases; `recv` fails only
+                        // when the pool is dropped.
+                        while let Ok(job) = feed.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawn tick worker")
+            })
+            .collect();
+        TickWorkerPool {
+            injector: Some(injector),
+            feed,
+            workers,
+            executors,
+        }
+    }
+
+    /// Total executor count (worker threads plus the calling thread).
+    #[must_use]
+    pub fn executors(&self) -> u32 {
+        self.executors
+    }
+
+    /// A [`PoolScope`] dispatching onto this pool.
+    #[must_use]
+    pub fn scope(&self) -> PoolScope<'_> {
+        PoolScope {
+            kind: ScopeKind::Pool(self),
+        }
+    }
+
+    /// Runs `f` over every task, fanning out across the pool, and returns
+    /// the tasks in input order together with the context.
+    fn run<T, C, F>(&self, mut tasks: Vec<T>, ctx: C, f: F) -> (Vec<T>, C)
+    where
+        T: Send + 'static,
+        C: Send + Sync + 'static,
+        F: Fn(usize, &mut T, &C) + Send + Sync + 'static,
+    {
+        let total = tasks.len();
+        if total <= 1 || self.executors <= 1 {
+            for (index, task) in tasks.iter_mut().enumerate() {
+                f(index, task, &ctx);
+            }
+            return (tasks, ctx);
+        }
+
+        let shared = Arc::new((ctx, f));
+        let (done_tx, done_rx) = channel::unbounded::<(usize, Result<T, String>)>();
+        let injector = self
+            .injector
+            .as_ref()
+            .expect("injector present outside Drop");
+        for (index, task) in tasks.drain(..).enumerate() {
+            let shared = Arc::clone(&shared);
+            let done_tx = done_tx.clone();
+            let job: Job = Box::new(move || {
+                let mut task = task;
+                // A panicking job must still produce a completion message,
+                // otherwise the collector below would wait forever.
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    (shared.1)(index, &mut task, &shared.0);
+                    task
+                }))
+                .map_err(panic_message);
+                // Release the context *before* reporting completion: once
+                // the caller has collected every message, its own Arc is
+                // provably the last one and the context can be unwrapped.
+                drop(shared);
+                let _ = done_tx.send((index, outcome));
+            });
+            let _ = injector.send(job);
+        }
+        drop(done_tx);
+
+        // The calling thread is an executor too: claim jobs until the
+        // injector queue is drained, then wait for stragglers on workers.
+        while let Ok(job) = self.feed.try_recv() {
+            job();
+        }
+
+        let mut slots: Vec<Option<T>> = Vec::new();
+        slots.resize_with(total, || None);
+        let mut first_panic: Option<String> = None;
+        for _ in 0..total {
+            let (index, outcome) = done_rx.recv().expect("one completion per job");
+            match outcome {
+                Ok(task) => slots[index] = Some(task),
+                Err(message) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(message);
+                    }
+                }
+            }
+        }
+        if let Some(message) = first_panic {
+            panic!("tick worker panicked: {message}");
+        }
+        let tasks = slots
+            .into_iter()
+            .map(|slot| slot.expect("every job completed"))
+            .collect();
+        let Ok((ctx, _)) = Arc::try_unwrap(shared) else {
+            unreachable!("every job released its context before completing")
+        };
+        (tasks, ctx)
+    }
+}
+
+impl Drop for TickWorkerPool {
+    fn drop(&mut self) {
+        // Hang up the injector so parked workers observe the disconnect…
+        self.injector = None;
+        // …and join them. Worker panics cannot reach here (jobs run under
+        // `catch_unwind`), so a join error means the thread was killed
+        // externally; nothing useful can be done with it during drop.
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// A cloneable, comparison-transparent handle to a server's worker pool,
+/// embedded in [`crate::shard::TickPipeline`].
+///
+/// The pool is pure execution infrastructure: two pipelines that differ
+/// only in their pool attachment produce bit-identical results, so the
+/// handle always compares equal and is skipped by `Debug`-level state
+/// comparisons. Cloning a pipeline shares the pool (`Arc`), matching the
+/// one-pool-per-server ownership model.
+#[derive(Clone, Default)]
+pub struct PoolHandle(Option<Arc<TickWorkerPool>>);
+
+impl PoolHandle {
+    /// A handle to the given pool.
+    #[must_use]
+    pub fn attached(pool: Arc<TickWorkerPool>) -> Self {
+        PoolHandle(Some(pool))
+    }
+
+    /// A handle with no pool (phases fall back to scoped threads).
+    #[must_use]
+    pub fn detached() -> Self {
+        PoolHandle(None)
+    }
+
+    /// The attached pool, if any.
+    #[must_use]
+    pub fn get(&self) -> Option<&Arc<TickWorkerPool>> {
+        self.0.as_ref()
+    }
+}
+
+impl std::fmt::Debug for PoolHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            Some(pool) => write!(f, "PoolHandle({} executors)", pool.executors()),
+            None => f.write_str("PoolHandle(detached)"),
+        }
+    }
+}
+
+impl PartialEq for PoolHandle {
+    /// Pool attachment never affects results, so handles always compare
+    /// equal — pipeline equality stays a statement about the *modeled*
+    /// architecture.
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl Eq for PoolHandle {}
+
+/// How one parallel tick phase executes: on the persistent pool, or on
+/// per-phase scoped threads (the fallback for `tick_threads <= 1` and for
+/// pool-less pipelines, and the baseline the `worker_pool` bench group
+/// compares against).
+///
+/// Obtained from `TickPipeline::scope()`; both variants expose the same
+/// task-list API and produce bit-identical results for the same inputs.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolScope<'a> {
+    kind: ScopeKind<'a>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ScopeKind<'a> {
+    Pool(&'a TickWorkerPool),
+    Scoped { threads: u32 },
+}
+
+impl<'a> PoolScope<'a> {
+    /// A scope that opens a fresh `crossbeam::thread::scope` per call (or
+    /// runs inline for `threads <= 1`) — the pre-pool execution model, kept
+    /// as the fallback path and the bench baseline.
+    #[must_use]
+    pub fn scoped(threads: u32) -> Self {
+        PoolScope {
+            kind: ScopeKind::Scoped {
+                threads: threads.max(1),
+            },
+        }
+    }
+
+    /// Executor count this scope fans tasks over.
+    #[must_use]
+    pub fn threads(&self) -> u32 {
+        match self.kind {
+            ScopeKind::Pool(pool) => pool.executors(),
+            ScopeKind::Scoped { threads } => threads,
+        }
+    }
+
+    /// Returns `true` when this scope dispatches onto a persistent pool.
+    #[must_use]
+    pub fn is_pooled(&self) -> bool {
+        matches!(self.kind, ScopeKind::Pool(_))
+    }
+
+    /// Runs independent tasks and returns them in input order — the
+    /// context-free form of [`PoolScope::run_tasks_ctx`], for closures that
+    /// need nothing beyond the task itself.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic raised inside `f`.
+    pub fn run_tasks<T, F>(&self, tasks: Vec<T>, f: F) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: Fn(usize, &mut T) + Send + Sync + 'static,
+    {
+        self.run_tasks_ctx(tasks, (), move |index, task, ()| f(index, task))
+            .0
+    }
+
+    /// Runs independent tasks against a shared phase context and returns
+    /// `(tasks, context)`, tasks in input order.
+    ///
+    /// The context carries everything the phase needs beyond the per-task
+    /// state — the shard map, a generator handle, a chunk snapshot, RNG
+    /// seeds — *by value*, because persistent pool workers cannot borrow
+    /// the caller's stack. It is returned so callers can move expensive
+    /// state (e.g. the world's chunks) back out; on the pool path the pool
+    /// guarantees every worker released its reference before returning.
+    ///
+    /// Determinism: tasks are claimed in racy order but results re-order by
+    /// index, so for a fixed `(tasks, ctx, f)` the output is bit-identical
+    /// across every executor count and both scope variants.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic raised inside `f`.
+    pub fn run_tasks_ctx<T, C, F>(&self, tasks: Vec<T>, ctx: C, f: F) -> (Vec<T>, C)
+    where
+        T: Send + 'static,
+        C: Send + Sync + 'static,
+        F: Fn(usize, &mut T, &C) + Send + Sync + 'static,
+    {
+        match self.kind {
+            ScopeKind::Pool(pool) => pool.run(tasks, ctx, f),
+            ScopeKind::Scoped { threads } => {
+                let tasks = shard::run_tasks(tasks, threads, |index, task| f(index, task, &ctx));
+                (tasks, ctx)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Uneven, collision-prone work so claiming order actually varies.
+    fn scramble(index: usize, task: &mut u64, salt: &u64) {
+        let mut acc = *task ^ *salt;
+        for i in 0..(*task % 7) * 1_000 {
+            acc = acc.wrapping_mul(31).wrapping_add(i ^ index as u64);
+        }
+        *task = acc;
+    }
+
+    #[test]
+    fn pool_matches_inline_and_scoped_results() {
+        let input: Vec<u64> = (0..57).collect();
+        let inline = PoolScope::scoped(1)
+            .run_tasks_ctx(input.clone(), 7u64, scramble)
+            .0;
+        let scoped = PoolScope::scoped(8)
+            .run_tasks_ctx(input.clone(), 7u64, scramble)
+            .0;
+        assert_eq!(inline, scoped);
+        for executors in [2u32, 4, 8] {
+            let pool = TickWorkerPool::new(executors);
+            let pooled = pool.scope().run_tasks_ctx(input.clone(), 7u64, scramble).0;
+            assert_eq!(inline, pooled, "{executors} executors diverged");
+        }
+    }
+
+    #[test]
+    fn context_round_trips_through_the_pool() {
+        let pool = TickWorkerPool::new(4);
+        let ctx = vec![1u64, 2, 3];
+        let (tasks, ctx_back) =
+            pool.scope()
+                .run_tasks_ctx(vec![0u64; 16], ctx, |_, task, ctx: &Vec<u64>| {
+                    *task = ctx.iter().sum();
+                });
+        assert_eq!(ctx_back, vec![1, 2, 3], "context must come back intact");
+        assert!(tasks.iter().all(|&t| t == 6));
+    }
+
+    #[test]
+    fn one_pool_survives_many_phases() {
+        // The whole point: one spawn, thousands of phases.
+        let pool = TickWorkerPool::new(4);
+        let mut acc: Vec<u64> = (0..16).collect();
+        for round in 0..500u64 {
+            acc = pool.scope().run_tasks(acc, move |_, t| {
+                *t = t.wrapping_mul(3).wrapping_add(round);
+            });
+        }
+        let mut expected: Vec<u64> = (0..16).collect();
+        for round in 0..500u64 {
+            for t in &mut expected {
+                *t = t.wrapping_mul(3).wrapping_add(round);
+            }
+        }
+        assert_eq!(acc, expected);
+    }
+
+    #[test]
+    fn empty_and_single_inputs_run_inline() {
+        let pool = TickWorkerPool::new(4);
+        assert!(pool
+            .scope()
+            .run_tasks(Vec::<u64>::new(), |_, _| {})
+            .is_empty());
+        assert_eq!(
+            pool.scope().run_tasks(vec![41u64], |_, t| *t += 1),
+            vec![42]
+        );
+    }
+
+    #[test]
+    fn degenerate_pool_runs_inline_without_workers() {
+        let pool = TickWorkerPool::new(0);
+        assert_eq!(pool.executors(), 1);
+        assert_eq!(
+            pool.scope().run_tasks(vec![1u64, 2, 3], |_, t| *t *= 2),
+            vec![2, 4, 6]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "tick worker panicked")]
+    fn pool_propagates_job_panics() {
+        let pool = TickWorkerPool::new(2);
+        let _ = pool.scope().run_tasks(vec![0u32, 1, 2, 3], |_, t| {
+            assert!(*t != 2, "boom");
+        });
+    }
+
+    #[test]
+    fn pool_is_reusable_after_a_panicking_phase() {
+        let pool = TickWorkerPool::new(4);
+        let poisoned = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope().run_tasks(vec![0u32, 1, 2, 3], |_, t| {
+                assert!(*t != 2, "boom");
+            })
+        }));
+        assert!(poisoned.is_err());
+        assert_eq!(
+            pool.scope().run_tasks(vec![10u32, 20], |_, t| *t += 1),
+            vec![11, 21],
+            "a panicking phase must not wedge the pool"
+        );
+    }
+
+    #[test]
+    fn drop_joins_all_workers() {
+        // Must return promptly rather than hang on parked workers.
+        let pool = TickWorkerPool::new(8);
+        let _ = pool
+            .scope()
+            .run_tasks((0..64u64).collect(), |_, t| *t = t.wrapping_mul(7));
+        drop(pool);
+    }
+
+    #[test]
+    fn pool_handles_always_compare_equal() {
+        let a = PoolHandle::attached(Arc::new(TickWorkerPool::new(4)));
+        let b = PoolHandle::detached();
+        assert_eq!(a, b);
+        assert_eq!(a.clone(), a);
+        assert!(b.get().is_none());
+        assert_eq!(a.get().map(|p| p.executors()), Some(4));
+    }
+}

@@ -41,25 +41,49 @@
 //!   simulation rules are generic over, so the same rule code runs against
 //!   the full [`World`], a read-only [`FrozenWorld`] snapshot, or a
 //!   mutable single-shard view during the parallel phase.
-//! * [`run_tasks`] — the scoped worker pool (crossbeam scoped threads +
-//!   channels) that fans independent shard tasks out and collects them
-//!   back in deterministic shard order. Each call opens a fresh scope —
-//!   workers live for one pipeline phase, not across ticks — trading a
-//!   few spawn/join microseconds per phase for borrow-friendly access to
-//!   per-tick state (a persistent pool could not borrow the tick's
-//!   world).
+//! * [`run_tasks`] — the *scoped* worker fan-out (crossbeam scoped threads
+//!   and channels): spawns fresh threads for one phase and joins them at
+//!   the end. Since the persistent [`TickWorkerPool`](crate::pool) landed this
+//!   is the fallback path — used when no pool is attached or
+//!   `tick_threads <= 1` — and the baseline the `worker_pool` bench group
+//!   measures the pool against. Production tick phases go through
+//!   [`TickPipeline::scope`], which dispatches onto the server's
+//!   long-lived pool and avoids the per-phase spawn/join tax.
+//!
+//! # Determinism contract
+//!
+//! Every consumer of this module relies on the same three rules, which
+//! together make the whole tick path **bit-identical at any worker-thread
+//! count**, pool or scoped, rebalance on or off, lighting eager or
+//! pipelined:
+//!
+//! 1. **Pure partitioning.** Chunk→shard assignment is a pure function of
+//!    the chunk coordinates and the map structure; adaptive maps evolve
+//!    only through [`ShardMap::rebalanced`], itself a pure function of the
+//!    previous tick's *merged* load report.
+//! 2. **Canonical merge order.** Parallel phases merge their per-shard
+//!    results in ascending shard order, always, regardless of completion
+//!    order; [`run_tasks`] and the pool both return tasks in input order.
+//! 3. **Serial-tail escalation.** Work that could observe another shard —
+//!    boundary-chunk updates, cross-shard player actions, world-mutating
+//!    entity effects — never runs in the parallel phase at all; it is
+//!    escalated to a serial tail that runs after the canonical merge, in a
+//!    deterministic (ascending position/index) order of its own.
 
 use std::collections::{HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use serde::{Deserialize, Serialize};
 
+use std::sync::Arc;
+
 use crate::block::Block;
 use crate::chunk::WORLD_HEIGHT;
 use crate::generation::ChunkGenerator;
+use crate::pool::{PoolHandle, PoolScope, TickWorkerPool};
 use crate::pos::{BlockPos, ChunkPos};
 use crate::update::BlockUpdate;
-use crate::world::{BlockChange, ShardStore, World};
+use crate::world::{BlockChange, ShardStore, World, WorldSnapshot};
 
 /// Width of one shard stripe, in chunks, along the x axis.
 ///
@@ -462,12 +486,13 @@ impl ShardMap {
     /// exists). At most one operation happens per step, preferring splits:
     ///
     /// 1. **Split** the busiest leaf whose load exceeds
-    ///    [`SPLIT_LOAD_FACTOR`]× the mean shard load (a lone leaf holds the
-    ///    whole load by definition and splits under any load at all),
+    ///    `SPLIT_LOAD_FACTOR` (2)× the mean shard load (a lone leaf holds
+    ///    the whole load by definition and splits under any load at all),
     ///    provided its children would stay at least [`MIN_REGION_CHUNKS`]
     ///    wide and the leaf count stays within `max_shards`.
     /// 2. Otherwise **merge** the coldest quad of four sibling leaves whose
-    ///    combined load is below the mean divided by [`MERGE_LOAD_DIVISOR`].
+    ///    combined load is below the mean divided by `MERGE_LOAD_DIVISOR`
+    ///    (2).
     ///
     /// Ties break toward the lowest shard index, so the step is fully
     /// deterministic.
@@ -566,6 +591,11 @@ pub struct TickPipeline {
     rebalance: bool,
     max_shards: u32,
     map: ShardMap,
+    /// The server's persistent worker pool, when one is attached.
+    /// Execution infrastructure only: [`PoolHandle`] always compares
+    /// equal, so pipeline equality stays a statement about the modeled
+    /// architecture. Clones share the pool.
+    pool: PoolHandle,
 }
 
 impl Default for TickPipeline {
@@ -584,6 +614,7 @@ impl TickPipeline {
             rebalance: false,
             max_shards: shards,
             map: ShardMap::stripes(shards),
+            pool: PoolHandle::detached(),
         }
     }
 
@@ -624,6 +655,7 @@ impl TickPipeline {
             rebalance: true,
             max_shards: target.saturating_mul(2),
             map,
+            pool: PoolHandle::detached(),
         }
     }
 
@@ -639,6 +671,42 @@ impl TickPipeline {
     #[must_use]
     pub fn threads(&self) -> u32 {
         self.threads
+    }
+
+    /// Attaches a persistent worker pool: subsequent [`TickPipeline::scope`]
+    /// calls dispatch parallel phases onto it instead of opening fresh
+    /// thread scopes. The server layer attaches its per-server pool here
+    /// right after building the pipeline.
+    pub fn attach_pool(&mut self, pool: Arc<TickWorkerPool>) {
+        self.pool = PoolHandle::attached(pool);
+    }
+
+    /// Detaches the worker pool, reverting every phase to per-phase scoped
+    /// threads. A bench/ablation hook: the `worker_pool` bench group uses
+    /// it to measure exactly the substrate overhead the pool removes, and
+    /// the determinism suite uses it to pin pool-vs-scoped bit-equality.
+    pub fn detach_pool(&mut self) {
+        self.pool = PoolHandle::detached();
+    }
+
+    /// Returns `true` when a persistent worker pool is attached (and would
+    /// actually be used — i.e. `threads > 1`).
+    #[must_use]
+    pub fn has_pool(&self) -> bool {
+        self.threads > 1 && self.pool.get().is_some()
+    }
+
+    /// The execution scope for this tick's parallel phases: the attached
+    /// persistent pool when there is one and `threads > 1`, otherwise the
+    /// scoped fallback (which runs inline for `threads <= 1`). Both
+    /// variants produce bit-identical results; only wall-clock substrate
+    /// cost differs.
+    #[must_use]
+    pub fn scope(&self) -> PoolScope<'_> {
+        match self.pool.get() {
+            Some(pool) if self.threads > 1 => pool.scope(),
+            _ => PoolScope::scoped(self.threads),
+        }
     }
 
     /// Returns `true` when the sharded tick path should be used at all:
@@ -748,6 +816,23 @@ impl TerrainView for World {
 pub struct FrozenWorld<'a>(pub &'a World);
 
 impl BlockReader for FrozenWorld<'_> {
+    fn block(&mut self, pos: BlockPos) -> Block {
+        self.0.block_if_loaded(pos)
+    }
+}
+
+/// A read-only view over an owned [`WorldSnapshot`], the persistent-pool
+/// counterpart of [`FrozenWorld`].
+///
+/// Pool workers cannot borrow the world itself, so the frozen phases
+/// (relighting, the per-entity phase) move the world's chunks into a
+/// [`WorldSnapshot`] inside the shared phase context and read them through
+/// this adapter; semantics are identical to [`FrozenWorld`] — unloaded
+/// positions are air, nothing is generated.
+#[derive(Debug, Clone, Copy)]
+pub struct FrozenChunks<'a>(pub &'a WorldSnapshot);
+
+impl BlockReader for FrozenChunks<'_> {
     fn block(&mut self, pos: BlockPos) -> Block {
         self.0.block_if_loaded(pos)
     }
@@ -922,13 +1007,16 @@ impl TerrainView for ShardWorld<'_> {
     }
 }
 
-/// Runs independent tasks on a pool of scoped worker threads and returns
-/// them in input order.
+/// Runs independent tasks on freshly spawned scoped worker threads and
+/// returns them in input order.
 ///
-/// Tasks are claimed from a shared queue, so placement is load-balanced,
-/// but because each task is self-contained and results are re-ordered by
-/// index, the output is identical for every `threads` value — including 1,
-/// which runs everything inline on the calling thread.
+/// This is the *scoped fallback* behind [`PoolScope`]: it spawns and joins
+/// `min(threads, tasks)` OS threads per call, which the persistent
+/// [`TickWorkerPool`] exists to avoid on the per-tick hot path. Tasks are claimed from a shared queue, so placement
+/// is load-balanced, but because each task is self-contained and results
+/// are re-ordered by index, the output is identical for every `threads`
+/// value — including 1, which runs everything inline on the calling
+/// thread.
 ///
 /// # Panics
 ///
@@ -970,13 +1058,7 @@ where
                         f(index, &mut task);
                         task
                     }))
-                    .map_err(|payload| {
-                        payload
-                            .downcast_ref::<&str>()
-                            .map(|s| (*s).to_string())
-                            .or_else(|| payload.downcast_ref::<String>().cloned())
-                            .unwrap_or_else(|| "non-string panic payload".into())
-                    });
+                    .map_err(crate::pool::panic_message);
                     let _ = result_tx.send((index, outcome));
                 }
             });

@@ -13,16 +13,18 @@
 //! [`TerrainEvent`]s that other subsystems (entities, players) must react to.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
 use crate::block::{Block, BlockKind};
 use crate::generation::ChunkGenerator;
+use crate::pool::PoolScope;
 use crate::pos::BlockPos;
 use crate::region::Region;
-use crate::shard::{self, FrozenWorld, ShardMap, ShardWorld, TerrainView, TickPipeline};
+use crate::shard::{FrozenChunks, ShardMap, ShardWorld, TerrainView, TickPipeline};
 use crate::update::{BlockUpdate, UpdateKind};
-use crate::world::{ShardStore, World};
+use crate::world::{ShardStore, World, WorldSnapshot};
 use crate::{fluid, growth, light, physics, redstone};
 
 /// An event produced by terrain simulation that concerns other subsystems.
@@ -336,8 +338,18 @@ impl TerrainSimulator {
         let map = pipeline.shard_map();
         world.reshard(map.clone());
         let shard_count = map.count();
-        let threads = pipeline.threads();
+        let scope = pipeline.scope();
         let tick = world.current_tick();
+        // Phase context for the pool: owned copies of everything the shard
+        // workers need, built once per tick and threaded through every
+        // parallel phase (persistent-pool jobs cannot borrow the tick's
+        // stack; see `crate::pool`).
+        let mut phase_ctx = TerrainPhaseCtx {
+            sim: self.clone(),
+            map: map.clone(),
+            generator: world.generator_arc(),
+            tick,
+        };
         let budget = u64::from(self.max_updates_per_tick);
 
         let mut report = TerrainTickReport::default();
@@ -402,10 +414,11 @@ impl TerrainSimulator {
                 });
             }
             if !tasks.is_empty() {
-                let generator = world.generator();
-                tasks = shard::run_tasks(tasks, threads, |_, task| {
-                    self.process_shard_batch(task, map, generator, tick);
-                });
+                (tasks, phase_ctx) =
+                    scope.run_tasks_ctx(tasks, phase_ctx, |_, task, ctx: &TerrainPhaseCtx| {
+                        ctx.sim
+                            .process_shard_batch(task, &ctx.map, &*ctx.generator, ctx.tick);
+                    });
             }
 
             // Barrier merge, in canonical (ascending shard) order.
@@ -481,10 +494,12 @@ impl TerrainSimulator {
             });
         }
         if !tasks.is_empty() {
-            let generator = world.generator();
-            tasks = shard::run_tasks(tasks, threads, |_, task| {
-                process_shard_random_ticks(task, map, generator, tick);
-            });
+            // Last parallel consumer of the context; it can be moved in.
+            tasks = scope
+                .run_tasks_ctx(tasks, phase_ctx, |_, task, ctx: &TerrainPhaseCtx| {
+                    process_shard_random_ticks(task, &ctx.map, &*ctx.generator, ctx.tick);
+                })
+                .0;
         }
         for task in tasks {
             world.put_shard_store(task.shard, task.store);
@@ -528,7 +543,7 @@ impl TerrainSimulator {
                 relight_positions.push(change.pos);
             }
         }
-        report.light_positions += relight_positions_frozen(world, &relight_positions, threads);
+        report.light_positions += relight_positions_frozen(world, &relight_positions, &scope);
 
         report.chunks_generated += u64::from(world.chunks_generated_this_tick());
         ShardedTerrainTick {
@@ -595,6 +610,18 @@ pub struct ShardedTerrainTick {
     pub serial_work: u64,
 }
 
+/// Shared context of the parallel terrain phases (cascade rounds and
+/// random ticks): owned copies of the simulator config, shard map and a
+/// generator handle, so the phase can execute on the persistent worker
+/// pool, whose jobs cannot borrow the tick's stack. Threaded through
+/// [`PoolScope::run_tasks_ctx`] and handed back between phases.
+struct TerrainPhaseCtx {
+    sim: TerrainSimulator,
+    map: ShardMap,
+    generator: Arc<dyn ChunkGenerator>,
+    tick: u64,
+}
+
 struct TerrainShardTask {
     shard: usize,
     store: ShardStore,
@@ -629,8 +656,8 @@ struct LightSliceTask {
 }
 
 /// Relights every position in `positions` against a frozen snapshot of
-/// `world`, fanning the independent per-change passes out over the worker
-/// pool, and returns the total number of positions visited.
+/// `world`, fanning the independent per-change passes out over the given
+/// execution scope, and returns the total number of positions visited.
 ///
 /// This is the lighting stage of the sharded tick pipeline: because each
 /// relight is a read-only pass over the same snapshot, the sum is
@@ -638,16 +665,25 @@ struct LightSliceTask {
 /// affecting the result. The game server also calls it directly for the
 /// cross-tick *pipelined* lighting stage (positions queued by the previous
 /// tick, consumed against the current snapshot while the next tick's player
-/// stage runs in the compute model). The frozen snapshot reads unloaded
-/// chunks as air instead of generating them — see
+/// stage runs in the compute model).
+///
+/// The snapshot is *moved*, not copied: the world's chunks travel into the
+/// phase context via [`World::snapshot_chunks`] (which is why this takes
+/// `&mut World`) and are restored before returning, so persistent pool
+/// workers can read them without borrowing the world. The frozen snapshot
+/// reads unloaded chunks as air instead of generating them — see
 /// [`TerrainSimulator::tick_sharded`] for why that is a deliberate
 /// difference from the eager serial path.
 #[must_use]
-pub fn relight_positions_frozen(world: &World, positions: &[BlockPos], threads: u32) -> u64 {
+pub fn relight_positions_frozen(
+    world: &mut World,
+    positions: &[BlockPos],
+    scope: &PoolScope<'_>,
+) -> u64 {
     if positions.is_empty() {
         return 0;
     }
-    let slice_len = positions.len().div_ceil(threads.max(1) as usize);
+    let slice_len = positions.len().div_ceil(scope.threads().max(1) as usize);
     let slices: Vec<LightSliceTask> = positions
         .chunks(slice_len.max(1))
         .map(|positions| LightSliceTask {
@@ -655,13 +691,16 @@ pub fn relight_positions_frozen(world: &World, positions: &[BlockPos], threads: 
             light_positions: 0,
         })
         .collect();
-    let slices = shard::run_tasks(slices, threads, |_, task| {
-        let mut frozen = FrozenWorld(world);
-        for pos in &task.positions {
-            task.light_positions +=
-                u64::from(light::relight_after_change(&mut frozen, *pos).total_positions());
-        }
-    });
+    let snapshot = world.snapshot_chunks();
+    let (slices, snapshot) =
+        scope.run_tasks_ctx(slices, snapshot, |_, task, snapshot: &WorldSnapshot| {
+            let mut frozen = FrozenChunks(snapshot);
+            for pos in &task.positions {
+                task.light_positions +=
+                    u64::from(light::relight_after_change(&mut frozen, *pos).total_positions());
+            }
+        });
+    world.restore_chunks(snapshot);
     slices.iter().map(|s| s.light_positions).sum()
 }
 

@@ -11,6 +11,7 @@
 //! everything derived from it is reproducible run-to-run.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -96,6 +97,36 @@ impl ShardStore {
     }
 }
 
+/// An owned snapshot of every chunk in the world, taken by
+/// [`World::snapshot_chunks`] and returned by [`World::restore_chunks`].
+///
+/// The snapshot is *moved*, not copied: it holds the world's actual
+/// [`ShardStore`]s plus the shard map they are partitioned by, so the
+/// read-only tick phases can share it across persistent pool workers
+/// (wrapped in an `Arc` inside the phase context) while the world sits
+/// empty. Reads behave exactly like [`World::block_if_loaded`] — unloaded
+/// positions are air, nothing is generated — which is the contract the
+/// frozen lighting and entity phases are specified against.
+#[derive(Debug)]
+pub struct WorldSnapshot {
+    map: ShardMap,
+    stores: Vec<ShardStore>,
+}
+
+impl WorldSnapshot {
+    /// Returns the block at `pos`, reading unloaded positions as air.
+    #[must_use]
+    pub fn block_if_loaded(&self, pos: BlockPos) -> Block {
+        if pos.y < 0 || pos.y >= WORLD_HEIGHT as i32 {
+            return Block::AIR;
+        }
+        let (lx, y, lz) = pos.local();
+        self.stores[self.map.shard_of_chunk(pos.chunk())]
+            .get(pos.chunk())
+            .map_or(Block::AIR, |c| c.block(lx, y, lz))
+    }
+}
+
 /// The game world.
 ///
 /// Owns every loaded chunk, the terrain generator used to lazily populate new
@@ -105,7 +136,11 @@ impl ShardStore {
 pub struct World {
     shard_map: ShardMap,
     stores: Vec<ShardStore>,
-    generator: Box<dyn ChunkGenerator>,
+    /// `Arc` rather than `Box` so tick-phase contexts can own a handle and
+    /// run on the persistent worker pool (whose jobs cannot borrow the
+    /// world); the world itself never shares mutable generator state — the
+    /// [`ChunkGenerator`] trait is `&self` + `Send + Sync`.
+    generator: Arc<dyn ChunkGenerator>,
     updates: UpdateQueue,
     changes: Vec<BlockChange>,
     chunks_generated_this_tick: u32,
@@ -136,7 +171,7 @@ impl World {
         World {
             shard_map: ShardMap::new(1),
             stores: vec![ShardStore::default()],
-            generator,
+            generator: Arc::from(generator),
             updates: UpdateQueue::new(),
             changes: Vec::new(),
             chunks_generated_this_tick: 0,
@@ -255,6 +290,47 @@ impl World {
     #[must_use]
     pub fn generator(&self) -> &dyn ChunkGenerator {
         self.generator.as_ref()
+    }
+
+    /// An owning handle to the terrain generator, for tick-phase contexts
+    /// that must outlive any borrow of the world (persistent-pool jobs).
+    #[must_use]
+    pub fn generator_arc(&self) -> Arc<dyn ChunkGenerator> {
+        Arc::clone(&self.generator)
+    }
+
+    /// Moves every shard's chunk store out of the world into an owned
+    /// [`WorldSnapshot`], leaving empty stores behind.
+    ///
+    /// This is how the read-only tick phases (frozen relighting, the
+    /// per-entity phase) share the world with the persistent worker pool
+    /// without borrowing it: the snapshot owns the chunks for the duration
+    /// of the phase and [`World::restore_chunks`] moves them back — two
+    /// pointer-level moves, no chunk data is copied. While the snapshot is
+    /// out, the world reads as empty; callers must not touch terrain until
+    /// they restore it.
+    #[must_use]
+    pub fn snapshot_chunks(&mut self) -> WorldSnapshot {
+        let mut empty: Vec<ShardStore> = Vec::new();
+        empty.resize_with(self.stores.len(), ShardStore::default);
+        WorldSnapshot {
+            map: self.shard_map.clone(),
+            stores: std::mem::replace(&mut self.stores, empty),
+        }
+    }
+
+    /// Returns the chunk stores taken by [`World::snapshot_chunks`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the world was resharded while the snapshot was out (the
+    /// snapshot's stores would no longer match the partition).
+    pub fn restore_chunks(&mut self, snapshot: WorldSnapshot) {
+        assert_eq!(
+            snapshot.map, self.shard_map,
+            "world was repartitioned while its chunk snapshot was out"
+        );
+        self.stores = snapshot.stores;
     }
 
     /// Ensures the chunk at `pos` is loaded, generating it if needed, and

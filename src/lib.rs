@@ -4,6 +4,13 @@
 //!
 //! # Where to start
 //!
+//! For the system-wide map — the campaign layer, the tick stage graph and
+//! its determinism contract, the quadtree rebalancer, the stage-Amdahl
+//! cost model and the persistent tick worker pool, with measured
+//! scoped-vs-pool substrate numbers — read the architecture book at
+//! `docs/ARCHITECTURE.md` in the repository root, then drill into the
+//! per-crate rustdoc it links.
+//!
 //! The benchmark is driven through the **`Campaign` API** in the
 //! `meterstick` crate (`crates/core`): a campaign declares a full factorial
 //! sweep — workloads × server flavors × environments (including AWS node
@@ -36,7 +43,9 @@
 //! sharded tick pipeline: loaded chunks are partitioned into spatial
 //! shards, and every stage of the tick — player handler, terrain,
 //! entities, dissemination — declares shard-parallel work (batched by
-//! owning shard, fanned over a reusable worker pool) plus a serial
+//! owning shard, fanned over the server's **persistent tick worker
+//! pool** — `mlg_world::pool` — whose parked workers outlive the tick, so
+//! no phase pays thread spawn/join) plus a serial
 //! escalation tail (boundary chunks, cross-shard player actions), with
 //! results merged in canonical shard order, so output is bit-identical at
 //! any `tick_threads` setting (campaigns can sweep that axis). Lighting

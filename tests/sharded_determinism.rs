@@ -122,6 +122,50 @@ fn clustered_tnt_server(rebalance: bool, threads: u32) -> GameServer {
     server
 }
 
+/// The persistent tick worker pool is pure execution substrate: one server,
+/// its pool reused across two back-to-back probe runs (a second TNT hotspot
+/// is rebuilt and re-ignited mid-run, so the pool sees two full cascade
+/// bursts plus the adaptive rebalancer splitting and merging between them),
+/// must produce tick summaries bit-identical to the per-phase fresh-scope
+/// fallback — at 1, 4 and 8 tick threads alike.
+#[test]
+fn pool_reuse_is_bit_identical() {
+    let run = |pooled: bool, threads: u32| -> Vec<mlg_server::TickSummary> {
+        let mut server = clustered_tnt_server(true, threads);
+        server.set_worker_pool_enabled(pooled);
+        assert_eq!(
+            server.worker_pool_enabled(),
+            pooled && threads > 1,
+            "pool attachment must follow the hook (and never engage at 1 thread)"
+        );
+        let mut engine = Environment::das5(8).instantiate(1).engine;
+        let mut summaries: Vec<_> = (0..60).map(|_| server.run_tick(&mut engine)).collect();
+        // Second probe run on the same server: rebuild the hotspot and
+        // re-ignite, reusing the same (already warmed) worker pool.
+        server.world_mut().fill_region(
+            Region::new(BlockPos::new(64, 61, 64), BlockPos::new(72, 62, 72)),
+            Block::simple(BlockKind::Tnt),
+        );
+        server.schedule_tnt_ignition(2);
+        summaries.extend((0..60).map(|_| server.run_tick(&mut engine)));
+        summaries
+    };
+
+    let fresh_scopes = run(false, 1);
+    for threads in [1u32, 4, 8] {
+        assert_eq!(
+            run(true, threads),
+            fresh_scopes,
+            "threads={threads}: persistent pool diverged from the fresh-scope path"
+        );
+    }
+    assert_eq!(
+        run(false, 8),
+        fresh_scopes,
+        "fresh-scope path diverged across thread counts"
+    );
+}
+
 #[test]
 fn adaptive_regions_cut_the_busiest_shard_on_a_clustered_tnt_hotspot() {
     let run = |rebalance: bool, threads: u32| {

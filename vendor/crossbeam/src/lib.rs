@@ -1,12 +1,20 @@
 //! Offline stand-in for the `crossbeam` facade.
 //!
 //! Implements the `crossbeam::channel` subset the workspace uses: unbounded
-//! MPMC channels with cloneable senders *and* receivers, `send`, `recv` and
-//! `try_recv`. Backed by a `Mutex<VecDeque>` + `Condvar` rather than
-//! crossbeam's lock-free internals — ample for the controller protocol's
-//! message volumes. Also provides `crossbeam::thread::scope`, the scoped
-//! worker-thread entry point the sharded tick pipeline fans out on, backed
-//! by `std::thread::scope`.
+//! MPMC channels with cloneable senders *and* receivers, `send`, `recv`,
+//! `try_recv` and endpoint-drop disconnection. Backed by a
+//! `Mutex<VecDeque>` + `Condvar` rather than crossbeam's lock-free
+//! internals — ample for the controller protocol's message volumes and for
+//! the tick worker pool's phase rendezvous. Also provides
+//! `crossbeam::thread::scope`, the scoped worker-thread entry point the
+//! sharded tick pipeline's fallback path fans out on, backed by
+//! `std::thread::scope`.
+//!
+//! The channel doubles as the *park/unpark* primitive of
+//! `mlg_world::pool::TickWorkerPool`: a blocking [`channel::Receiver::recv`]
+//! parks the calling worker on the condvar until a job arrives or every
+//! sender is gone (pool shutdown), so the persistent workers burn no CPU
+//! between tick phases.
 
 #![forbid(unsafe_code)]
 
@@ -42,8 +50,19 @@ pub mod channel {
     use std::fmt;
     use std::sync::{Arc, Condvar, Mutex};
 
+    struct State<T> {
+        queue: VecDeque<T>,
+        /// Live [`Sender`] endpoints. When this reaches 0 with an empty
+        /// queue, blocked receivers wake up and report disconnection —
+        /// which is how the tick worker pool's parked workers learn the
+        /// pool is shutting down.
+        senders: usize,
+        /// Live [`Receiver`] endpoints; 0 makes `send` fail like upstream.
+        receivers: usize,
+    }
+
     struct Shared<T> {
-        queue: Mutex<VecDeque<T>>,
+        state: Mutex<State<T>>,
         ready: Condvar,
     }
 
@@ -59,6 +78,11 @@ pub mod channel {
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
+            self.shared
+                .state
+                .lock()
+                .expect("channel mutex poisoned")
+                .senders += 1;
             Sender {
                 shared: Arc::clone(&self.shared),
             }
@@ -67,9 +91,34 @@ pub mod channel {
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
+            self.shared
+                .state
+                .lock()
+                .expect("channel mutex poisoned")
+                .receivers += 1;
             Receiver {
                 shared: Arc::clone(&self.shared),
             }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.state.lock().expect("channel mutex poisoned");
+            state.senders = state.senders.saturating_sub(1);
+            if state.senders == 0 {
+                // Every receiver parked in `recv` must re-check for
+                // disconnection, not just one.
+                drop(state);
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.state.lock().expect("channel mutex poisoned");
+            state.receivers = state.receivers.saturating_sub(1);
         }
     }
 
@@ -105,7 +154,11 @@ pub mod channel {
     /// Creates an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
-            queue: Mutex::new(VecDeque::new()),
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
             ready: Condvar::new(),
         });
         (
@@ -119,38 +172,48 @@ pub mod channel {
     impl<T> Sender<T> {
         /// Appends a message to the queue.
         ///
-        /// Like crossbeam, this only fails when all receivers have been
-        /// dropped. One `Arc` strong count is held per endpoint, so "no
-        /// receivers" cannot be distinguished from "no senders" here; the
-        /// shim accepts the message unconditionally, which is harmless for
-        /// the workspace's in-process request/reply protocol.
+        /// Like crossbeam, this fails (returning the message) only when all
+        /// receivers have been dropped.
         pub fn send(&self, message: T) -> Result<(), SendError<T>> {
-            let mut queue = self.shared.queue.lock().expect("channel mutex poisoned");
-            queue.push_back(message);
-            drop(queue);
+            let mut state = self.shared.state.lock().expect("channel mutex poisoned");
+            if state.receivers == 0 {
+                return Err(SendError(message));
+            }
+            state.queue.push_back(message);
+            drop(state);
             self.shared.ready.notify_one();
             Ok(())
         }
     }
 
     impl<T> Receiver<T> {
-        /// Removes the oldest pending message, if any.
+        /// Removes the oldest pending message, if any. Distinguishes a
+        /// momentarily empty channel from one whose senders are all gone.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            let mut queue = self.shared.queue.lock().expect("channel mutex poisoned");
-            queue.pop_front().ok_or(TryRecvError::Empty)
+            let mut state = self.shared.state.lock().expect("channel mutex poisoned");
+            match state.queue.pop_front() {
+                Some(message) => Ok(message),
+                None if state.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
         }
 
-        /// Blocks until a message arrives.
+        /// Blocks (parking the calling thread on the channel's condvar)
+        /// until a message arrives, or reports disconnection once every
+        /// sender is gone and the queue is drained.
         pub fn recv(&self) -> Result<T, RecvError> {
-            let mut queue = self.shared.queue.lock().expect("channel mutex poisoned");
+            let mut state = self.shared.state.lock().expect("channel mutex poisoned");
             loop {
-                if let Some(message) = queue.pop_front() {
+                if let Some(message) = state.queue.pop_front() {
                     return Ok(message);
                 }
-                queue = self
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self
                     .shared
                     .ready
-                    .wait(queue)
+                    .wait(state)
                     .expect("channel mutex poisoned");
             }
         }
@@ -186,6 +249,39 @@ pub mod channel {
             }
             handle.join().unwrap();
             assert_eq!(received, (0..100).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn dropping_all_senders_disconnects_after_drain() {
+            let (tx, rx) = unbounded();
+            let tx2 = tx.clone();
+            tx.send(7).unwrap();
+            drop(tx);
+            assert_eq!(rx.try_recv(), Ok(7), "queued messages drain first");
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            drop(tx2);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn blocked_recv_wakes_on_disconnect() {
+            let (tx, rx) = unbounded::<u32>();
+            let handle = std::thread::spawn(move || rx.recv());
+            // Give the receiver a moment to park, then hang up.
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            drop(tx);
+            assert_eq!(handle.join().unwrap(), Err(RecvError));
+        }
+
+        #[test]
+        fn send_fails_once_all_receivers_are_gone() {
+            let (tx, rx) = unbounded();
+            let rx2 = rx.clone();
+            drop(rx);
+            tx.send(1).unwrap();
+            drop(rx2);
+            assert_eq!(tx.send(2), Err(SendError(2)));
         }
     }
 }
