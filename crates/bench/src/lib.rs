@@ -18,6 +18,8 @@
 //!   pipeline (results are bit-identical at any value; CI diffs the CSVs
 //!   of two settings to prove it).
 
+#![forbid(unsafe_code)]
+
 use std::fs::File;
 
 use cloud_sim::environment::Environment;

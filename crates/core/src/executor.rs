@@ -285,6 +285,7 @@ mod tests {
         if cores < 4 {
             // The speedup claim only holds with real hardware parallelism;
             // correctness (bit-identical results) is covered above.
+            // detlint: allow(no-debug-output) -- skip diagnostic of an ignored, manually-run test
             eprintln!("skipping speedup check: only {cores} core(s) available");
             return;
         }
@@ -298,11 +299,13 @@ mod tests {
             .environments([Environment::aws_default()])
             .iterations(4)
             .duration_secs(3);
+        // detlint: allow(no-wall-clock) -- substrate timing: the test measures real executor speedup
         let start = std::time::Instant::now();
         let sequential = campaign
             .run_with(&SequentialExecutor, &mut NullSink)
             .unwrap();
         let sequential_elapsed = start.elapsed();
+        // detlint: allow(no-wall-clock) -- substrate timing: the test measures real executor speedup
         let start = std::time::Instant::now();
         let parallel = campaign
             .run_with(&ParallelExecutor::new(4), &mut NullSink)

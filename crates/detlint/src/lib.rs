@@ -1,0 +1,55 @@
+//! `detlint` — the determinism & concurrency static-analysis gate for the
+//! Meterstick workspace.
+//!
+//! Meterstick's variability results are only trustworthy if the simulator
+//! is bit-identical at any `tick_threads`. CI proves that *dynamically* by
+//! diffing campaign CSVs at 1/4/8 worker threads; `detlint` excludes whole
+//! classes of nondeterminism *statically*, before a run, by machine-checking
+//! the tick contract stated in `docs/ARCHITECTURE.md`:
+//!
+//! | rule | contract clause |
+//! |------|-----------------|
+//! | `no-hash-iteration` | tick-path crates never iterate `HashMap`/`HashSet` (order would leak into merged output) |
+//! | `no-wall-clock` | modeled time never reads `Instant::now`/`SystemTime` (bench crate exempt) |
+//! | `no-ambient-rng` | no `thread_rng`/`from_entropy`/`from_os_rng`/`OsRng`; all randomness flows from campaign seeds |
+//! | `no-unsafe` | no `unsafe` token anywhere; every crate root carries `forbid(unsafe_code)` |
+//! | `no-bare-spawn` | no `thread::spawn`/`thread::Builder` outside `mlg_world::pool` |
+//! | `no-debug-output` | no `println!`/`eprintln!`/`dbg!` in library crates (sinks, bench exempt) |
+//!
+//! Violations are waivable inline with
+//! `// detlint: allow(<rule>) -- <reason>`; every waiver is counted and
+//! printed in the report so exceptions stay auditable. Run it locally with:
+//!
+//! ```text
+//! cargo run -p detlint -- --workspace
+//! ```
+//!
+//! The scanner is hand-rolled and comment/string-aware (the build container
+//! is offline, so no `syn` — the same discipline as the vendored dependency
+//! shims): rule patterns can never fire on comments, doc text or string
+//! literals, which also lets this crate's own fixtures and pattern tables
+//! live in plain strings.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod report;
+pub mod rules;
+pub mod scanner;
+pub mod workspace;
+
+pub use report::Report;
+pub use rules::{check_file, FileOutcome, Finding, RuleId, Waiver};
+pub use workspace::{classify, lint_workspace, workspace_root_from_build, FileContext};
+
+/// Lints a single source text as if it lived at `rel_path` in the
+/// workspace. This is the entry point the fixture tests use; files the
+/// workspace walk would skip (e.g. under `vendor/`) produce an empty
+/// outcome.
+#[must_use]
+pub fn lint_source(rel_path: &str, source: &str) -> FileOutcome {
+    match classify(rel_path) {
+        Some(ctx) => check_file(&ctx, source),
+        None => FileOutcome::default(),
+    }
+}

@@ -1,0 +1,64 @@
+//! The `detlint` command-line gate.
+//!
+//! ```text
+//! cargo run -p detlint -- --workspace          # lint the whole workspace
+//! cargo run -p detlint -- --root /path --workspace
+//! ```
+//!
+//! Exits nonzero when any finding survives its waivers, so CI can use the
+//! exit code directly.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    let mut workspace = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--root" => {
+                let Some(path) = args.next() else {
+                    eprintln!("detlint: --root requires a path");
+                    return ExitCode::from(2);
+                };
+                root = Some(PathBuf::from(path));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: detlint [--root <workspace-root>] --workspace\n\n\
+                     Machine-checks the Meterstick determinism contract; see\n\
+                     docs/ARCHITECTURE.md (\"Machine-checked determinism contract\")."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("detlint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !workspace {
+        eprintln!("detlint: nothing to do; pass --workspace (try --help)");
+        return ExitCode::from(2);
+    }
+    let root = root.unwrap_or_else(detlint::workspace_root_from_build);
+    match detlint::lint_workspace(&root) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("detlint: failed to scan {}: {err}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}

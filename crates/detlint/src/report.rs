@@ -1,0 +1,111 @@
+//! Rendering of lint results: `file:line: rule: message` findings, the
+//! waiver audit, and the summary line the CI gates key on.
+
+use std::fmt::Write as _;
+
+use crate::rules::{Finding, Waiver};
+
+/// The combined result of linting a workspace.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Surviving (un-waived) findings across all files, sorted by
+    /// file and line.
+    pub findings: Vec<Finding>,
+    /// Every waiver annotation in the workspace — each one is a deliberate,
+    /// justified exception to the contract and is printed for audit.
+    pub waivers: Vec<Waiver>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of member crates walked (excluding the umbrella package).
+    pub crates_scanned: usize,
+}
+
+impl Report {
+    /// Returns `true` when the workspace is clean (no surviving findings).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Renders the full human-readable report.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "detlint: scanned {} files across {} member crates (+ umbrella)",
+            self.files_scanned, self.crates_scanned
+        );
+        if !self.findings.is_empty() {
+            let _ = writeln!(out);
+            for f in &self.findings {
+                let _ = writeln!(
+                    out,
+                    "{}:{}: {}: {}",
+                    f.file,
+                    f.line,
+                    f.rule.name(),
+                    f.message
+                );
+            }
+        }
+        if !self.waivers.is_empty() {
+            let _ = writeln!(out, "\nwaivers ({}):", self.waivers.len());
+            for w in &self.waivers {
+                let rules = w
+                    .rules
+                    .iter()
+                    .map(|r| r.name())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let scope = if w.file_level { " [file]" } else { "" };
+                let _ = writeln!(
+                    out,
+                    "  {}:{}: {}{} -- {}",
+                    w.file, w.line, rules, scope, w.reason
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "\ndetlint: {} finding(s), {} waiver(s)",
+            self.findings.len(),
+            self.waivers.len()
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RuleId;
+
+    #[test]
+    fn render_lists_findings_and_waivers() {
+        let report = Report {
+            findings: vec![Finding {
+                file: "crates/x/src/lib.rs".into(),
+                line: 7,
+                rule: RuleId::NoWallClock,
+                message: "bad".into(),
+            }],
+            waivers: vec![Waiver {
+                file: "crates/y/src/lib.rs".into(),
+                line: 3,
+                rules: vec![RuleId::NoHashIteration],
+                reason: "order cannot escape".into(),
+                file_level: false,
+            }],
+            files_scanned: 2,
+            crates_scanned: 2,
+        };
+        let text = report.render();
+        assert!(text.contains("crates/x/src/lib.rs:7: no-wall-clock: bad"));
+        assert!(text.contains("waivers (1):"));
+        assert!(text.contains("no-hash-iteration -- order cannot escape"));
+        assert!(text.contains("1 finding(s), 1 waiver(s)"));
+        assert!(!report.is_clean());
+        assert!(Report::default().is_clean());
+    }
+}

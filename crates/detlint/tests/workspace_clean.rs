@@ -1,0 +1,54 @@
+//! Meta-test: the workspace itself must lint clean, so a fresh contract
+//! violation fails plain `cargo test -q` even before the dedicated CI job
+//! runs. Every waiver that is supposed to exist is pinned below — adding a
+//! waiver means consciously updating this test.
+
+use detlint::{lint_workspace, workspace_root_from_build};
+
+#[test]
+fn the_workspace_lints_clean() {
+    let root = workspace_root_from_build();
+    let report = lint_workspace(&root).expect("workspace sources are readable");
+    assert!(
+        report.crates_scanned >= 11,
+        "sanity: the walk found the member crates (got {})",
+        report.crates_scanned
+    );
+    assert!(
+        report.files_scanned > 40,
+        "sanity: the walk found the source files (got {})",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "detlint found contract violations:\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn every_waiver_is_accounted_for() {
+    let root = workspace_root_from_build();
+    let report = lint_workspace(&root).expect("workspace sources are readable");
+    let mut sites: Vec<String> = report
+        .waivers
+        .iter()
+        .map(|w| format!("{}:{}", w.file, w.rules[0].name()))
+        .collect();
+    sites.sort();
+    // The full, intentional exemption surface of the workspace. If this
+    // assertion fails because you added a waiver, confirm the reason is
+    // genuine and extend the list; if it fails because one disappeared,
+    // the underlying code was fixed — shrink the list.
+    assert_eq!(
+        sites,
+        [
+            "crates/core/src/executor.rs:no-debug-output",
+            "crates/core/src/executor.rs:no-wall-clock",
+            "crates/core/src/executor.rs:no-wall-clock",
+            "crates/mlg-entity/src/spatial.rs:no-hash-iteration",
+        ],
+        "waiver surface changed:\n{}",
+        report.render()
+    );
+}

@@ -149,8 +149,12 @@ impl EntityManager {
     /// Number of live hostile mobs.
     #[must_use]
     pub fn hostile_count(&self) -> usize {
-        self.entities
-            .values()
+        // Walk the spawn-order list, not the hash map: the count itself is
+        // order-free, but keeping every traversal canonical is the cheap
+        // blanket policy the detlint no-hash-iteration rule enforces.
+        self.order
+            .iter()
+            .filter_map(|id| self.entities.get(id))
             .filter(|e| e.kind.is_hostile())
             .count()
     }
@@ -287,7 +291,7 @@ impl EntityManager {
         for id in &self.order {
             if let Some(entity) = self.entities.remove(id) {
                 let shard = map.shard_of_block(entity.pos.block_pos());
-                tasks[shard].entities.push(entity);
+                tasks[shard].batch.push(entity);
             }
         }
 
@@ -311,7 +315,7 @@ impl EntityManager {
                         ctx.tick_seed ^ (task.shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                     );
                     let mut frozen = FrozenChunks(&ctx.snapshot);
-                    for entity in &mut task.entities {
+                    for entity in &mut task.batch {
                         task.processed += 1;
                         entity.age += 1;
                         let before_pos = entity.pos;
@@ -356,7 +360,7 @@ impl EntityManager {
             report.proximity_candidates += task.proximity_candidates;
             report.moved.append(&mut task.moved);
             detonations.append(&mut task.detonations);
-            for entity in task.entities.drain(..) {
+            for entity in task.batch.drain(..) {
                 self.entities.insert(entity.id, entity);
             }
         }
@@ -395,13 +399,18 @@ impl EntityManager {
         chain_ignitions: Vec<BlockPos>,
         report: &mut EntityTickReport,
     ) {
-        // Remove exploded TNT and knock back nearby entities.
+        // Remove exploded TNT and knock back nearby entities, in spawn
+        // order. Each entity's velocity update is independent, but spawn
+        // order keeps the traversal canonical (and any future non-commutative
+        // effect deterministic by construction).
         for (id, blast_pos) in &exploded {
             self.remove(*id);
             report.removed.push(*id);
-            for e in self.entities.values_mut() {
-                let push = tnt::knockback(*blast_pos, e.pos);
-                e.velocity = e.velocity.add(push);
+            for eid in &self.order {
+                if let Some(e) = self.entities.get_mut(eid) {
+                    let push = tnt::knockback(*blast_pos, e.pos);
+                    e.velocity = e.velocity.add(push);
+                }
             }
         }
 
@@ -493,7 +502,10 @@ impl EntityManager {
 /// [`EntityManager::tick_batched`].
 struct EntityShardTask {
     shard: usize,
-    entities: Vec<Entity>,
+    /// The shard's entities in spawn order (named distinctly from the
+    /// manager's `entities` map: detlint's scanner tracks hash-typed
+    /// identifiers by name within a file).
+    batch: Vec<Entity>,
     moved: Vec<(EntityId, Vec3)>,
     detonations: Vec<(EntityId, Vec3)>,
     processed: u64,
@@ -506,7 +518,7 @@ impl EntityShardTask {
     fn new(shard: usize) -> Self {
         EntityShardTask {
             shard,
-            entities: Vec::new(),
+            batch: Vec::new(),
             moved: Vec::new(),
             detonations: Vec::new(),
             processed: 0,

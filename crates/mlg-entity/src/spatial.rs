@@ -38,6 +38,11 @@ impl SpatialGrid {
 
     /// Removes all entries, keeping allocated capacity.
     pub fn clear(&mut self) {
+        // Hash-order traversal is provably order-free here: every bucket is
+        // cleared independently and nothing derived from the visit order
+        // escapes. Keeping the map (and its allocated buckets) beats
+        // rebuilding an ordered structure every tick.
+        // detlint: allow(no-hash-iteration) -- clears each bucket independently; no order escapes
         for bucket in self.cells.values_mut() {
             bucket.clear();
         }

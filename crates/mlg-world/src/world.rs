@@ -39,61 +39,80 @@ pub struct BlockChange {
     pub new: Block,
 }
 
-/// The chunks owned by one shard, with deterministic insertion-order
-/// iteration on top of the hash-map lookup path.
+/// The chunks owned by one shard: dense insertion-ordered storage with a
+/// hash *index* on the side for O(1) position lookup.
+///
+/// The chunks themselves live in a `Vec`, so **every** way of iterating a
+/// store — shared or mutable — walks insertion order; the `HashMap` only
+/// ever resolves a position to a slot and is never iterated. This is the
+/// structure the `detlint` `no-hash-iteration` rule pushes the tick path
+/// toward: hash lookup is fine, hash order is not.
 #[derive(Debug, Default)]
 pub struct ShardStore {
-    chunks: HashMap<ChunkPos, Chunk>,
-    order: Vec<ChunkPos>,
+    chunks: Vec<Chunk>,
+    index: HashMap<ChunkPos, usize>,
 }
 
 impl ShardStore {
     /// The chunk at `pos`, if loaded in this store.
     #[must_use]
     pub fn get(&self, pos: ChunkPos) -> Option<&Chunk> {
-        self.chunks.get(&pos)
+        self.index.get(&pos).map(|&slot| &self.chunks[slot])
     }
 
     /// Mutable access to the chunk at `pos`, if loaded in this store.
     pub fn get_mut(&mut self, pos: ChunkPos) -> Option<&mut Chunk> {
-        self.chunks.get_mut(&pos)
+        self.index.get(&pos).map(|&slot| &mut self.chunks[slot])
     }
 
     /// Returns `true` when the chunk at `pos` is loaded in this store.
     #[must_use]
     pub fn contains(&self, pos: ChunkPos) -> bool {
-        self.chunks.contains_key(&pos)
+        self.index.contains_key(&pos)
     }
 
     /// Inserts a freshly generated chunk (appending it to the iteration
-    /// order).
+    /// order). A chunk already present keeps its slot and is overwritten.
     pub fn insert(&mut self, chunk: Chunk) {
-        let pos = chunk.pos();
-        if self.chunks.insert(pos, chunk).is_none() {
-            self.order.push(pos);
+        match self.index.get(&chunk.pos()) {
+            Some(&slot) => self.chunks[slot] = chunk,
+            None => {
+                self.index.insert(chunk.pos(), self.chunks.len());
+                self.chunks.push(chunk);
+            }
         }
     }
 
     /// Number of chunks in this store.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.order.len()
+        self.chunks.len()
     }
 
     /// Returns `true` when the store holds no chunks.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.order.is_empty()
+        self.chunks.is_empty()
     }
 
     /// Iterates the chunks in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = &Chunk> {
-        self.order.iter().filter_map(|pos| self.chunks.get(pos))
+        self.chunks.iter()
+    }
+
+    /// Iterates the chunks mutably, also in insertion order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Chunk> {
+        self.chunks.iter_mut()
     }
 
     /// Iterates the chunk positions in insertion order.
     pub fn positions(&self) -> impl Iterator<Item = ChunkPos> + '_ {
-        self.order.iter().copied()
+        self.chunks.iter().map(Chunk::pos)
+    }
+
+    /// Consumes the store, yielding its chunks in insertion order.
+    fn into_chunks(self) -> Vec<Chunk> {
+        self.chunks
     }
 }
 
@@ -204,11 +223,8 @@ impl World {
         let mut stores: Vec<ShardStore> = Vec::new();
         stores.resize_with(map.count(), ShardStore::default);
         for store in self.stores.drain(..) {
-            let mut chunks = store.chunks;
-            for pos in store.order {
-                if let Some(chunk) = chunks.remove(&pos) {
-                    stores[map.shard_of_chunk(pos)].insert(chunk);
-                }
+            for chunk in store.into_chunks() {
+                stores[map.shard_of_chunk(chunk.pos())].insert(chunk);
             }
         }
         self.shard_map = map;
@@ -384,12 +400,10 @@ impl World {
     }
 
     /// Iterates mutably over all loaded chunks (used by the server to clear
-    /// dirty flags after broadcasting chunk data; iteration order is
-    /// unspecified).
+    /// dirty flags after broadcasting chunk data), in the same deterministic
+    /// (shard-major, insertion) order as [`World::iter_chunks`].
     pub fn iter_chunks_mut(&mut self) -> impl Iterator<Item = &mut Chunk> {
-        self.stores
-            .iter_mut()
-            .flat_map(|store| store.chunks.values_mut())
+        self.stores.iter_mut().flat_map(ShardStore::iter_mut)
     }
 
     /// Returns the block at `pos`, lazily generating the containing chunk.

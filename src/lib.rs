@@ -73,3 +73,13 @@
 //! exists to load the player-handler and dissemination stages the way TNT
 //! loads entities. (The legacy `ExperimentRunner` shim has been removed;
 //! use `Campaign::from_config`.)
+//!
+//! The determinism contract the tick graph rests on — no hash-order
+//! iteration on the tick path, no wall-clock reads in modeled time, no
+//! ambient RNG, no `unsafe`, no bare thread spawns, no debug prints in
+//! library crates — is **machine-checked** by the `detlint` crate
+//! (`cargo run -p detlint -- --workspace`); the rules, their rationale
+//! and the inline-waiver syntax are documented in `docs/ARCHITECTURE.md`
+//! under "Machine-checked determinism contract".
+
+#![forbid(unsafe_code)]
