@@ -333,6 +333,146 @@ fn bench_worker_pool(c: &mut Criterion) {
     group.finish();
 }
 
+/// Wall-clock noise floor: the empty Control-workload tick, registered
+/// three times so the report shows the spread between identical
+/// measurements. Substrate wins smaller than this spread are noise —
+/// the `noise_floor` binary prints the same calibration standalone.
+fn bench_noise_floor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noise_floor");
+    group.sample_size(30);
+    for run in ["a", "b", "c"] {
+        group.bench_function(format!("empty_tick_{run}"), |b| {
+            let built = WorkloadSpec::new(WorkloadKind::Control).build(392_114_485);
+            let config = ServerConfig::for_flavor(ServerFlavor::Vanilla);
+            let mut server = GameServer::new(config, built.world, built.spawn_point);
+            let mut engine = Environment::das5(2).instantiate(1).engine;
+            for _ in 0..30 {
+                server.run_tick(&mut engine);
+            }
+            b.iter(|| server.run_tick(&mut engine));
+        });
+    }
+    group.finish();
+}
+
+/// A dense `Vec<Block>` chunk body — the storage layout the palette store
+/// replaced — kept here as the bench-only baseline for the comparison.
+struct DenseChunk {
+    blocks: Vec<Block>,
+}
+
+impl DenseChunk {
+    const BODY: usize = 16 * 16 * 128;
+
+    fn new() -> Self {
+        DenseChunk {
+            blocks: vec![Block::AIR; Self::BODY],
+        }
+    }
+
+    fn index(x: usize, y: usize, z: usize) -> usize {
+        (y * 16 + z) * 16 + x
+    }
+
+    fn set(&mut self, x: usize, y: usize, z: usize, block: Block) {
+        self.blocks[Self::index(x, y, z)] = block;
+    }
+
+    fn get(&self, x: usize, y: usize, z: usize) -> Block {
+        self.blocks[Self::index(x, y, z)]
+    }
+}
+
+/// Writes a generated-style terrain column profile (bedrock, stone, dirt,
+/// grass) through whichever setter the caller provides.
+fn fill_terrain(mut set: impl FnMut(usize, usize, usize, Block)) {
+    for x in 0..16 {
+        for z in 0..16 {
+            set(x, 0, z, Block::simple(BlockKind::Bedrock));
+            for y in 1..60 {
+                set(x, y, z, Block::simple(BlockKind::Stone));
+            }
+            for y in 60..63 {
+                set(x, y, z, Block::simple(BlockKind::Dirt));
+            }
+            set(x, 63, z, Block::simple(BlockKind::Grass));
+        }
+    }
+}
+
+/// Dense-vs-palette chunk body: full-terrain writes, full-volume reads and
+/// chunk snapshots (clones), the three access patterns the tick pipeline
+/// actually performs.
+fn bench_chunk_storage(c: &mut Criterion) {
+    use mlg_world::{Chunk, ChunkPos};
+
+    let mut group = c.benchmark_group("chunk_storage");
+    group.bench_function("dense_set", |b| {
+        b.iter_batched(
+            DenseChunk::new,
+            |mut chunk| {
+                fill_terrain(|x, y, z, block| chunk.set(x, y, z, block));
+                chunk
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("palette_set", |b| {
+        b.iter_batched(
+            || Chunk::empty(ChunkPos::new(0, 0)),
+            |mut chunk| {
+                fill_terrain(|x, y, z, block| {
+                    chunk.set_block(x, y as i32, z, block);
+                });
+                chunk
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    let mut dense = DenseChunk::new();
+    fill_terrain(|x, y, z, block| dense.set(x, y, z, block));
+    let mut palette = Chunk::empty(ChunkPos::new(0, 0));
+    fill_terrain(|x, y, z, block| {
+        palette.set_block(x, y as i32, z, block);
+    });
+    palette.compact_storage();
+
+    group.bench_function("dense_get", |b| {
+        b.iter(|| {
+            let mut non_air = 0u32;
+            for y in 0..128 {
+                for z in 0..16 {
+                    for x in 0..16 {
+                        non_air += u32::from(!dense.get(x, y, z).is_air());
+                    }
+                }
+            }
+            non_air
+        });
+    });
+    group.bench_function("palette_get", |b| {
+        b.iter(|| {
+            let mut non_air = 0u32;
+            for y in 0..128 {
+                for z in 0..16 {
+                    for x in 0..16 {
+                        non_air += u32::from(!palette.block(x, y, z).is_air());
+                    }
+                }
+            }
+            non_air
+        });
+    });
+    group.bench_function("dense_snapshot", |b| {
+        b.iter(|| dense.blocks.clone());
+    });
+    group.bench_function("palette_snapshot", |b| {
+        b.iter(|| palette.clone());
+    });
+    group.finish();
+}
+
 fn bench_player_emulation(c: &mut Criterion) {
     c.bench_function("players_workload_tick_25_bots", |b| {
         let (mut server, mut emulation) = prepared_server(WorkloadKind::Players);
@@ -354,6 +494,8 @@ criterion_group!(
     bench_shard_rebalancing,
     bench_stage_breakdown,
     bench_worker_pool,
+    bench_noise_floor,
+    bench_chunk_storage,
     bench_player_emulation
 );
 criterion_main!(benches);

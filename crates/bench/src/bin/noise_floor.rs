@@ -1,0 +1,71 @@
+//! Noise-floor calibration probe: wall-clock cost of an *empty* server tick.
+//!
+//! A Control-workload server with no connected players does no modeled work
+//! beyond idle upkeep, so its per-tick wall-clock time is the substrate +
+//! harness overhead every other measurement sits on top of. The probe runs
+//! several independent servers and reports each run's median tick plus the
+//! spread *between* runs: a substrate-optimisation claim (palette storage,
+//! dirty-column relighting, the tick arena) is only real if its improvement
+//! exceeds this spread — the noise-floor methodology of Reichelt et al.
+//! (arXiv:2411.05491), recorded in `docs/ARCHITECTURE.md`.
+//!
+//! CI runs this binary as a smoke check: it must complete and print, but the
+//! timings themselves are environment-dependent and never asserted.
+
+use std::time::Instant;
+
+use cloud_sim::environment::Environment;
+use meterstick_bench::print_header;
+use meterstick_workloads::{WorkloadKind, WorkloadSpec};
+use mlg_server::{GameServer, ServerConfig, ServerFlavor};
+
+/// Ticks discarded per run before sampling starts (join spike, cache warmup).
+const WARMUP_TICKS: u32 = 50;
+/// Ticks sampled per run.
+const MEASURED_TICKS: usize = 400;
+/// Independent server runs; the spread between their medians is the floor.
+const RUNS: usize = 5;
+
+fn micros(nanos: u64) -> f64 {
+    nanos as f64 / 1_000.0
+}
+
+fn main() {
+    print_header("noise-floor", "Empty-tick wall-clock baseline and spread");
+    let mut medians: Vec<u64> = Vec::with_capacity(RUNS);
+    for run in 0..RUNS {
+        let built = WorkloadSpec::new(WorkloadKind::Control).build(392_114_485);
+        let config = ServerConfig::for_flavor(ServerFlavor::Vanilla);
+        let mut server = GameServer::new(config, built.world, built.spawn_point);
+        let mut engine = Environment::das5(2).instantiate(1).engine;
+        for _ in 0..WARMUP_TICKS {
+            server.run_tick(&mut engine);
+        }
+        let mut samples: Vec<u64> = Vec::with_capacity(MEASURED_TICKS);
+        for _ in 0..MEASURED_TICKS {
+            let start = Instant::now();
+            server.run_tick(&mut engine);
+            samples.push(start.elapsed().as_nanos() as u64);
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let p10 = samples[samples.len() / 10];
+        let p90 = samples[samples.len() * 9 / 10];
+        println!(
+            "run {run}: median empty tick {:8.2} us   (p10 {:8.2} us, p90 {:8.2} us)",
+            micros(median),
+            micros(p10),
+            micros(p90),
+        );
+        medians.push(median);
+    }
+    let lo = *medians.iter().min().expect("RUNS > 0");
+    let hi = *medians.iter().max().expect("RUNS > 0");
+    let spread_pct = (hi - lo) as f64 / lo.max(1) as f64 * 100.0;
+    println!(
+        "noise floor: medians span {:.2} us .. {:.2} us  (between-run spread {spread_pct:.1}%)",
+        micros(lo),
+        micros(hi),
+    );
+    println!("improvements smaller than the spread are noise, not wins");
+}

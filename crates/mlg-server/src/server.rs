@@ -10,7 +10,7 @@ use mlg_protocol::{ClientboundPacket, ServerboundPacket, TrafficAccountant, Traf
 use mlg_world::pool::TickWorkerPool;
 use mlg_world::shard::{ShardLoadReport, TickPipeline};
 use mlg_world::sim::{self, TerrainEvent};
-use mlg_world::{BlockKind, BlockPos, TerrainSimulator, World};
+use mlg_world::{BlockKind, BlockPos, TerrainSimulator, TickScratch, World};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -157,6 +157,11 @@ pub struct GameServer {
     /// assembled here and flushed with one `broadcast_many` call, so the
     /// hot path allocates no per-packet vectors.
     broadcast_buf: Vec<ClientboundPacket>,
+    /// Per-tick scratch arena for the terrain/lighting stages: cascade
+    /// queues, shard batches, relight buffers and flood state, recycled
+    /// across ticks (see `mlg_world::scratch`). Together with
+    /// `broadcast_buf` this is the server's whole steady-state tick arena.
+    scratch: TickScratch,
 }
 
 /// Base cost, in work units, of keeping one player connected for one tick:
@@ -235,6 +240,7 @@ impl GameServer {
             eager_lighting,
             pending_relight: Vec::new(),
             broadcast_buf: Vec::new(),
+            scratch: TickScratch::new(),
         }
     }
 
@@ -538,8 +544,18 @@ impl GameServer {
         let pipelined_light_positions = if self.eager_lighting || self.pending_relight.is_empty() {
             0
         } else {
-            let positions = std::mem::take(&mut self.pending_relight);
-            sim::relight_positions_frozen(&mut self.world, &positions, &self.pipeline.scope())
+            let mut positions = std::mem::take(&mut self.pending_relight);
+            let visited = sim::relight_positions_frozen_with(
+                &mut self.world,
+                &positions,
+                &self.pipeline.scope(),
+                &mut self.scratch,
+            );
+            // Hand the (cleared) queue back so its capacity survives to the
+            // next tick instead of re-growing from empty.
+            positions.clear();
+            self.pending_relight = positions;
+            visited
         };
 
         // --- Stage 1: player handler -------------------------------------
@@ -611,7 +627,12 @@ impl GameServer {
                 .iter()
                 .map(|change| change.pos)
                 .collect();
-            sim::relight_positions_frozen(&mut self.world, &positions, &self.pipeline.scope())
+            sim::relight_positions_frozen_with(
+                &mut self.world,
+                &positions,
+                &self.pipeline.scope(),
+                &mut self.scratch,
+            )
         } else {
             self.pending_relight
                 .extend(self.world.changes().iter().map(|change| change.pos));
@@ -621,10 +642,12 @@ impl GameServer {
         // --- Stage 2: terrain simulation ----------------------------------
         let relight_from = self.world.changes().len();
         let (terrain_report, terrain_events, terrain_shard_work) = if self.pipeline.is_sharded() {
-            let out = self.terrain.tick_sharded(&mut self.world, &self.pipeline);
+            let out =
+                self.terrain
+                    .tick_sharded_with(&mut self.world, &self.pipeline, &mut self.scratch);
             (out.report, out.events, Some(out.per_shard_work))
         } else {
-            let (report, events) = self.terrain.tick(&mut self.world);
+            let (report, events) = self.terrain.tick_with(&mut self.world, &mut self.scratch);
             (report, events, None)
         };
         if !self.eager_lighting {
@@ -811,6 +834,11 @@ impl GameServer {
                 + self.world.loaded_chunk_count() as u64 * 800;
             self.next_major_gc_tick =
                 self.tick_index + MAJOR_GC_INTERVAL_TICKS + self.gc_rng.gen_range(0..200);
+            // Piggyback real substrate maintenance on the simulated major
+            // collection: re-narrow chunk palettes that widened during play.
+            // Purely a storage transform — block contents are unchanged, so
+            // the modeled cost stream is unaffected.
+            self.world.compact_chunk_storage();
         }
 
         let total_work = ((player_work

@@ -5,10 +5,27 @@
 //! player (or a workload builder) first touches them — Section 2.2.2 of the
 //! paper: "This world is split into areas, which are lazily generated when
 //! players come near them."
+//!
+//! Block storage is palette-compressed (see [`crate::palette`]): the chunk
+//! keeps a small palette of distinct block values and packs per-position
+//! palette indices into a bit array, so a freshly generated column costs
+//! ~12 KB instead of the 64 KB a dense `Vec<Block>` body would, and an
+//! untouched all-air chunk costs nothing at all. The `block`/`set_block`/
+//! heightmap API is unchanged — rule modules cannot observe the layout.
+//!
+//! Besides the heightmap and the dissemination dirty flag, the chunk tracks
+//! *light-dirty columns*: a 256-bit mask of `(x, z)` columns whose light
+//! opacity profile changed since the last relight pass consumed them. The
+//! incremental relighting cache in [`crate::world`] uses this mask (plus a
+//! pass stamp) to skip re-flooding positions whose 17×17 neighborhood is
+//! untouched. State-only block changes (a redstone torch toggling) do not
+//! alter opacity and therefore do not dirty the mask — that is what makes
+//! clock-driven worlds cheap to relight.
 
 use serde::{Deserialize, Serialize};
 
 use crate::block::{Block, BlockKind};
+use crate::palette::PaletteStore;
 use crate::pos::ChunkPos;
 
 /// Horizontal edge length of a chunk, in blocks.
@@ -18,35 +35,55 @@ pub const CHUNK_SIZE: usize = 16;
 /// `0..WORLD_HEIGHT`.
 pub const WORLD_HEIGHT: usize = 128;
 
-const BLOCKS_PER_CHUNK: usize = CHUNK_SIZE * CHUNK_SIZE * WORLD_HEIGHT;
+pub(crate) const BLOCKS_PER_CHUNK: usize = CHUNK_SIZE * CHUNK_SIZE * WORLD_HEIGHT;
+
+/// Words in the per-chunk light-dirty column bitmask (256 columns).
+const LIGHT_DIRTY_WORDS: usize = CHUNK_SIZE * CHUNK_SIZE / 64;
+
+/// Heap bytes a dense `Vec<Block>` chunk body would occupy. Kept as the
+/// baseline for the palette-compression regression tests and benches.
+pub const DENSE_BODY_BYTES: usize = BLOCKS_PER_CHUNK * std::mem::size_of::<Block>();
 
 /// A single chunk column of blocks.
 ///
-/// Blocks are stored in a flat array indexed by `(x, y, z)` local
+/// Blocks live in a [`PaletteStore`] indexed by `(x, y, z)` local
 /// coordinates. The chunk also tracks a heightmap (highest non-air block per
 /// column) used by lighting and spawning, and a dirty flag used by the server
 /// to know which chunks need to be re-sent to clients.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Chunk {
     pos: ChunkPos,
-    blocks: Vec<Block>,
+    store: PaletteStore,
     heightmap: Vec<i16>,
     /// Number of non-air blocks, maintained incrementally.
     non_air: u32,
     /// Set when the chunk was modified since the last time it was marked clean.
     dirty: bool,
+    /// Bit per `(x, z)` column (bit `z * CHUNK_SIZE + x`): set when a block
+    /// change altered the column's light opacity since the last relight-pass
+    /// fold. Substrate-only bookkeeping for the relight cache.
+    light_dirty: [u64; LIGHT_DIRTY_WORDS],
+    /// Relight-pass stamp recorded when the dirty mask was last folded;
+    /// cache entries tagged at or before this stamp are invalid for any
+    /// window overlapping this chunk.
+    light_stamp: u64,
 }
 
 impl Chunk {
     /// Creates a new chunk filled with air.
+    ///
+    /// O(1): the palette store represents an all-air column without index
+    /// storage and materializes lazily on the first non-air write.
     #[must_use]
     pub fn empty(pos: ChunkPos) -> Self {
         Chunk {
             pos,
-            blocks: vec![Block::AIR; BLOCKS_PER_CHUNK],
+            store: PaletteStore::new_air(),
             heightmap: vec![-1; CHUNK_SIZE * CHUNK_SIZE],
             non_air: 0,
             dirty: false,
+            light_dirty: [0; LIGHT_DIRTY_WORDS],
+            light_stamp: 0,
         }
     }
 
@@ -73,7 +110,7 @@ impl Chunk {
     pub fn block(&self, x: usize, y: i32, z: usize) -> Block {
         assert!(x < CHUNK_SIZE && z < CHUNK_SIZE, "local xz out of range");
         match Self::index(x, y, z) {
-            Some(i) => self.blocks[i],
+            Some(i) => self.store.get(i),
             None => Block::AIR,
         }
     }
@@ -90,12 +127,16 @@ impl Chunk {
         let Some(i) = Self::index(x, y, z) else {
             return Block::AIR;
         };
-        let old = self.blocks[i];
+        let old = self.store.get(i);
         if old == block {
             return old;
         }
-        self.blocks[i] = block;
+        self.store.set(i, block);
         self.dirty = true;
+        if old.kind().light_opacity() != block.kind().light_opacity() {
+            let col = z * CHUNK_SIZE + x;
+            self.light_dirty[col / 64] |= 1u64 << (col % 64);
+        }
         match (old.is_air(), block.is_air()) {
             (true, false) => self.non_air += 1,
             (false, true) => self.non_air -= 1,
@@ -117,7 +158,7 @@ impl Chunk {
             let mut new_top = -1;
             for yy in (0..y).rev() {
                 if let Some(i) = Self::index(x, yy, z) {
-                    if !self.blocks[i].is_air() {
+                    if !self.store.get(i).is_air() {
                         new_top = yy as i16;
                         break;
                     }
@@ -154,24 +195,67 @@ impl Chunk {
         self.dirty = false;
     }
 
+    /// Relight-pass stamp recorded at the last light-dirty fold.
+    pub(crate) fn light_stamp(&self) -> u64 {
+        self.light_stamp
+    }
+
+    /// Returns `true` if any column in the inclusive local rectangle
+    /// `[x0..=x1] × [z0..=z1]` had its light opacity changed since the last
+    /// relight-pass fold.
+    pub(crate) fn light_dirty_in(&self, x0: usize, x1: usize, z0: usize, z1: usize) -> bool {
+        if self.light_dirty == [0; LIGHT_DIRTY_WORDS] {
+            return false;
+        }
+        for z in z0..=z1 {
+            // Each z row is 16 consecutive bits; mask the x span in one op.
+            let row = z * CHUNK_SIZE;
+            let row_mask = (((1u32 << (x1 - x0 + 1)) - 1) as u64) << ((row + x0) % 64);
+            if self.light_dirty[row / 64] & row_mask != 0 {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Folds the light-dirty mask into the stamp at the end of a relight
+    /// pass: if any column was dirtied, records `stamp` (which invalidates
+    /// all cache entries tagged at or before it) and clears the mask.
+    pub(crate) fn fold_light_dirty(&mut self, stamp: u64) {
+        if self.light_dirty != [0; LIGHT_DIRTY_WORDS] {
+            self.light_stamp = stamp;
+            self.light_dirty = [0; LIGHT_DIRTY_WORDS];
+        }
+    }
+
+    /// Compacts the palette store (drops dead palette entries, narrows the
+    /// packed index width). Substrate-only; cheap when already compact.
+    pub fn compact_storage(&mut self) {
+        self.store.gc();
+    }
+
+    /// Heap bytes owned by the block store (palette + packed indices).
+    ///
+    /// Compare with [`DENSE_BODY_BYTES`] to measure the palette win.
+    #[must_use]
+    pub fn storage_bytes(&self) -> usize {
+        self.store.storage_bytes()
+    }
+
     /// Iterates over all non-air blocks as `(local_x, y, local_z, block)`.
     pub fn iter_non_air(&self) -> impl Iterator<Item = (usize, i32, usize, Block)> + '_ {
-        self.blocks.iter().enumerate().filter_map(|(i, &b)| {
-            if b.is_air() {
-                None
-            } else {
-                let x = i % CHUNK_SIZE;
-                let z = (i / CHUNK_SIZE) % CHUNK_SIZE;
-                let y = (i / (CHUNK_SIZE * CHUNK_SIZE)) as i32;
-                Some((x, y, z, b))
-            }
+        self.store.iter_non_air().map(|(i, b)| {
+            let x = i % CHUNK_SIZE;
+            let z = (i / CHUNK_SIZE) % CHUNK_SIZE;
+            let y = (i / (CHUNK_SIZE * CHUNK_SIZE)) as i32;
+            (x, y, z, b)
         })
     }
 
     /// Counts blocks of the given kind in the chunk.
     #[must_use]
     pub fn count_kind(&self, kind: BlockKind) -> usize {
-        self.blocks.iter().filter(|b| b.kind() == kind).count()
+        self.store.count_kind(kind)
     }
 
     /// Approximate serialized size in bytes when sent as a chunk-data packet.
@@ -200,6 +284,12 @@ mod tests {
         assert_eq!(c.block(15, 127, 15), Block::AIR);
         assert_eq!(c.non_air_blocks(), 0);
         assert!(!c.is_dirty());
+    }
+
+    #[test]
+    fn empty_chunk_owns_no_block_storage() {
+        let c = chunk();
+        assert_eq!(c.storage_bytes(), 0);
     }
 
     #[test]
@@ -299,5 +389,60 @@ mod tests {
         c.set_block(0, 4, 0, Block::simple(BlockKind::Stone));
         assert_eq!(c.count_kind(BlockKind::Tnt), 5);
         assert_eq!(c.count_kind(BlockKind::Stone), 1);
+    }
+
+    #[test]
+    fn opacity_changes_dirty_the_light_column_mask() {
+        let mut c = chunk();
+        assert!(!c.light_dirty_in(0, 15, 0, 15));
+        c.set_block(3, 10, 4, Block::simple(BlockKind::Stone));
+        assert!(c.light_dirty_in(3, 3, 4, 4));
+        assert!(c.light_dirty_in(0, 15, 0, 15));
+        assert!(!c.light_dirty_in(0, 2, 0, 15), "wrong column flagged");
+        c.fold_light_dirty(7);
+        assert!(!c.light_dirty_in(0, 15, 0, 15));
+        assert_eq!(c.light_stamp(), 7);
+    }
+
+    #[test]
+    fn state_only_changes_do_not_dirty_light() {
+        let mut c = chunk();
+        // Stone changes opacity (air 0 -> stone 15), so this fold restamps;
+        // the torch itself is opacity 0 and leaves the mask untouched.
+        c.set_block(4, 5, 5, Block::simple(BlockKind::Stone));
+        c.set_block(5, 5, 5, Block::simple(BlockKind::RedstoneTorch));
+        c.fold_light_dirty(1);
+        // Torch toggling state: same kind, same opacity — no light dirt.
+        c.set_block(5, 5, 5, Block::with_state(BlockKind::RedstoneTorch, 1));
+        assert!(!c.light_dirty_in(0, 15, 0, 15));
+        assert_eq!(c.light_stamp(), 1);
+        c.fold_light_dirty(9);
+        assert_eq!(c.light_stamp(), 1, "fold without dirt must not restamp");
+    }
+
+    #[test]
+    fn generated_style_chunk_compresses_at_least_4x() {
+        // A flat-generator-shaped column: bedrock, stone, dirt, grass.
+        let mut c = chunk();
+        for x in 0..CHUNK_SIZE {
+            for z in 0..CHUNK_SIZE {
+                c.set_block(x, 0, z, Block::simple(BlockKind::Bedrock));
+                for y in 1..60 {
+                    c.set_block(x, y, z, Block::simple(BlockKind::Stone));
+                }
+                for y in 60..63 {
+                    c.set_block(x, y, z, Block::simple(BlockKind::Dirt));
+                }
+                c.set_block(x, 63, z, Block::simple(BlockKind::Grass));
+            }
+        }
+        c.compact_storage();
+        let ratio = DENSE_BODY_BYTES as f64 / c.storage_bytes() as f64;
+        assert!(ratio >= 4.0, "palette ratio {ratio:.2} below 4x");
+        // Storage must still read back exactly.
+        assert_eq!(c.block(7, 30, 7), Block::simple(BlockKind::Stone));
+        assert_eq!(c.block(7, 63, 7), Block::simple(BlockKind::Grass));
+        assert_eq!(c.block(7, 64, 7), Block::AIR);
+        assert_eq!(c.height_at(7, 7), Some(63));
     }
 }

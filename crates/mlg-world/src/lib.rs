@@ -48,21 +48,25 @@ pub mod fluid;
 pub mod generation;
 pub mod growth;
 pub mod light;
+pub mod palette;
 pub mod physics;
 pub mod pool;
 pub mod pos;
 pub mod redstone;
 pub mod region;
+pub mod scratch;
 pub mod shard;
 pub mod sim;
 pub mod update;
 pub mod world;
 
 pub use block::{Block, BlockKind};
-pub use chunk::{Chunk, CHUNK_SIZE, WORLD_HEIGHT};
+pub use chunk::{Chunk, CHUNK_SIZE, DENSE_BODY_BYTES, WORLD_HEIGHT};
+pub use palette::PaletteStore;
 pub use pool::{PoolScope, TickWorkerPool};
 pub use pos::{BlockPos, ChunkPos};
 pub use region::Region;
+pub use scratch::TickScratch;
 pub use shard::{BlockReader, FrozenWorld, ShardLoadReport, ShardMap, TerrainView, TickPipeline};
 pub use sim::{ShardedTerrainTick, TerrainSimulator, TerrainTickReport};
 pub use update::{BlockUpdate, UpdateKind};

@@ -12,8 +12,19 @@
 //! recomputed on demand rather than persisted per block; persisting them
 //! would only change memory usage, not the simulated per-tick work that
 //! Meterstick measures.
+//!
+//! Substrate notes (modeled output is unaffected by either):
+//!
+//! * [`sky_light_at`] consults [`BlockReader::column_top`] so the vertical
+//!   scan starts at the column's highest non-air block instead of
+//!   [`WORLD_HEIGHT`] — everything above the heightmap is air with zero
+//!   opacity, so skipping it cannot change the result;
+//! * the flood fill tracks visited positions in a fixed-size bitmask over
+//!   the `17³` offset cube reachable within [`LIGHT_FLOOD_RADIUS`]
+//!   ([`FloodScratch`]), reusable across floods so steady-state relighting
+//!   allocates nothing.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 
 use crate::chunk::WORLD_HEIGHT;
 use crate::pos::BlockPos;
@@ -24,6 +35,12 @@ pub const MAX_LIGHT: u8 = 15;
 
 /// Default propagation radius used for block-light floods.
 pub const LIGHT_FLOOD_RADIUS: u32 = 8;
+
+/// Edge length of the offset cube a flood can reach (Chebyshev radius 8).
+const FLOOD_CUBE: usize = 2 * LIGHT_FLOOD_RADIUS as usize + 1;
+
+/// `u64` words in the visited bitmask covering the offset cube.
+const FLOOD_WORDS: usize = (FLOOD_CUBE * FLOOD_CUBE * FLOOD_CUBE).div_ceil(64);
 
 /// Report of a relighting pass around one block change.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -42,12 +59,85 @@ impl LightReport {
     }
 }
 
+/// Reusable scratch state for [`relight_after_change_with`] flood fills.
+///
+/// The visited set is a bitmask over the `17×17×17` offset cube centred on
+/// the flood origin (every reachable position is within Chebyshev distance
+/// [`LIGHT_FLOOD_RADIUS`] of it), so clearing it between floods is a 77-word
+/// memset rather than a hash-set teardown, and the queue keeps its capacity
+/// across floods.
+#[derive(Debug, Clone)]
+pub struct FloodScratch {
+    visited: [u64; FLOOD_WORDS],
+    queue: VecDeque<(BlockPos, u32)>,
+}
+
+impl FloodScratch {
+    /// Creates an empty scratch. One instance serves any number of floods.
+    #[must_use]
+    pub fn new() -> Self {
+        FloodScratch {
+            visited: [0; FLOOD_WORDS],
+            queue: VecDeque::new(),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.visited = [0; FLOOD_WORDS];
+        self.queue.clear();
+    }
+
+    /// Marks `p` (relative to `origin`) visited; returns `true` if it was
+    /// not visited before.
+    fn mark(&mut self, origin: BlockPos, p: BlockPos) -> bool {
+        let r = LIGHT_FLOOD_RADIUS as i32;
+        let dx = (p.x - origin.x + r) as usize;
+        let dy = (p.y - origin.y + r) as usize;
+        let dz = (p.z - origin.z + r) as usize;
+        let bit = (dy * FLOOD_CUBE + dz) * FLOOD_CUBE + dx;
+        let word = &mut self.visited[bit / 64];
+        let mask = 1u64 << (bit % 64);
+        let fresh = *word & mask == 0;
+        *word |= mask;
+        fresh
+    }
+
+    fn contains(&self, origin: BlockPos, p: BlockPos) -> bool {
+        let r = LIGHT_FLOOD_RADIUS as i32;
+        let dx = (p.x - origin.x + r) as usize;
+        let dy = (p.y - origin.y + r) as usize;
+        let dz = (p.z - origin.z + r) as usize;
+        let bit = (dy * FLOOD_CUBE + dz) * FLOOD_CUBE + dx;
+        self.visited[bit / 64] & (1u64 << (bit % 64)) != 0
+    }
+}
+
+impl Default for FloodScratch {
+    fn default() -> Self {
+        FloodScratch::new()
+    }
+}
+
 /// Computes the sky-light level at a position: 15 if nothing opaque is above
 /// it, otherwise attenuated by the opacity of the blocks above.
+///
+/// When the reader exposes a maintained heightmap
+/// ([`BlockReader::column_top`]), the scan starts at the column's highest
+/// non-air block rather than the top of the world; the skipped blocks are
+/// all air and contribute zero opacity, so the returned level is identical.
 #[must_use]
 pub fn sky_light_at<W: BlockReader>(world: &mut W, pos: BlockPos) -> u8 {
+    if pos.y + 1 >= WORLD_HEIGHT as i32 {
+        // Nothing can sit above the world ceiling; bail before consulting the
+        // heightmap so a top-of-world probe touches no chunks at all.
+        return MAX_LIGHT;
+    }
+    let top = match world.column_top(pos.x, pos.z) {
+        Some(top) => top.min(WORLD_HEIGHT as i32 - 1),
+        None => WORLD_HEIGHT as i32 - 1,
+    };
     let mut light = i32::from(MAX_LIGHT);
-    for y in (pos.y + 1)..WORLD_HEIGHT as i32 {
+    for y in (pos.y + 1)..=top {
         let b = world.block(BlockPos::new(pos.x, y, pos.z));
         light -= i32::from(b.kind().light_opacity());
         if light <= 0 {
@@ -59,6 +149,15 @@ pub fn sky_light_at<W: BlockReader>(world: &mut W, pos: BlockPos) -> u8 {
 
 /// Recomputes lighting after a change at `pos` and returns the work report.
 ///
+/// Convenience wrapper over [`relight_after_change_with`] that allocates a
+/// fresh [`FloodScratch`]; hot paths hold a reusable scratch instead.
+pub fn relight_after_change<W: BlockReader>(world: &mut W, pos: BlockPos) -> LightReport {
+    relight_after_change_with(world, pos, &mut FloodScratch::new())
+}
+
+/// Recomputes lighting after a change at `pos` using caller-provided scratch
+/// state, and returns the work report.
+///
 /// The pass has two parts, mirroring real MLG engines:
 ///
 /// * a vertical sky-light rescan of the changed column (the shadow cast by the
@@ -66,7 +165,11 @@ pub fn sky_light_at<W: BlockReader>(world: &mut W, pos: BlockPos) -> u8 {
 /// * a breadth-first flood from the changed position through transparent
 ///   blocks, bounded by [`LIGHT_FLOOD_RADIUS`], representing block-light
 ///   propagation from or towards nearby emitters.
-pub fn relight_after_change<W: BlockReader>(world: &mut W, pos: BlockPos) -> LightReport {
+pub fn relight_after_change_with<W: BlockReader>(
+    world: &mut W,
+    pos: BlockPos,
+    scratch: &mut FloodScratch,
+) -> LightReport {
     let mut report = LightReport::default();
 
     // Sky-light column rescan: from the top of the world down to the lowest
@@ -76,24 +179,23 @@ pub fn relight_after_change<W: BlockReader>(world: &mut W, pos: BlockPos) -> Lig
     report.sky_positions = (top - bottom) as u32;
 
     // Block-light flood through transparent space.
-    let mut visited: HashSet<BlockPos> = HashSet::new();
-    let mut queue: VecDeque<(BlockPos, u32)> = VecDeque::new();
-    queue.push_back((pos, 0));
-    visited.insert(pos);
-    while let Some((current, depth)) = queue.pop_front() {
+    scratch.reset();
+    scratch.queue.push_back((pos, 0));
+    scratch.mark(pos, pos);
+    while let Some((current, depth)) = scratch.queue.pop_front() {
         report.flood_positions += 1;
         if depth >= LIGHT_FLOOD_RADIUS {
             continue;
         }
         for n in current.neighbors() {
-            if n.y < 0 || n.y >= WORLD_HEIGHT as i32 || visited.contains(&n) {
+            if n.y < 0 || n.y >= WORLD_HEIGHT as i32 || scratch.contains(pos, n) {
                 continue;
             }
             let b = world.block(n);
             // Light propagates through anything that is not fully opaque.
             if b.kind().light_opacity() < MAX_LIGHT {
-                visited.insert(n);
-                queue.push_back((n, depth + 1));
+                scratch.mark(pos, n);
+                scratch.queue.push_back((n, depth + 1));
             }
         }
     }
@@ -174,5 +276,79 @@ mod tests {
             flood_positions: 32,
         };
         assert_eq!(r.total_positions(), 42);
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_scratch() {
+        let mut w = world();
+        let mut scratch = FloodScratch::new();
+        for pos in [
+            BlockPos::new(0, 90, 0),
+            BlockPos::new(0, 30, 0),
+            BlockPos::new(3, 61, 3),
+            BlockPos::new(0, 90, 0),
+        ] {
+            let reused = relight_after_change_with(&mut w, pos, &mut scratch);
+            let fresh = relight_after_change(&mut w, pos);
+            assert_eq!(reused, fresh, "scratch reuse diverged at {pos:?}");
+        }
+    }
+
+    /// A reader that counts `block` calls while forwarding the heightmap,
+    /// pinning how many positions the sky scan actually visits.
+    struct CountingReader<'a> {
+        inner: &'a mut World,
+        block_reads: u32,
+    }
+
+    impl BlockReader for CountingReader<'_> {
+        fn block(&mut self, pos: BlockPos) -> Block {
+            self.block_reads += 1;
+            self.inner.block(pos)
+        }
+
+        fn column_top(&mut self, x: i32, z: i32) -> Option<i32> {
+            self.inner.column_top(x, z)
+        }
+    }
+
+    #[test]
+    fn sky_scan_above_surface_reads_no_blocks() {
+        let mut w = world();
+        let surface = w.highest_block_y(0, 0).expect("generated column");
+        let mut reader = CountingReader {
+            inner: &mut w,
+            block_reads: 0,
+        };
+        // Everything above the heightmap is air: the scan short-circuits.
+        let light = sky_light_at(&mut reader, BlockPos::new(0, surface + 1, 0));
+        assert_eq!(light, MAX_LIGHT);
+        assert_eq!(
+            reader.block_reads, 0,
+            "scan above the heightmap must not read blocks"
+        );
+    }
+
+    #[test]
+    fn sky_scan_is_bounded_by_the_heightmap() {
+        let mut w = world();
+        let surface = w.highest_block_y(3, 3).expect("generated column");
+        let pos = BlockPos::new(3, surface - 2, 3);
+        let mut reader = CountingReader {
+            inner: &mut w,
+            block_reads: 0,
+        };
+        let light = sky_light_at(&mut reader, pos);
+        // Only the two covering blocks (surface-1, surface) are visited —
+        // the legacy scan would read up to WORLD_HEIGHT.
+        assert!(reader.block_reads <= 2, "reads: {}", reader.block_reads);
+        // Same result as a reader without a heightmap (full scan).
+        struct NoHeightmap<'a>(&'a mut World);
+        impl BlockReader for NoHeightmap<'_> {
+            fn block(&mut self, pos: BlockPos) -> Block {
+                self.0.block(pos)
+            }
+        }
+        assert_eq!(light, sky_light_at(&mut NoHeightmap(&mut w), pos));
     }
 }

@@ -1,0 +1,472 @@
+//! Palette-compressed block storage for chunk columns.
+//!
+//! A dense chunk body stores 32,768 two-byte [`Block`]s (64 KB per column)
+//! even though a typical generated column contains fewer than ten distinct
+//! block values. The palette store keeps one copy of each distinct value in
+//! a small `palette` vector and packs a per-entry *palette index* into a
+//! `u64` bit array instead: 1/2/4/8 bits per entry while the palette grows
+//! (auto-widening steps up through power-of-two widths when the palette
+//! overflows the current one), and [`PaletteStore::gc`] compacts back down
+//! to the narrowest width that still addresses every live palette entry.
+//!
+//! Invariants:
+//!
+//! * a materialized store always keeps `palette[0] == Block::AIR`, so an
+//!   all-zero index word means "64/bits consecutive air blocks" and scans
+//!   can skip it wholesale;
+//! * `bits == 0` means the store is an unmaterialized all-air column that
+//!   owns no index words at all (`Chunk::empty` is O(1));
+//! * an entry never straddles a word boundary: each `u64` word holds
+//!   `64 / bits` entries, with any remainder bits unused (and kept zero)
+//!   for the `gc`-compacted widths that do not divide 64.
+//!
+//! The store is pure substrate: every observable read goes through
+//! [`PaletteStore::get`], which returns exactly what a dense `Vec<Block>`
+//! at the same logical state would, so the modeled simulation cannot tell
+//! the representations apart.
+
+use serde::{Deserialize, Serialize};
+
+use crate::block::{Block, BlockKind};
+use crate::chunk::BLOCKS_PER_CHUNK;
+
+/// Widths the auto-widening path steps through while a palette grows.
+/// `gc` may compact to intermediate widths (3, 5, 6, …); growth always
+/// jumps to the next power of two so a generation-time cascade of inserts
+/// repacks at most four times per chunk.
+const WIDEN_LADDER: [u8; 5] = [1, 2, 4, 8, 16];
+
+/// Narrowest width whose index space addresses `len` palette entries.
+fn minimal_bits(len: usize) -> u8 {
+    (1..=16u8)
+        .find(|&b| (1usize << b) >= len)
+        .expect("palette cannot exceed 2^16 distinct blocks")
+}
+
+/// A palette-compressed array of `BLOCKS_PER_CHUNK` (16×16×128) blocks.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PaletteStore {
+    /// Distinct block values; index 0 is always [`Block::AIR`] once
+    /// materialized. Entries whose refcount drops to zero stay in place
+    /// (for slot reuse) until [`PaletteStore::gc`] compacts them away.
+    palette: Vec<Block>,
+    /// Number of stored entries referencing each palette slot.
+    refs: Vec<u32>,
+    /// Bits per packed index; 0 = unmaterialized all-air store.
+    bits: u8,
+    /// Count of dead palette slots (`refs == 0`, excluding slot 0),
+    /// maintained so `gc` can no-op cheaply on already-compact stores.
+    dead: u32,
+    /// The packed index words.
+    data: Vec<u64>,
+}
+
+impl PaletteStore {
+    /// Creates an all-air store without allocating index storage.
+    #[must_use]
+    pub fn new_air() -> Self {
+        PaletteStore::default()
+    }
+
+    fn mask(&self) -> u64 {
+        (1u64 << self.bits) - 1
+    }
+
+    fn capacity(&self) -> usize {
+        1usize << self.bits
+    }
+
+    fn index_at(&self, i: usize) -> usize {
+        let epw = (64 / self.bits) as usize;
+        let shift = (i % epw) * self.bits as usize;
+        ((self.data[i / epw] >> shift) & self.mask()) as usize
+    }
+
+    fn write_index(&mut self, i: usize, idx: usize) {
+        let epw = (64 / self.bits) as usize;
+        let word = i / epw;
+        let shift = (i % epw) * self.bits as usize;
+        let mask = self.mask();
+        self.data[word] = (self.data[word] & !(mask << shift)) | ((idx as u64) << shift);
+    }
+
+    /// Lays out the 1-bit index array for the first non-air write.
+    fn materialize(&mut self) {
+        self.bits = 1;
+        self.data = vec![0u64; BLOCKS_PER_CHUNK / 64];
+        self.palette = vec![Block::AIR];
+        self.refs = vec![BLOCKS_PER_CHUNK as u32];
+        self.dead = 0;
+    }
+
+    /// Repacks the index array at `new_bits` per entry, optionally applying
+    /// a palette-index remapping (used by `gc`; `remap[old] == new`).
+    fn repack(&mut self, new_bits: u8, remap: Option<&[usize]>) {
+        let old_bits = self.bits as usize;
+        let old_epw = 64 / old_bits;
+        let old_mask = self.mask();
+        let new_epw = (64 / new_bits) as usize;
+        let mut new_data = vec![0u64; BLOCKS_PER_CHUNK.div_ceil(new_epw)];
+        for i in 0..BLOCKS_PER_CHUNK {
+            let shift = (i % old_epw) * old_bits;
+            let mut idx = ((self.data[i / old_epw] >> shift) & old_mask) as usize;
+            if let Some(map) = remap {
+                idx = map[idx];
+            }
+            if idx != 0 {
+                let new_shift = (i % new_epw) * new_bits as usize;
+                new_data[i / new_epw] |= (idx as u64) << new_shift;
+            }
+        }
+        self.data = new_data;
+        self.bits = new_bits;
+    }
+
+    /// Returns a palette index holding `block`, reusing an existing or dead
+    /// slot where possible and widening the index array when the palette
+    /// outgrows it. Increments the slot's refcount.
+    fn acquire(&mut self, block: Block) -> usize {
+        if let Some(j) = self.palette.iter().position(|&b| b == block) {
+            if self.refs[j] == 0 && j != 0 {
+                self.dead -= 1;
+            }
+            self.refs[j] += 1;
+            return j;
+        }
+        if self.dead > 0 {
+            if let Some(j) = (1..self.palette.len()).find(|&j| self.refs[j] == 0) {
+                self.palette[j] = block;
+                self.refs[j] = 1;
+                self.dead -= 1;
+                return j;
+            }
+        }
+        if self.palette.len() == self.capacity() {
+            let wider = WIDEN_LADDER
+                .iter()
+                .copied()
+                .find(|&b| b > self.bits)
+                .expect("palette cannot exceed 2^16 distinct blocks");
+            self.repack(wider, None);
+        }
+        self.palette.push(block);
+        self.refs.push(1);
+        self.palette.len() - 1
+    }
+
+    /// Returns the block at entry `i`.
+    #[must_use]
+    pub fn get(&self, i: usize) -> Block {
+        debug_assert!(i < BLOCKS_PER_CHUNK);
+        if self.bits == 0 {
+            return Block::AIR;
+        }
+        self.palette[self.index_at(i)]
+    }
+
+    /// Sets entry `i` and returns its previous block.
+    pub fn set(&mut self, i: usize, block: Block) -> Block {
+        debug_assert!(i < BLOCKS_PER_CHUNK);
+        if self.bits == 0 {
+            if block == Block::AIR {
+                return Block::AIR;
+            }
+            self.materialize();
+        }
+        let old_idx = self.index_at(i);
+        let old = self.palette[old_idx];
+        if old == block {
+            return old;
+        }
+        let new_idx = self.acquire(block);
+        self.refs[old_idx] -= 1;
+        if self.refs[old_idx] == 0 && old_idx != 0 {
+            self.dead += 1;
+        }
+        self.write_index(i, new_idx);
+        old
+    }
+
+    /// Compacts the palette: drops dead slots and narrows the index array
+    /// to the minimal width addressing the remaining entries. A store that
+    /// became all-air reverts to the O(1) unmaterialized representation.
+    ///
+    /// Cheap to call speculatively — an already-compact store returns
+    /// immediately.
+    pub fn gc(&mut self) {
+        if self.bits == 0 {
+            return;
+        }
+        if self.refs[0] as usize == BLOCKS_PER_CHUNK {
+            *self = PaletteStore::default();
+            return;
+        }
+        let live = self.palette.len() - self.dead as usize;
+        let minimal = minimal_bits(live);
+        if self.dead == 0 && self.bits == minimal {
+            return;
+        }
+        let mut remap = vec![0usize; self.palette.len()];
+        let mut palette = Vec::with_capacity(live);
+        let mut refs = Vec::with_capacity(live);
+        palette.push(Block::AIR);
+        refs.push(self.refs[0]);
+        for (j, slot) in remap.iter_mut().enumerate().skip(1) {
+            if self.refs[j] > 0 {
+                *slot = palette.len();
+                palette.push(self.palette[j]);
+                refs.push(self.refs[j]);
+            }
+        }
+        self.repack(minimal, Some(&remap));
+        self.palette = palette;
+        self.refs = refs;
+        self.dead = 0;
+    }
+
+    /// Number of stored entries whose kind is `kind`, via refcounts
+    /// (O(palette), not O(entries)).
+    #[must_use]
+    pub fn count_kind(&self, kind: BlockKind) -> usize {
+        if self.bits == 0 {
+            return if kind == BlockKind::Air {
+                BLOCKS_PER_CHUNK
+            } else {
+                0
+            };
+        }
+        self.palette
+            .iter()
+            .zip(&self.refs)
+            .filter(|&(b, _)| b.kind() == kind)
+            .map(|(_, &r)| r as usize)
+            .sum()
+    }
+
+    /// Heap bytes owned by this store (index words + palette + refcounts).
+    #[must_use]
+    pub fn storage_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<u64>()
+            + self.palette.len() * std::mem::size_of::<Block>()
+            + self.refs.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Bits per packed index entry (0 for an unmaterialized all-air store).
+    #[must_use]
+    pub fn bits_per_entry(&self) -> u8 {
+        self.bits
+    }
+
+    /// Iterates `(entry_index, block)` over all non-air entries, skipping
+    /// whole all-air index words.
+    pub fn iter_non_air(&self) -> NonAirEntries<'_> {
+        NonAirEntries { store: self, i: 0 }
+    }
+}
+
+/// Iterator over the non-air entries of a [`PaletteStore`].
+#[derive(Debug)]
+pub struct NonAirEntries<'a> {
+    store: &'a PaletteStore,
+    i: usize,
+}
+
+impl Iterator for NonAirEntries<'_> {
+    type Item = (usize, Block);
+
+    fn next(&mut self) -> Option<(usize, Block)> {
+        let s = self.store;
+        if s.bits == 0 {
+            return None;
+        }
+        let epw = (64 / s.bits) as usize;
+        while self.i < BLOCKS_PER_CHUNK {
+            // An all-zero word is 64/bits consecutive air entries
+            // (palette[0] is pinned to air): skip it in one step.
+            if self.i.is_multiple_of(epw) && s.data[self.i / epw] == 0 {
+                self.i += epw;
+                continue;
+            }
+            let i = self.i;
+            self.i += 1;
+            let idx = s.index_at(i);
+            if idx != 0 {
+                let b = s.palette[idx];
+                if !b.is_air() {
+                    return Some((i, b));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds() -> Vec<Block> {
+        BlockKind::all().iter().map(|&k| Block::simple(k)).collect()
+    }
+
+    #[test]
+    fn empty_store_reads_air_and_owns_nothing() {
+        let s = PaletteStore::new_air();
+        assert_eq!(s.get(0), Block::AIR);
+        assert_eq!(s.get(BLOCKS_PER_CHUNK - 1), Block::AIR);
+        assert_eq!(s.bits_per_entry(), 0);
+        assert_eq!(s.storage_bytes(), 0);
+        assert_eq!(s.count_kind(BlockKind::Air), BLOCKS_PER_CHUNK);
+    }
+
+    #[test]
+    fn first_write_materializes_at_one_bit() {
+        let mut s = PaletteStore::new_air();
+        assert_eq!(s.set(5, Block::simple(BlockKind::Stone)), Block::AIR);
+        assert_eq!(s.bits_per_entry(), 1);
+        assert_eq!(s.get(5), Block::simple(BlockKind::Stone));
+        assert_eq!(s.get(4), Block::AIR);
+        assert_eq!(s.count_kind(BlockKind::Stone), 1);
+        assert_eq!(s.count_kind(BlockKind::Air), BLOCKS_PER_CHUNK - 1);
+    }
+
+    #[test]
+    fn widening_preserves_every_entry() {
+        let mut s = PaletteStore::new_air();
+        let blocks = kinds();
+        // 20 distinct non-air values forces 1 -> 2 -> 4 -> 8 bit widening.
+        for (i, b) in blocks.iter().skip(1).take(20).enumerate() {
+            s.set(i * 97, *b);
+        }
+        assert_eq!(s.bits_per_entry(), 8);
+        for (i, b) in blocks.iter().skip(1).take(20).enumerate() {
+            assert_eq!(s.get(i * 97), *b, "entry {i} lost in widening");
+        }
+    }
+
+    #[test]
+    fn dead_slots_are_reused_without_widening() {
+        let mut s = PaletteStore::new_air();
+        s.set(0, Block::simple(BlockKind::Stone));
+        // Overwrite: stone's slot dies, sand should reuse it.
+        s.set(0, Block::simple(BlockKind::Sand));
+        let bits_before = s.bits_per_entry();
+        s.set(1, Block::simple(BlockKind::Dirt));
+        assert_eq!(s.bits_per_entry(), bits_before, "dead slot not reused");
+        assert_eq!(s.get(0), Block::simple(BlockKind::Sand));
+        assert_eq!(s.get(1), Block::simple(BlockKind::Dirt));
+    }
+
+    #[test]
+    fn gc_narrows_after_palette_shrinks() {
+        let mut s = PaletteStore::new_air();
+        let blocks = kinds();
+        for (i, b) in blocks.iter().skip(1).take(20).enumerate() {
+            s.set(i, *b);
+        }
+        assert_eq!(s.bits_per_entry(), 8);
+        // Remove all but three distinct values.
+        for i in 3..20 {
+            s.set(i, Block::AIR);
+        }
+        s.gc();
+        // 4 live entries (air + 3) fit in 2 bits.
+        assert_eq!(s.bits_per_entry(), 2);
+        for (i, b) in blocks.iter().skip(1).take(3).enumerate() {
+            assert_eq!(s.get(i), *b, "entry {i} lost in gc");
+        }
+        assert_eq!(s.get(10), Block::AIR);
+    }
+
+    #[test]
+    fn gc_on_compact_store_is_a_no_op() {
+        let mut s = PaletteStore::new_air();
+        s.set(0, Block::simple(BlockKind::Stone));
+        s.gc();
+        let bits = s.bits_per_entry();
+        let bytes = s.storage_bytes();
+        s.gc();
+        assert_eq!(s.bits_per_entry(), bits);
+        assert_eq!(s.storage_bytes(), bytes);
+    }
+
+    #[test]
+    fn all_air_store_reverts_to_unmaterialized_on_gc() {
+        let mut s = PaletteStore::new_air();
+        s.set(100, Block::simple(BlockKind::Stone));
+        s.set(100, Block::AIR);
+        s.gc();
+        assert_eq!(s.bits_per_entry(), 0);
+        assert_eq!(s.storage_bytes(), 0);
+        assert_eq!(s.get(100), Block::AIR);
+    }
+
+    #[test]
+    fn gc_compacts_to_non_power_of_two_widths() {
+        let mut s = PaletteStore::new_air();
+        let blocks = kinds();
+        // 6 distinct non-air values + air = 7 live entries: minimal width 3.
+        for (i, b) in blocks.iter().skip(1).take(6).enumerate() {
+            s.set(i, *b);
+        }
+        s.gc();
+        assert_eq!(s.bits_per_entry(), 3);
+        for (i, b) in blocks.iter().skip(1).take(6).enumerate() {
+            assert_eq!(s.get(i), *b);
+        }
+        // 64/3 = 21 entries per word, 1 bit of waste per word.
+        let words = BLOCKS_PER_CHUNK.div_ceil(64 / 3);
+        assert_eq!(s.storage_bytes(), words * 8 + 7 * 2 + 7 * 4);
+    }
+
+    #[test]
+    fn state_variants_are_distinct_palette_entries() {
+        let mut s = PaletteStore::new_air();
+        s.set(0, Block::with_state(BlockKind::RedstoneDust, 3));
+        s.set(1, Block::with_state(BlockKind::RedstoneDust, 9));
+        assert_eq!(s.get(0).state(), 3);
+        assert_eq!(s.get(1).state(), 9);
+        assert_eq!(s.count_kind(BlockKind::RedstoneDust), 2);
+    }
+
+    #[test]
+    fn iter_non_air_skips_air_words_but_finds_everything() {
+        let mut s = PaletteStore::new_air();
+        s.set(7, Block::simple(BlockKind::Stone));
+        s.set(5_000, Block::simple(BlockKind::Sand));
+        s.set(BLOCKS_PER_CHUNK - 1, Block::simple(BlockKind::Tnt));
+        let found: Vec<(usize, Block)> = s.iter_non_air().collect();
+        assert_eq!(
+            found,
+            vec![
+                (7, Block::simple(BlockKind::Stone)),
+                (5_000, Block::simple(BlockKind::Sand)),
+                (BLOCKS_PER_CHUNK - 1, Block::simple(BlockKind::Tnt)),
+            ]
+        );
+    }
+
+    #[test]
+    fn matches_dense_reference_under_random_writes() {
+        // Deterministic xorshift write storm, checked against Vec<Block>.
+        let mut dense = vec![Block::AIR; BLOCKS_PER_CHUNK];
+        let mut s = PaletteStore::new_air();
+        let blocks = kinds();
+        let mut x: u64 = 0x243F_6A88_85A3_08D3;
+        for step in 0..20_000u32 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let i = (x % BLOCKS_PER_CHUNK as u64) as usize;
+            let b = blocks[(x >> 32) as usize % blocks.len()];
+            let expected = std::mem::replace(&mut dense[i], b);
+            assert_eq!(s.set(i, b), expected, "old value diverged at step {step}");
+            if step % 4_096 == 0 {
+                s.gc();
+            }
+        }
+        for (i, &b) in dense.iter().enumerate() {
+            assert_eq!(s.get(i), b, "entry {i} diverged");
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Reusable per-tick scratch buffers (the tick "arena").
+//!
+//! Every tick of the terrain pipeline needs the same transient collections:
+//! the pending/next-round cascade queues, the per-shard routing batches, the
+//! relight position list, the relight miss-tracking buffers and a flood
+//! scratch. Allocating them per tick (or worse, per cascade round) puts
+//! allocator traffic on the hot path and — per the noise-floor methodology
+//! in `docs/ARCHITECTURE.md` — adds wall-clock jitter that is pure harness
+//! overhead, not modeled work.
+//!
+//! [`TickScratch`] owns all of them. The server constructs one per
+//! `GameServer` and threads it through `TerrainSimulator::tick_with` /
+//! `tick_sharded_with` and the relight passes, so a steady-state tick
+//! recycles capacity instead of allocating. The buffers carry **no state**
+//! across ticks — every consumer clears what it uses before use — so the
+//! `_with` variants are bit-identical to their allocate-fresh wrappers.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::light::FloodScratch;
+use crate::pos::BlockPos;
+use crate::update::BlockUpdate;
+
+/// Reusable buffers for one server's tick loop. See the module docs.
+#[derive(Debug, Default)]
+pub struct TickScratch {
+    /// Cascade updates awaiting routing this round.
+    pub(crate) pending: VecDeque<BlockUpdate>,
+    /// Cascade updates produced for the next round.
+    pub(crate) next_pending: VecDeque<BlockUpdate>,
+    /// Per-shard routed update batches (index = shard).
+    pub(crate) shard_batches: Vec<VecDeque<BlockUpdate>>,
+    /// Boundary updates escalated to the serial phase.
+    pub(crate) serial_batch: VecDeque<BlockUpdate>,
+    /// Positions queued for relighting this tick.
+    pub(crate) relight_positions: Vec<BlockPos>,
+    /// Miss bookkeeping for the cached relight passes.
+    pub(crate) light: LightPassScratch,
+    /// Visited bitmask + BFS queue for serial-path light floods.
+    pub(crate) flood: FloodScratch,
+}
+
+impl TickScratch {
+    /// Creates an empty scratch. One instance serves any number of ticks.
+    #[must_use]
+    pub fn new() -> Self {
+        TickScratch::default()
+    }
+}
+
+/// Miss-tracking buffers for one cached relight pass: the deduplicated miss
+/// list (with per-position multiplicities, since a position can be relit
+/// several times in one pass) and the index that deduplicates it.
+#[derive(Debug, Default)]
+pub(crate) struct LightPassScratch {
+    /// Position → slot in `misses` (probed, never iterated).
+    pub(crate) miss_index: HashMap<BlockPos, usize>,
+    /// Unique positions that missed the relight cache, in first-seen order.
+    pub(crate) misses: Vec<BlockPos>,
+    /// How many times each miss position occurred in the pass input.
+    pub(crate) miss_counts: Vec<u32>,
+}
+
+impl LightPassScratch {
+    pub(crate) fn new() -> Self {
+        LightPassScratch::default()
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.miss_index.clear();
+        self.misses.clear();
+        self.miss_counts.clear();
+    }
+}

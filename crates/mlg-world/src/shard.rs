@@ -761,6 +761,21 @@ impl TickPipeline {
 pub trait BlockReader {
     /// Returns the block at `pos`.
     fn block(&mut self, pos: BlockPos) -> Block;
+
+    /// Returns the `y` of the highest non-air block in column `(x, z)` from
+    /// a maintained heightmap: `Some(-1)` when the column is known to be all
+    /// air, or `None` when the reader has no cheap answer (callers fall back
+    /// to a full column scan).
+    ///
+    /// Implementations must agree with [`BlockReader::block`]: every
+    /// position strictly above the returned top reads as air, and the
+    /// implementation performs the same chunk generation `block` would for
+    /// that column (lazily generating readers generate, frozen readers
+    /// don't), so consulting the heightmap instead of scanning is
+    /// observationally identical.
+    fn column_top(&mut self, _x: i32, _z: i32) -> Option<i32> {
+        None
+    }
 }
 
 /// The world-access surface the terrain-simulation rules are written
@@ -786,6 +801,10 @@ pub trait TerrainView: BlockReader {
 impl BlockReader for World {
     fn block(&mut self, pos: BlockPos) -> Block {
         World::block(self, pos)
+    }
+
+    fn column_top(&mut self, x: i32, z: i32) -> Option<i32> {
+        World::column_top(self, x, z)
     }
 }
 
@@ -819,6 +838,19 @@ impl BlockReader for FrozenWorld<'_> {
     fn block(&mut self, pos: BlockPos) -> Block {
         self.0.block_if_loaded(pos)
     }
+
+    fn column_top(&mut self, x: i32, z: i32) -> Option<i32> {
+        // Unloaded chunks read as air, so a missing chunk is an all-air
+        // column — exactly what `Some(-1)` means.
+        let probe = BlockPos::new(x, 0, z);
+        let (lx, _, lz) = probe.local();
+        Some(
+            self.0
+                .chunk_if_loaded(probe.chunk())
+                .and_then(|c| c.height_at(lx, lz))
+                .unwrap_or(-1),
+        )
+    }
 }
 
 /// A read-only view over an owned [`WorldSnapshot`], the persistent-pool
@@ -835,6 +867,17 @@ pub struct FrozenChunks<'a>(pub &'a WorldSnapshot);
 impl BlockReader for FrozenChunks<'_> {
     fn block(&mut self, pos: BlockPos) -> Block {
         self.0.block_if_loaded(pos)
+    }
+
+    fn column_top(&mut self, x: i32, z: i32) -> Option<i32> {
+        let probe = BlockPos::new(x, 0, z);
+        let (lx, _, lz) = probe.local();
+        Some(
+            self.0
+                .chunk_if_loaded(probe.chunk())
+                .and_then(|c| c.height_at(lx, lz))
+                .unwrap_or(-1),
+        )
     }
 }
 
@@ -962,6 +1005,22 @@ impl BlockReader for ShardWorld<'_> {
         }
         let (lx, y, lz) = pos.local();
         self.owned_chunk_mut(pos.chunk()).block(lx, y, lz)
+    }
+
+    fn column_top(&mut self, x: i32, z: i32) -> Option<i32> {
+        let probe = BlockPos::new(x, 0, z);
+        let chunk_pos = probe.chunk();
+        // Only in-shard columns have a cheap answer; a foreign-column scan
+        // would panic in `block` exactly as it did before this fast path.
+        if self.map.shard_of_chunk(chunk_pos) != self.shard {
+            return None;
+        }
+        let (lx, _, lz) = probe.local();
+        Some(
+            self.owned_chunk_mut(chunk_pos)
+                .height_at(lx, lz)
+                .unwrap_or(-1),
+        )
     }
 }
 

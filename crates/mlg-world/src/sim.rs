@@ -22,6 +22,7 @@ use crate::generation::ChunkGenerator;
 use crate::pool::PoolScope;
 use crate::pos::BlockPos;
 use crate::region::Region;
+use crate::scratch::{LightPassScratch, TickScratch};
 use crate::shard::{FrozenChunks, ShardMap, ShardWorld, TerrainView, TickPipeline};
 use crate::update::{BlockUpdate, UpdateKind};
 use crate::world::{ShardStore, World, WorldSnapshot};
@@ -208,7 +209,19 @@ impl TerrainSimulator {
     /// Runs one tick of terrain simulation over the world.
     ///
     /// Returns the work report and the events other subsystems must handle.
+    /// Allocates fresh scratch buffers; the server's tick loop uses
+    /// [`TerrainSimulator::tick_with`] to recycle them instead.
     pub fn tick(&self, world: &mut World) -> (TerrainTickReport, Vec<TerrainEvent>) {
+        self.tick_with(world, &mut TickScratch::new())
+    }
+
+    /// Runs one tick of terrain simulation using caller-provided scratch
+    /// buffers. Bit-identical to [`TerrainSimulator::tick`].
+    pub fn tick_with(
+        &self,
+        world: &mut World,
+        scratch: &mut TickScratch,
+    ) -> (TerrainTickReport, Vec<TerrainEvent>) {
         let mut report = TerrainTickReport::default();
         let mut events = Vec::new();
         let changes_before = world.changes().len();
@@ -250,21 +263,21 @@ impl TerrainSimulator {
         }
 
         // 4. Classify the changes made this tick and relight around them.
-        let new_changes: Vec<(BlockPos, bool, bool)> = world.changes()[changes_before..]
-            .iter()
-            .map(|c| (c.pos, c.old.is_air(), c.new.is_air()))
-            .collect();
-        for (pos, old_air, new_air) in new_changes {
-            match (old_air, new_air) {
+        // Classification only reads the change log, so the relight positions
+        // can be batched into one cached pass instead of interleaving.
+        scratch.relight_positions.clear();
+        for change in &world.changes()[changes_before..] {
+            match (change.old.is_air(), change.new.is_air()) {
                 (true, false) => report.blocks_added += 1,
                 (false, true) => report.blocks_removed += 1,
                 _ => report.blocks_updated += 1,
             }
             if self.eager_lighting {
-                let lr = light::relight_after_change(world, pos);
-                report.light_positions += u64::from(lr.total_positions());
+                scratch.relight_positions.push(change.pos);
             }
         }
+        report.light_positions +=
+            relight_positions_serial(world, &scratch.relight_positions, &mut scratch.flood);
 
         report.chunks_generated += u64::from(world.chunks_generated_this_tick());
         (report, events)
@@ -335,6 +348,20 @@ impl TerrainSimulator {
     /// allowed to change scheduling, exactly as the serial-vs-sharded
     /// comparison in the paper's sense would.
     pub fn tick_sharded(&self, world: &mut World, pipeline: &TickPipeline) -> ShardedTerrainTick {
+        self.tick_sharded_with(world, pipeline, &mut TickScratch::new())
+    }
+
+    /// Runs one sharded tick using caller-provided scratch buffers (cascade
+    /// queues, shard batches, relight buffers). Bit-identical to
+    /// [`TerrainSimulator::tick_sharded`]; the server's tick loop uses this
+    /// variant so steady-state ticks recycle queue capacity instead of
+    /// allocating per round.
+    pub fn tick_sharded_with(
+        &self,
+        world: &mut World,
+        pipeline: &TickPipeline,
+        scratch: &mut TickScratch,
+    ) -> ShardedTerrainTick {
         let map = pipeline.shard_map();
         world.reshard(map.clone());
         let shard_count = map.count();
@@ -360,28 +387,41 @@ impl TerrainSimulator {
         let changes_before = world.changes().len();
 
         // ---- Phase 1: cascade rounds ------------------------------------
-        let mut pending: VecDeque<BlockUpdate> =
-            world.updates_mut().pop_due(tick).into_iter().collect();
+        // All round-local queues live in the scratch arena: `pending` is
+        // drained at the top of each round and `next_pending` swapped in at
+        // the bottom, shard batches are moved into the tasks and their
+        // (drained, capacity-bearing) queues moved back after the merge.
+        scratch.pending.clear();
+        scratch.next_pending.clear();
+        scratch.serial_batch.clear();
+        if scratch.shard_batches.len() != shard_count {
+            scratch
+                .shard_batches
+                .resize_with(shard_count, VecDeque::new);
+        }
+        for batch in &mut scratch.shard_batches {
+            batch.clear();
+        }
+        scratch.pending.extend(world.updates_mut().pop_due(tick));
         while let Some(update) = world.updates_mut().pop_immediate() {
-            pending.push_back(update);
+            scratch.pending.push_back(update);
         }
 
-        'rounds: while !pending.is_empty() {
-            let mut batches: Vec<VecDeque<BlockUpdate>> = vec![VecDeque::new(); shard_count];
-            let mut serial_batch: VecDeque<BlockUpdate> = VecDeque::new();
-            for update in pending.drain(..) {
+        'rounds: while !scratch.pending.is_empty() {
+            for update in scratch.pending.drain(..) {
                 match map.interior_shard(update.pos.chunk()) {
-                    Some(s) => batches[s].push_back(update),
-                    None => serial_batch.push_back(update),
+                    Some(s) => scratch.shard_batches[s].push_back(update),
+                    None => scratch.serial_batch.push_back(update),
                 }
             }
             if processed_total >= budget {
                 report.update_budget_exhausted = true;
-                requeue_updates(
-                    world,
-                    batches.into_iter().flatten().chain(serial_batch),
-                    tick,
-                );
+                let requeued = scratch
+                    .shard_batches
+                    .iter_mut()
+                    .flat_map(|b| b.drain(..))
+                    .chain(scratch.serial_batch.drain(..));
+                requeue_updates(world, requeued, tick);
                 break 'rounds;
             }
             let remaining = budget - processed_total;
@@ -389,19 +429,24 @@ impl TerrainSimulator {
             // (each gets at least 1 so rounds always progress): without the
             // split, N shards could process N x max_updates_per_tick in one
             // round, silently inflating the per-tick budget under sharding.
-            let active = batches.iter().filter(|b| !b.is_empty()).count().max(1) as u64;
+            let active = scratch
+                .shard_batches
+                .iter()
+                .filter(|b| !b.is_empty())
+                .count()
+                .max(1) as u64;
             let per_shard_cap = (remaining / active).max(1);
 
             // Parallel phase: shards with work, processed by the pool.
             let mut tasks: Vec<TerrainShardTask> = Vec::new();
-            for (s, batch) in batches.into_iter().enumerate() {
+            for (s, batch) in scratch.shard_batches.iter_mut().enumerate() {
                 if batch.is_empty() {
                     continue;
                 }
                 tasks.push(TerrainShardTask {
                     shard: s,
                     store: world.take_shard_store(s),
-                    batch,
+                    batch: std::mem::take(batch),
                     cap: per_shard_cap,
                     report: TerrainTickReport::default(),
                     events: Vec::new(),
@@ -422,7 +467,6 @@ impl TerrainSimulator {
             }
 
             // Barrier merge, in canonical (ascending shard) order.
-            let mut next_pending: VecDeque<BlockUpdate> = VecDeque::new();
             for task in tasks {
                 world.put_shard_store(task.shard, task.store);
                 report.merge(&task.report);
@@ -432,16 +476,19 @@ impl TerrainSimulator {
                     world.schedule_tick_at(pos, due);
                 }
                 for pos in task.outbound {
-                    next_pending.push_back(BlockUpdate::neighbor(pos));
+                    scratch.next_pending.push_back(BlockUpdate::neighbor(pos));
                 }
-                next_pending.extend(task.leftover);
+                scratch.next_pending.extend(task.leftover);
                 world.note_chunks_generated(task.chunks_generated);
                 per_shard_work[task.shard] += task.processed;
                 processed_total += task.processed;
+                // The batch was drained inside the worker; returning it to
+                // its slot keeps the queue's capacity for the next round.
+                scratch.shard_batches[task.shard] = task.batch;
             }
 
             // Serial phase: escalated boundary updates on the full world.
-            while let Some(update) = serial_batch.pop_front() {
+            while let Some(update) = scratch.serial_batch.pop_front() {
                 // Scheduled updates stay budget-exempt here too.
                 if update.kind != UpdateKind::Scheduled && processed_total >= budget {
                     report.update_budget_exhausted = true;
@@ -457,12 +504,12 @@ impl TerrainSimulator {
                 self.dispatch(world, update, &mut report, &mut events);
                 while let Some(cascaded) = world.updates_mut().pop_immediate() {
                     match map.interior_shard(cascaded.pos.chunk()) {
-                        Some(_) => next_pending.push_back(cascaded),
-                        None => serial_batch.push_back(cascaded),
+                        Some(_) => scratch.next_pending.push_back(cascaded),
+                        None => scratch.serial_batch.push_back(cascaded),
                     }
                 }
             }
-            pending = next_pending;
+            std::mem::swap(&mut scratch.pending, &mut scratch.next_pending);
         }
 
         // ---- Phase 2: random ticks --------------------------------------
@@ -532,7 +579,7 @@ impl TerrainSimulator {
         }
 
         // ---- Phase 3: classification and lighting -----------------------
-        let mut relight_positions: Vec<BlockPos> = Vec::new();
+        scratch.relight_positions.clear();
         for change in &world.changes()[changes_before..] {
             match (change.old.is_air(), change.new.is_air()) {
                 (true, false) => report.blocks_added += 1,
@@ -540,10 +587,15 @@ impl TerrainSimulator {
                 _ => report.blocks_updated += 1,
             }
             if self.eager_lighting {
-                relight_positions.push(change.pos);
+                scratch.relight_positions.push(change.pos);
             }
         }
-        report.light_positions += relight_positions_frozen(world, &relight_positions, &scope);
+        report.light_positions += relight_misses_frozen(
+            world,
+            &scratch.relight_positions,
+            &scope,
+            &mut scratch.light,
+        );
 
         report.chunks_generated += u64::from(world.chunks_generated_this_tick());
         ShardedTerrainTick {
@@ -652,7 +704,10 @@ struct RandomTickShardTask {
 
 struct LightSliceTask {
     positions: Vec<BlockPos>,
-    light_positions: u64,
+    /// Positions visited per input position, in input order — kept
+    /// per-position (not pre-summed) so the caller can memoize each result
+    /// in the world's relight cache.
+    results: Vec<u32>,
 }
 
 /// Relights every position in `positions` against a frozen snapshot of
@@ -680,28 +735,124 @@ pub fn relight_positions_frozen(
     positions: &[BlockPos],
     scope: &PoolScope<'_>,
 ) -> u64 {
+    relight_misses_frozen(world, positions, scope, &mut LightPassScratch::new())
+}
+
+/// [`relight_positions_frozen`] with caller-provided scratch buffers
+/// (the server's per-tick arena). Bit-identical to the allocating wrapper.
+#[must_use]
+pub fn relight_positions_frozen_with(
+    world: &mut World,
+    positions: &[BlockPos],
+    scope: &PoolScope<'_>,
+    scratch: &mut TickScratch,
+) -> u64 {
+    relight_misses_frozen(world, positions, scope, &mut scratch.light)
+}
+
+/// [`relight_positions_frozen`] with caller-provided miss-tracking scratch.
+///
+/// The pass consults the world's relight cache first: a position whose
+/// 17×17-column flood window is untouched since its last computation (no
+/// light-relevant opacity change, tracked per chunk column) reuses the cached
+/// visit count — bit-identical by construction, since an untouched window
+/// floods identically. Only cache misses are deduplicated, sliced across the
+/// scope's workers against the frozen snapshot, and folded back into the
+/// cache. Duplicate positions in one pass multiply the single computed count,
+/// which equals computing each occurrence against the same snapshot.
+pub(crate) fn relight_misses_frozen(
+    world: &mut World,
+    positions: &[BlockPos],
+    scope: &PoolScope<'_>,
+    scratch: &mut LightPassScratch,
+) -> u64 {
     if positions.is_empty() {
         return 0;
     }
-    let slice_len = positions.len().div_ceil(scope.threads().max(1) as usize);
-    let slices: Vec<LightSliceTask> = positions
-        .chunks(slice_len.max(1))
-        .map(|positions| LightSliceTask {
-            positions: positions.to_vec(),
-            light_positions: 0,
-        })
-        .collect();
-    let snapshot = world.snapshot_chunks();
-    let (slices, snapshot) =
-        scope.run_tasks_ctx(slices, snapshot, |_, task, snapshot: &WorldSnapshot| {
-            let mut frozen = FrozenChunks(snapshot);
-            for pos in &task.positions {
-                task.light_positions +=
-                    u64::from(light::relight_after_change(&mut frozen, *pos).total_positions());
+    world.begin_relight_pass();
+    scratch.clear();
+    let mut total: u64 = 0;
+    for &pos in positions {
+        if let Some(&slot) = scratch.miss_index.get(&pos) {
+            scratch.miss_counts[slot] += 1;
+            continue;
+        }
+        match world.cached_relight(pos, true) {
+            Some(count) => total += u64::from(count),
+            None => {
+                scratch.miss_index.insert(pos, scratch.misses.len());
+                scratch.misses.push(pos);
+                scratch.miss_counts.push(1);
             }
-        });
-    world.restore_chunks(snapshot);
-    slices.iter().map(|s| s.light_positions).sum()
+        }
+    }
+    if !scratch.misses.is_empty() {
+        let slice_len = scratch
+            .misses
+            .len()
+            .div_ceil(scope.threads().max(1) as usize);
+        let slices: Vec<LightSliceTask> = scratch
+            .misses
+            .chunks(slice_len.max(1))
+            .map(|positions| LightSliceTask {
+                positions: positions.to_vec(),
+                results: Vec::new(),
+            })
+            .collect();
+        let snapshot = world.snapshot_chunks();
+        let (slices, snapshot) =
+            scope.run_tasks_ctx(slices, snapshot, |_, task, snapshot: &WorldSnapshot| {
+                let mut frozen = FrozenChunks(snapshot);
+                let mut flood = light::FloodScratch::new();
+                task.results.reserve(task.positions.len());
+                for pos in &task.positions {
+                    let lr = light::relight_after_change_with(&mut frozen, *pos, &mut flood);
+                    task.results.push(lr.total_positions());
+                }
+            });
+        world.restore_chunks(snapshot);
+        // Fold per-position results back in input (slot) order: slicing
+        // followed the worker count, but the flattened result order did not.
+        let mut slot = 0usize;
+        for task in &slices {
+            for &count in &task.results {
+                total += u64::from(count) * u64::from(scratch.miss_counts[slot]);
+                world.insert_relight(scratch.misses[slot], true, count);
+                slot += 1;
+            }
+        }
+    }
+    world.end_relight_pass();
+    total
+}
+
+/// Serial (lazily generating) counterpart of
+/// [`relight_positions_frozen_with`], used by the vanilla-flavor tick: cache
+/// hits are validated the same way; misses flood the live world — generating
+/// chunks exactly where an uncached flood would — and are memoized under the
+/// lazy-mode cache key, which is kept separate from the frozen-mode key
+/// because the two modes read unloaded chunks differently.
+fn relight_positions_serial(
+    world: &mut World,
+    positions: &[BlockPos],
+    flood: &mut light::FloodScratch,
+) -> u64 {
+    if positions.is_empty() {
+        return 0;
+    }
+    world.begin_relight_pass();
+    let mut total: u64 = 0;
+    for &pos in positions {
+        if let Some(count) = world.cached_relight(pos, false) {
+            total += u64::from(count);
+        } else {
+            let count = light::relight_after_change_with(world, pos, flood).total_positions();
+            world.insert_relight(pos, false, count);
+            total += u64::from(count);
+        }
+    }
+    world.end_relight_pass();
+    total
 }
 
 /// Applies one shard's random-tick picks, deferring every cascade push.

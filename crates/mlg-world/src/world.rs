@@ -144,7 +144,53 @@ impl WorldSnapshot {
             .get(pos.chunk())
             .map_or(Block::AIR, |c| c.block(lx, y, lz))
     }
+
+    /// Returns the chunk at `pos`, if it was loaded when the snapshot was
+    /// taken. Gives frozen readers heightmap access for the sky-light
+    /// short-circuit.
+    #[must_use]
+    pub fn chunk_if_loaded(&self, pos: ChunkPos) -> Option<&Chunk> {
+        self.stores[self.map.shard_of_chunk(pos)].get(pos)
+    }
 }
+
+/// One memoized relight result: the flood+scan position count computed for
+/// a position, tagged with the relight pass that computed it.
+#[derive(Debug, Clone, Copy)]
+struct RelightEntry {
+    /// Relight pass (see [`RelightCache::pass`]) that computed this entry.
+    tag: u64,
+    /// `LightReport::total_positions()` of the computed relight.
+    total: u32,
+}
+
+/// Memoized relight results keyed by `(position, frozen-mode)`.
+///
+/// Validity is checked structurally, not by expiry: an entry is reusable
+/// iff, for every loaded chunk overlapping the position's 17×17 flood
+/// window, (a) the chunk's light-stamp predates the entry's tag and (b) no
+/// column in the window intersection is light-dirty (see
+/// [`Chunk::light_dirty_in`]). State-only block changes never dirty the
+/// mask, so redstone clocks keep their entries alive indefinitely — the
+/// common case the cache exists for.
+///
+/// Entries are keyed by mode because frozen readers treat unloaded chunks
+/// as air while the lazy path generates them: near the loaded-area edge the
+/// two can legitimately count different flood sets.
+///
+/// The map is only ever probed (`get`/`insert`/`clear`) — never iterated —
+/// so hash order cannot leak into modeled output (the detlint contract).
+#[derive(Debug, Default)]
+struct RelightCache {
+    entries: HashMap<(BlockPos, bool), RelightEntry>,
+    /// Monotone pass counter; incremented by [`World::begin_relight_pass`].
+    pass: u64,
+}
+
+/// Wholesale-eviction cap for the relight cache: deterministic (clearing
+/// everything has no order dependence) and bounds memory on worlds that
+/// relight unbounded position sets.
+const RELIGHT_CACHE_CAP: usize = 1 << 16;
 
 /// The game world.
 ///
@@ -166,6 +212,7 @@ pub struct World {
     current_tick: u64,
     rng: StdRng,
     seed: u64,
+    relight: RelightCache,
 }
 
 impl std::fmt::Debug for World {
@@ -197,6 +244,7 @@ impl World {
             current_tick: 0,
             rng: StdRng::seed_from_u64(seed),
             seed,
+            relight: RelightCache::default(),
         }
     }
 
@@ -489,6 +537,107 @@ impl World {
         let chunk_pos = pos.chunk();
         let (lx, _, lz) = pos.local();
         self.ensure_chunk(chunk_pos).height_at(lx, lz)
+    }
+
+    /// Returns the `y` of the highest non-air block in column `(x, z)` from
+    /// the chunk heightmap (`Some(-1)` for an all-air column), lazily
+    /// generating the chunk — the same generation a block scan of that
+    /// column would have triggered, so the modeled generation counter is
+    /// unaffected by callers switching from scans to this lookup.
+    #[must_use]
+    pub fn column_top(&mut self, x: i32, z: i32) -> Option<i32> {
+        Some(self.highest_block_y(x, z).unwrap_or(-1))
+    }
+
+    /// Compacts every loaded chunk's palette storage (drops dead palette
+    /// entries, narrows packed index widths). Substrate-only: invoked from
+    /// the server's simulated GC ticks and after bulk world building; cheap
+    /// when chunks are already compact.
+    pub fn compact_chunk_storage(&mut self) {
+        for chunk in self.iter_chunks_mut() {
+            chunk.compact_storage();
+        }
+    }
+
+    /// Heap bytes currently owned by all loaded chunks' block stores.
+    /// Compare against `loaded_chunk_count() * DENSE_BODY_BYTES` to measure
+    /// the palette-compression win.
+    #[must_use]
+    pub fn chunk_storage_bytes(&self) -> usize {
+        self.iter_chunks().map(Chunk::storage_bytes).sum()
+    }
+
+    /// Starts a relight pass and returns its pass number. Each pass must be
+    /// closed with [`World::end_relight_pass`].
+    pub(crate) fn begin_relight_pass(&mut self) -> u64 {
+        self.relight.pass += 1;
+        self.relight.pass
+    }
+
+    /// Looks up a memoized relight count for `pos` (in frozen or lazy
+    /// mode), returning it only if no chunk overlapping the position's
+    /// flood window was light-dirtied since the entry was computed.
+    #[must_use]
+    pub(crate) fn cached_relight(&self, pos: BlockPos, frozen: bool) -> Option<u32> {
+        let entry = self.relight.entries.get(&(pos, frozen))?;
+        self.relight_window_clean(pos, entry.tag)
+            .then_some(entry.total)
+    }
+
+    /// `true` iff every loaded chunk overlapping the 17×17 flood window
+    /// around `pos` is clean with respect to a cache entry tagged `tag`.
+    fn relight_window_clean(&self, pos: BlockPos, tag: u64) -> bool {
+        let r = crate::light::LIGHT_FLOOD_RADIUS as i32;
+        let (x0, x1) = (pos.x - r, pos.x + r);
+        let (z0, z1) = (pos.z - r, pos.z + r);
+        let c0 = BlockPos::new(x0, 0, z0).chunk();
+        let c1 = BlockPos::new(x1, 0, z1).chunk();
+        for cx in c0.x..=c1.x {
+            for cz in c0.z..=c1.z {
+                let Some(chunk) = self.chunk_if_loaded(ChunkPos::new(cx, cz)) else {
+                    continue;
+                };
+                if chunk.light_stamp() >= tag {
+                    return false;
+                }
+                let origin = ChunkPos::new(cx, cz).origin_block();
+                let lx0 = (x0 - origin.x).max(0) as usize;
+                let lx1 = (x1 - origin.x).min(CHUNK_SIZE as i32 - 1) as usize;
+                let lz0 = (z0 - origin.z).max(0) as usize;
+                let lz1 = (z1 - origin.z).min(CHUNK_SIZE as i32 - 1) as usize;
+                if chunk.light_dirty_in(lx0, lx1, lz0, lz1) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Memoizes a relight count computed during the current pass.
+    pub(crate) fn insert_relight(&mut self, pos: BlockPos, frozen: bool, total: u32) {
+        if self.relight.entries.len() >= RELIGHT_CACHE_CAP {
+            // Deterministic wholesale eviction: clearing has no order
+            // dependence, unlike any per-entry replacement policy would.
+            self.relight.entries.clear();
+        }
+        self.relight.entries.insert(
+            (pos, frozen),
+            RelightEntry {
+                tag: self.relight.pass,
+                total,
+            },
+        );
+    }
+
+    /// Closes a relight pass: folds every dirtied chunk's light-dirty mask
+    /// into its stamp, invalidating all cache entries from earlier passes
+    /// whose windows overlap those chunks while keeping this pass's fresh
+    /// entries valid.
+    pub(crate) fn end_relight_pass(&mut self) {
+        let stamp = self.relight.pass.saturating_sub(1);
+        for chunk in self.iter_chunks_mut() {
+            chunk.fold_light_dirty(stamp);
+        }
     }
 
     /// Enqueues an immediate neighbour update at `pos`.

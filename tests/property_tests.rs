@@ -12,7 +12,7 @@ use mlg_protocol::codec::{
     decode_clientbound, decode_serverbound, encode_clientbound, encode_serverbound,
 };
 use mlg_protocol::{ClientboundPacket, ServerboundPacket};
-use mlg_world::{Block, BlockKind, BlockPos, Region};
+use mlg_world::{Block, BlockKind, BlockPos, Chunk, ChunkPos, Region};
 
 proptest! {
     // ------------------------------------------------------------------ ISR
@@ -110,6 +110,53 @@ proptest! {
         prop_assert_eq!(region.iter().count() as u64, region.volume());
         for pos in region.iter() {
             prop_assert!(region.contains(pos));
+        }
+    }
+
+    // ------------------------------------------------------- palette storage
+    #[test]
+    fn palette_chunk_matches_dense_reference(
+        writes in prop::collection::vec(any::<u32>(), 1..300),
+    ) {
+        // The palette-compressed chunk body must be observationally identical
+        // to a dense Vec<Block> under arbitrary write sequences — including
+        // the old-value return of set_block, mid-sequence gc compaction
+        // (which re-narrows the bit width), snapshots (clones) and the
+        // non-air iterator. Each u32 packs one write:
+        // x(4) z(4) y(7) kind(6, mod 36) state(2) compact(1).
+        let mut chunk = Chunk::empty(ChunkPos::new(0, 0));
+        let mut dense = vec![Block::AIR; 16 * 16 * 128];
+        let index = |x: usize, y: i32, z: usize| (y as usize * 16 + z) * 16 + x;
+        for (step, word) in writes.iter().copied().enumerate() {
+            let x = (word & 15) as usize;
+            let z = ((word >> 4) & 15) as usize;
+            let y = ((word >> 8) & 127) as i32;
+            let kind_idx = ((word >> 15) & 63) as usize % 36;
+            let state = ((word >> 21) & 3) as u8;
+            let compact = (word >> 23) & 1 == 1;
+            let block = Block::with_state(BlockKind::all()[kind_idx], state);
+            let old = chunk.set_block(x, y, z, block);
+            prop_assert_eq!(old, dense[index(x, y, z)]);
+            dense[index(x, y, z)] = block;
+            if compact && step % 16 == 0 {
+                chunk.compact_storage();
+            }
+        }
+        let snapshot = chunk.clone();
+        let mut non_air = 0usize;
+        for y in 0..128i32 {
+            for z in 0..16 {
+                for x in 0..16 {
+                    let expected = dense[index(x, y, z)];
+                    prop_assert_eq!(chunk.block(x, y, z), expected);
+                    prop_assert_eq!(snapshot.block(x, y, z), expected);
+                    non_air += usize::from(!expected.is_air());
+                }
+            }
+        }
+        prop_assert_eq!(chunk.iter_non_air().count(), non_air);
+        for (x, y, z, block) in chunk.iter_non_air() {
+            prop_assert_eq!(block, dense[index(x, y, z)]);
         }
     }
 
