@@ -429,6 +429,25 @@ fn bench_chunk_storage(c: &mut Criterion) {
             BatchSize::SmallInput,
         );
     });
+    // Same terrain through the bulk column-fill path generators use; the
+    // gap between this and `palette_set` is the recovered write-path cost.
+    group.bench_function("palette_fill_column", |b| {
+        b.iter_batched(
+            || Chunk::empty(ChunkPos::new(0, 0)),
+            |mut chunk| {
+                for x in 0..16 {
+                    for z in 0..16 {
+                        chunk.fill_column(x, z, 0, 0, Block::simple(BlockKind::Bedrock));
+                        chunk.fill_column(x, z, 1, 59, Block::simple(BlockKind::Stone));
+                        chunk.fill_column(x, z, 60, 62, Block::simple(BlockKind::Dirt));
+                        chunk.fill_column(x, z, 63, 63, Block::simple(BlockKind::Grass));
+                    }
+                }
+                chunk
+            },
+            BatchSize::SmallInput,
+        );
+    });
 
     let mut dense = DenseChunk::new();
     fill_terrain(|x, y, z, block| dense.set(x, y, z, block));

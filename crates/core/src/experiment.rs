@@ -26,6 +26,35 @@ use mlg_server::{GameServer, ServerConfig, ServerFlavor, TickStageBreakdown};
 
 use crate::config::BenchmarkConfig;
 use crate::results::IterationResult;
+use crate::sink::TickSample;
+
+/// Per-tick hook threaded through an iteration's tick loop by
+/// [`execute_iteration_observed`].
+///
+/// The batch path uses [`NoopTickObserver`] (the loop inlines to exactly
+/// the unobserved code). The benchmark daemon's observer is where
+/// pause/resume blocking and live sink fan-out live — keeping that code in
+/// the daemon crate means this crate stays inside the tick determinism
+/// contract (no wall-clock reads here).
+pub trait TickObserver {
+    /// Called after every executed tick.
+    fn on_tick(&mut self, sample: &TickSample) {
+        let _ = sample;
+    }
+
+    /// Polled before each tick; returning `true` ends the iteration early
+    /// (the result reports the ticks executed so far, uncrashed). A paused
+    /// daemon *blocks* inside this poll instead of returning.
+    fn should_abort(&mut self) -> bool {
+        false
+    }
+}
+
+/// The do-nothing observer behind [`execute_iteration`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopTickObserver;
+
+impl TickObserver for NoopTickObserver {}
 
 /// Runs a single iteration of a single flavor under `config`, with the
 /// environment and bot randomness derived from `seed`.
@@ -40,6 +69,21 @@ pub fn execute_iteration(
     iteration: u32,
     seed: u64,
 ) -> IterationResult {
+    execute_iteration_observed(config, flavor, iteration, seed, &mut NoopTickObserver)
+}
+
+/// [`execute_iteration`] with a per-tick [`TickObserver`] threaded through
+/// the loop. The observer cannot change what is simulated — it sees each
+/// tick after the fact and may only stop the run — so an observed iteration
+/// replays bit-identically to an unobserved one up to the abort point.
+#[must_use]
+pub fn execute_iteration_observed(
+    config: &BenchmarkConfig,
+    flavor: ServerFlavor,
+    iteration: u32,
+    seed: u64,
+    observer: &mut dyn TickObserver,
+) -> IterationResult {
     let built = config.workload.build(config.base_seed);
     let workload_kind = built.kind;
     let (mut server, mut emulation) = prepare(config, flavor, built, seed);
@@ -47,7 +91,8 @@ pub fn execute_iteration(
 
     let ticks_planned = config.ticks_per_iteration();
     let duration_ms = config.duration_secs as f64 * 1_000.0;
-    let mut trace = TickTrace::new(server.config().tick_budget_ms);
+    let budget_ms = server.config().tick_budget_ms;
+    let mut trace = TickTrace::new(budget_ms);
     let mut collector = SystemMetricsCollector::new(30);
     let mut crashed = None;
     let mut ticks_executed = 0;
@@ -58,9 +103,22 @@ pub fn execute_iteration(
     // overloaded, fewer ticks fit into the iteration (Na ≤ Ne in the ISR
     // definition).
     while server.clock_ms() < duration_ms {
+        if observer.should_abort() {
+            break;
+        }
         let summary = emulation.step(&mut server, &mut engine);
         ticks_executed += 1;
         stage_busy.accumulate(&summary.stages);
+        observer.on_tick(&TickSample {
+            tick: summary.record.index,
+            end_ms: summary.end_ms,
+            busy_ms: summary.record.busy_ms,
+            period_ms: summary.record.period_ms,
+            budget_ms,
+            stages: summary.stages,
+            entity_count: summary.entity_count,
+            player_count: summary.player_count,
+        });
         trace.push(summary.record);
         collector.observe_tick(
             summary.end_ms,

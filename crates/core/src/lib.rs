@@ -95,5 +95,6 @@ pub use campaign::{Campaign, CampaignPlan, CampaignResults, IterationJob};
 pub use config::BenchmarkConfig;
 pub use error::BenchmarkError;
 pub use executor::{Executor, ParallelExecutor, SequentialExecutor};
+pub use experiment::{execute_iteration_observed, NoopTickObserver, TickObserver};
 pub use results::{ExperimentResults, IterationResult};
-pub use sink::{CsvSink, NullSink, ProgressSink, ResultSink};
+pub use sink::{CsvSink, JsonlSink, NullSink, ProgressSink, ResultSink, TickSample};

@@ -13,9 +13,52 @@
 
 use std::io::Write;
 
+use mlg_server::TickStageBreakdown;
+
 use crate::campaign::{CampaignPlan, IterationJob};
 use crate::report::csv_row;
 use crate::results::IterationResult;
+
+/// One executed tick's live metrics, forwarded to sinks *while* an
+/// iteration runs (unlike [`IterationResult`], which arrives only when the
+/// iteration finishes).
+///
+/// Batch executors do not emit these — fanning per-tick callbacks through
+/// worker threads would serialize the hot loop — so CSV campaigns are
+/// unaffected. The benchmark daemon's resident loop runs iterations
+/// in-process via
+/// [`execute_iteration_observed`](crate::experiment::execute_iteration_observed)
+/// and bridges every tick into its sink stack, which is how the same
+/// [`ResultSink`] implementations serve both batch files and live
+/// dashboards.
+#[derive(Debug, Clone, Copy)]
+pub struct TickSample {
+    /// Tick sequence number within the iteration (0-based).
+    pub tick: u64,
+    /// Virtual time at which the tick ended, ms since iteration start.
+    pub end_ms: f64,
+    /// Tick computation time, ms.
+    pub busy_ms: f64,
+    /// Full tick period (`max(busy, budget)` plus catch-up backlog), ms.
+    pub period_ms: f64,
+    /// The server's tick budget (50 ms at 20 Hz), for overload judgements.
+    pub budget_ms: f64,
+    /// Per-stage busy-time breakdown of this tick.
+    pub stages: TickStageBreakdown,
+    /// Live entities after the tick.
+    pub entity_count: usize,
+    /// Connected players after the tick.
+    pub player_count: usize,
+}
+
+impl TickSample {
+    /// `true` when the tick's computation ran past its budget (the
+    /// numerator of the paper's ISR definition).
+    #[must_use]
+    pub fn is_overloaded(&self) -> bool {
+        self.busy_ms > self.budget_ms
+    }
+}
 
 /// Observer of a campaign run; all methods have no-op defaults so sinks
 /// implement only what they need.
@@ -23,6 +66,12 @@ pub trait ResultSink {
     /// Called once before the first job starts.
     fn on_campaign_start(&mut self, plan: &CampaignPlan) {
         let _ = plan;
+    }
+
+    /// Called once per executed tick of a live-observed run (the daemon
+    /// path; batch executors never call this — see [`TickSample`]).
+    fn on_tick(&mut self, job: &IterationJob, sample: &TickSample) {
+        let _ = (job, sample);
     }
 
     /// Called once per finished iteration, in completion order.
@@ -202,6 +251,133 @@ impl<W: Write> ResultSink for ProgressSink<W> {
     }
 }
 
+/// Streams newline-delimited JSON for dashboards: one `{"type":"tick",…}`
+/// object per observed tick and one `{"type":"iteration",…}` object per
+/// finished iteration.
+///
+/// JSON is assembled by hand (the vendored serde shim has no serializer to
+/// arbitrary writers); every string field passes through [`json_escape`].
+/// Write errors are retained rather than propagated, mirroring
+/// [`CsvSink`]: the first one is inspectable via [`JsonlSink::error`].
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    writer: W,
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Creates a sink writing one JSON object per line to `writer`.
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer,
+            error: None,
+        }
+    }
+
+    /// The first write error encountered, if any.
+    pub fn error(&self) -> Option<&std::io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Consumes the sink and returns the writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+
+    fn write_line(&mut self, line: &str) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(err) = writeln!(self.writer, "{line}") {
+            self.error = Some(err);
+        }
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl<W: Write> ResultSink for JsonlSink<W> {
+    fn on_tick(&mut self, job: &IterationJob, sample: &TickSample) {
+        let line = format!(
+            concat!(
+                "{{\"type\":\"tick\",\"job\":\"{}\",\"tick\":{},\"end_ms\":{:.3},",
+                "\"busy_ms\":{:.3},\"period_ms\":{:.3},\"overloaded\":{},",
+                "\"stage_player_ms\":{:.3},\"stage_terrain_ms\":{:.3},",
+                "\"stage_entity_ms\":{:.3},\"stage_lighting_ms\":{:.3},",
+                "\"stage_dissemination_ms\":{:.3},\"stage_other_ms\":{:.3},",
+                "\"entities\":{},\"players\":{}}}"
+            ),
+            json_escape(&job.label()),
+            sample.tick,
+            sample.end_ms,
+            sample.busy_ms,
+            sample.period_ms,
+            sample.is_overloaded(),
+            sample.stages.player_ms,
+            sample.stages.terrain_ms,
+            sample.stages.entity_ms,
+            sample.stages.lighting_ms,
+            sample.stages.dissemination_ms,
+            sample.stages.other_ms,
+            sample.entity_count,
+            sample.player_count,
+        );
+        self.write_line(&line);
+    }
+
+    fn on_result(&mut self, job: &IterationJob, result: &IterationResult) {
+        let ticks = result.tick_percentiles();
+        let line = format!(
+            concat!(
+                "{{\"type\":\"iteration\",\"job\":\"{}\",\"workload\":\"{}\",",
+                "\"flavor\":\"{}\",\"environment\":\"{}\",\"iteration\":{},",
+                "\"seed\":{},\"ticks_executed\":{},\"ticks_planned\":{},",
+                "\"isr\":{:.6},\"tick_p50_ms\":{:.3},\"tick_max_ms\":{:.3},",
+                "\"crashed\":{}}}"
+            ),
+            json_escape(&job.label()),
+            json_escape(&result.workload.to_string()),
+            json_escape(&result.flavor.to_string()),
+            json_escape(&result.environment),
+            result.iteration,
+            job.seed,
+            result.ticks_executed,
+            result.ticks_planned,
+            result.instability_ratio,
+            ticks.p50,
+            ticks.max,
+            result.crashed(),
+        );
+        self.write_line(&line);
+    }
+
+    fn on_campaign_end(&mut self) {
+        if self.error.is_none() {
+            if let Err(err) = self.writer.flush() {
+                self.error = Some(err);
+            }
+        }
+    }
+}
+
 /// Fans every callback out to two sinks, so e.g. a CSV stream and a progress
 /// display can observe the same run.
 #[derive(Debug)]
@@ -221,6 +397,11 @@ impl ResultSink for TeeSink<'_> {
     fn on_campaign_start(&mut self, plan: &CampaignPlan) {
         self.first.on_campaign_start(plan);
         self.second.on_campaign_start(plan);
+    }
+
+    fn on_tick(&mut self, job: &IterationJob, sample: &TickSample) {
+        self.first.on_tick(job, sample);
+        self.second.on_tick(job, sample);
     }
 
     fn on_result(&mut self, job: &IterationJob, result: &IterationResult) {

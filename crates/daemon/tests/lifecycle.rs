@@ -1,0 +1,233 @@
+//! Daemon lifecycle: pause → resume → shutdown must drain the sink stack
+//! exactly once, and the HTTP surface must serve live metrics while a
+//! campaign runs.
+//!
+//! Threading note: the campaign loop runs on a scoped thread
+//! (`std::thread::scope`) so the test thread can drive the handle; scoped
+//! threads join before the test returns.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+use std::time::Duration;
+
+use cloud_sim::environment::Environment;
+use meterstick::campaign::{CampaignPlan, IterationJob};
+use meterstick::{Campaign, IterationResult, ResultSink, TickSample};
+use meterstick_daemon::{http, Daemon, DaemonConfig, DaemonState};
+use meterstick_workloads::WorkloadKind;
+use mlg_server::ServerFlavor;
+
+/// Counts every sink callback; shared with the driving thread through
+/// atomics so the campaign thread can own the sink itself.
+#[derive(Default)]
+struct CountingSink {
+    starts: AtomicU64,
+    ticks: AtomicU64,
+    results: AtomicU64,
+    ends: AtomicU64,
+}
+
+impl ResultSink for &CountingSink {
+    fn on_campaign_start(&mut self, _plan: &CampaignPlan) {
+        self.starts.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn on_tick(&mut self, _job: &IterationJob, _sample: &TickSample) {
+        self.ticks.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn on_result(&mut self, _job: &IterationJob, _result: &IterationResult) {
+        self.results.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn on_campaign_end(&mut self) {
+        self.ends.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// A campaign long enough that the test always shuts it down mid-flight
+/// (3600 virtual seconds = 72k ticks).
+fn long_campaign() -> Campaign {
+    Campaign::new()
+        .workloads([WorkloadKind::Control])
+        .flavors([ServerFlavor::Vanilla])
+        .environments([Environment::das5(2)])
+        .duration_secs(3_600)
+        .iterations(1)
+}
+
+/// Polls `cond` until it holds or ~5 s elapse.
+fn wait_for(mut cond: impl FnMut() -> bool) -> bool {
+    for _ in 0..500 {
+        if cond() {
+            return true;
+        }
+        thread::sleep(Duration::from_millis(10));
+    }
+    false
+}
+
+#[test]
+fn pause_resume_shutdown_drains_sinks_exactly_once() {
+    let daemon = Daemon::new(DaemonConfig {
+        window: 64,
+        ..DaemonConfig::default()
+    });
+    let handle = daemon.handle();
+    let sink = CountingSink::default();
+
+    thread::scope(|scope| {
+        let runner = scope.spawn(|| {
+            let mut observer = &sink;
+            daemon
+                .run_campaign(&long_campaign(), &mut observer)
+                .expect("the campaign plan is valid")
+        });
+
+        // Let the loop tick, then pause it.
+        assert!(wait_for(|| sink.ticks.load(Ordering::SeqCst) > 10));
+        handle.pause();
+        assert_eq!(handle.state(), DaemonState::Paused);
+        // The loop blocks between ticks: after the pause takes effect the
+        // tick counter stops moving. Require three consecutive unchanged
+        // 10 ms-apart reads before trusting that the pause landed (control
+        // ticks take well under a millisecond, so a running loop cannot
+        // sit still for 30 ms).
+        let mut settled = sink.ticks.load(Ordering::SeqCst);
+        let mut stable_polls = 0;
+        assert!(wait_for(|| {
+            let now = sink.ticks.load(Ordering::SeqCst);
+            if now == settled {
+                stable_polls += 1;
+            } else {
+                stable_polls = 0;
+                settled = now;
+            }
+            stable_polls >= 3
+        }));
+        thread::sleep(Duration::from_millis(50));
+        assert_eq!(
+            sink.ticks.load(Ordering::SeqCst),
+            settled,
+            "a paused daemon must not execute ticks"
+        );
+
+        // Resume: ticks flow again.
+        handle.resume();
+        assert_eq!(handle.state(), DaemonState::Running);
+        assert!(wait_for(|| sink.ticks.load(Ordering::SeqCst) > settled));
+
+        // Shutdown aborts the (deliberately huge) iteration mid-flight.
+        handle.request_shutdown();
+        let results = runner.join().expect("campaign thread must not panic");
+        handle.mark_finished();
+
+        assert_eq!(handle.state(), DaemonState::Finished);
+        assert_eq!(sink.starts.load(Ordering::SeqCst), 1);
+        assert_eq!(
+            sink.ends.load(Ordering::SeqCst),
+            1,
+            "shutdown must drain the sink stack exactly once"
+        );
+        assert!(sink.ticks.load(Ordering::SeqCst) > 0);
+        // The aborted iteration is partial and must not be reported.
+        assert_eq!(sink.results.load(Ordering::SeqCst), 0);
+        assert!(results.is_empty());
+    });
+}
+
+#[test]
+fn completed_campaign_reports_results_and_history() {
+    let daemon = Daemon::new(DaemonConfig {
+        window: 32,
+        ..DaemonConfig::default()
+    });
+    let handle = daemon.handle();
+    let sink = CountingSink::default();
+    let mut observer = &sink;
+    let campaign = Campaign::new()
+        .workloads([WorkloadKind::Control])
+        .flavors([ServerFlavor::Vanilla])
+        .environments([Environment::das5(2)])
+        .duration_secs(2)
+        .iterations(2);
+    let results = daemon
+        .run_campaign(&campaign, &mut observer)
+        .expect("valid campaign");
+    handle.mark_finished();
+
+    assert_eq!(results.len(), 2);
+    assert_eq!(sink.results.load(Ordering::SeqCst), 2);
+    assert_eq!(sink.ends.load(Ordering::SeqCst), 1);
+    handle.with_stats(|stats| {
+        assert_eq!(stats.history.iterations_completed(), 2);
+        assert!(stats.history.total_ticks() > 0);
+        assert!(stats.history.len() <= 32, "history must stay windowed");
+        assert!(stats.history.last_iteration_isr().is_some());
+        assert!(stats.finished);
+    });
+    // Observed ticks flow through the sink's on_tick exactly once per
+    // executed tick.
+    let total = handle.with_stats(|stats| stats.history.total_ticks());
+    assert_eq!(sink.ticks.load(Ordering::SeqCst), total);
+}
+
+#[test]
+fn http_surface_serves_live_metrics_and_controls_the_loop() {
+    let daemon = Daemon::new(DaemonConfig {
+        window: 64,
+        ..DaemonConfig::default()
+    });
+    let handle = daemon.handle();
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("ephemeral port");
+    let addr = listener.local_addr().unwrap();
+    let server = http::spawn(listener, handle.clone()).expect("server starts");
+
+    let sink = CountingSink::default();
+    thread::scope(|scope| {
+        let runner = scope.spawn(|| {
+            let mut observer = &sink;
+            daemon
+                .run_campaign(&long_campaign(), &mut observer)
+                .expect("valid campaign")
+        });
+        assert!(wait_for(|| sink.ticks.load(Ordering::SeqCst) > 10));
+
+        // Live scrape while the campaign runs.
+        let (status, body) = http::fetch(addr, "GET", "/metrics", usize::MAX).unwrap();
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("meterstick_ticks_total"));
+        assert!(body.contains("meterstick_stage_busy_ms_mean{stage=\"player\"}"));
+        assert!(body.contains("meterstick_window_overload_ratio"));
+
+        let (status, body) = http::fetch(addr, "GET", "/status", usize::MAX).unwrap();
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("\"state\":\"running\""), "{body}");
+
+        // Pause over HTTP, confirm, resume.
+        let (status, body) = http::fetch(addr, "POST", "/pause", usize::MAX).unwrap();
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("\"state\":\"paused\""), "{body}");
+        assert!(handle.is_paused());
+        let (_, body) = http::fetch(addr, "POST", "/resume", usize::MAX).unwrap();
+        assert!(body.contains("\"state\":\"running\""), "{body}");
+
+        // An SSE subscriber sees live tick events (read a few KB of the
+        // stream, then hang up).
+        let (status, events) = http::fetch(addr, "GET", "/events", 4_096).unwrap();
+        assert!(status.contains("200"), "{status}");
+        assert!(events.contains("data: {\"type\":\"tick\""), "{events}");
+        assert!(events.contains("\"busy_ms\""), "{events}");
+
+        let (_, body) = http::fetch(addr, "GET", "/alerts", usize::MAX).unwrap();
+        assert!(body.starts_with('['), "{body}");
+
+        // Shutdown over HTTP stops the loop and the accept thread.
+        let (status, _) = http::fetch(addr, "POST", "/shutdown", usize::MAX).unwrap();
+        assert!(status.contains("200"), "{status}");
+        runner.join().expect("campaign thread must not panic");
+    });
+    handle.mark_finished();
+    server.join().expect("HTTP thread exits after shutdown");
+    assert_eq!(sink.ends.load(Ordering::SeqCst), 1);
+}

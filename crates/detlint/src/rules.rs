@@ -131,6 +131,10 @@ pub struct FileOutcome {
 
 /// Crate directories on the tick path, where hash-order iteration leaks
 /// into merged tick output.
+///
+/// The `daemon` crate is deliberately **not** here: it observes ticks
+/// after the fact through `TickObserver` and can never feed data back
+/// into the simulation, so its containers cannot perturb tick output.
 pub const TICK_PATH_CRATES: [&str; 5] = [
     "mlg-world",
     "mlg-entity",
@@ -139,14 +143,29 @@ pub const TICK_PATH_CRATES: [&str; 5] = [
     "mlg-protocol",
 ];
 
-/// Crate directories exempt from the wall-clock rule (the benchmark harness
-/// legitimately measures host time).
-pub const WALL_CLOCK_EXEMPT_CRATES: [&str; 1] = ["bench"];
+/// Crate directories exempt from the wall-clock rule:
+///
+/// * `bench` — the benchmark harness legitimately measures host time;
+/// * `daemon` — the resident daemon *presents* runs in wall-clock terms
+///   (real-time pacing, liveness of SSE streams); it sits outside the
+///   tick loop, whose modeled time stays host-clock-free.
+pub const WALL_CLOCK_EXEMPT_CRATES: [&str; 2] = ["bench", "daemon"];
 
-/// Files allowed to create threads: the persistent tick worker pool and the
-/// scoped fan-out it replaced (both `mlg_world` internals behind
-/// `TickPipeline::scope()`).
-pub const SPAWN_EXEMPT_FILES: [&str; 1] = ["crates/mlg-world/src/pool.rs"];
+/// Files allowed to create threads:
+///
+/// * the persistent tick worker pool (all tick fan-out goes through
+///   `TickPipeline::scope()`);
+/// * the daemon's HTTP surface (the accept thread and per-connection
+///   threads are control plane, not tick fan-out, and touch simulation
+///   state only through the `DaemonHandle` lock).
+pub const SPAWN_EXEMPT_FILES: [&str; 2] =
+    ["crates/mlg-world/src/pool.rs", "crates/daemon/src/http.rs"];
+
+/// Crate directories exempt from the debug-output rule in *library* code.
+/// Split from [`WALL_CLOCK_EXEMPT_CRATES`] on purpose: the daemon crate is
+/// wall-clock-exempt but its library must still route output through
+/// sinks/streams, never print.
+pub const DEBUG_OUTPUT_EXEMPT_CRATES: [&str; 1] = ["bench"];
 
 /// Library files exempt from the debug-output rule: result sinks write to
 /// their configured streams by design.
@@ -191,7 +210,7 @@ pub fn check_file(ctx: &FileContext, source: &str) -> FileOutcome {
         check_bare_spawn(ctx, &tokens, &mut raw);
     }
     if ctx.kind == TargetKind::Lib
-        && !ctx.crate_in(&WALL_CLOCK_EXEMPT_CRATES)
+        && !ctx.crate_in(&DEBUG_OUTPUT_EXEMPT_CRATES)
         && !DEBUG_OUTPUT_EXEMPT_FILES.contains(&ctx.rel_path.as_str())
     {
         check_debug_output(ctx, &tokens, &mut raw);

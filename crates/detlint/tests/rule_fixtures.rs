@@ -114,6 +114,15 @@ fn wall_clock_respects_line_waiver_and_file_marker() {
     assert!(outcome.waivers[0].file_level);
 }
 
+#[test]
+fn wall_clock_is_exempt_in_daemon_crate_by_table() {
+    // The resident daemon presents runs in wall-clock terms (pacing, SSE
+    // liveness); the crate is classified in WALL_CLOCK_EXEMPT_CRATES
+    // rather than accreting per-line waivers.
+    let src = "fn f() { let _t = std::time::Instant::now(); }\n";
+    assert!(rules_at("crates/daemon/src/fixture.rs", src).is_empty());
+}
+
 // ---------------------------------------------------------------- rule 3
 
 #[test]
@@ -206,6 +215,19 @@ fn scoped_helpers_are_not_bare_spawns() {
 }
 
 #[test]
+fn daemon_http_surface_may_spawn_but_the_rest_of_the_crate_may_not() {
+    // Control-plane threads (accept loop, per-connection handlers) are
+    // confined to the daemon's http.rs; thread creation anywhere else in
+    // the crate still violates the contract.
+    let src = "fn f() { std::thread::spawn(|| {}); }\n";
+    assert!(rules_at("crates/daemon/src/http.rs", src).is_empty());
+    assert_eq!(
+        rules_at("crates/daemon/src/daemon.rs", src),
+        vec![RuleId::NoBareSpawn]
+    );
+}
+
+#[test]
 fn bare_spawn_respects_waiver() {
     let src = "// detlint: allow(no-bare-spawn) -- fixture exercising the waiver path\n\
                fn f() { std::thread::spawn(|| {}); }\n";
@@ -235,6 +257,21 @@ fn debug_output_is_exempt_in_binaries_sinks_and_bench() {
     assert!(rules_at("crates/bench/src/fixture.rs", src).is_empty());
     assert!(rules_at("tests/fixture.rs", src).is_empty());
     assert!(rules_at("examples/fixture.rs", src).is_empty());
+}
+
+#[test]
+fn debug_output_still_fires_in_the_daemon_library() {
+    // The wall-clock and debug-output exemption tables are split on
+    // purpose: the daemon crate is wall-clock-exempt, but its library
+    // must still route output through sinks, never print.
+    let src = "fn f() { println!(\"x\"); }\n";
+    assert_eq!(
+        rules_at("crates/daemon/src/daemon.rs", src),
+        vec![RuleId::NoDebugOutput]
+    );
+    // The daemon binary, like every binary, may print.
+    let bin = "fn main() { println!(\"x\"); }\n";
+    assert!(rules_at("crates/daemon/src/main.rs", bin).is_empty());
 }
 
 #[test]

@@ -10,7 +10,7 @@ fn the_workspace_lints_clean() {
     let root = workspace_root_from_build();
     let report = lint_workspace(&root).expect("workspace sources are readable");
     assert!(
-        report.crates_scanned >= 11,
+        report.crates_scanned >= 12,
         "sanity: the walk found the member crates (got {})",
         report.crates_scanned
     );

@@ -115,6 +115,30 @@ pub struct TickSummary {
     pub crash: Option<ServerCrash>,
 }
 
+impl TickSummary {
+    /// The tick's computation time in milliseconds (shorthand for
+    /// `record.busy_ms`; live observers read this every tick).
+    #[must_use]
+    pub fn busy_ms(&self) -> f64 {
+        self.record.busy_ms
+    }
+
+    /// The full tick period in milliseconds (`max(busy, budget)` plus any
+    /// catch-up backlog).
+    #[must_use]
+    pub fn period_ms(&self) -> f64 {
+        self.record.period_ms
+    }
+
+    /// `true` when computation overran `budget_ms` — the per-tick predicate
+    /// the paper's ISR counts and the daemon's tick-overload alert fires
+    /// on.
+    #[must_use]
+    pub fn is_overloaded(&self, budget_ms: f64) -> bool {
+        self.record.busy_ms > budget_ms
+    }
+}
+
 /// The Minecraft-like game server.
 pub struct GameServer {
     config: ServerConfig,

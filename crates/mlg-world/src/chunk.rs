@@ -146,6 +146,146 @@ impl Chunk {
         old
     }
 
+    /// Fills the vertical run `y_lo..=y_hi` of column `(x, z)` with `block`,
+    /// clamping the run to the world's vertical bounds.
+    ///
+    /// Behaviourally identical to calling [`Chunk::set_block`] for every `y`
+    /// in ascending order, but the palette slot is acquired once for the
+    /// whole run and the heightmap, light-dirty and non-air bookkeeping are
+    /// settled once per column instead of once per block — this is the bulk
+    /// write path terrain generators use, which is what keeps lazy
+    /// generation off the per-block palette write path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `z` are outside `0..CHUNK_SIZE`.
+    pub fn fill_column(&mut self, x: usize, z: usize, y_lo: i32, y_hi: i32, block: Block) {
+        assert!(x < CHUNK_SIZE && z < CHUNK_SIZE, "local xz out of range");
+        let y_lo = y_lo.max(0);
+        let y_hi = y_hi.min(WORLD_HEIGHT as i32 - 1);
+        if y_lo > y_hi {
+            return;
+        }
+        let start = Self::index(x, y_lo, z).expect("run clamped to world bounds");
+        let count = (y_hi - y_lo + 1) as usize;
+        let new_opacity = block.kind().light_opacity();
+        let mut non_air_delta: i64 = 0;
+        let mut opacity_changed = false;
+        let changed =
+            self.store
+                .fill_strided(start, CHUNK_SIZE * CHUNK_SIZE, count, block, |old, n| {
+                    match (old.is_air(), block.is_air()) {
+                        (true, false) => non_air_delta += i64::from(n),
+                        (false, true) => non_air_delta -= i64::from(n),
+                        _ => {}
+                    }
+                    if old.kind().light_opacity() != new_opacity {
+                        opacity_changed = true;
+                    }
+                });
+        if changed == 0 {
+            return;
+        }
+        self.dirty = true;
+        self.non_air = u32::try_from(i64::from(self.non_air) + non_air_delta)
+            .expect("non-air counter stays within the chunk volume");
+        if opacity_changed {
+            let col = z * CHUNK_SIZE + x;
+            self.light_dirty[col / 64] |= 1u64 << (col % 64);
+        }
+        let hm_idx = z * CHUNK_SIZE + x;
+        let current = self.heightmap[hm_idx];
+        if !block.is_air() {
+            if y_hi as i16 > current {
+                self.heightmap[hm_idx] = y_hi as i16;
+            }
+        } else if (y_lo as i16..=y_hi as i16).contains(&current) {
+            // The run cleared the column top: scan downwards below the run
+            // for the new top, exactly as per-block removal would.
+            let mut new_top = -1;
+            for yy in (0..y_lo).rev() {
+                if let Some(i) = Self::index(x, yy, z) {
+                    if !self.store.get(i).is_air() {
+                        new_top = yy as i16;
+                        break;
+                    }
+                }
+            }
+            self.heightmap[hm_idx] = new_top;
+        }
+    }
+
+    /// Fills the full horizontal slab `y_lo..=y_hi` (every `(x, z)` column)
+    /// with `block`, clamping the range to the world's vertical bounds.
+    ///
+    /// Stored blocks, the heightmap and the non-air counter end up exactly
+    /// as if [`Chunk::fill_column`] had been called for all 256 columns,
+    /// but the palette write is a single contiguous run (the y-major index
+    /// layout makes a horizontal slab one contiguous range), which is what
+    /// lets uniform-layer generators skip per-column work entirely. The
+    /// light-dirty mask is settled conservatively: if any replaced block
+    /// changed opacity, every column is marked (columns the fill did not
+    /// actually change are over-invalidated, never under-invalidated —
+    /// safe for the relight cache, which only ever *skips* work on clean
+    /// columns).
+    pub fn fill_slab(&mut self, y_lo: i32, y_hi: i32, block: Block) {
+        let y_lo = y_lo.max(0);
+        let y_hi = y_hi.min(WORLD_HEIGHT as i32 - 1);
+        if y_lo > y_hi {
+            return;
+        }
+        let start = Self::index(0, y_lo, 0).expect("run clamped to world bounds");
+        let count = (y_hi - y_lo + 1) as usize * CHUNK_SIZE * CHUNK_SIZE;
+        let new_opacity = block.kind().light_opacity();
+        let mut non_air_delta: i64 = 0;
+        let mut opacity_changed = false;
+        let changed = self.store.fill_strided(start, 1, count, block, |old, n| {
+            match (old.is_air(), block.is_air()) {
+                (true, false) => non_air_delta += i64::from(n),
+                (false, true) => non_air_delta -= i64::from(n),
+                _ => {}
+            }
+            if old.kind().light_opacity() != new_opacity {
+                opacity_changed = true;
+            }
+        });
+        if changed == 0 {
+            return;
+        }
+        self.dirty = true;
+        self.non_air = u32::try_from(i64::from(self.non_air) + non_air_delta)
+            .expect("non-air counter stays within the chunk volume");
+        if opacity_changed {
+            self.light_dirty = [!0; LIGHT_DIRTY_WORDS];
+        }
+        if !block.is_air() {
+            let top = y_hi as i16;
+            for hm in &mut self.heightmap {
+                if top > *hm {
+                    *hm = top;
+                }
+            }
+        } else {
+            for x in 0..CHUNK_SIZE {
+                for z in 0..CHUNK_SIZE {
+                    let hm_idx = z * CHUNK_SIZE + x;
+                    if (y_lo as i16..=y_hi as i16).contains(&self.heightmap[hm_idx]) {
+                        let mut new_top = -1;
+                        for yy in (0..y_lo).rev() {
+                            if let Some(i) = Self::index(x, yy, z) {
+                                if !self.store.get(i).is_air() {
+                                    new_top = yy as i16;
+                                    break;
+                                }
+                            }
+                        }
+                        self.heightmap[hm_idx] = new_top;
+                    }
+                }
+            }
+        }
+    }
+
     fn update_heightmap_column(&mut self, x: usize, z: usize, y: i32, placed: Block) {
         let hm_idx = z * CHUNK_SIZE + x;
         let current = self.heightmap[hm_idx];
@@ -272,9 +412,141 @@ impl Chunk {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn chunk() -> Chunk {
         Chunk::empty(ChunkPos::new(0, 0))
+    }
+
+    /// Asserts two chunks are observably identical: blocks, heightmap,
+    /// non-air count, dirty flag and per-column light-dirty bits.
+    fn assert_chunks_equivalent(a: &Chunk, b: &Chunk, ctx: &str) {
+        assert_eq!(a.non_air_blocks(), b.non_air_blocks(), "non_air: {ctx}");
+        assert_eq!(a.is_dirty(), b.is_dirty(), "dirty: {ctx}");
+        for x in 0..CHUNK_SIZE {
+            for z in 0..CHUNK_SIZE {
+                assert_eq!(
+                    a.height_at(x, z),
+                    b.height_at(x, z),
+                    "height {x},{z}: {ctx}"
+                );
+                assert_eq!(
+                    a.light_dirty_in(x, x, z, z),
+                    b.light_dirty_in(x, x, z, z),
+                    "light_dirty {x},{z}: {ctx}"
+                );
+                for y in 0..WORLD_HEIGHT as i32 {
+                    assert_eq!(
+                        a.block(x, y, z),
+                        b.block(x, y, z),
+                        "block {x},{y},{z}: {ctx}"
+                    );
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn fill_column_equals_per_block_set(seed in any::<u64>()) {
+            // Random column fills (including out-of-bounds ranges that must
+            // clamp, air fills, and refills) applied to one chunk via
+            // `fill_column` and to a sibling via per-block `set_block`,
+            // with `compact_storage` (palette gc) interleaved mid-sequence.
+            let palette = [
+                Block::AIR,
+                Block::simple(BlockKind::Stone),
+                Block::simple(BlockKind::Dirt),
+                Block::simple(BlockKind::Grass),
+                Block::simple(BlockKind::Water),
+                Block::simple(BlockKind::Sand),
+                Block::simple(BlockKind::Log),
+                Block::with_state(BlockKind::RedstoneDust, 3),
+            ];
+            let mut a = chunk();
+            let mut b = chunk();
+            let mut s = seed;
+            let mut next = || {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s
+            };
+            for op in 0..40u32 {
+                let x = (next() % CHUNK_SIZE as u64) as usize;
+                let z = (next() % CHUNK_SIZE as u64) as usize;
+                // Biased toward in-bounds but can start below 0 / end above
+                // the world height to exercise clamping.
+                let y_lo = (next() % 140) as i32 - 6;
+                let y_hi = y_lo + (next() % 70) as i32 - 4;
+                let block = palette[(next() % palette.len() as u64) as usize];
+                a.fill_column(x, z, y_lo, y_hi, block);
+                for y in y_lo..=y_hi {
+                    b.set_block(x, y, z, block);
+                }
+                if op % 9 == 8 {
+                    a.compact_storage();
+                    b.compact_storage();
+                }
+            }
+            assert_chunks_equivalent(&a, &b, &format!("seed {seed}"));
+        }
+
+        #[test]
+        fn fill_slab_equals_per_column_fill(seed in any::<u64>()) {
+            // Random slab fills against 256 equivalent per-column fills:
+            // blocks, heightmap, non-air and dirty must match exactly; the
+            // slab's light-dirty mask is allowed to be a superset (it
+            // over-invalidates conservatively, never under-invalidates).
+            let palette = [
+                Block::AIR,
+                Block::simple(BlockKind::Stone),
+                Block::simple(BlockKind::Dirt),
+                Block::simple(BlockKind::Water),
+                Block::with_state(BlockKind::RedstoneDust, 3),
+            ];
+            let mut a = chunk();
+            let mut b = chunk();
+            let mut s = seed;
+            let mut next = || {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s
+            };
+            for op in 0..12u32 {
+                let y_lo = (next() % 140) as i32 - 6;
+                let y_hi = y_lo + (next() % 70) as i32 - 4;
+                let block = palette[(next() % palette.len() as u64) as usize];
+                a.fill_slab(y_lo, y_hi, block);
+                for x in 0..CHUNK_SIZE {
+                    for z in 0..CHUNK_SIZE {
+                        b.fill_column(x, z, y_lo, y_hi, block);
+                    }
+                }
+                if op % 5 == 4 {
+                    a.compact_storage();
+                    b.compact_storage();
+                }
+            }
+            assert_eq!(a.non_air_blocks(), b.non_air_blocks(), "seed {seed}");
+            assert_eq!(a.is_dirty(), b.is_dirty(), "seed {seed}");
+            for x in 0..CHUNK_SIZE {
+                for z in 0..CHUNK_SIZE {
+                    assert_eq!(a.height_at(x, z), b.height_at(x, z), "{x},{z} seed {seed}");
+                    if b.light_dirty_in(x, x, z, z) {
+                        assert!(
+                            a.light_dirty_in(x, x, z, z),
+                            "slab must dirty every column per-column fills dirty \
+                             ({x},{z} seed {seed})"
+                        );
+                    }
+                    for y in 0..WORLD_HEIGHT as i32 {
+                        assert_eq!(a.block(x, y, z), b.block(x, y, z), "{x},{y},{z} seed {seed}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

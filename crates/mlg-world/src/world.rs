@@ -10,7 +10,7 @@
 //! deterministic (shard-major, insertion) order, never hash order, so
 //! everything derived from it is reproducible run-to-run.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
@@ -178,17 +178,37 @@ struct RelightEntry {
 /// as air while the lazy path generates them: near the loaded-area edge the
 /// two can legitimately count different flood sets.
 ///
-/// The map is only ever probed (`get`/`insert`/`clear`) — never iterated —
+/// The map is only ever probed (`get`/`insert`/`remove`) — never iterated —
 /// so hash order cannot leak into modeled output (the detlint contract).
-#[derive(Debug, Default)]
+/// Bounded eviction order comes from the side `queue`, which records first
+/// insertion order: a deterministic FIFO, independent of hash layout.
+#[derive(Debug)]
 struct RelightCache {
     entries: HashMap<(BlockPos, bool), RelightEntry>,
+    /// Keys in first-insertion order; exactly the map's key set (an updated
+    /// entry keeps its queue position, so `queue.len() == entries.len()`
+    /// always holds and evicting the front is O(1)).
+    queue: VecDeque<(BlockPos, bool)>,
     /// Monotone pass counter; incremented by [`World::begin_relight_pass`].
     pass: u64,
+    /// Entry cap; reaching it evicts the oldest-inserted entry instead of
+    /// (as before this was bounded) clearing the whole cache, so a working
+    /// set near the cap keeps its hit rate. Configurable for tests only.
+    cap: usize,
 }
 
-/// Wholesale-eviction cap for the relight cache: deterministic (clearing
-/// everything has no order dependence) and bounds memory on worlds that
+impl Default for RelightCache {
+    fn default() -> Self {
+        RelightCache {
+            entries: HashMap::new(),
+            queue: VecDeque::new(),
+            pass: 0,
+            cap: RELIGHT_CACHE_CAP,
+        }
+    }
+}
+
+/// Default eviction cap for the relight cache: bounds memory on worlds that
 /// relight unbounded position sets.
 const RELIGHT_CACHE_CAP: usize = 1 << 16;
 
@@ -614,19 +634,46 @@ impl World {
     }
 
     /// Memoizes a relight count computed during the current pass.
+    ///
+    /// At the cap the oldest-inserted entry is evicted (deterministic FIFO
+    /// by first insertion, via the cache's side queue — hash order is never
+    /// consulted). Re-memoizing an existing key updates it in place and
+    /// keeps its queue position, preserving the 1:1 map↔queue invariant.
     pub(crate) fn insert_relight(&mut self, pos: BlockPos, frozen: bool, total: u32) {
-        if self.relight.entries.len() >= RELIGHT_CACHE_CAP {
-            // Deterministic wholesale eviction: clearing has no order
-            // dependence, unlike any per-entry replacement policy would.
-            self.relight.entries.clear();
+        let entry = RelightEntry {
+            tag: self.relight.pass,
+            total,
+        };
+        if let Some(slot) = self.relight.entries.get_mut(&(pos, frozen)) {
+            *slot = entry;
+            return;
         }
-        self.relight.entries.insert(
-            (pos, frozen),
-            RelightEntry {
-                tag: self.relight.pass,
-                total,
-            },
-        );
+        if self.relight.entries.len() >= self.relight.cap {
+            let oldest = self
+                .relight
+                .queue
+                .pop_front()
+                .expect("cache at cap implies a non-empty queue");
+            self.relight.entries.remove(&oldest);
+        }
+        self.relight.queue.push_back((pos, frozen));
+        self.relight.entries.insert((pos, frozen), entry);
+    }
+
+    /// Shrinks the relight-cache cap (tests only: exercises eviction
+    /// without building a 2^16-entry working set).
+    #[cfg(test)]
+    pub(crate) fn set_relight_cache_cap(&mut self, cap: usize) {
+        assert!(cap > 0, "a zero cap cannot hold the entry being inserted");
+        self.relight.cap = cap;
+        while self.relight.entries.len() > cap {
+            let oldest = self
+                .relight
+                .queue
+                .pop_front()
+                .expect("map and queue stay 1:1");
+            self.relight.entries.remove(&oldest);
+        }
     }
 
     /// Closes a relight pass: folds every dirtied chunk's light-dirty mask
@@ -914,6 +961,93 @@ mod tests {
         assert!(w.loaded_chunk_count() < before || store.is_empty());
         w.put_shard_store(1, store);
         assert_eq!(w.loaded_chunk_count(), before);
+    }
+
+    /// Spreads cache keys across far-apart, unloaded chunks so the
+    /// structural validity check (which only consults loaded chunks) is
+    /// trivially clean and tests observe pure eviction behaviour.
+    fn far_pos(i: i32) -> BlockPos {
+        BlockPos::new(i * 1000, 60, -i * 1000)
+    }
+
+    #[test]
+    fn relight_cache_hit_rate_survives_cap_pressure() {
+        let mut w = world();
+        w.set_relight_cache_cap(8);
+        w.begin_relight_pass();
+        for i in 0..8 {
+            w.insert_relight(far_pos(i), true, i as u32);
+        }
+        for i in 0..8 {
+            assert_eq!(w.cached_relight(far_pos(i), true), Some(i as u32));
+        }
+        // Crossing the cap evicts exactly the oldest entry; the wholesale
+        // clear this replaces would have dropped all eight.
+        w.insert_relight(far_pos(8), true, 8);
+        assert_eq!(w.cached_relight(far_pos(0), true), None, "oldest evicted");
+        for i in 1..=8 {
+            assert_eq!(
+                w.cached_relight(far_pos(i), true),
+                Some(i as u32),
+                "entry {i} lost under cap pressure"
+            );
+        }
+        w.end_relight_pass();
+    }
+
+    #[test]
+    fn relight_cache_update_keeps_first_insertion_order() {
+        let mut w = world();
+        w.set_relight_cache_cap(2);
+        w.begin_relight_pass();
+        w.insert_relight(far_pos(1), false, 10);
+        w.insert_relight(far_pos(2), false, 20);
+        // Re-memoizing an existing key updates in place (no queue growth,
+        // no duplicate): FIFO order stays first-insertion, so the next
+        // insert at cap still evicts key 1.
+        w.insert_relight(far_pos(1), false, 11);
+        assert_eq!(w.cached_relight(far_pos(1), false), Some(11));
+        w.insert_relight(far_pos(3), false, 30);
+        assert_eq!(w.cached_relight(far_pos(1), false), None);
+        assert_eq!(w.cached_relight(far_pos(2), false), Some(20));
+        assert_eq!(w.cached_relight(far_pos(3), false), Some(30));
+        // The 1:1 map<->queue invariant holds through further churn: each
+        // insert evicts exactly one entry, never more.
+        w.insert_relight(far_pos(4), false, 40);
+        assert_eq!(w.cached_relight(far_pos(2), false), None);
+        assert_eq!(w.cached_relight(far_pos(3), false), Some(30));
+        assert_eq!(w.cached_relight(far_pos(4), false), Some(40));
+        w.end_relight_pass();
+    }
+
+    #[test]
+    fn relight_cache_frozen_and_lazy_entries_are_distinct() {
+        let mut w = world();
+        w.begin_relight_pass();
+        w.insert_relight(far_pos(1), true, 7);
+        w.insert_relight(far_pos(1), false, 9);
+        assert_eq!(w.cached_relight(far_pos(1), true), Some(7));
+        assert_eq!(w.cached_relight(far_pos(1), false), Some(9));
+        w.end_relight_pass();
+    }
+
+    #[test]
+    fn relight_cache_misses_after_overlapping_generation() {
+        let mut w = world();
+        let pos = BlockPos::new(8, 60, 8);
+        w.begin_relight_pass();
+        w.insert_relight(pos, true, 42);
+        assert_eq!(w.cached_relight(pos, true), Some(42));
+        // Generating the chunk under the cached window leaves its freshly
+        // filled columns light-dirty, so the entry must structurally miss
+        // rather than serve a count computed against an air window.
+        w.ensure_chunk(pos.chunk());
+        assert_eq!(
+            w.cached_relight(pos, true),
+            None,
+            "stale entry survived generation under its window"
+        );
+        w.end_relight_pass();
     }
 
     #[test]
