@@ -492,6 +492,144 @@ fn bench_chunk_storage(c: &mut Criterion) {
     group.finish();
 }
 
+/// Scaled-population substrate costs: per-tick entity cost must grow
+/// ~linearly in the live population (compare the `manager_tick_*` rows:
+/// doubling the population should roughly double the time, not quadruple
+/// it), despawn churn must not be quadratic (the `despawn_churn_*` rows
+/// scale with the removals, not removals × population — the SoA store
+/// removes in O(log n)), and area-of-interest dissemination must beat the
+/// full broadcast on a scattered swarm (`horde_step_*`). Wins smaller than
+/// the `noise_floor` group's spread are noise; the group prints the
+/// modeled dissemination-byte cut up front because that ratio — unlike
+/// wall time — is exact and noise-free. Current numbers are recorded in
+/// `docs/ARCHITECTURE.md`'s performance notes.
+fn bench_entity_scaling(c: &mut Criterion) {
+    use mlg_entity::{EntityId, EntityKind, EntityManager, Vec3};
+
+    // The modeled byte cut on the full-scale Horde (5,000 scattered
+    // builder bots): tick-phase dissemination bytes with area-of-interest
+    // sets vs the full broadcast, measured over the same three ticks of
+    // the identical simulation. Deterministic, so any ratio below 5x is a
+    // regression, not noise.
+    let tick_bytes = |aoi: bool| -> u64 {
+        let built = WorkloadSpec::new(WorkloadKind::Horde).build(392_114_485);
+        let config = ServerConfig::for_flavor(ServerFlavor::Folia)
+            .with_view_distance(2)
+            .with_aoi_dissemination(Some(aoi));
+        let mut emulation = PlayerEmulation::new(
+            built.players.bots,
+            built.spawn_point,
+            built.players.walk_area,
+            built.players.moving,
+            LinkConfig::datacenter(),
+            7,
+        )
+        .with_builders()
+        .scattered(built.spawn_point, built.players.scatter, 7);
+        let mut server = GameServer::new(config, built.world, built.spawn_point);
+        emulation.connect_all(&mut server);
+        let joined = server.traffic_summary().total_bytes();
+        let mut engine = Environment::das5(4).instantiate(1).engine;
+        for _ in 0..3 {
+            emulation.step(&mut server, &mut engine);
+        }
+        server.traffic_summary().total_bytes() - joined
+    };
+    let aoi_bytes = tick_bytes(true);
+    let broadcast_bytes = tick_bytes(false);
+    println!(
+        "entity_scaling: Horde dissemination {broadcast_bytes} B broadcast vs {aoi_bytes} B \
+         with AoI sets = {:.1}x cut (threshold 5x; exact model counts, no noise floor applies)",
+        broadcast_bytes as f64 / aoi_bytes.max(1) as f64
+    );
+
+    let populated = |n: usize| -> (EntityManager, World, Vec<EntityId>) {
+        let world = World::new(Box::new(FlatGenerator::grassland()), 7);
+        let mut manager = EntityManager::new(7);
+        manager.natural_spawning = false;
+        let mut s = 0x5EED_u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let ids = (0..n)
+            .map(|_| {
+                let pos = Vec3::new(
+                    (next() % 384) as f64 - 192.0,
+                    62.0,
+                    (next() % 384) as f64 - 192.0,
+                );
+                manager.spawn(EntityKind::Cow, pos)
+            })
+            .collect();
+        (manager, world, ids)
+    };
+
+    let mut group = c.benchmark_group("entity_scaling");
+    group.sample_size(10);
+    for n in [1_000usize, 2_000, 4_000] {
+        group.bench_function(format!("manager_tick_{n}_mobs"), |b| {
+            let (mut manager, mut world, _) = populated(n);
+            // Settle physics (and lazy chunk generation) out of the
+            // measurement.
+            for _ in 0..5 {
+                manager.tick(&mut world, &[Vec3::ZERO]);
+            }
+            b.iter(|| manager.tick(&mut world, &[Vec3::ZERO]));
+        });
+    }
+    // Despawn-heavy churn: remove the entire population one id at a time.
+    // Under the old dense-Vec storage each removal shifted the tail, so
+    // this whole row was quadratic in the population.
+    for n in [1_000usize, 4_000] {
+        group.bench_function(format!("despawn_churn_{n}"), |b| {
+            b.iter_batched(
+                || populated(n),
+                |(mut manager, _world, ids)| {
+                    for id in ids {
+                        manager.remove(id);
+                    }
+                    manager
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    // Wall-clock side of the dissemination cut, at a swarm scale where the
+    // broadcast variant is still benchable.
+    for (name, aoi) in [
+        ("horde_step_aoi_sets", true),
+        ("horde_step_broadcast", false),
+    ] {
+        group.bench_function(name, |b| {
+            let built = WorkloadSpec::new(WorkloadKind::Horde).build(392_114_485);
+            let config = ServerConfig::for_flavor(ServerFlavor::Folia)
+                .with_view_distance(2)
+                .with_aoi_dissemination(Some(aoi));
+            let mut emulation = PlayerEmulation::new(
+                1_500,
+                built.spawn_point,
+                built.players.walk_area,
+                built.players.moving,
+                LinkConfig::datacenter(),
+                7,
+            )
+            .with_builders()
+            .scattered(built.spawn_point, built.players.scatter, 7);
+            let mut server = GameServer::new(config, built.world, built.spawn_point);
+            emulation.connect_all(&mut server);
+            let mut engine = Environment::das5(8).instantiate(1).engine;
+            for _ in 0..10 {
+                emulation.step(&mut server, &mut engine);
+            }
+            b.iter(|| emulation.step(&mut server, &mut engine));
+        });
+    }
+    group.finish();
+}
+
 fn bench_player_emulation(c: &mut Criterion) {
     c.bench_function("players_workload_tick_25_bots", |b| {
         let (mut server, mut emulation) = prepared_server(WorkloadKind::Players);
@@ -515,6 +653,7 @@ criterion_group!(
     bench_worker_pool,
     bench_noise_floor,
     bench_chunk_storage,
+    bench_entity_scaling,
     bench_player_emulation
 );
 criterion_main!(benches);

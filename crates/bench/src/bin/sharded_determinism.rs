@@ -29,6 +29,15 @@ fn main() {
             // batching (interior parallel phase + serial escalation of
             // cross-shard edits) is exercised, not just terrain/entities.
             WorkloadKind::Crowd,
+            // The scaled-population swarm: 5,000 scattered builder bots,
+            // disseminated through per-packet area-of-interest sets. This
+            // is the one workload where interest sets differ per player,
+            // so the bucket-grid interest computation itself is pinned
+            // thread-count invariant here (and overload crash timing with
+            // it — the swarm deliberately drives the server past the
+            // keep-alive window, like the paper's MF2 finding at 10-100x
+            // population).
+            WorkloadKind::Horde,
         ])
         // Folia only: serial flavors never enter the tick pipeline, so
         // their thread invariance is structural (tick_threads is excluded

@@ -184,6 +184,9 @@ fn prepare(
     if built.players.building {
         emulation = emulation.with_builders();
     }
+    if built.players.scatter > 0 {
+        emulation = emulation.scattered(built.spawn_point, built.players.scatter, seed);
+    }
     let mut server = GameServer::new(server_config, built.world, built.spawn_point);
     emulation.connect_all(&mut server);
     for (kind, pos) in &built.ambient_entities {

@@ -106,7 +106,12 @@ pub struct CsvSink<W: Write> {
 /// columns carry the tick stage graph's per-stage busy-time totals
 /// (milliseconds summed over the iteration's ticks), so a CSV diff across
 /// architecture axes shows *which stage* an optimization moved.
-pub const CSV_COLUMNS: [&str; 21] = [
+/// `dissemination_bytes` is the iteration's total clientbound traffic as
+/// delivered (per-recipient wire bytes, including join-time chunk
+/// streaming) — under area-of-interest dissemination this shrinks with the
+/// summed interest-set sizes while the assembled packet stream stays the
+/// same.
+pub const CSV_COLUMNS: [&str; 22] = [
     "workload",
     "flavor",
     "environment",
@@ -128,6 +133,7 @@ pub const CSV_COLUMNS: [&str; 21] = [
     "stage_dissemination_ms",
     "stage_other_ms",
     "crashed",
+    "dissemination_bytes",
 ];
 
 impl<W: Write> CsvSink<W> {
@@ -198,6 +204,7 @@ impl<W: Write> ResultSink for CsvSink<W> {
             format!("{:.3}", result.stage_busy.dissemination_ms),
             format!("{:.3}", result.stage_busy.other_ms),
             result.crashed.clone().unwrap_or_default(),
+            result.traffic.total_bytes().to_string(),
         ]);
         self.write_line(&line);
     }
@@ -351,7 +358,7 @@ impl<W: Write> ResultSink for JsonlSink<W> {
                 "\"flavor\":\"{}\",\"environment\":\"{}\",\"iteration\":{},",
                 "\"seed\":{},\"ticks_executed\":{},\"ticks_planned\":{},",
                 "\"isr\":{:.6},\"tick_p50_ms\":{:.3},\"tick_max_ms\":{:.3},",
-                "\"crashed\":{}}}"
+                "\"dissemination_bytes\":{},\"crashed\":{}}}"
             ),
             json_escape(&job.label()),
             json_escape(&result.workload.to_string()),
@@ -364,6 +371,7 @@ impl<W: Write> ResultSink for JsonlSink<W> {
             result.instability_ratio,
             ticks.p50,
             ticks.max,
+            result.traffic.total_bytes(),
             result.crashed(),
         );
         self.write_line(&line);

@@ -143,6 +143,22 @@ pub const TICK_PATH_CRATES: [&str; 5] = [
     "mlg-protocol",
 ];
 
+/// Entity-substrate modules that must exist and be scanned under the
+/// tick-path coverage: the columnar store, the deterministic spatial
+/// index, and the per-tick simulation passes that consume them. A module
+/// rename or split must update this table (and gets fresh coverage for
+/// free); losing one silently would shrink the lint surface.
+pub const TICK_PATH_ENTITY_MODULES: [&str; 8] = [
+    "crates/mlg-entity/src/ai.rs",
+    "crates/mlg-entity/src/items.rs",
+    "crates/mlg-entity/src/manager.rs",
+    "crates/mlg-entity/src/physics.rs",
+    "crates/mlg-entity/src/spatial.rs",
+    "crates/mlg-entity/src/spawning.rs",
+    "crates/mlg-entity/src/store.rs",
+    "crates/mlg-entity/src/tnt.rs",
+];
+
 /// Crate directories exempt from the wall-clock rule:
 ///
 /// * `bench` — the benchmark harness legitimately measures host time;

@@ -68,6 +68,25 @@ impl Behavior {
         }
     }
 
+    /// Moves a walking behaviour's area to be centred on `home` (idle bots
+    /// are unaffected). Used when scattering a swarm over a large world:
+    /// each bot walks its area around its own home instead of the shared
+    /// spawn point.
+    #[must_use]
+    pub fn rehomed(self, home: Vec3) -> Self {
+        match self {
+            Behavior::RandomWalk { half_extent, .. } => Behavior::RandomWalk {
+                center: home,
+                half_extent,
+            },
+            Behavior::Builder { half_extent, .. } => Behavior::Builder {
+                center: home,
+                half_extent,
+            },
+            Behavior::Idle => Behavior::Idle,
+        }
+    }
+
     /// Returns `true` when the behaviour emits block place/dig actions.
     #[must_use]
     pub fn builds(&self) -> bool {

@@ -105,6 +105,32 @@ impl PlayerEmulation {
         self
     }
 
+    /// Re-homes every non-prober bot to a deterministic point inside a
+    /// `scatter`-sized square centred on `spawn_point` — the scaled Horde
+    /// workload's population spread. Each bot keeps its walk area but walks
+    /// it around its new home. Scatter offsets draw from a dedicated RNG
+    /// stream (`seed ^ 0x5CA7`), so a scattered swarm's bots keep the exact
+    /// per-bot behaviour seeds of the clustered swarm they were derived
+    /// from, and unscattered workloads are untouched. The prober (bot 0)
+    /// stays at the spawn point so response probing remains comparable
+    /// across workloads.
+    #[must_use]
+    pub fn scattered(mut self, spawn_point: Vec3, scatter: u32, seed: u64) -> Self {
+        if scatter == 0 {
+            return self;
+        }
+        let half = f64::from(scatter) / 2.0;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5CA7);
+        for conn in self.connections.iter_mut().skip(1) {
+            let dx = rng.gen_range(-half..=half);
+            let dz = rng.gen_range(-half..=half);
+            let home = Vec3::new(spawn_point.x + dx, spawn_point.y, spawn_point.z + dz);
+            conn.bot.pos = home;
+            conn.bot.behavior = conn.bot.behavior.rehomed(home);
+        }
+        self
+    }
+
     /// Number of bots in the swarm.
     #[must_use]
     pub fn bot_count(&self) -> usize {
@@ -117,10 +143,11 @@ impl PlayerEmulation {
         self.link_config
     }
 
-    /// Connects every bot to the server.
+    /// Connects every bot to the server, each at its own home position
+    /// (the spawn point unless the swarm was [`PlayerEmulation::scattered`]).
     pub fn connect_all(&mut self, server: &mut GameServer) {
         for conn in &mut self.connections {
-            let id = server.connect_player(&conn.bot.name);
+            let id = server.connect_player_at(&conn.bot.name, conn.bot.pos);
             conn.bot.player_id = Some(id);
         }
     }

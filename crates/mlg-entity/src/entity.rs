@@ -132,7 +132,11 @@ impl std::fmt::Display for EntityKind {
 }
 
 /// A single entity instance.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// All fields are plain-old-data so the struct is `Copy`: the columnar
+/// [`store::EntityStore`](crate::store::EntityStore) materializes and
+/// writes back entities by value on the tick hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Entity {
     /// Unique identifier.
     pub id: EntityId,

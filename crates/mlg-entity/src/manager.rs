@@ -6,8 +6,17 @@
 //! physics, AI, fuses, item maintenance and spawning each tick, and reports
 //! the work performed — the paper's MF4 finding is that this stage dominates
 //! non-idle tick time.
+//!
+//! Entity state lives in the columnar [`EntityStore`]: dense parallel
+//! columns in spawn order, tombstoned removal, stable compaction. The
+//! spatial grid is maintained incrementally from the store's position
+//! column at the start of each tick and then **frozen** for the tick's
+//! duration: mid-tick removals record a deferred grid eviction instead of
+//! touching the index, so every proximity query in a tick sees the same
+//! tick-start snapshot regardless of processing order — a load-bearing
+//! piece of the bit-identity contract.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -23,6 +32,7 @@ use crate::math::Vec3;
 use crate::physics;
 use crate::spatial::SpatialGrid;
 use crate::spawning::Spawner;
+use crate::store::EntityStore;
 use crate::tnt;
 
 /// Counters and change lists describing one entity stage tick.
@@ -81,10 +91,13 @@ impl EntityTickReport {
 
 /// Owns and simulates all entities of one server instance.
 pub struct EntityManager {
-    entities: HashMap<EntityId, Entity>,
-    order: Vec<EntityId>,
+    store: EntityStore,
     next_id: u64,
     grid: SpatialGrid,
+    /// Grid entries owed an eviction at the next tick start: entities
+    /// removed mid-tick stay visible to the tick's remaining proximity
+    /// queries (frozen tick-start snapshot semantics).
+    grid_evictions: Vec<(EntityId, Vec3)>,
     spawner: Spawner,
     rng: StdRng,
     /// Maximum number of primed TNT entities processed per tick; the PaperMC
@@ -97,7 +110,7 @@ pub struct EntityManager {
 impl std::fmt::Debug for EntityManager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EntityManager")
-            .field("entities", &self.entities.len())
+            .field("entities", &self.store.live_count())
             .field("next_id", &self.next_id)
             .finish()
     }
@@ -108,10 +121,10 @@ impl EntityManager {
     #[must_use]
     pub fn new(seed: u64) -> Self {
         EntityManager {
-            entities: HashMap::new(),
-            order: Vec::new(),
+            store: EntityStore::new(),
             next_id: 1,
             grid: SpatialGrid::new(),
+            grid_evictions: Vec::new(),
             spawner: Spawner::new(),
             rng: StdRng::seed_from_u64(seed),
             max_tnt_per_tick: usize::MAX,
@@ -123,51 +136,77 @@ impl EntityManager {
     pub fn spawn(&mut self, kind: EntityKind, pos: Vec3) -> EntityId {
         let id = EntityId(self.next_id);
         self.next_id += 1;
-        self.entities.insert(id, Entity::new(id, kind, pos));
-        self.order.push(id);
+        self.store.push(Entity::new(id, kind, pos));
         id
     }
 
-    /// Removes an entity by id. Returns the entity if it existed.
+    /// Removes an entity by id in O(log n). Returns the entity if it
+    /// existed. The spatial index keeps its entry until the next tick
+    /// start (see [`EntityManager`] docs on frozen-grid semantics).
     pub fn remove(&mut self, id: EntityId) -> Option<Entity> {
-        self.order.retain(|&e| e != id);
-        self.entities.remove(&id)
+        let (entity, grid_entry) = self.store.kill(id)?;
+        if let Some(pos) = grid_entry {
+            self.grid_evictions.push((id, pos));
+        }
+        Some(entity)
     }
 
     /// Removes all entities (used when resetting between iterations).
     pub fn clear(&mut self) {
-        self.entities.clear();
-        self.order.clear();
+        self.store.clear();
+        self.grid.clear();
+        self.grid_evictions.clear();
     }
 
     /// Number of live entities.
     #[must_use]
     pub fn count(&self) -> usize {
-        self.entities.len()
+        self.store.live_count()
     }
 
-    /// Number of live hostile mobs.
+    /// Number of live hostile mobs: a dense walk over the kind column.
     #[must_use]
     pub fn hostile_count(&self) -> usize {
-        // Walk the spawn-order list, not the hash map: the count itself is
-        // order-free, but keeping every traversal canonical is the cheap
-        // blanket policy the detlint no-hash-iteration rule enforces.
-        self.order
-            .iter()
-            .filter_map(|id| self.entities.get(id))
-            .filter(|e| e.kind.is_hostile())
+        (0..self.store.rows())
+            .filter(|&row| self.store.is_live(row) && self.store.kind_at(row).is_hostile())
             .count()
     }
 
-    /// Returns a reference to an entity by id.
+    /// Returns the entity with `id`, materialized from its columns.
     #[must_use]
-    pub fn get(&self, id: EntityId) -> Option<&Entity> {
-        self.entities.get(&id)
+    pub fn get(&self, id: EntityId) -> Option<Entity> {
+        self.store.get(id)
     }
 
-    /// Iterates over all live entities in spawn order.
-    pub fn iter(&self) -> impl Iterator<Item = &Entity> {
-        self.order.iter().filter_map(|id| self.entities.get(id))
+    /// Applies `f` to the entity with `id` and writes the result back.
+    /// Returns `false` when no such live entity exists. Position changes
+    /// are picked up by the next tick's grid sync.
+    pub fn modify(&mut self, id: EntityId, f: impl FnOnce(&mut Entity)) -> bool {
+        let Some(row) = self.store.row_of(id) else {
+            return false;
+        };
+        let mut entity = self.store.entity_at(row);
+        f(&mut entity);
+        self.store.write_row(row, &entity);
+        true
+    }
+
+    /// Iterates over all live entities in spawn order, materialized.
+    pub fn iter(&self) -> impl Iterator<Item = Entity> + '_ {
+        self.store.iter_live()
+    }
+
+    /// Brings the spatial index to this tick's frozen snapshot: applies
+    /// the evictions deferred from last tick, compacts the store if
+    /// tombstones dominate, and re-indexes entities that spawned or moved
+    /// since the last sync. Equivalent to (but much cheaper than) a full
+    /// clear-and-rebuild in spawn order.
+    fn prepare_grid(&mut self) {
+        for (id, pos) in self.grid_evictions.drain(..) {
+            self.grid.remove(id, pos);
+        }
+        self.store.maybe_compact();
+        self.store.sync_grid(&mut self.grid);
     }
 
     /// Runs one entity-simulation tick.
@@ -179,19 +218,21 @@ impl EntityManager {
     pub fn tick(&mut self, world: &mut World, players: &[Vec3]) -> EntityTickReport {
         let mut report = EntityTickReport::default();
 
-        // Rebuild the spatial index for this tick, in spawn order so every
-        // derived list is reproducible run-to-run.
-        self.rebuild_grid();
+        self.prepare_grid();
 
-        let ids: Vec<EntityId> = self.order.clone();
+        // Entities spawned during the tick occupy rows past this bound and
+        // are first processed next tick — the same visibility rule the old
+        // id-snapshot loop enforced.
+        let rows_at_start = self.store.rows();
         let mut exploded: Vec<(EntityId, Vec3)> = Vec::new();
         let mut chain_ignitions: Vec<mlg_world::BlockPos> = Vec::new();
         let mut tnt_processed = 0usize;
 
-        for id in &ids {
-            let Some(mut entity) = self.entities.remove(id) else {
+        for row in 0..rows_at_start {
+            if !self.store.is_live(row) {
                 continue;
-            };
+            }
+            let mut entity = self.store.entity_at(row);
             report.entities_processed += 1;
             entity.age += 1;
             let before_pos = entity.pos;
@@ -220,15 +261,16 @@ impl EntityManager {
                 _ => {}
             }
 
-            // Entity-entity proximity (collision candidates).
-            let (_, examined) = self.grid.query_radius(entity.pos, 1.0, Some(entity.id));
+            // Entity-entity proximity (collision candidates). The query
+            // discards hits, so only the candidate count is computed.
+            let examined = self.grid.proximity_examined(entity.pos, 1.0);
             report.proximity_candidates += u64::from(examined);
 
             if entity.pos.distance_squared(before_pos) > 1e-8 {
                 report.moved.push((entity.id, entity.pos));
             }
 
-            self.entities.insert(*id, entity);
+            self.store.write_row(row, &entity);
         }
 
         self.resolve_explosions(exploded, chain_ignitions, &mut report);
@@ -268,17 +310,17 @@ impl EntityManager {
         let shard_count = map.count();
         let mut report = EntityTickReport::default();
 
-        self.rebuild_grid();
+        self.prepare_grid();
 
         // Explosion batching (PaperMC): the first `max_tnt_per_tick` primed
         // TNT entities in canonical spawn order are processed this tick.
         let mut tnt_allowed: HashSet<EntityId> = HashSet::new();
-        for id in &self.order {
+        for row in 0..self.store.rows() {
             if tnt_allowed.len() >= self.max_tnt_per_tick {
                 break;
             }
-            if self.entities.get(id).map(|e| e.kind) == Some(EntityKind::PrimedTnt) {
-                tnt_allowed.insert(*id);
+            if self.store.is_live(row) && self.store.kind_at(row) == EntityKind::PrimedTnt {
+                tnt_allowed.insert(self.store.id_at(row));
             }
         }
 
@@ -286,13 +328,17 @@ impl EntityManager {
         // wander decisions deterministic at any thread count.
         let tick_seed: u64 = self.rng.gen();
 
-        // Partition entities by owning shard, preserving spawn order.
+        // Partition entities by owning shard, preserving spawn order; each
+        // task remembers its rows for the direct column write-back.
         let mut tasks: Vec<EntityShardTask> = (0..shard_count).map(EntityShardTask::new).collect();
-        for id in &self.order {
-            if let Some(entity) = self.entities.remove(id) {
-                let shard = map.shard_of_block(entity.pos.block_pos());
-                tasks[shard].batch.push(entity);
+        for row in 0..self.store.rows() {
+            if !self.store.is_live(row) {
+                continue;
             }
+            let entity = self.store.entity_at(row);
+            let shard = map.shard_of_block(entity.pos.block_pos());
+            tasks[shard].rows.push(row);
+            tasks[shard].batch.push(entity);
         }
 
         // The per-entity phase reads terrain through an owned chunk
@@ -338,7 +384,7 @@ impl EntityManager {
                             }
                             _ => {}
                         }
-                        let (_, examined) = ctx.grid.query_radius(entity.pos, 1.0, Some(entity.id));
+                        let examined = ctx.grid.proximity_examined(entity.pos, 1.0);
                         task.proximity_candidates += u64::from(examined);
                         if entity.pos.distance_squared(before_pos) > 1e-8 {
                             task.moved.push((entity.id, entity.pos));
@@ -349,7 +395,8 @@ impl EntityManager {
         world.restore_chunks(ctx.snapshot);
         self.grid = ctx.grid;
 
-        // Merge in canonical shard order.
+        // Merge in canonical shard order, writing each batch straight back
+        // into its recorded rows.
         let mut per_shard = vec![0u64; shard_count];
         let mut detonations: Vec<(EntityId, Vec3)> = Vec::new();
         for task in &mut tasks {
@@ -360,8 +407,8 @@ impl EntityManager {
             report.proximity_candidates += task.proximity_candidates;
             report.moved.append(&mut task.moved);
             detonations.append(&mut task.detonations);
-            for entity in task.batch.drain(..) {
-                self.entities.insert(entity.id, entity);
+            for (&row, entity) in task.rows.iter().zip(task.batch.drain(..)) {
+                self.store.write_row(row, &entity);
             }
         }
 
@@ -381,16 +428,6 @@ impl EntityManager {
         (report, per_shard)
     }
 
-    /// Rebuilds the spatial index from the live entities, in spawn order.
-    fn rebuild_grid(&mut self) {
-        self.grid.clear();
-        for id in &self.order {
-            if let Some(entity) = self.entities.get(id) {
-                self.grid.insert(entity.id, entity.pos);
-            }
-        }
-    }
-
     /// Removes exploded TNT entities (with knockback on everything nearby)
     /// and primes the chain-reaction spawns.
     fn resolve_explosions(
@@ -402,15 +439,18 @@ impl EntityManager {
         // Remove exploded TNT and knock back nearby entities, in spawn
         // order. Each entity's velocity update is independent, but spawn
         // order keeps the traversal canonical (and any future non-commutative
-        // effect deterministic by construction).
+        // effect deterministic by construction). The knockback is applied
+        // unconditionally (it is zero outside the blast radius) so the
+        // float operations match the original map-based loop bit-for-bit.
         for (id, blast_pos) in &exploded {
             self.remove(*id);
             report.removed.push(*id);
-            for eid in &self.order {
-                if let Some(e) = self.entities.get_mut(eid) {
-                    let push = tnt::knockback(*blast_pos, e.pos);
-                    e.velocity = e.velocity.add(push);
+            for row in 0..self.store.rows() {
+                if !self.store.is_live(row) {
+                    continue;
                 }
+                let push = tnt::knockback(*blast_pos, self.store.position_at(row));
+                self.store.add_velocity(row, push);
             }
         }
 
@@ -419,8 +459,8 @@ impl EntityManager {
         for (i, pos) in chain_ignitions.iter().enumerate() {
             let fuse = 10 + (i % 10) as u16;
             let id = self.spawn(EntityKind::PrimedTnt, Vec3::from_block_center(*pos));
-            if let Some(e) = self.entities.get_mut(&id) {
-                e.fuse = fuse;
+            if let Some(row) = self.store.row_of(id) {
+                self.store.set_fuse(row, fuse);
             }
             report.spawned.push((id, EntityKind::PrimedTnt));
         }
@@ -434,52 +474,46 @@ impl EntityManager {
         players: &[Vec3],
         report: &mut EntityTickReport,
     ) {
-        // Item maintenance: merging and hopper collection.
-        let mut all: Vec<Entity> = self
-            .order
-            .iter()
-            .filter_map(|id| self.entities.get(id))
-            .cloned()
-            .collect();
+        // Item maintenance: merging and hopper collection share one
+        // materialized pass over the live population (the hopper snapshot
+        // is the merge list minus the merged-away entities — no second
+        // full copy).
+        let mut all: Vec<Entity> = self.store.iter_live().collect();
         let merge_out = items::merge_items(&mut all, &self.grid);
         report.proximity_candidates += u64::from(merge_out.candidates_examined);
         report.items_merged += merge_out.merged_away.len() as u64;
-        for e in all {
-            if let Some(existing) = self.entities.get_mut(&e.id) {
-                existing.stack_size = e.stack_size;
-            }
+        for e in &all {
+            self.store.set_stack_size(e.id, e.stack_size);
         }
+        let merged: HashSet<EntityId> = merge_out.merged_away.iter().copied().collect();
         for id in merge_out.merged_away {
             self.remove(id);
             report.removed.push(id);
         }
-        let snapshot: Vec<Entity> = self
-            .order
-            .iter()
-            .filter_map(|id| self.entities.get(id))
-            .cloned()
-            .collect();
-        let collect_out = items::collect_into_hoppers(world, &snapshot);
+        all.retain(|e| !merged.contains(&e.id));
+        let collect_out = items::collect_into_hoppers(world, &all);
         report.items_collected += collect_out.collected.len() as u64;
         for id in collect_out.collected {
             self.remove(id);
             report.removed.push(id);
         }
 
-        // Despawning, in spawn order so the removal list is deterministic.
-        let despawn_ids: Vec<EntityId> = self
-            .order
-            .iter()
-            .filter_map(|id| self.entities.get(id))
-            .filter(|e| {
-                let nearest = players
-                    .iter()
-                    .map(|p| p.distance(e.pos))
-                    .fold(f64::INFINITY, f64::min);
-                e.should_despawn(nearest)
-            })
-            .map(|e| e.id)
-            .collect();
+        // Despawning: a dense walk in spawn order so the removal list is
+        // deterministic.
+        let mut despawn_ids: Vec<EntityId> = Vec::new();
+        for row in 0..self.store.rows() {
+            if !self.store.is_live(row) {
+                continue;
+            }
+            let entity = self.store.entity_at(row);
+            let nearest = players
+                .iter()
+                .map(|p| p.distance(entity.pos))
+                .fold(f64::INFINITY, f64::min);
+            if entity.should_despawn(nearest) {
+                despawn_ids.push(entity.id);
+            }
+        }
         for id in despawn_ids {
             self.remove(id);
             report.removed.push(id);
@@ -502,9 +536,12 @@ impl EntityManager {
 /// [`EntityManager::tick_batched`].
 struct EntityShardTask {
     shard: usize,
-    /// The shard's entities in spawn order (named distinctly from the
-    /// manager's `entities` map: detlint's scanner tracks hash-typed
-    /// identifiers by name within a file).
+    /// Store rows of the shard's entities, parallel to `batch`, for the
+    /// direct column write-back after the phase.
+    rows: Vec<usize>,
+    /// The shard's entities in spawn order (named distinctly from any
+    /// hash-typed identifier: detlint's scanner tracks such names within a
+    /// file).
     batch: Vec<Entity>,
     moved: Vec<(EntityId, Vec3)>,
     detonations: Vec<(EntityId, Vec3)>,
@@ -518,6 +555,7 @@ impl EntityShardTask {
     fn new(shard: usize) -> Self {
         EntityShardTask {
             shard,
+            rows: Vec::new(),
             batch: Vec::new(),
             moved: Vec::new(),
             detonations: Vec::new(),
@@ -578,6 +616,16 @@ mod tests {
     }
 
     #[test]
+    fn modify_edits_live_entities_only() {
+        let mut m = manager();
+        let id = m.spawn(EntityKind::Cow, Vec3::ZERO);
+        assert!(m.modify(id, |e| e.age = 99));
+        assert_eq!(m.get(id).unwrap().age, 99);
+        m.remove(id);
+        assert!(!m.modify(id, |e| e.age = 7));
+    }
+
+    #[test]
     fn tick_processes_every_entity() {
         let mut m = manager();
         let mut w = world();
@@ -597,9 +645,7 @@ mod tests {
         let mut w = world();
         let id = m.spawn(EntityKind::PrimedTnt, Vec3::new(8.5, 61.0, 8.5));
         // Shorten the fuse so it detonates on the second tick.
-        if let Some(e) = m.entities.get_mut(&id) {
-            e.fuse = 1;
-        }
+        m.modify(id, |e| e.fuse = 1);
         let first = m.tick(&mut w, &[]);
         assert_eq!(first.explosions, 0);
         let second = m.tick(&mut w, &[]);
@@ -618,9 +664,7 @@ mod tests {
             w.set_block_silent(BlockPos::new(9 + dx, 61, 8), Block::simple(BlockKind::Tnt));
         }
         let id = m.spawn(EntityKind::PrimedTnt, Vec3::new(8.5, 61.0, 8.5));
-        if let Some(e) = m.entities.get_mut(&id) {
-            e.fuse = 0;
-        }
+        m.modify(id, |e| e.fuse = 0);
         let report = m.tick(&mut w, &[]);
         assert_eq!(report.explosions, 1);
         assert_eq!(
@@ -637,9 +681,7 @@ mod tests {
         let mut w = world();
         let bystander = m.spawn(EntityKind::Cow, Vec3::new(11.5, 61.0, 8.5));
         let charge = m.spawn(EntityKind::PrimedTnt, Vec3::new(8.5, 61.0, 8.5));
-        if let Some(e) = m.entities.get_mut(&charge) {
-            e.fuse = 0;
-        }
+        m.modify(charge, |e| e.fuse = 0);
         m.tick(&mut w, &[]);
         let cow = m.get(bystander).unwrap();
         assert!(
@@ -687,9 +729,7 @@ mod tests {
             EntityKind::Item(BlockKind::Stone),
             Vec3::new(4.5, 61.5, 4.5),
         );
-        if let Some(e) = m.entities.get_mut(&id) {
-            e.age = 7_000;
-        }
+        m.modify(id, |e| e.age = 7_000);
         let report = m.tick(&mut w, &[]);
         assert!(report.removed.contains(&id));
         assert_eq!(m.count(), 0);
@@ -739,9 +779,7 @@ mod tests {
                 Vec3::new(x as f64 + 0.9, 61.5, 8.7),
             );
             let tnt = m.spawn(EntityKind::PrimedTnt, Vec3::new(x as f64 + 5.5, 61.0, 12.5));
-            if let Some(e) = m.entities.get_mut(&tnt) {
-                e.fuse = 2;
-            }
+            m.modify(tnt, |e| e.fuse = 2);
             w.set_block_silent(
                 BlockPos::new(x + 7, 61, 12),
                 mlg_world::Block::simple(BlockKind::Tnt),
@@ -818,5 +856,101 @@ mod tests {
         m.clear();
         assert_eq!(m.count(), 0);
         assert_eq!(m.iter().count(), 0);
+    }
+
+    #[test]
+    fn despawn_heavy_churn_stays_consistent() {
+        // Spawn/despawn churn far past the compaction threshold: lookups,
+        // counts and ticks must stay correct as rows tombstone and compact.
+        let mut m = manager();
+        let mut w = world();
+        let mut live: Vec<EntityId> = Vec::new();
+        for wave in 0..10 {
+            for i in 0..40 {
+                let x = ((wave * 40 + i) % 96) as f64;
+                live.push(m.spawn(EntityKind::Cow, Vec3::new(x + 0.5, 61.0, 8.5)));
+            }
+            // Remove the older half of the population.
+            let half = live.len() / 2;
+            for id in live.drain(..half) {
+                assert!(m.remove(id).is_some());
+            }
+            m.tick(&mut w, &[]);
+            assert_eq!(m.count(), live.len());
+            for id in &live {
+                assert!(m.get(*id).is_some(), "live entity lost after churn");
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn manager_matches_reference_model_on_random_sequences(seed in proptest::prelude::any::<u64>()) {
+            use std::collections::BTreeMap;
+
+            // Random spawn/remove/modify sequences against a BTreeMap
+            // reference model. Ids are monotonic, so the model's key order
+            // is spawn order and must match the store's canonical dense
+            // iteration — through tombstoning and compaction alike.
+            let kinds = [
+                EntityKind::Cow,
+                EntityKind::Zombie,
+                EntityKind::Item(mlg_world::BlockKind::Dirt),
+                EntityKind::PrimedTnt,
+                EntityKind::FallingBlock(mlg_world::BlockKind::Sand),
+            ];
+            let mut m = manager();
+            let mut model: BTreeMap<EntityId, Entity> = BTreeMap::new();
+            let mut s = seed | 1;
+            let mut next = move || {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s
+            };
+            for _ in 0..400 {
+                match next() % 4 {
+                    0 | 1 => {
+                        let kind = kinds[(next() as usize) % kinds.len()];
+                        let pos = Vec3::new(
+                            (next() % 192) as f64 - 96.0,
+                            80.0,
+                            (next() % 192) as f64 - 96.0,
+                        );
+                        let id = m.spawn(kind, pos);
+                        model.insert(id, Entity::new(id, kind, pos));
+                    }
+                    2 if !model.is_empty() => {
+                        let keys: Vec<EntityId> = model.keys().copied().collect();
+                        let id = keys[(next() as usize) % keys.len()];
+                        assert_eq!(m.remove(id), model.remove(&id));
+                        assert_eq!(m.remove(id), None, "double remove must miss");
+                    }
+                    _ => {
+                        let id = EntityId(next() % 320 + 1);
+                        let bump = next() % 7;
+                        let changed = m.modify(id, |e| {
+                            e.age += bump;
+                            e.pos.x += 0.25;
+                        });
+                        assert_eq!(changed, model.contains_key(&id));
+                        if let Some(e) = model.get_mut(&id) {
+                            e.age += bump;
+                            e.pos.x += 0.25;
+                        }
+                    }
+                }
+                let probe = EntityId(next() % 320 + 1);
+                assert_eq!(m.get(probe), model.get(&probe).copied());
+            }
+            assert_eq!(m.count(), model.len());
+            let live: Vec<Entity> = m.iter().collect();
+            let expected: Vec<Entity> = model.values().copied().collect();
+            assert_eq!(live, expected, "iteration must walk spawn (= id) order");
+            // One tick drains the deferred grid evictions and compacts the
+            // tombstoned rows; every survivor must be processed exactly once.
+            let report = m.tick(&mut world(), &[Vec3::ZERO]);
+            assert_eq!(report.entities_processed as usize, model.len());
+        }
     }
 }

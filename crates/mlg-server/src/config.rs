@@ -53,6 +53,14 @@ pub struct ServerConfig {
     ///
     /// [`FlavorProfile::eager_lighting`]: crate::flavor::FlavorProfile::eager_lighting
     pub eager_lighting: Option<bool>,
+    /// Overrides the flavor's [`FlavorProfile::aoi_dissemination`] knob:
+    /// `None` uses the flavor default, `Some(true)` forces per-player
+    /// area-of-interest packet filtering, `Some(false)` forces the classic
+    /// full broadcast. A modeled-architecture change (delivered packet
+    /// counts and traffic legitimately differ across it).
+    ///
+    /// [`FlavorProfile::aoi_dissemination`]: crate::flavor::FlavorProfile::aoi_dissemination
+    pub aoi_dissemination: Option<bool>,
 }
 
 impl Default for ServerConfig {
@@ -70,6 +78,7 @@ impl Default for ServerConfig {
             tick_threads: 1,
             shard_rebalance: None,
             eager_lighting: None,
+            aoi_dissemination: None,
         }
     }
 }
@@ -118,6 +127,14 @@ impl ServerConfig {
     #[must_use]
     pub fn with_eager_lighting(mut self, eager: Option<bool>) -> Self {
         self.eager_lighting = eager;
+        self
+    }
+
+    /// Returns a copy with the area-of-interest dissemination override set
+    /// (`None` = flavor default; `Some(false)` = classic full broadcast).
+    #[must_use]
+    pub fn with_aoi_dissemination(mut self, aoi: Option<bool>) -> Self {
+        self.aoi_dissemination = aoi;
         self
     }
 }

@@ -173,6 +173,7 @@ impl ServerFlavor {
                 eager_lighting: true,
                 async_chat: false,
                 max_tnt_per_tick: usize::MAX,
+                aoi_dissemination: false,
             },
             ServerFlavor::Forge => FlavorProfile {
                 flavor: self,
@@ -188,6 +189,7 @@ impl ServerFlavor {
                 eager_lighting: true,
                 async_chat: false,
                 max_tnt_per_tick: usize::MAX,
+                aoi_dissemination: false,
             },
             ServerFlavor::Paper => FlavorProfile {
                 flavor: self,
@@ -207,6 +209,7 @@ impl ServerFlavor {
                 eager_lighting: false,
                 async_chat: true,
                 max_tnt_per_tick: 60,
+                aoi_dissemination: true,
             },
             ServerFlavor::Folia => FlavorProfile {
                 flavor: self,
@@ -224,6 +227,7 @@ impl ServerFlavor {
                 eager_lighting: false,
                 async_chat: true,
                 max_tnt_per_tick: 60,
+                aoi_dissemination: true,
             },
         }
     }
@@ -304,6 +308,18 @@ pub struct FlavorProfile {
     pub async_chat: bool,
     /// Cap on primed-TNT entities processed per tick (explosion batching).
     pub max_tnt_per_tick: usize,
+    /// Whether state-update dissemination uses per-player area-of-interest
+    /// filtering: positioned packets (entity moves/spawns, block changes)
+    /// are delivered only to players whose view distance covers the event,
+    /// so dissemination cost scales with the summed interest-set sizes
+    /// instead of `packets × players`. Vanilla/Forge broadcast everything
+    /// to everyone (keeping the paper's measured behaviour untouched);
+    /// the Paper/Folia-like flavors filter, modeling their rewritten
+    /// tracker-range entity broadcast paths.
+    /// [`ServerConfig::aoi_dissemination`] can override this per run.
+    ///
+    /// [`ServerConfig::aoi_dissemination`]: crate::config::ServerConfig::aoi_dissemination
+    pub aoi_dissemination: bool,
 }
 
 #[cfg(test)]
@@ -357,6 +373,18 @@ mod tests {
         assert!(ServerFlavor::Forge.profile().eager_lighting);
         assert!(!ServerFlavor::Paper.profile().eager_lighting);
         assert!(!ServerFlavor::Folia.profile().eager_lighting);
+    }
+
+    #[test]
+    fn aoi_dissemination_matches_the_architectures() {
+        // Vanilla/Forge broadcast every packet to every player (the paper's
+        // measured behaviour); the Paper/Folia-like flavors model their
+        // rewritten tracker-range broadcast paths with per-player areas of
+        // interest.
+        assert!(!ServerFlavor::Vanilla.profile().aoi_dissemination);
+        assert!(!ServerFlavor::Forge.profile().aoi_dissemination);
+        assert!(ServerFlavor::Paper.profile().aoi_dissemination);
+        assert!(ServerFlavor::Folia.profile().aoi_dissemination);
     }
 
     #[test]

@@ -32,6 +32,17 @@ impl ConnectionQueues {
     }
 }
 
+/// Recipient selection for one packet of a
+/// [`NetworkingQueues::multicast_many`] batch.
+#[derive(Debug, Clone, Copy)]
+pub enum PacketRecipients<'a> {
+    /// Deliver to every registered connection (global packets: chat, time,
+    /// keep-alives).
+    All,
+    /// Deliver only to these players (a packet's area-of-interest set).
+    Only(&'a [PlayerId]),
+}
+
 /// All connection queues of the server, keyed by player.
 #[derive(Debug, Default)]
 pub struct NetworkingQueues {
@@ -121,6 +132,45 @@ impl NetworkingQueues {
             conn.outgoing.reserve(packets.len());
             conn.outgoing.extend(packets.iter().cloned());
             count += packets.len() as u64;
+        }
+        count
+    }
+
+    /// Buffers a batch of clientbound packets, delivering packet `i` to the
+    /// connections selected by `recipients(i)`. Returns how many copies
+    /// were enqueued in total.
+    ///
+    /// The area-of-interest path of the dissemination stage: packets are
+    /// processed in slice order, so each connection still receives its
+    /// packets as an in-order subset of the slice and a selector that
+    /// always answers [`PacketRecipients::All`] is byte-for-byte identical
+    /// to [`NetworkingQueues::broadcast_many`] — a unit test pins the
+    /// parity. Cost is Σ|recipient set| (plus one map lookup per listed
+    /// recipient), not `packets × connections`, which is what lets a
+    /// scaled-population workload disseminate through the same call.
+    /// Listed players without a registered connection are skipped.
+    pub fn multicast_many<'a, F>(&mut self, packets: &[ClientboundPacket], recipients: F) -> u64
+    where
+        F: Fn(usize) -> PacketRecipients<'a>,
+    {
+        let mut count = 0;
+        for (index, packet) in packets.iter().enumerate() {
+            match recipients(index) {
+                PacketRecipients::All => {
+                    for conn in self.connections.values_mut() {
+                        conn.outgoing.push_back(packet.clone());
+                        count += 1;
+                    }
+                }
+                PacketRecipients::Only(players) => {
+                    for player in players {
+                        if let Some(conn) = self.connections.get_mut(player) {
+                            conn.outgoing.push_back(packet.clone());
+                            count += 1;
+                        }
+                    }
+                }
+            }
         }
         count
     }
@@ -231,6 +281,132 @@ mod tests {
             let a_bytes: Vec<usize> = a.iter().map(clientbound_wire_size).collect();
             let b_bytes: Vec<usize> = b.iter().map(clientbound_wire_size).collect();
             assert_eq!(a_bytes, b_bytes, "wire bytes diverged for player {i}");
+        }
+    }
+
+    #[test]
+    fn multicast_many_with_all_interested_matches_broadcast_many() {
+        let packets = vec![
+            ClientboundPacket::KeepAlive { id: 7 },
+            ClientboundPacket::TimeUpdate {
+                world_age_ticks: 80,
+            },
+        ];
+        let mut multicast = NetworkingQueues::new();
+        let mut broadcast = NetworkingQueues::new();
+        for i in 0..3 {
+            multicast.add_connection(PlayerId(i));
+            broadcast.add_connection(PlayerId(i));
+        }
+        let m = multicast.multicast_many(&packets, |_| PacketRecipients::All);
+        let b = broadcast.broadcast_many(&packets);
+        assert_eq!(m, b);
+        for i in 0..3 {
+            assert_eq!(
+                multicast.drain_outgoing(PlayerId(i)),
+                broadcast.drain_outgoing(PlayerId(i)),
+                "queue contents diverged for player {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn multicast_many_filters_per_recipient_preserving_order() {
+        let packets = vec![
+            ClientboundPacket::KeepAlive { id: 1 },
+            ClientboundPacket::KeepAlive { id: 2 },
+            ClientboundPacket::KeepAlive { id: 3 },
+        ];
+        let mut q = NetworkingQueues::new();
+        q.add_connection(PlayerId(0));
+        q.add_connection(PlayerId(1));
+        // Player 0 sees everything; player 1 only the odd-indexed packet.
+        // Player 7 has no connection and is skipped.
+        let both = [PlayerId(0), PlayerId(1), PlayerId(7)];
+        let first_only = [PlayerId(0)];
+        let sent = q.multicast_many(&packets, |index| {
+            if index % 2 == 1 {
+                PacketRecipients::Only(&both)
+            } else {
+                PacketRecipients::Only(&first_only)
+            }
+        });
+        assert_eq!(sent, 4);
+        assert_eq!(q.drain_outgoing(PlayerId(0)), packets);
+        assert_eq!(
+            q.drain_outgoing(PlayerId(1)),
+            vec![ClientboundPacket::KeepAlive { id: 2 }],
+            "subset keeps slice order"
+        );
+        assert_eq!(q.multicast_many(&[], |_| PacketRecipients::All), 0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn multicast_many_equals_filtered_per_recipient_delivery(seed in proptest::prelude::any::<u64>()) {
+            use mlg_protocol::codec::clientbound_wire_size;
+
+            // Random packet batches against random per-packet recipient
+            // sets: the batched multicast must be byte-exactly the same as
+            // delivering each packet to each selected connection one
+            // `push_outgoing` at a time — the reference formulation of
+            // "area-of-interest delivery is a filtered broadcast".
+            let mut s = seed | 1;
+            let mut next = move || {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s
+            };
+            let player_count = (next() % 7 + 1) as u32;
+            let mut multicast = NetworkingQueues::new();
+            let mut reference = NetworkingQueues::new();
+            for i in 0..player_count {
+                multicast.add_connection(PlayerId(i));
+                reference.add_connection(PlayerId(i));
+            }
+            let packet_count = next() % 24;
+            let packets: Vec<ClientboundPacket> = (0..packet_count)
+                .map(|i| ClientboundPacket::KeepAlive { id: i })
+                .collect();
+            // Per packet: either a global broadcast or a random subset
+            // (possibly empty, possibly listing an unregistered player,
+            // which must be skipped).
+            let selections: Vec<Option<Vec<PlayerId>>> = packets
+                .iter()
+                .map(|_| {
+                    (next() % 4 != 0).then(|| {
+                        (0..=player_count)
+                            .filter(|_| next() % 2 == 0)
+                            .map(PlayerId)
+                            .collect()
+                    })
+                })
+                .collect();
+
+            let sent = multicast.multicast_many(&packets, |index| match &selections[index] {
+                None => PacketRecipients::All,
+                Some(set) => PacketRecipients::Only(set),
+            });
+            let mut expected_sent = 0u64;
+            for (packet, selection) in packets.iter().zip(&selections) {
+                let all: Vec<PlayerId> = reference.players().collect();
+                for player in selection.as_ref().unwrap_or(&all) {
+                    if reference.has_connection(*player) {
+                        reference.push_outgoing(*player, packet.clone());
+                        expected_sent += 1;
+                    }
+                }
+            }
+            assert_eq!(sent, expected_sent);
+            for i in 0..player_count {
+                let a = multicast.drain_outgoing(PlayerId(i));
+                let b = reference.drain_outgoing(PlayerId(i));
+                let a_bytes: usize = a.iter().map(clientbound_wire_size).sum();
+                let b_bytes: usize = b.iter().map(clientbound_wire_size).sum();
+                assert_eq!(a, b, "player {i}: delivery diverged");
+                assert_eq!(a_bytes, b_bytes, "player {i}: wire bytes diverged");
+            }
         }
     }
 

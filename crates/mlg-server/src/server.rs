@@ -1,5 +1,6 @@
 //! The game server and its 20 Hz game loop.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use cloud_sim::engine::{ComputeEngine, StageWork};
@@ -18,7 +19,7 @@ use crate::config::ServerConfig;
 use crate::flavor::FlavorProfile;
 use crate::handler::{self, PlayerStageReport};
 use crate::player::{ConnectedPlayer, PlayerId};
-use crate::queues::NetworkingQueues;
+use crate::queues::{NetworkingQueues, PacketRecipients};
 
 /// Why and when a server run aborted.
 #[derive(Debug, Clone, PartialEq)]
@@ -174,6 +175,11 @@ pub struct GameServer {
     /// `pending_relight` and are consumed by the next tick's pipelined
     /// lighting stage.
     eager_lighting: bool,
+    /// Whether the dissemination stage filters positioned packets through
+    /// per-player areas of interest (resolved from the flavor profile and
+    /// the [`ServerConfig::aoi_dissemination`] override). When `false`,
+    /// every packet is broadcast to every connection.
+    aoi_dissemination: bool,
     /// Terrain-change positions awaiting the cross-tick pipelined lighting
     /// stage (empty under eager lighting).
     pending_relight: Vec<BlockPos>,
@@ -234,6 +240,9 @@ impl GameServer {
         entities.natural_spawning = config.natural_spawning;
         entities.max_tnt_per_tick = profile.max_tnt_per_tick;
         let eager_lighting = config.eager_lighting.unwrap_or(profile.eager_lighting);
+        let aoi_dissemination = config
+            .aoi_dissemination
+            .unwrap_or(profile.aoi_dissemination);
         let terrain = TerrainSimulator {
             random_ticks_per_chunk: config.random_ticks_per_chunk,
             eager_lighting,
@@ -262,6 +271,7 @@ impl GameServer {
             next_minor_gc_tick: MINOR_GC_INTERVAL_TICKS,
             next_major_gc_tick: MAJOR_GC_INTERVAL_TICKS,
             eager_lighting,
+            aoi_dissemination,
             pending_relight: Vec::new(),
             broadcast_buf: Vec::new(),
             scratch: TickScratch::new(),
@@ -292,6 +302,10 @@ impl GameServer {
             self.world.reshard(self.pipeline.shard_map().clone());
         }
         self.eager_lighting = self.config.eager_lighting.unwrap_or(profile.eager_lighting);
+        self.aoi_dissemination = self
+            .config
+            .aoi_dissemination
+            .unwrap_or(profile.aoi_dissemination);
         self.terrain.eager_lighting = self.eager_lighting;
         if self.eager_lighting {
             // An eager server never runs the pipelined stage; drop any
@@ -306,6 +320,13 @@ impl GameServer {
     #[must_use]
     pub fn eager_lighting(&self) -> bool {
         self.eager_lighting
+    }
+
+    /// Whether the dissemination stage filters positioned packets through
+    /// per-player areas of interest (`false` = classic full broadcast).
+    #[must_use]
+    pub fn aoi_dissemination(&self) -> bool {
+        self.aoi_dissemination
     }
 
     /// Number of terrain changes queued for the next tick's pipelined
@@ -406,6 +427,18 @@ impl GameServer {
     /// observation that response-time outliers "occur directly after a player
     /// connects".
     pub fn connect_player(&mut self, name: &str) -> PlayerId {
+        let spawn = self.spawn_point;
+        self.connect_player_at(name, spawn)
+    }
+
+    /// Connects a new player at an explicit position and returns its id.
+    ///
+    /// Identical to [`GameServer::connect_player`] except the player spawns
+    /// (and has its view-distance area streamed) at `pos` instead of the
+    /// server's spawn point. Scaled workloads use this to scatter a large
+    /// bot population over the world, so per-player join streaming and
+    /// interest sets are anchored where each bot actually lives.
+    pub fn connect_player_at(&mut self, name: &str, pos: Vec3) -> PlayerId {
         let id = PlayerId(self.next_player_id);
         self.next_player_id += 1;
         let entity_id = EntityId(u64::from(id.0) | 0x4000_0000);
@@ -413,7 +446,7 @@ impl GameServer {
             id,
             entity_id,
             name: name.to_string(),
-            pos: self.spawn_point,
+            pos,
             connected_at_tick: self.tick_index,
             last_served_ms: self.clock_ms,
             disconnected: false,
@@ -793,8 +826,83 @@ impl GameServer {
                     id: self.tick_index,
                 });
             }
-            self.traffic.record_many(&packets, recipients);
-            packets_emitted = self.queues.broadcast_many(&packets);
+            if self.aoi_dissemination {
+                // Area-of-interest dissemination: positioned packets reach
+                // only the players whose view distance covers the event, so
+                // the stage's cost scales with the summed interest-set
+                // sizes (Σ|AoI|) instead of packets × players. Packets
+                // without a position anchor (chat, time, keep-alives,
+                // entity removal) stay global. Interest sets are computed
+                // by hashing viewers into a coarse grid of radius-sized
+                // cells and distance-testing the 3×3 cell neighborhood of
+                // each packet's anchor, so a scaled population never pays a
+                // full viewer scan per packet. Viewers land in the buckets
+                // in ascending connection order (players are appended with
+                // monotonically increasing ids) and cells are scanned in a
+                // fixed order, keeping every interest set deterministic.
+                let radius = f64::from(self.config.view_distance) * 16.0;
+                let radius_sq = radius * radius;
+                let cell = radius.max(1.0);
+                let viewers: Vec<(PlayerId, Vec3)> = self
+                    .players
+                    .iter()
+                    .filter(|pl| !pl.disconnected)
+                    .map(|pl| (pl.id, pl.pos))
+                    .collect();
+                let mut buckets: BTreeMap<(i64, i64), Vec<usize>> = BTreeMap::new();
+                for (index, (_, pos)) in viewers.iter().enumerate() {
+                    let key = ((pos.x / cell).floor() as i64, (pos.z / cell).floor() as i64);
+                    buckets.entry(key).or_default().push(index);
+                }
+                let interest: Vec<Option<Vec<PlayerId>>> = packets
+                    .iter()
+                    .map(|packet| {
+                        packet_position(packet).map(|pos| {
+                            let cx = (pos.x / cell).floor() as i64;
+                            let cz = (pos.z / cell).floor() as i64;
+                            let mut set = Vec::new();
+                            for dx in -1..=1 {
+                                for dz in -1..=1 {
+                                    let Some(bucket) = buckets.get(&(cx + dx, cz + dz)) else {
+                                        continue;
+                                    };
+                                    for &viewer in bucket {
+                                        let (id, viewer_pos) = viewers[viewer];
+                                        let ddx = viewer_pos.x - pos.x;
+                                        let ddz = viewer_pos.z - pos.z;
+                                        if ddx * ddx + ddz * ddz <= radius_sq {
+                                            set.push(id);
+                                        }
+                                    }
+                                }
+                            }
+                            set
+                        })
+                    })
+                    .collect();
+                packets_emitted =
+                    self.queues
+                        .multicast_many(&packets, |index| match &interest[index] {
+                            None => PacketRecipients::All,
+                            Some(set) => PacketRecipients::Only(set),
+                        });
+                // Per-packet recipient counts feed the accountant so the
+                // traffic metrics reflect delivered bytes, not assembled
+                // ones. When every viewer is in range of everything this
+                // degenerates to exactly `record_many(&packets, recipients)`.
+                for (packet, list) in packets.iter().zip(&interest) {
+                    let count = match list {
+                        None => recipients,
+                        Some(set) => set.len() as u64,
+                    };
+                    if count > 0 {
+                        self.traffic.record(packet, count);
+                    }
+                }
+            } else {
+                self.traffic.record_many(&packets, recipients);
+                packets_emitted = self.queues.broadcast_many(&packets);
+            }
         }
         self.broadcast_buf = packets;
 
@@ -1164,6 +1272,25 @@ fn build_pipeline(profile: &FlavorProfile, config: &ServerConfig, world: &World)
         )
     } else {
         TickPipeline::new(profile.tick_shards, config.tick_threads)
+    }
+}
+
+/// The world position a broadcast packet's relevance is anchored to, if
+/// any. Positioned packets are subject to area-of-interest filtering;
+/// packets with no anchor are global. `EntityDestroy` carries no position
+/// on the wire, so removals are disseminated globally — clients must be
+/// able to drop entities they stopped seeing move.
+fn packet_position(packet: &ClientboundPacket) -> Option<Vec3> {
+    match packet {
+        ClientboundPacket::EntityMove { pos, .. } | ClientboundPacket::EntitySpawn { pos, .. } => {
+            Some(*pos)
+        }
+        ClientboundPacket::BlockChange { pos, .. } => Some(Vec3::new(
+            f64::from(pos.x) + 0.5,
+            f64::from(pos.y) + 0.5,
+            f64::from(pos.z) + 0.5,
+        )),
+        _ => None,
     }
 }
 

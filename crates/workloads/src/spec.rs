@@ -27,6 +27,15 @@ pub enum WorkloadKind {
     /// world loads the entity stage. Excluded from [`WorkloadKind::all`]
     /// (the paper's set), included in [`WorkloadKind::extended`].
     Crowd,
+    /// The scaled-population workload: thousands of wandering/building
+    /// bots scattered over a large world — 10–100× the paper's player
+    /// counts. Exists to exercise the entity substrate and area-of-interest
+    /// dissemination at populations the paper's benchmark could not reach:
+    /// the scatter keeps each player's interest set small, so per-tick
+    /// dissemination cost tracks Σ|interest set| instead of
+    /// packets × players. Excluded from [`WorkloadKind::all`] (the paper's
+    /// set), included in [`WorkloadKind::extended`].
+    Horde,
 }
 
 impl WorkloadKind {
@@ -42,9 +51,10 @@ impl WorkloadKind {
         ]
     }
 
-    /// The paper's five workloads plus the player-heavy Crowd workload.
+    /// The paper's five workloads plus the player-heavy Crowd workload and
+    /// the scaled-population Horde workload.
     #[must_use]
-    pub fn extended() -> [WorkloadKind; 6] {
+    pub fn extended() -> [WorkloadKind; 7] {
         [
             WorkloadKind::Control,
             WorkloadKind::Farm,
@@ -52,6 +62,7 @@ impl WorkloadKind {
             WorkloadKind::Lag,
             WorkloadKind::Players,
             WorkloadKind::Crowd,
+            WorkloadKind::Horde,
         ]
     }
 
@@ -76,6 +87,7 @@ impl WorkloadKind {
             WorkloadKind::Lag => "Lag",
             WorkloadKind::Players => "Players",
             WorkloadKind::Crowd => "Crowd",
+            WorkloadKind::Horde => "Horde",
         }
     }
 }
@@ -100,6 +112,11 @@ pub struct PlayerWorkload {
     /// Whether the bots also edit terrain (periodic block place/dig near
     /// their position) — the Crowd workload's player-handler load.
     pub building: bool,
+    /// Side length of the square the bots' *home positions* scatter over,
+    /// in blocks (0 = everyone starts at the spawn point). Each bot walks
+    /// its `walk_area` around its own home, so a large scatter spreads the
+    /// population thin — the Horde workload's area-of-interest regime.
+    pub scatter: u32,
 }
 
 impl PlayerWorkload {
@@ -113,6 +130,7 @@ impl PlayerWorkload {
             walk_area: 0,
             moving: false,
             building: false,
+            scatter: 0,
         }
     }
 
@@ -124,6 +142,7 @@ impl PlayerWorkload {
             walk_area: 32,
             moving: true,
             building: false,
+            scatter: 0,
         }
     }
 
@@ -138,6 +157,23 @@ impl PlayerWorkload {
             walk_area: 24,
             moving: true,
             building: true,
+            scatter: 0,
+        }
+    }
+
+    /// The Horde workload: 5,000 wandering builder bots, their homes
+    /// scattered over a ~1 km² area. Population is 10–100× the paper's
+    /// player counts; the spread keeps interest sets small, so this is the
+    /// regime where area-of-interest dissemination separates from full
+    /// broadcast (Σ|AoI| ≪ packets × players).
+    #[must_use]
+    pub fn horde() -> Self {
+        PlayerWorkload {
+            bots: 5_000,
+            walk_area: 16,
+            moving: true,
+            building: true,
+            scatter: 1_024,
         }
     }
 }
@@ -187,6 +223,14 @@ impl WorkloadSpec {
                 built.players = PlayerWorkload::builder_crowd();
                 built.description =
                     "player-heavy crowd: 220 building bots clustered on the Control world".into();
+                built
+            }
+            WorkloadKind::Horde => {
+                let mut built = control::build(seed, self.scale);
+                built.kind = WorkloadKind::Horde;
+                built.players = PlayerWorkload::horde();
+                built.description =
+                    "scaled population: 5,000 wandering builder bots scattered over ~1 km²".into();
                 built
             }
         }
@@ -292,8 +336,39 @@ mod tests {
             !WorkloadKind::all().contains(&WorkloadKind::Crowd),
             "Crowd is not one of the paper's workloads"
         );
-        assert_eq!(WorkloadKind::extended().len(), 6);
+        assert_eq!(WorkloadKind::extended().len(), 7);
         assert!(WorkloadKind::extended().contains(&WorkloadKind::Crowd));
+        assert!(WorkloadKind::extended().contains(&WorkloadKind::Horde));
+        assert!(
+            !WorkloadKind::all().contains(&WorkloadKind::Horde),
+            "Horde is not one of the paper's workloads"
+        );
+    }
+
+    #[test]
+    fn horde_workload_is_a_scattered_swarm_at_scale() {
+        let built = WorkloadSpec::new(WorkloadKind::Horde).build(1);
+        assert_eq!(built.kind, WorkloadKind::Horde);
+        assert!(
+            built.players.bots >= 5_000,
+            "Horde must be 10-100x the paper's populations"
+        );
+        assert!(built.players.moving);
+        assert!(built.players.building);
+        assert!(
+            built.players.scatter >= 1_000,
+            "the horde spreads out so interest sets stay small"
+        );
+        // Every other workload keeps the whole swarm at the spawn point.
+        for kind in WorkloadKind::extended() {
+            if kind != WorkloadKind::Horde {
+                assert_eq!(
+                    WorkloadSpec::new(kind).build(1).players.scatter,
+                    0,
+                    "{kind}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,154 @@
+//! Area-of-interest dissemination: equivalence and traffic-cut tests.
+//!
+//! The AoI path must be *observably equivalent* to a full broadcast put
+//! through a per-recipient distance filter — byte-exact per connection —
+//! while cutting the modeled dissemination volume by a large factor on a
+//! scattered population (the Horde workload's regime). The wall-clock side
+//! of the same claim lives in the `entity_scaling` bench group.
+
+use cloud_sim::environment::Environment;
+use meterstick_workloads::{WorkloadKind, WorkloadSpec};
+use mlg_bots::PlayerEmulation;
+use mlg_entity::{EntityKind, Vec3};
+use mlg_protocol::netsim::LinkConfig;
+use mlg_protocol::ClientboundPacket;
+use mlg_server::{GameServer, ServerConfig, ServerFlavor};
+use mlg_world::generation::FlatGenerator;
+use mlg_world::{BlockKind, World};
+
+/// The wire-visible position of a packet, mirroring the server's AoI
+/// classification: entity packets at the entity position, block changes at
+/// the block centre, everything else global (`None`).
+fn reference_position(packet: &ClientboundPacket) -> Option<Vec3> {
+    match packet {
+        ClientboundPacket::EntityMove { pos, .. } | ClientboundPacket::EntitySpawn { pos, .. } => {
+            Some(*pos)
+        }
+        ClientboundPacket::BlockChange { pos, .. } => Some(Vec3::new(
+            f64::from(pos.x) + 0.5,
+            f64::from(pos.y) + 0.5,
+            f64::from(pos.z) + 0.5,
+        )),
+        _ => None,
+    }
+}
+
+/// Builds a Folia server with stationary players spread so that some pairs
+/// are inside each other's view radius and some are far outside it, plus a
+/// mix of positioned traffic sources (wandering hostiles, falling items,
+/// primed TNT producing block changes and destroys).
+fn scattered_scene(aoi: bool) -> (GameServer, Vec<(mlg_server::PlayerId, Vec3)>) {
+    let config = ServerConfig::for_flavor(ServerFlavor::Folia)
+        .with_view_distance(2)
+        .with_aoi_dissemination(Some(aoi));
+    let world = World::new(Box::new(FlatGenerator::grassland()), 7);
+    let mut server = GameServer::new(config, world, Vec3::new(0.5, 61.0, 0.5));
+    let spots = [
+        Vec3::new(0.5, 61.0, 0.5),
+        Vec3::new(20.0, 61.0, -12.0),
+        Vec3::new(150.0, 61.0, 150.0),
+        Vec3::new(-200.0, 61.0, 40.0),
+        Vec3::new(160.0, 61.0, 120.0),
+    ];
+    let players: Vec<_> = spots
+        .iter()
+        .enumerate()
+        .map(|(i, pos)| (server.connect_player_at(&format!("p{i}"), *pos), *pos))
+        .collect();
+    for (i, pos) in spots.iter().enumerate() {
+        server.spawn_entity(EntityKind::Zombie, Vec3::new(pos.x + 3.0, 61.0, pos.z));
+        server.spawn_entity(
+            EntityKind::Item(BlockKind::Dirt),
+            Vec3::new(pos.x, 70.0 + i as f64, pos.z + 2.0),
+        );
+        server.spawn_entity(
+            EntityKind::PrimedTnt,
+            Vec3::new(pos.x - 5.0, 61.0, pos.z - 5.0),
+        );
+    }
+    (server, players)
+}
+
+#[test]
+fn aoi_delivery_equals_distance_filtered_broadcast() {
+    let (mut filtered, players_a) = scattered_scene(true);
+    let (mut broadcast, players_b) = scattered_scene(false);
+    assert_eq!(players_a, players_b);
+    assert!(filtered.aoi_dissemination() && !broadcast.aoi_dissemination());
+
+    // Join-time chunk streaming is identical on both servers; clear it so
+    // the comparison below covers exactly the tick dissemination stage.
+    for (id, _) in &players_a {
+        assert_eq!(filtered.drain_outgoing(*id), broadcast.drain_outgoing(*id));
+    }
+
+    let radius = f64::from(filtered.config().view_distance) * 16.0;
+    let mut engine_a = Environment::das5(4).instantiate(1).engine;
+    let mut engine_b = Environment::das5(4).instantiate(1).engine;
+    for tick in 0..30 {
+        filtered.run_tick(&mut engine_a);
+        broadcast.run_tick(&mut engine_b);
+        for (id, player_pos) in &players_a {
+            let full = broadcast.drain_outgoing(*id);
+            let expected: Vec<_> = full
+                .into_iter()
+                .filter(|packet| {
+                    reference_position(packet).is_none_or(|pos| {
+                        let dx = pos.x - player_pos.x;
+                        let dz = pos.z - player_pos.z;
+                        dx * dx + dz * dz <= radius * radius
+                    })
+                })
+                .collect();
+            assert_eq!(
+                filtered.drain_outgoing(*id),
+                expected,
+                "tick {tick}: player {id:?} AoI stream is not the distance-filtered broadcast"
+            );
+        }
+    }
+}
+
+#[test]
+fn aoi_cuts_horde_tick_dissemination_bytes_at_least_5x() {
+    // The Horde regime at reduced scale: a scattered building swarm whose
+    // interest sets are tiny compared to the population. Both runs replay
+    // the identical simulation (AoI never changes what is simulated, only
+    // who receives which packet), so the byte ratio is deterministic.
+    let run = |aoi: bool| -> u64 {
+        let built = WorkloadSpec::new(WorkloadKind::Horde).build(7);
+        assert!(built.players.scatter >= 1_000);
+        let config = ServerConfig::for_flavor(ServerFlavor::Folia)
+            .with_view_distance(2)
+            .with_aoi_dissemination(Some(aoi));
+        let mut emulation = PlayerEmulation::new(
+            500,
+            built.spawn_point,
+            built.players.walk_area,
+            built.players.moving,
+            LinkConfig::datacenter(),
+            7,
+        )
+        .with_builders()
+        .scattered(built.spawn_point, built.players.scatter, 7);
+        let mut server = GameServer::new(config, built.world, built.spawn_point);
+        emulation.connect_all(&mut server);
+        // Count tick-phase dissemination only: join-time chunk streaming is
+        // identical in both runs and would dilute the ratio.
+        let joined = server.traffic_summary().total_bytes();
+        let mut engine = Environment::das5(4).instantiate(1).engine;
+        for _ in 0..10 {
+            emulation.step(&mut server, &mut engine);
+        }
+        server.traffic_summary().total_bytes() - joined
+    };
+
+    let aoi_bytes = run(true);
+    let broadcast_bytes = run(false);
+    assert!(aoi_bytes > 0, "the swarm must produce tick traffic");
+    assert!(
+        broadcast_bytes >= aoi_bytes * 5,
+        "AoI must cut modeled dissemination bytes at least 5x on a scattered swarm: \
+         broadcast {broadcast_bytes} vs AoI {aoi_bytes}"
+    );
+}

@@ -329,6 +329,46 @@ fn crowd_lighting_sweep_campaigns_are_bit_identical_across_threads() {
 }
 
 #[test]
+fn horde_campaign_csv_is_bit_identical_at_1_4_and_8_threads() {
+    // The scaled-population workload end to end through the campaign
+    // layer: scattered swarm, area-of-interest dissemination (Folia has it
+    // on), SoA entity storage and the sharded tick pipeline all in one
+    // cell. The CSV — `dissemination_bytes` column included — must not
+    // depend on the worker-thread count. Scale is reduced via the bot
+    // override to keep the unoptimized test build fast; the
+    // `sharded_determinism` bench binary runs the full 5,000-bot swarm in
+    // release mode and CI diffs its CSVs the same way.
+    let run_csv = |threads: u32| {
+        let campaign = Campaign::new()
+            .workloads([WorkloadKind::Horde])
+            .flavors([ServerFlavor::Folia])
+            .environments([Environment::das5(4)])
+            .tick_threads([threads])
+            .bots(600)
+            .duration_secs(3)
+            .iterations(1)
+            .seed(7);
+        let mut sink = CsvSink::new(Vec::new());
+        campaign
+            .run_with(&meterstick::executor::SequentialExecutor, &mut sink)
+            .unwrap();
+        String::from_utf8(sink.into_inner()).unwrap()
+    };
+    let reference = run_csv(1);
+    assert!(
+        reference.contains("Horde"),
+        "the Horde cell must appear in the CSV"
+    );
+    for threads in [4u32, 8] {
+        assert_eq!(
+            reference,
+            run_csv(threads),
+            "Horde CSV diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
 fn sharded_campaign_csv_streams_are_bit_identical() {
     let run_csv = |threads: u32| {
         let mut sink = CsvSink::new(Vec::new());
