@@ -7,8 +7,10 @@
 //! at any worker-thread count. CI does exactly that.
 
 use cloud_sim::environment::Environment;
+use cloud_sim::node::NodeType;
+use cloud_sim::temporal::StartTime;
 use meterstick::campaign::Campaign;
-use meterstick_bench::{duration_from_args, print_header, run_campaign, tick_threads_from_args};
+use meterstick_bench::{duration_from_args, print_header, run_campaigns, tick_threads_from_args};
 use meterstick_workloads::WorkloadKind;
 use mlg_server::ServerFlavor;
 
@@ -58,21 +60,40 @@ fn main() {
         .eager_lighting([true, false])
         .duration_secs(duration_from_args().min(10))
         .iterations(1);
-    let results = run_campaign(&campaign);
+    // Temporal twin: the diurnal tenancy process layered over AWS, swept
+    // across an off-peak and a peak start of the simulated week. The rows
+    // (trailing `start_time` column included) must be just as bit-identical
+    // across `--tick-threads` — the tenancy process draws from its own
+    // counter-based stream keyed on `(seed, start_time, tick)`, never from
+    // the tick pipeline's execution order.
+    let temporal = Campaign::new()
+        .workloads([WorkloadKind::Tnt, WorkloadKind::Lag])
+        .flavors([ServerFlavor::Folia])
+        .environments([Environment::aws_diurnal(NodeType::aws_t3_large())])
+        .tick_threads([threads])
+        .start_times([
+            StartTime::from_day_hour_minute(0, 4, 0),
+            StartTime::from_day_hour_minute(4, 20, 30),
+        ])
+        .duration_secs(duration_from_args().min(10))
+        .iterations(1);
+    let all_results = run_campaigns(&[&campaign, &temporal]);
     println!("tick_threads = {threads}");
     println!(
         "{:<10} {:<10} {:>6} {:>10} {:>9}",
         "workload", "flavor", "iters", "mean ISR", "crashes"
     );
-    for cell in results.cell_summaries() {
-        println!(
-            "{:<10} {:<10} {:>6} {:>10.6} {:>9}",
-            cell.workload.to_string(),
-            cell.flavor.to_string(),
-            cell.iterations,
-            cell.mean_isr,
-            cell.crashes
-        );
+    for results in &all_results {
+        for cell in results.cell_summaries() {
+            println!(
+                "{:<10} {:<10} {:>6} {:>10.6} {:>9}",
+                cell.workload.to_string(),
+                cell.flavor.to_string(),
+                cell.iterations,
+                cell.mean_isr,
+                cell.crashes
+            );
+        }
     }
     println!("(outputs above are independent of --tick-threads by construction)");
 

@@ -16,13 +16,18 @@
 //!   `PATH` as results complete;
 //! * `--tick-threads N` — worker threads for the server's sharded tick
 //!   pipeline (results are bit-identical at any value; CI diffs the CSVs
-//!   of two settings to prove it).
+//!   of two settings to prove it);
+//! * `--start-time LIST` — comma-separated points of the simulated week at
+//!   which iterations start (`fri-20:30` labels or plain minutes since
+//!   Monday 00:00). A seed-excluded sweep axis: only environments with a
+//!   non-flat temporal profile react to it.
 
 #![forbid(unsafe_code)]
 
 use std::fs::File;
 
 use cloud_sim::environment::Environment;
+use cloud_sim::temporal::StartTime;
 use meterstick::campaign::{Campaign, CampaignResults};
 use meterstick::executor::{Executor, ParallelExecutor, SequentialExecutor};
 use meterstick::sink::{CsvSink, NullSink, ProgressSink, TeeSink};
@@ -68,6 +73,23 @@ pub fn executor_from_args() -> Box<dyn Executor> {
 /// caller to propagate errors to.
 #[must_use]
 pub fn run_campaign(campaign: &Campaign) -> CampaignResults {
+    run_campaigns(&[campaign])
+        .pop()
+        .expect("one campaign in, one result set out")
+}
+
+/// Runs several campaigns back to back through the *same* CLI-selected
+/// sinks, so a `--csv PATH` stream holds every campaign's rows under a
+/// single header. Used by probes that pair a stationary pass with a
+/// temporal one.
+///
+/// # Panics
+///
+/// Panics with a readable message when a campaign configuration is invalid
+/// or `--csv PATH` cannot be created — these binaries have no caller to
+/// propagate errors to.
+#[must_use]
+pub fn run_campaigns(campaigns: &[&Campaign]) -> Vec<CampaignResults> {
     let executor = executor_from_args();
     let mut progress = std::env::args()
         .any(|a| a == "--progress")
@@ -78,19 +100,23 @@ pub fn run_campaign(campaign: &Campaign) -> CampaignResults {
         CsvSink::new(file)
     });
 
-    let result = match (&mut progress, &mut csv) {
-        (Some(progress), Some(csv)) => {
-            let mut tee = TeeSink::new(progress, csv);
-            campaign.run_with(&*executor, &mut tee)
-        }
-        (Some(progress), None) => campaign.run_with(&*executor, progress),
-        (None, Some(csv)) => campaign.run_with(&*executor, csv),
-        (None, None) => campaign.run_with(&*executor, &mut NullSink),
-    };
+    let mut all = Vec::with_capacity(campaigns.len());
+    for campaign in campaigns {
+        let result = match (&mut progress, &mut csv) {
+            (Some(progress), Some(csv)) => {
+                let mut tee = TeeSink::new(progress, csv);
+                campaign.run_with(&*executor, &mut tee)
+            }
+            (Some(progress), None) => campaign.run_with(&*executor, progress),
+            (None, Some(csv)) => campaign.run_with(&*executor, csv),
+            (None, None) => campaign.run_with(&*executor, &mut NullSink),
+        };
+        all.push(result.unwrap_or_else(|err| panic!("campaign failed: {err}")));
+    }
     if let Some(err) = csv.as_ref().and_then(CsvSink::error) {
         eprintln!("warning: --csv stream failed mid-run, the CSV file is truncated: {err}");
     }
-    result.unwrap_or_else(|err| panic!("campaign failed: {err}"))
+    all
 }
 
 fn csv_path_from_args() -> Option<String> {
@@ -125,6 +151,44 @@ pub fn tick_threads_from_args() -> u32 {
     1
 }
 
+/// The simulated-week start times selected by `--start-time LIST`
+/// (comma-separated `day-hh:mm` labels like `fri-20:30`, or plain integer
+/// minutes since Monday 00:00). Defaults to `[StartTime::MONDAY_MIDNIGHT]`
+/// when the flag is absent.
+///
+/// # Panics
+///
+/// Panics when the flag is present without a parsable value.
+#[must_use]
+pub fn start_times_from_args() -> Vec<StartTime> {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--start-time" {
+            let raw = args
+                .next()
+                .filter(|v| !v.starts_with("--"))
+                .unwrap_or_else(|| {
+                    panic!("--start-time requires a comma-separated list like fri-20:30,mon-04:00")
+                });
+            return raw
+                .split(',')
+                .map(|item| {
+                    let item = item.trim();
+                    StartTime::parse(item)
+                        .or_else(|| item.parse::<u32>().ok().map(StartTime::from_minutes))
+                        .unwrap_or_else(|| {
+                            panic!(
+                                "--start-time: cannot parse {item:?} \
+                                 (expected day-hh:mm like fri-20:30, or minutes)"
+                            )
+                        })
+                })
+                .collect();
+        }
+    }
+    vec![StartTime::MONDAY_MIDNIGHT]
+}
+
 /// Runs one workload for one flavor set in one environment and returns the
 /// results. Seeds are fixed so figures are reproducible run-to-run.
 #[must_use]
@@ -140,6 +204,7 @@ pub fn run(
         .flavors(flavors.iter().copied())
         .environments([environment])
         .tick_threads([tick_threads_from_args()])
+        .start_times(start_times_from_args())
         .duration_secs(duration_secs)
         .iterations(iterations);
     run_campaign(&campaign)

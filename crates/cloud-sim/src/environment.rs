@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 use crate::engine::ComputeEngine;
 use crate::interference::{InterferenceProfile, InterferenceState};
 use crate::node::NodeType;
+use crate::temporal::{StartTime, TemporalProfile};
 
 /// The hosting provider an environment belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -45,6 +46,10 @@ pub struct Environment {
     pub network_latency_ms: f64,
     /// Maximum network jitter, in milliseconds.
     pub network_jitter_ms: f64,
+    /// Diurnal + day-of-week tenancy curve. Flat by default on every preset
+    /// — stationary campaigns stay byte-identical — and opted into via
+    /// [`Environment::with_temporal`] or the `*_diurnal` presets.
+    pub temporal: TemporalProfile,
 }
 
 impl Environment {
@@ -58,6 +63,7 @@ impl Environment {
             profile: InterferenceProfile::aws(),
             network_latency_ms: 0.6,
             network_jitter_ms: 0.4,
+            temporal: TemporalProfile::flat(),
         }
     }
 
@@ -65,6 +71,13 @@ impl Environment {
     #[must_use]
     pub fn aws_default() -> Self {
         Environment::aws(NodeType::aws_t3_large())
+    }
+
+    /// AWS with the non-stationary consumer-gaming tenancy curve
+    /// ([`TemporalProfile::aws`]): use with a `start_time` sweep.
+    #[must_use]
+    pub fn aws_diurnal(node: NodeType) -> Self {
+        Environment::aws(node).with_temporal(TemporalProfile::aws())
     }
 
     /// Azure environment on `Standard_D2_v3`.
@@ -76,6 +89,7 @@ impl Environment {
             profile: InterferenceProfile::azure(),
             network_latency_ms: 0.7,
             network_jitter_ms: 0.5,
+            temporal: TemporalProfile::flat(),
         }
     }
 
@@ -88,7 +102,22 @@ impl Environment {
             profile: InterferenceProfile::dedicated(),
             network_latency_ms: 0.2,
             network_jitter_ms: 0.05,
+            temporal: TemporalProfile::flat(),
         }
+    }
+
+    /// Azure with the business-hours tenancy curve
+    /// ([`TemporalProfile::azure`]).
+    #[must_use]
+    pub fn azure_diurnal() -> Self {
+        Environment::azure_default().with_temporal(TemporalProfile::azure())
+    }
+
+    /// Replaces the tenancy curve (builder style).
+    #[must_use]
+    pub fn with_temporal(mut self, temporal: TemporalProfile) -> Self {
+        self.temporal = temporal;
+        self
     }
 
     /// A short label such as `"AWS 2-core"` used in figures.
@@ -97,14 +126,28 @@ impl Environment {
         format!("{} {}-core", self.provider, self.node.vcpus)
     }
 
-    /// Samples a concrete environment instance for one iteration.
+    /// Samples a concrete environment instance for one iteration, starting
+    /// at the default start time (Monday 00:00).
     ///
     /// Each iteration gets fresh placement/interference randomness derived
     /// from `seed`, which is how the inter-iteration variability of Figure 10
     /// arises.
     #[must_use]
     pub fn instantiate(&self, seed: u64) -> EnvironmentInstance {
-        let interference = InterferenceState::new(self.profile.clone(), seed);
+        self.instantiate_at(seed, StartTime::default())
+    }
+
+    /// [`Environment::instantiate`] at an explicit point of the simulated
+    /// week. Under a flat tenancy curve the start time has no effect; under
+    /// a diurnal curve it selects the intensity level the iteration runs at.
+    #[must_use]
+    pub fn instantiate_at(&self, seed: u64, start: StartTime) -> EnvironmentInstance {
+        let interference = InterferenceState::with_temporal(
+            self.profile.clone(),
+            self.temporal.clone(),
+            start,
+            seed,
+        );
         EnvironmentInstance {
             engine: ComputeEngine::new(self.node.clone(), interference),
             provider: self.provider,

@@ -21,6 +21,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use crate::temporal::{StartTime, TemporalProfile, TenancyProcess};
+
 /// Static description of an environment's interference behaviour.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct InterferenceProfile {
@@ -81,7 +83,8 @@ impl InterferenceProfile {
 }
 
 /// Per-iteration interference state: the sampled placement factor plus the
-/// evolving steal-episode process.
+/// evolving steal-episode process, with the seeded tenancy point process of
+/// [`crate::temporal`] layered over both.
 #[derive(Debug, Clone)]
 pub struct InterferenceState {
     profile: InterferenceProfile,
@@ -89,12 +92,34 @@ pub struct InterferenceState {
     placement_factor: f64,
     steal_ticks_remaining: u32,
     steal_multiplier: f64,
+    tenancy: TenancyProcess,
 }
 
 impl InterferenceState {
-    /// Samples a fresh interference state for one benchmark iteration.
+    /// Samples a fresh interference state for one benchmark iteration, with
+    /// stationary (flat) tenancy.
     #[must_use]
     pub fn new(profile: InterferenceProfile, seed: u64) -> Self {
+        InterferenceState::with_temporal(
+            profile,
+            TemporalProfile::flat(),
+            StartTime::default(),
+            seed,
+        )
+    }
+
+    /// [`InterferenceState::new`] with a non-stationary tenancy process
+    /// starting at `start`. The tenancy layer draws from its own
+    /// counter-based hash stream — never from this state's `StdRng` — so a
+    /// flat `temporal` profile reproduces [`InterferenceState::new`]
+    /// bit-identically.
+    #[must_use]
+    pub fn with_temporal(
+        profile: InterferenceProfile,
+        temporal: TemporalProfile,
+        start: StartTime,
+        seed: u64,
+    ) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let (lo, hi) = profile.placement_factor_range;
         let placement_factor = if hi > lo { rng.gen_range(lo..hi) } else { lo };
@@ -104,6 +129,7 @@ impl InterferenceState {
             placement_factor,
             steal_ticks_remaining: 0,
             steal_multiplier: 1.0,
+            tenancy: TenancyProcess::new(temporal, seed, start),
         }
     }
 
@@ -119,16 +145,29 @@ impl InterferenceState {
         self.steal_ticks_remaining > 0
     }
 
+    /// Number of noisy neighbours currently resident on the host (always 0
+    /// under a flat temporal profile).
+    #[must_use]
+    pub fn resident_neighbors(&self) -> u32 {
+        self.tenancy.resident_count()
+    }
+
     /// Advances the interference process by one tick and returns the total
     /// slowdown multiplier to apply to that tick's compute (≥ 1.0).
     pub fn sample_tick(&mut self) -> f64 {
+        // Tenancy first: it draws only from its own counter-based hash
+        // stream, so the `StdRng` draws below see the exact same stream
+        // regardless of the temporal profile. With zero residents both
+        // factors are exactly 1.0 and the multiplications below are
+        // bit-exact no-ops.
+        let tenancy = self.tenancy.step();
         // Steal episode process.
         if self.steal_ticks_remaining > 0 {
             self.steal_ticks_remaining -= 1;
-        } else if self
-            .rng
-            .gen_bool(self.profile.steal_episode_probability.clamp(0.0, 1.0))
-        {
+        } else if self.rng.gen_bool(
+            (self.profile.steal_episode_probability * tenancy.steal_probability_factor)
+                .clamp(0.0, 1.0),
+        ) {
             let (dlo, dhi) = self.profile.steal_duration_ticks;
             self.steal_ticks_remaining = self.rng.gen_range(dlo..=dhi.max(dlo));
             let (mlo, mhi) = self.profile.steal_multiplier_range;
@@ -147,7 +186,7 @@ impl InterferenceState {
             + self
                 .rng
                 .gen_range(0.0..self.profile.scheduler_jitter.max(1e-9));
-        self.placement_factor * steal * jitter
+        self.placement_factor * steal * jitter * tenancy.pressure
     }
 }
 
@@ -269,6 +308,52 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(a.sample_tick(), b.sample_tick());
         }
+    }
+
+    #[test]
+    fn flat_temporal_profile_is_bit_identical_to_stationary() {
+        use crate::temporal::{StartTime, TemporalProfile};
+        // The temporal layer must consume zero RNG draws and contribute
+        // exactly-1.0 factors when flat — even at a non-default start time.
+        let mut plain = InterferenceState::new(InterferenceProfile::aws(), 901);
+        let mut layered = InterferenceState::with_temporal(
+            InterferenceProfile::aws(),
+            TemporalProfile::flat(),
+            StartTime::parse("fri-20:30").unwrap(),
+            901,
+        );
+        assert_eq!(plain.placement_factor(), layered.placement_factor());
+        for _ in 0..5_000 {
+            assert_eq!(
+                plain.sample_tick().to_bits(),
+                layered.sample_tick().to_bits()
+            );
+        }
+        assert_eq!(layered.resident_neighbors(), 0);
+    }
+
+    #[test]
+    fn diurnal_peak_slows_ticks_beyond_stationary() {
+        use crate::temporal::{StartTime, TemporalProfile};
+        let mean_of = |start: &str, seed: u64| -> f64 {
+            let mut state = InterferenceState::with_temporal(
+                InterferenceProfile::aws(),
+                TemporalProfile::aws(),
+                StartTime::parse(start).unwrap(),
+                seed,
+            );
+            (0..5_000).map(|_| state.sample_tick()).sum::<f64>() / 5_000.0
+        };
+        let mut peak = 0.0;
+        let mut off = 0.0;
+        for seed in 0..10 {
+            peak += mean_of("fri-20:30", seed);
+            off += mean_of("mon-04:00", seed);
+        }
+        assert!(
+            peak > off * 1.1,
+            "peak-start interference should dominate off-peak: {peak} vs {off}"
+        );
     }
 
     #[test]

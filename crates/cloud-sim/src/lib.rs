@@ -17,7 +17,9 @@
 //!   units produced by the game server into milliseconds of tick time;
 //! * [`metrics_collector`] — the system-level metrics sampler (Table 5);
 //! * [`recommendations`] — the hosting-provider hardware recommendations of
-//!   Table 7.
+//!   Table 7;
+//! * [`temporal`] — non-stationary (diurnal + day-of-week) tenancy: the
+//!   seeded noisy-neighbour point process and the `start_time` dimension.
 //!
 //! The cloud models are calibrated to reproduce the *shape* of the paper's
 //! findings (clouds are more variable than self-hosting; 2-vCPU nodes are
@@ -33,8 +35,10 @@ pub mod interference;
 pub mod metrics_collector;
 pub mod node;
 pub mod recommendations;
+pub mod temporal;
 
 pub use engine::{ComputeEngine, TickWork};
 pub use environment::{Environment, EnvironmentInstance, Provider};
 pub use interference::{InterferenceProfile, InterferenceState};
 pub use node::NodeType;
+pub use temporal::{StartTime, TemporalProfile, TenancyProcess};

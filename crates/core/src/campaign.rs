@@ -37,6 +37,7 @@
 
 use cloud_sim::environment::Environment;
 use cloud_sim::node::NodeType;
+use cloud_sim::temporal::StartTime;
 use meterstick_workloads::{WorkloadKind, WorkloadSpec};
 use mlg_protocol::netsim::LinkConfig;
 use mlg_server::ServerFlavor;
@@ -64,6 +65,8 @@ pub struct CellCoord {
     pub shard_rebalance: usize,
     /// Index into the campaign's eager-lighting list.
     pub eager_lighting: usize,
+    /// Index into the campaign's start-time list.
+    pub start_time: usize,
 }
 
 /// One independently executable unit of a campaign: a single iteration of a
@@ -114,8 +117,13 @@ impl IterationJob {
             Some(false) => " [pipelined]",
             None => "",
         };
+        let start = if self.config.start_time == StartTime::default() {
+            String::new()
+        } else {
+            format!(" [{}]", self.config.start_time)
+        };
         format!(
-            "{} × {} @ {}{threads}{rebalance}{lighting} #{}",
+            "{} × {} @ {}{threads}{rebalance}{lighting}{start} #{}",
             self.config.workload.kind,
             self.flavor,
             self.config.environment.label(),
@@ -368,6 +376,7 @@ pub struct Campaign {
     tick_threads: Vec<u32>,
     shard_rebalance: Vec<Option<bool>>,
     eager_lighting: Vec<Option<bool>>,
+    start_times: Vec<StartTime>,
 }
 
 impl Default for Campaign {
@@ -389,6 +398,7 @@ impl Campaign {
             tick_threads: vec![template.tick_threads],
             shard_rebalance: vec![template.shard_rebalance],
             eager_lighting: vec![template.eager_lighting],
+            start_times: vec![template.start_time],
             template,
         }
     }
@@ -405,6 +415,7 @@ impl Campaign {
             tick_threads: vec![config.tick_threads],
             shard_rebalance: vec![config.shard_rebalance],
             eager_lighting: vec![config.eager_lighting],
+            start_times: vec![config.start_time],
             template: config,
         }
     }
@@ -478,6 +489,32 @@ impl Campaign {
         self
     }
 
+    /// Replaces the start-time dimension: each value runs the whole grid
+    /// starting at that point of the simulated week. Only environments with
+    /// a non-flat temporal (tenancy) profile respond to it. Like
+    /// `shard_rebalance`/`eager_lighting` this axis is excluded from seed
+    /// derivation, so cells differing only in start time run identical
+    /// worlds, bots and interference seeds — a paired comparison of *when*,
+    /// not *where*.
+    #[must_use]
+    pub fn start_times(mut self, start_times: impl IntoIterator<Item = StartTime>) -> Self {
+        self.start_times = start_times.into_iter().collect();
+        self
+    }
+
+    /// Enables windowed (long-horizon) metric aggregation for every job:
+    /// iterations fold ticks through a bounded streaming aggregator instead
+    /// of retaining the full trace. Not a sweep axis — a scalar knob like
+    /// `duration_secs`.
+    #[must_use]
+    pub fn metrics_window(mut self, window_ticks: u32, max_windows: u32) -> Self {
+        self.template = self
+            .template
+            .clone()
+            .with_metrics_window(window_ticks, max_windows);
+        self
+    }
+
     /// Appends one AWS environment per node size — the node-size axis of the
     /// paper's Figure 12 as a sweep dimension.
     #[must_use]
@@ -548,6 +585,7 @@ impl Campaign {
             * self.tick_threads.len()
             * self.shard_rebalance.len()
             * self.eager_lighting.len()
+            * self.start_times.len()
     }
 
     /// Number of jobs the plan will contain (cells × iterations).
@@ -595,6 +633,11 @@ impl Campaign {
                 dimension: "eager_lighting",
             });
         }
+        if self.start_times.is_empty() {
+            return Err(BenchmarkError::EmptyDimension {
+                dimension: "start_times",
+            });
+        }
         if self.template.iterations == 0 {
             return Err(BenchmarkError::EmptyDimension {
                 dimension: "iterations",
@@ -630,30 +673,34 @@ impl Campaign {
                     for (t_idx, &threads) in self.tick_threads.iter().enumerate() {
                         for (r_idx, &rebalance) in self.shard_rebalance.iter().enumerate() {
                             for (l_idx, &lighting) in self.eager_lighting.iter().enumerate() {
-                                let mut config = self.template.clone();
-                                config.workload = *workload;
-                                config.environment = environment.clone();
-                                config.flavors = vec![flavor];
-                                config.tick_threads = threads;
-                                config.shard_rebalance = rebalance;
-                                config.eager_lighting = lighting;
-                                let coord = CellCoord {
-                                    workload: w_idx,
-                                    environment: e_idx,
-                                    flavor: f_idx,
-                                    tick_threads: t_idx,
-                                    shard_rebalance: r_idx,
-                                    eager_lighting: l_idx,
-                                };
-                                for iteration in 0..self.template.iterations {
-                                    jobs.push(IterationJob {
-                                        index: jobs.len(),
-                                        coord,
-                                        config: config.clone(),
-                                        flavor,
-                                        iteration,
-                                        seed: job_seed(&self.template, coord, iteration),
-                                    });
+                                for (s_idx, &start_time) in self.start_times.iter().enumerate() {
+                                    let mut config = self.template.clone();
+                                    config.workload = *workload;
+                                    config.environment = environment.clone();
+                                    config.flavors = vec![flavor];
+                                    config.tick_threads = threads;
+                                    config.shard_rebalance = rebalance;
+                                    config.eager_lighting = lighting;
+                                    config.start_time = start_time;
+                                    let coord = CellCoord {
+                                        workload: w_idx,
+                                        environment: e_idx,
+                                        flavor: f_idx,
+                                        tick_threads: t_idx,
+                                        shard_rebalance: r_idx,
+                                        eager_lighting: l_idx,
+                                        start_time: s_idx,
+                                    };
+                                    for iteration in 0..self.template.iterations {
+                                        jobs.push(IterationJob {
+                                            index: jobs.len(),
+                                            coord,
+                                            config: config.clone(),
+                                            flavor,
+                                            iteration,
+                                            seed: job_seed(&self.template, coord, iteration),
+                                        });
+                                    }
                                 }
                             }
                         }
@@ -712,7 +759,9 @@ impl Campaign {
 /// `shard_rebalance` and `eager_lighting` coordinates are excluded too,
 /// for a different reason: architectures should be compared on identical
 /// worlds, bots and interference, so those axes vary only the
-/// architecture.
+/// architecture. The `start_time` coordinate is excluded for the same
+/// paired-comparison reason: a start-time sweep asks what changes when the
+/// *same* deployment runs at a different point of the week.
 #[must_use]
 fn job_seed(template: &BenchmarkConfig, coord: CellCoord, iteration: u32) -> u64 {
     template
@@ -841,6 +890,7 @@ mod tests {
             tick_threads: 0,
             shard_rebalance: 0,
             eager_lighting: 0,
+            start_time: 0,
         };
         let t1 = BenchmarkConfig::new(WorkloadKind::Control).with_seed(1);
         let t2 = BenchmarkConfig::new(WorkloadKind::Control).with_seed(2);
@@ -928,6 +978,7 @@ mod tests {
             tick_threads: 0,
             shard_rebalance: 0,
             eager_lighting: 0,
+            start_time: 0,
         });
         let second = results.for_coord(CellCoord {
             workload: 0,
@@ -936,6 +987,7 @@ mod tests {
             tick_threads: 0,
             shard_rebalance: 0,
             eager_lighting: 0,
+            start_time: 0,
         });
         assert_eq!(first.len(), 2);
         assert_eq!(second.len(), 2);

@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use cloud_sim::environment::Environment;
+use cloud_sim::temporal::StartTime;
 use meterstick_workloads::{WorkloadKind, WorkloadSpec};
 use mlg_protocol::netsim::LinkConfig;
 use mlg_server::ServerFlavor;
@@ -63,6 +64,27 @@ pub struct BenchmarkConfig {
     /// change — campaigns sweep it via the `eager_lighting` axis to
     /// measure what pipelining the lighting phase buys.
     pub eager_lighting: Option<bool>,
+    /// Point of the simulated week at which iterations start. Only matters
+    /// for environments with a non-flat temporal (tenancy) profile; like
+    /// `tick_threads`, it is excluded from seed derivation so a `start_time`
+    /// sweep compares identical worlds and interference seeds at different
+    /// points of the week.
+    pub start_time: StartTime,
+    /// When set, iterations fold their tick stream through a
+    /// [`meterstick_metrics::windowed::WindowedAggregator`] instead of
+    /// retaining the full trace — memory stays flat with horizon, enabling
+    /// hours→days of simulated wall-clock. The retained trace is bounded to
+    /// the final window.
+    pub metrics_window: Option<MetricsWindow>,
+}
+
+/// Windowed-aggregation knob for long-horizon iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricsWindow {
+    /// Ticks per aggregation window (e.g. 1 200 = one simulated minute).
+    pub window_ticks: u32,
+    /// Bound on retained window summaries (oldest evicted first).
+    pub max_windows: u32,
 }
 
 impl BenchmarkConfig {
@@ -88,6 +110,8 @@ impl BenchmarkConfig {
             tick_threads: 1,
             shard_rebalance: None,
             eager_lighting: None,
+            start_time: StartTime::default(),
+            metrics_window: None,
         }
     }
 
@@ -159,6 +183,23 @@ impl BenchmarkConfig {
     #[must_use]
     pub fn with_eager_lighting(mut self, eager: Option<bool>) -> Self {
         self.eager_lighting = eager;
+        self
+    }
+
+    /// Sets the start time within the simulated week.
+    #[must_use]
+    pub fn with_start_time(mut self, start_time: StartTime) -> Self {
+        self.start_time = start_time;
+        self
+    }
+
+    /// Enables windowed (long-horizon) metric aggregation.
+    #[must_use]
+    pub fn with_metrics_window(mut self, window_ticks: u32, max_windows: u32) -> Self {
+        self.metrics_window = Some(MetricsWindow {
+            window_ticks: window_ticks.max(1),
+            max_windows: max_windows.max(1),
+        });
         self
     }
 

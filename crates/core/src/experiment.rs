@@ -17,9 +17,12 @@
 //!
 //! [`Campaign::from_config`]: crate::campaign::Campaign::from_config
 
+use std::collections::VecDeque;
+
 use cloud_sim::metrics_collector::{SystemMetricsCollector, TickObservation};
 use meterstick_metrics::response::ResponseTimeSummary;
-use meterstick_metrics::trace::TickTrace;
+use meterstick_metrics::trace::{TickRecord, TickTrace};
+use meterstick_metrics::windowed::WindowedAggregator;
 use meterstick_workloads::BuiltWorkload;
 use mlg_bots::PlayerEmulation;
 use mlg_server::{GameServer, ServerConfig, ServerFlavor, TickStageBreakdown};
@@ -87,7 +90,10 @@ pub fn execute_iteration_observed(
     let built = config.workload.build(config.base_seed);
     let workload_kind = built.kind;
     let (mut server, mut emulation) = prepare(config, flavor, built, seed);
-    let mut engine = config.environment.instantiate(seed).engine;
+    let mut engine = config
+        .environment
+        .instantiate_at(seed, config.start_time)
+        .engine;
 
     let ticks_planned = config.ticks_per_iteration();
     let duration_ms = config.duration_secs as f64 * 1_000.0;
@@ -97,6 +103,21 @@ pub fn execute_iteration_observed(
     let mut crashed = None;
     let mut ticks_executed = 0;
     let mut stage_busy = TickStageBreakdown::default();
+    // Long-horizon mode: fold ticks through the bounded streaming
+    // aggregator instead of growing the trace with the horizon. The
+    // retained trace is a ring holding only the final window of records.
+    let mut aggregator = config.metrics_window.map(|w| {
+        WindowedAggregator::new(
+            w.window_ticks.max(1) as usize,
+            w.max_windows.max(1) as usize,
+            budget_ms,
+        )
+    });
+    let trace_cap = config
+        .metrics_window
+        .map(|w| w.window_ticks.max(1) as usize)
+        .unwrap_or(0);
+    let mut trace_tail: VecDeque<TickRecord> = VecDeque::with_capacity(trace_cap);
 
     // The iteration runs for a fixed span of *virtual time*, exactly like
     // the paper's fixed wall-clock duration: when the server is
@@ -119,7 +140,15 @@ pub fn execute_iteration_observed(
             entity_count: summary.entity_count,
             player_count: summary.player_count,
         });
-        trace.push(summary.record);
+        if let Some(agg) = aggregator.as_mut() {
+            agg.push(summary.record.busy_ms);
+            if trace_tail.len() == trace_cap {
+                trace_tail.pop_front();
+            }
+            trace_tail.push_back(summary.record);
+        } else {
+            trace.push(summary.record);
+        }
         collector.observe_tick(
             summary.end_ms,
             TickObservation {
@@ -139,12 +168,22 @@ pub fn execute_iteration_observed(
     }
 
     let response_samples = emulation.response_samples().to_vec();
+    let (instability_ratio, windowed) = match aggregator {
+        Some(agg) => {
+            for record in trace_tail {
+                trace.push(record);
+            }
+            let report = agg.finish(Some(ticks_planned));
+            (report.instability_ratio, Some(report))
+        }
+        None => (trace.instability_ratio(Some(ticks_planned)), None),
+    };
     IterationResult {
         flavor,
         workload: workload_kind,
         iteration,
         environment: config.environment.label(),
-        instability_ratio: trace.instability_ratio(Some(ticks_planned)),
+        instability_ratio,
         response: ResponseTimeSummary::of(&response_samples),
         response_samples,
         system_samples: collector.finish(),
@@ -154,6 +193,7 @@ pub fn execute_iteration_observed(
         crashed,
         trace,
         stage_busy,
+        windowed,
     }
 }
 
@@ -171,7 +211,8 @@ fn prepare(
         .with_seed(config.base_seed)
         .with_tick_threads(config.tick_threads)
         .with_shard_rebalance(config.shard_rebalance)
-        .with_eager_lighting(config.eager_lighting);
+        .with_eager_lighting(config.eager_lighting)
+        .with_start_time_minute(config.start_time.minute_of_week());
     let bots = config.bots_override.unwrap_or(built.players.bots);
     let mut emulation = PlayerEmulation::new(
         bots,

@@ -4,6 +4,7 @@ use cloud_sim::metrics_collector::SystemSample;
 use meterstick_metrics::response::ResponseTimeSummary;
 use meterstick_metrics::stats::{BoxplotSummary, Percentiles};
 use meterstick_metrics::trace::TickTrace;
+use meterstick_metrics::windowed::WindowedReport;
 use meterstick_metrics::TickDistribution;
 use meterstick_workloads::WorkloadKind;
 use mlg_protocol::TrafficSummary;
@@ -44,6 +45,13 @@ pub struct IterationResult {
     /// executed ticks. Attributes variability to pipeline stages the way
     /// the per-tick distribution attributes it to work classes.
     pub stage_busy: TickStageBreakdown,
+    /// Windowed streaming aggregates, present only for long-horizon
+    /// iterations run with
+    /// [`BenchmarkConfig::metrics_window`](crate::config::BenchmarkConfig)
+    /// set. When present, `trace` is bounded to the final window while
+    /// `instability_ratio` still covers the full horizon (folded
+    /// incrementally).
+    pub windowed: Option<WindowedReport>,
 }
 
 impl IterationResult {
@@ -202,6 +210,7 @@ mod tests {
             ticks_planned: 10,
             crashed: crashed.then(|| "stalled".to_string()),
             stage_busy: TickStageBreakdown::default(),
+            windowed: None,
         }
     }
 

@@ -100,6 +100,7 @@ impl ResultSink for NullSink {}
 pub struct CsvSink<W: Write> {
     writer: W,
     error: Option<std::io::Error>,
+    header_written: bool,
 }
 
 /// Column headers of the per-iteration CSV stream. The `stage_*_ms`
@@ -110,8 +111,11 @@ pub struct CsvSink<W: Write> {
 /// delivered (per-recipient wire bytes, including join-time chunk
 /// streaming) — under area-of-interest dissemination this shrinks with the
 /// summed interest-set sizes while the assembled packet stream stays the
-/// same.
-pub const CSV_COLUMNS: [&str; 22] = [
+/// same. `start_time` (trailing, so older tooling that indexes columns
+/// positionally keeps working) is the simulated point of the week the
+/// iteration started at, e.g. `mon-00:00` — a seed-excluded sweep axis
+/// like `tick_threads`.
+pub const CSV_COLUMNS: [&str; 23] = [
     "workload",
     "flavor",
     "environment",
@@ -134,6 +138,7 @@ pub const CSV_COLUMNS: [&str; 22] = [
     "stage_other_ms",
     "crashed",
     "dissemination_bytes",
+    "start_time",
 ];
 
 impl<W: Write> CsvSink<W> {
@@ -142,6 +147,7 @@ impl<W: Write> CsvSink<W> {
         CsvSink {
             writer,
             error: None,
+            header_written: false,
         }
     }
 
@@ -167,6 +173,13 @@ impl<W: Write> CsvSink<W> {
 
 impl<W: Write> ResultSink for CsvSink<W> {
     fn on_campaign_start(&mut self, _plan: &CampaignPlan) {
+        // One header per sink, not per campaign: the same sink may observe
+        // several campaigns back to back (e.g. the determinism probe's
+        // stationary + temporal passes streaming into one file).
+        if self.header_written {
+            return;
+        }
+        self.header_written = true;
         let headers: Vec<String> = CSV_COLUMNS.iter().map(|c| (*c).to_string()).collect();
         let line = csv_row(&headers);
         self.write_line(&line);
@@ -205,6 +218,7 @@ impl<W: Write> ResultSink for CsvSink<W> {
             format!("{:.3}", result.stage_busy.other_ms),
             result.crashed.clone().unwrap_or_default(),
             result.traffic.total_bytes().to_string(),
+            job.config.start_time.to_string(),
         ]);
         self.write_line(&line);
     }
@@ -358,7 +372,7 @@ impl<W: Write> ResultSink for JsonlSink<W> {
                 "\"flavor\":\"{}\",\"environment\":\"{}\",\"iteration\":{},",
                 "\"seed\":{},\"ticks_executed\":{},\"ticks_planned\":{},",
                 "\"isr\":{:.6},\"tick_p50_ms\":{:.3},\"tick_max_ms\":{:.3},",
-                "\"dissemination_bytes\":{},\"crashed\":{}}}"
+                "\"dissemination_bytes\":{},\"start_time\":\"{}\",\"crashed\":{}}}"
             ),
             json_escape(&job.label()),
             json_escape(&result.workload.to_string()),
@@ -372,6 +386,7 @@ impl<W: Write> ResultSink for JsonlSink<W> {
             ticks.p50,
             ticks.max,
             result.traffic.total_bytes(),
+            job.config.start_time,
             result.crashed(),
         );
         self.write_line(&line);

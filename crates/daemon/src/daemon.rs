@@ -140,16 +140,29 @@ impl DaemonHandle {
     }
 
     /// Clears a pause and wakes the blocked loop.
+    ///
+    /// The flag store and notify happen under `pause_lock`: the loop
+    /// re-checks the flag while holding that lock before it waits, so
+    /// notifying without it could land in the gap between the re-check
+    /// and the wait and be lost — leaving the loop paused forever.
     pub fn resume(&self) {
-        self.shared.paused.store(false, Ordering::SeqCst);
-        self.shared.pause_cv.notify_all();
+        {
+            let _guard = self.shared.pause_lock.lock().expect("pause lock poisoned");
+            self.shared.paused.store(false, Ordering::SeqCst);
+            self.shared.pause_cv.notify_all();
+        }
         self.publish_state();
     }
 
-    /// Requests shutdown; wakes a paused loop so it can unwind.
+    /// Requests shutdown; wakes a paused loop so it can unwind. Holds
+    /// `pause_lock` across store + notify for the same lost-wakeup
+    /// reason as [`DaemonHandle::resume`].
     pub fn request_shutdown(&self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        self.shared.pause_cv.notify_all();
+        {
+            let _guard = self.shared.pause_lock.lock().expect("pause lock poisoned");
+            self.shared.shutdown.store(true, Ordering::SeqCst);
+            self.shared.pause_cv.notify_all();
+        }
         self.publish_state();
     }
 

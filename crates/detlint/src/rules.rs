@@ -159,6 +159,20 @@ pub const TICK_PATH_ENTITY_MODULES: [&str; 8] = [
     "crates/mlg-entity/src/tnt.rs",
 ];
 
+/// Cloud-model modules pulled under the hash-iteration rule individually:
+/// the `cloud-sim` crate as a whole sits outside the tick path (its
+/// recommendation/reporting helpers are free to use hash containers), but
+/// these modules run *inside* the tick loop — the compute engine converts
+/// per-tick work to durations and the interference/tenancy models perturb
+/// them — so hash-order iteration there would leak into tick output just
+/// like in a tick-path crate. Renaming or splitting one must update this
+/// table; `crates/detlint/tests/workspace_clean.rs` pins their existence.
+pub const TICK_PATH_MODEL_MODULES: [&str; 3] = [
+    "crates/cloud-sim/src/engine.rs",
+    "crates/cloud-sim/src/interference.rs",
+    "crates/cloud-sim/src/temporal.rs",
+];
+
 /// Crate directories exempt from the wall-clock rule:
 ///
 /// * `bench` — the benchmark harness legitimately measures host time;
@@ -214,7 +228,7 @@ pub fn check_file(ctx: &FileContext, source: &str) -> FileOutcome {
     let substrate_timing_file = outcome.waivers.iter().any(|w| w.file_level);
 
     let mut raw: Vec<Finding> = Vec::new();
-    if ctx.crate_in(&TICK_PATH_CRATES) {
+    if ctx.crate_in(&TICK_PATH_CRATES) || TICK_PATH_MODEL_MODULES.contains(&ctx.rel_path.as_str()) {
         check_hash_iteration(ctx, &tokens, &mut raw);
     }
     if !ctx.crate_in(&WALL_CLOCK_EXEMPT_CRATES) && !substrate_timing_file {

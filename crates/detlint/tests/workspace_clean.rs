@@ -47,6 +47,26 @@ fn tick_path_entity_modules_are_covered() {
 }
 
 #[test]
+fn tick_path_model_modules_are_covered() {
+    let root = workspace_root_from_build();
+    for module in detlint::rules::TICK_PATH_MODEL_MODULES {
+        assert!(
+            root.join(module).is_file(),
+            "expected cloud-model module missing: {module} \
+             (renamed or split? update TICK_PATH_MODEL_MODULES)"
+        );
+    }
+    // The temporal module is the motivating entry: the tenancy process
+    // runs inside every tick, so it must sit under hash-iteration coverage
+    // (its crate-wide no-wall-clock / no-ambient-rng coverage comes for
+    // free — cloud-sim is in neither exempt list).
+    assert!(
+        detlint::rules::TICK_PATH_MODEL_MODULES.contains(&"crates/cloud-sim/src/temporal.rs"),
+        "the tenancy process module must stay under tick-path model coverage"
+    );
+}
+
+#[test]
 fn every_waiver_is_accounted_for() {
     let root = workspace_root_from_build();
     let report = lint_workspace(&root).expect("workspace sources are readable");

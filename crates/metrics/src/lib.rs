@@ -12,7 +12,10 @@
 //! * **game response time** with the Noticeable-Delay and Unplayable-Game
 //!   thresholds ([`response`]);
 //! * the **tick-time distribution** across workload operations
-//!   ([`distribution`]), used by Figure 11.
+//!   ([`distribution`]), used by Figure 11;
+//! * **windowed streaming aggregation** for long-horizon campaigns
+//!   ([`windowed`]): per-window mean/CoV/percentiles plus horizon-wide
+//!   cumulative aggregates, memory flat with horizon.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -23,12 +26,14 @@ pub mod isr;
 pub mod response;
 pub mod stats;
 pub mod trace;
+pub mod windowed;
 
 pub use distribution::{TickDistribution, TickOperation};
 pub use isr::{analytical_isr, instability_ratio, IsrParams};
 pub use response::{ResponseTimeSummary, NOTICEABLE_DELAY_MS, UNPLAYABLE_MS};
 pub use stats::{BoxplotSummary, Percentiles};
 pub use trace::{TickRecord, TickTrace};
+pub use windowed::{WindowSummary, WindowedAggregator, WindowedReport};
 
 /// The intended tick period of an MLG running at 20 Hz, in milliseconds.
 pub const TICK_BUDGET_MS: f64 = 50.0;

@@ -61,6 +61,14 @@ pub struct ServerConfig {
     ///
     /// [`FlavorProfile::aoi_dissemination`]: crate::flavor::FlavorProfile::aoi_dissemination
     pub aoi_dissemination: Option<bool>,
+    /// Minute of the simulated week (0 = Monday 00:00) at which this run
+    /// starts. Purely informational for the server today — the temporal
+    /// interference model lives in the environment layer — but plumbed here
+    /// so time-of-day-aware workloads (e.g. the planned `Tidal` diurnal
+    /// population workload) can key their behaviour off the same clock. Must
+    /// never feed the tick determinism contract's forbidden sources: this is
+    /// simulated calendar time, not wall-clock time.
+    pub start_time_minute: u32,
 }
 
 impl Default for ServerConfig {
@@ -79,6 +87,7 @@ impl Default for ServerConfig {
             shard_rebalance: None,
             eager_lighting: None,
             aoi_dissemination: None,
+            start_time_minute: 0,
         }
     }
 }
@@ -135,6 +144,14 @@ impl ServerConfig {
     #[must_use]
     pub fn with_aoi_dissemination(mut self, aoi: Option<bool>) -> Self {
         self.aoi_dissemination = aoi;
+        self
+    }
+
+    /// Returns a copy starting at a different minute of the simulated week
+    /// (wraps modulo one week).
+    #[must_use]
+    pub fn with_start_time_minute(mut self, minute: u32) -> Self {
+        self.start_time_minute = minute % (7 * 24 * 60);
         self
     }
 }

@@ -175,6 +175,46 @@ fn mf5_bigger_nodes_reduce_overload_and_variability() {
 }
 
 #[test]
+fn mf5_cheapest_adequate_node_flips_between_off_peak_and_peak_starts() {
+    // The MF5 node-sizing question re-asked under diurnal tenancy: with the
+    // same pinned seed and world, sweeping only the (seed-excluded)
+    // start_time axis moves the cheapest node size whose mean tick stays
+    // within the 50 ms budget. At the Monday-04:00 trough the recommended
+    // t3.large suffices; at the Friday-20:30 peak its resident neighbors
+    // push it past the budget and t3.xlarge becomes the cheapest adequate
+    // size. The `start_time_sweep` bench binary prints the full table.
+    let mean_tick = |node: cloud_sim::node::NodeType, start: &str| {
+        let results = Campaign::new()
+            .workloads([WorkloadKind::Farm])
+            .flavors([ServerFlavor::Vanilla])
+            .environments([Environment::aws_diurnal(node)])
+            .start_times([cloud_sim::temporal::StartTime::parse(start).unwrap()])
+            .duration_secs(60)
+            .seed(20_260_807)
+            .iterations(1)
+            .run()
+            .expect("valid campaign configuration");
+        results.iterations()[0].tick_percentiles().mean
+    };
+    let budget = 50.0;
+    let off_peak_large = mean_tick(cloud_sim::node::NodeType::aws_t3_large(), "mon-04:00");
+    let peak_large = mean_tick(cloud_sim::node::NodeType::aws_t3_large(), "fri-20:30");
+    let peak_xlarge = mean_tick(cloud_sim::node::NodeType::aws_t3_xlarge(), "fri-20:30");
+    assert!(
+        off_peak_large <= budget,
+        "off-peak, the L node should be adequate (mean {off_peak_large} ms)"
+    );
+    assert!(
+        peak_large > budget,
+        "at the evening peak the same L node should overload (mean {peak_large} ms)"
+    );
+    assert!(
+        peak_xlarge <= budget,
+        "at the peak the XL node should still be adequate (mean {peak_xlarge} ms)"
+    );
+}
+
+#[test]
 fn paper_flavor_tames_environment_workloads() {
     let isr_of = |flavor| {
         let results = run(

@@ -1,0 +1,205 @@
+//! Property and golden tests pinning the temporal (tenancy) layer's
+//! determinism contract:
+//!
+//! * the tenancy point process replays bit-identically across a
+//!   pause/resume split at an *arbitrary* tick (proptest) and across
+//!   tick-thread counts (campaign-level CSV bytes);
+//! * two different `start_time`s under the same seed diverge — start time
+//!   is a real axis, not a relabeling;
+//! * [`TemporalProfile::flat`] reproduces the pre-temporal stationary
+//!   behaviour **byte-identically**, pinned by a golden CSV recorded
+//!   before the tenancy layer existed (`tests/data/stationary_baseline.csv`).
+
+use proptest::prelude::*;
+
+use cloud_sim::environment::Environment;
+use cloud_sim::interference::InterferenceState;
+use cloud_sim::node::NodeType;
+use cloud_sim::temporal::{StartTime, TemporalProfile, TenancyProcess, MINUTES_PER_WEEK};
+use meterstick::campaign::Campaign;
+use meterstick::executor::SequentialExecutor;
+use meterstick::sink::CsvSink;
+use meterstick_workloads::WorkloadKind;
+use mlg_server::ServerFlavor;
+
+/// A profile hot enough that arrival decisions happen every few ticks, so
+/// short property runs actually exercise arrivals and departures.
+fn busy_profile() -> TemporalProfile {
+    TemporalProfile {
+        arrivals_per_hour: 14_400.0, // one arrival chance in five ticks
+        peak_hours: (8, 20),
+        peak_multiplier: 3.0,
+        weekend_factor: 0.5,
+        residency_ticks: (5, 120),
+        steal_factor_per_neighbor: 1.5,
+        pressure_per_neighbor: 1.1,
+        max_neighbors: 4,
+    }
+}
+
+proptest! {
+    /// Pausing the process at any tick and resuming from the snapshot
+    /// replays the remaining ticks bit-identically: no draw depends on
+    /// execution history beyond the `(seed, start_time, tick)` triple and
+    /// the resident set the snapshot carries.
+    #[test]
+    fn tenancy_pause_resume_split_is_bit_identical(
+        seed in any::<u64>(),
+        start_minutes in 0u32..MINUTES_PER_WEEK,
+        split in 1usize..2_000,
+    ) {
+        let start = StartTime::from_minutes(start_minutes);
+        let mut uninterrupted = TenancyProcess::new(busy_profile(), seed, start);
+        let mut paused = TenancyProcess::new(busy_profile(), seed, start);
+        let total = 2_000usize;
+        let full: Vec<_> = (0..total).map(|_| uninterrupted.step()).collect();
+        let head: Vec<_> = (0..split).map(|_| paused.step()).collect();
+        let mut resumed = paused.clone();
+        let tail: Vec<_> = (split..total).map(|_| resumed.step()).collect();
+        prop_assert_eq!(&full[..split], head.as_slice());
+        prop_assert_eq!(&full[split..], tail.as_slice());
+    }
+
+    /// Two different start times under the same seed produce different
+    /// effect streams: the counter-based hash is keyed on the start minute,
+    /// so a start-time sweep explores genuinely different tenancy histories
+    /// on the same world.
+    #[test]
+    fn different_start_times_same_seed_diverge(
+        seed in any::<u64>(),
+        a in 0u32..MINUTES_PER_WEEK,
+        offset in 1u32..MINUTES_PER_WEEK,
+    ) {
+        let start_a = StartTime::from_minutes(a);
+        let start_b = StartTime::from_minutes((a + offset) % MINUTES_PER_WEEK);
+        let mut pa = TenancyProcess::new(busy_profile(), seed, start_a);
+        let mut pb = TenancyProcess::new(busy_profile(), seed, start_b);
+        let stream_a: Vec<_> = (0..2_000).map(|_| pa.step()).collect();
+        let stream_b: Vec<_> = (0..2_000).map(|_| pb.step()).collect();
+        prop_assert!(
+            stream_a != stream_b,
+            "start {} and start {} produced identical tenancy streams",
+            start_a,
+            start_b
+        );
+    }
+
+    /// The flat profile is inert for any seed and start time: zero
+    /// residents, exactly-neutral factors, forever.
+    #[test]
+    fn flat_profile_is_neutral_everywhere(
+        seed in any::<u64>(),
+        start_minutes in 0u32..MINUTES_PER_WEEK,
+    ) {
+        let start = StartTime::from_minutes(start_minutes);
+        let mut process = TenancyProcess::new(TemporalProfile::flat(), seed, start);
+        for _ in 0..500 {
+            let effect = process.step();
+            prop_assert_eq!(effect.residents, 0);
+            prop_assert_eq!(effect.steal_probability_factor.to_bits(), 1.0f64.to_bits());
+            prop_assert_eq!(effect.pressure.to_bits(), 1.0f64.to_bits());
+        }
+    }
+
+    /// At the interference level, a diurnal profile sampled from two
+    /// different start times under the same seed diverges too — the tenancy
+    /// stream survives composition with the stationary interference model.
+    #[test]
+    fn interference_diverges_across_start_times(seed in any::<u64>()) {
+        let profile = Environment::aws_default().profile;
+        let factors = |start: &str| -> Vec<u64> {
+            let mut state = InterferenceState::with_temporal(
+                profile.clone(),
+                busy_profile(),
+                StartTime::parse(start).unwrap(),
+                seed,
+            );
+            (0..2_000).map(|_| state.sample_tick().to_bits()).collect()
+        };
+        prop_assert!(
+            factors("mon-04:00") != factors("fri-12:30"),
+            "interference factor streams must diverge across start times"
+        );
+    }
+}
+
+/// Runs the golden-baseline campaign: the exact configuration whose CSV was
+/// recorded to `tests/data/stationary_baseline.csv` before the temporal
+/// layer existed. All environments here carry the default flat profile.
+fn stationary_campaign_csv() -> String {
+    let campaign = Campaign::new()
+        .workloads([WorkloadKind::Control, WorkloadKind::Farm])
+        .flavors([ServerFlavor::Vanilla, ServerFlavor::Paper])
+        .environments([Environment::aws_default(), Environment::das5(2)])
+        .duration_secs(6)
+        .iterations(2)
+        .seed(20_260_807);
+    let mut sink = CsvSink::new(Vec::new());
+    campaign
+        .run_with(&SequentialExecutor, &mut sink)
+        .expect("valid campaign configuration");
+    String::from_utf8(sink.into_inner()).expect("CSV output is UTF-8")
+}
+
+/// Strips the trailing `start_time` column (added by this PR) from every
+/// CSV line, recovering the pre-PR column set.
+fn strip_trailing_column(csv: &str) -> String {
+    csv.lines()
+        .map(|line| line.rsplit_once(',').expect("CSV line has columns").0)
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n"
+}
+
+/// The tentpole regression gate: with every environment on the default flat
+/// profile, campaign CSVs are **byte-identical** to the pre-temporal-layer
+/// baseline. The tenancy process consumes zero draws from the stationary
+/// interference RNG and contributes exactly-1.0 factors, so not a single
+/// bit of any metric may move.
+#[test]
+fn flat_profiles_reproduce_pre_temporal_baseline_byte_identically() {
+    let baseline_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/data/stationary_baseline.csv"
+    );
+    let baseline = std::fs::read_to_string(baseline_path).expect("baseline CSV is committed");
+    let current = strip_trailing_column(&stationary_campaign_csv());
+    assert_eq!(
+        current, baseline,
+        "stationary campaigns must reproduce the pre-temporal baseline byte-for-byte"
+    );
+}
+
+/// Campaign-level thread invariance on the *diurnal* environment: the CSV
+/// bytes (trailing `start_time` column included) must be identical at 1, 4
+/// and 8 tick threads. This is the dynamic twin of the CI probe, scoped to
+/// the temporal axis.
+#[test]
+fn diurnal_campaign_csv_is_identical_across_tick_threads() {
+    let csv_at = |threads: u32| -> String {
+        let campaign = Campaign::new()
+            .workloads([WorkloadKind::Farm])
+            .flavors([ServerFlavor::Folia])
+            .environments([Environment::aws_diurnal(NodeType::aws_t3_large())])
+            .tick_threads([threads])
+            .start_times([
+                StartTime::from_day_hour_minute(0, 4, 0),
+                StartTime::from_day_hour_minute(4, 20, 30),
+            ])
+            .duration_secs(5)
+            .iterations(2)
+            .seed(20_260_807);
+        let mut sink = CsvSink::new(Vec::new());
+        campaign
+            .run_with(&SequentialExecutor, &mut sink)
+            .expect("valid campaign configuration");
+        String::from_utf8(sink.into_inner()).expect("CSV output is UTF-8")
+    };
+    let reference = csv_at(1);
+    assert!(
+        reference.lines().count() > 4,
+        "campaign should produce one row per start × iteration"
+    );
+    assert_eq!(reference, csv_at(4), "4 threads must match 1 thread");
+    assert_eq!(reference, csv_at(8), "8 threads must match 1 thread");
+}
